@@ -1,0 +1,140 @@
+//! Criterion benches of the performance-critical kernels behind the
+//! paper's experiments: the simplex solver, the coschedule simulator, the
+//! FCFS estimators, and the discrete-event scheduler step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use lp::{LinearProgram, Relation};
+use queueing::{
+    run_latency_experiment, ContentionModel, FcfsScheduler, LatencyConfig, MaxItScheduler,
+    Scheduler, SizeDist, SrptScheduler,
+};
+use simproc::{Machine, MachineConfig};
+use symbiosis::{
+    enumerate_coschedules, fcfs_throughput, fcfs_throughput_markov, optimal_schedule, JobSize,
+    Objective, WorkloadRates,
+};
+use workloads::spec2006;
+
+/// The Section IV scheduling LP at paper scale: 35 coschedule variables,
+/// 4 equality constraints.
+fn scheduling_rates() -> WorkloadRates {
+    WorkloadRates::build(4, 4, |s| {
+        let per_job = [1.0, 0.8, 0.5, 0.3];
+        let het = s.heterogeneity() as f64;
+        s.counts()
+            .iter()
+            .zip(per_job)
+            .map(|(&c, r)| c as f64 * r * (0.55 + 0.12 * het))
+            .collect()
+    })
+    .expect("valid table")
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let rates = scheduling_rates();
+    c.bench_function("lp/optimal_schedule_n4_k4", |b| {
+        b.iter(|| optimal_schedule(&rates, Objective::MaxThroughput).expect("solves"))
+    });
+    // A larger LP: N = 8 -> 330 variables, 8 constraints.
+    let big = WorkloadRates::build(8, 4, |s| {
+        let het = s.heterogeneity() as f64;
+        s.counts()
+            .iter()
+            .enumerate()
+            .map(|(b, &cnt)| cnt as f64 * (0.3 + 0.08 * b as f64) * (0.6 + 0.1 * het))
+            .collect()
+    })
+    .expect("valid table");
+    c.bench_function("lp/optimal_schedule_n8_k4", |b| {
+        b.iter(|| optimal_schedule(&big, Objective::MaxThroughput).expect("solves"))
+    });
+    c.bench_function("lp/raw_simplex_20x8", |b| {
+        b.iter_batched(
+            || {
+                let mut p = LinearProgram::maximize(&[1.0; 20]);
+                for i in 0..8 {
+                    let row: Vec<f64> = (0..20)
+                        .map(|j| ((i * 7 + j * 3) % 11) as f64 / 11.0)
+                        .collect();
+                    p.constraint(&row, Relation::Le, 1.0 + i as f64 * 0.1);
+                }
+                p
+            },
+            |p| p.solve().expect("solves"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simproc(c: &mut Criterion) {
+    let suite = spec2006();
+    let machine = Machine::new(MachineConfig::smt4().with_windows(1_000, 4_000))
+        .expect("valid config");
+    c.bench_function("simproc/smt4_coschedule_5k_cycles", |b| {
+        b.iter(|| {
+            machine
+                .simulate(&[&suite[0], &suite[5], &suite[7], &suite[11]])
+                .expect("simulates")
+        })
+    });
+    let quad = Machine::new(MachineConfig::quadcore().with_windows(1_000, 4_000))
+        .expect("valid config");
+    c.bench_function("simproc/quadcore_coschedule_5k_cycles", |b| {
+        b.iter(|| {
+            quad.simulate(&[&suite[0], &suite[5], &suite[7], &suite[11]])
+                .expect("simulates")
+        })
+    });
+}
+
+fn bench_fcfs(c: &mut Criterion) {
+    let rates = scheduling_rates();
+    c.bench_function("fcfs/event_sim_5k_jobs", |b| {
+        b.iter(|| fcfs_throughput(&rates, 5_000, JobSize::Deterministic, 1).expect("runs"))
+    });
+    c.bench_function("fcfs/markov_chain_35_states", |b| {
+        b.iter(|| fcfs_throughput_markov(&rates).expect("solves"))
+    });
+}
+
+fn bench_des(c: &mut Criterion) {
+    let rates = ContentionModel::new(vec![1.0, 0.7, 0.5, 0.3], 0.2, 4);
+    let cfg = LatencyConfig {
+        arrival_rate: 1.2,
+        measured_jobs: 2_000,
+        warmup_jobs: 200,
+        sizes: SizeDist::Exponential,
+        seed: 3,
+    };
+    let policies: [(&str, fn() -> Box<dyn Scheduler>); 3] = [
+        ("fcfs", || Box::new(FcfsScheduler)),
+        ("maxit", || Box::new(MaxItScheduler)),
+        ("srpt", || Box::new(SrptScheduler)),
+    ];
+    for (name, make) in policies {
+        c.bench_function(&format!("des/latency_2k_jobs_{name}"), |b| {
+            b.iter_batched(
+                make,
+                |mut s| run_latency_experiment(&rates, s.as_mut(), &cfg).expect("runs"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    c.bench_function("enumerate/coschedules_12_choose_4_multiset", |b| {
+        b.iter(|| enumerate_coschedules(12, 4))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_simproc,
+    bench_fcfs,
+    bench_des,
+    bench_enumeration
+);
+criterion_main!(benches);

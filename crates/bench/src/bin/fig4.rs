@@ -1,0 +1,13 @@
+//! Regenerates Figure 4 (analytic M/M/4 curves; no simulation needed).
+
+use paperbench::experiments::fig4;
+
+fn main() {
+    match fig4::run() {
+        Ok(result) => println!("{result}"),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Figure 5: turnaround time, processor utilisation and empty fraction for
+//! the FCFS, MAXIT, SRPT and MAXTP schedulers at loads 0.8 / 0.9 / 0.95 of
+//! the FCFS maximum throughput (SMT configuration).
+
+use std::fmt;
+
+use queueing::{
+    run_latency_experiment, FcfsScheduler, LatencyConfig, MaxItScheduler, MaxTpScheduler,
+    Scheduler, SizeDist, SrptScheduler,
+};
+use symbiosis::{fcfs_throughput, optimal_schedule, JobSize, Objective};
+
+use crate::study::{Chip, Study};
+use crate::{mean, parallel_map};
+
+/// The four policies of Section VI, in paper order.
+pub const POLICIES: [&str; 4] = ["FCFS", "MAXIT", "SRPT", "MAXTP"];
+
+/// Averaged metrics for one (policy, load) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Mean turnaround normalised to FCFS at the same load.
+    pub turnaround_vs_fcfs: f64,
+    /// Mean busy contexts.
+    pub utilization: f64,
+    /// Fraction of time the system is empty.
+    pub empty_fraction: f64,
+}
+
+/// The full Figure 5 grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5 {
+    /// Load levels relative to the FCFS maximum throughput.
+    pub loads: Vec<f64>,
+    /// `cells[load][policy]`, policies in [`POLICIES`] order.
+    pub cells: Vec<Vec<Cell>>,
+    /// Workloads averaged.
+    pub workloads: usize,
+}
+
+/// Per-workload raw measurements for one load level.
+struct WorkloadRun {
+    /// Per policy: (turnaround, utilization, empty fraction).
+    per_policy: Vec<(f64, f64, f64)>,
+}
+
+/// Runs the Figure 5 experiment on the SMT configuration.
+///
+/// # Errors
+///
+/// Propagates simulation/analysis failures as strings.
+pub fn run(study: &Study) -> Result<Fig5, String> {
+    let loads = vec![0.8, 0.9, 0.95];
+    let workloads = study.workloads();
+    let table = study.table(Chip::Smt);
+    let cfg = study.config();
+    // The DES leg is the most expensive part of the whole harness; use a
+    // modest number of measured jobs per run (the averages over workloads
+    // smooth the noise).
+    let measured_jobs = (cfg.fcfs_jobs / 2).clamp(2_000, 20_000);
+
+    let mut cells = Vec::new();
+    for &load in &loads {
+        let runs = parallel_map(&workloads, cfg.threads, |w| -> Result<WorkloadRun, String> {
+            let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
+            let view = table.workload_view(w).map_err(|e| e.to_string())?;
+            let fcfs_tp = fcfs_throughput(&rates, cfg.fcfs_jobs, JobSize::Deterministic, cfg.seed)
+                .map_err(|e| e.to_string())?
+                .throughput;
+            let best = optimal_schedule(&rates, Objective::MaxThroughput)
+                .map_err(|e| e.to_string())?;
+            let targets: Vec<(Vec<u32>, f64)> = rates
+                .coschedules()
+                .iter()
+                .zip(&best.fractions)
+                .filter(|(_, &x)| x > 1e-9)
+                .map(|(s, &x)| (s.counts().to_vec(), x))
+                .collect();
+            let latency_cfg = LatencyConfig {
+                arrival_rate: load * fcfs_tp,
+                measured_jobs,
+                warmup_jobs: measured_jobs / 10,
+                sizes: SizeDist::Exponential,
+                seed: cfg.seed ^ (load * 1000.0) as u64,
+            };
+            let mut per_policy = Vec::new();
+            for policy in POLICIES {
+                let mut sched: Box<dyn Scheduler> = match policy {
+                    "FCFS" => Box::new(FcfsScheduler),
+                    "MAXIT" => Box::new(MaxItScheduler),
+                    "SRPT" => Box::new(SrptScheduler),
+                    "MAXTP" => Box::new(MaxTpScheduler::new(targets.clone())),
+                    _ => unreachable!("policy list is fixed"),
+                };
+                let report = run_latency_experiment(&view, sched.as_mut(), &latency_cfg)?;
+                per_policy.push((
+                    report.mean_turnaround,
+                    report.utilization,
+                    report.empty_fraction,
+                ));
+            }
+            Ok(WorkloadRun { per_policy })
+        });
+        let runs: Vec<WorkloadRun> = runs.into_iter().collect::<Result<_, _>>()?;
+        let mut row = Vec::new();
+        for (pi, _) in POLICIES.iter().enumerate() {
+            let tnorm: Vec<f64> = runs
+                .iter()
+                .map(|r| r.per_policy[pi].0 / r.per_policy[0].0)
+                .collect();
+            let util: Vec<f64> = runs.iter().map(|r| r.per_policy[pi].1).collect();
+            let empty: Vec<f64> = runs.iter().map(|r| r.per_policy[pi].2).collect();
+            row.push(Cell {
+                turnaround_vs_fcfs: mean(&tnorm),
+                utilization: mean(&util),
+                empty_fraction: mean(&empty),
+            });
+        }
+        cells.push(row);
+    }
+    Ok(Fig5 {
+        loads,
+        cells,
+        workloads: workloads.len(),
+    })
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 5: scheduler comparison on the SMT config ({} workloads)",
+            self.workloads
+        )?;
+        for (metric, pick) in [
+            (
+                "turnaround time (normalised to FCFS)",
+                0usize,
+            ),
+            ("processor utilization (busy contexts)", 1),
+            ("processor empty fraction", 2),
+        ] {
+            writeln!(f, "\n-- {metric} --")?;
+            write!(f, "{:>8}", "load")?;
+            for p in POLICIES {
+                write!(f, " {p:>8}")?;
+            }
+            writeln!(f)?;
+            for (li, &load) in self.loads.iter().enumerate() {
+                write!(f, "{load:>8.2}")?;
+                for cell in &self.cells[li] {
+                    let v = match pick {
+                        0 => cell.turnaround_vs_fcfs,
+                        1 => cell.utilization,
+                        _ => cell.empty_fraction,
+                    };
+                    write!(f, " {v:>8.3}")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        writeln!(
+            f,
+            "\npaper: SRPT wins turnaround at loads .8/.9; at .95 MAXTP cuts turnaround\n\
+             ~23% below FCFS, with the lowest utilisation and highest empty fraction"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+    use std::sync::OnceLock;
+
+    fn fast_study() -> &'static Study {
+        static STUDY: OnceLock<Study> = OnceLock::new();
+        STUDY.get_or_init(|| {
+            let mut cfg = StudyConfig::fast();
+            cfg.sample = Some(6);
+            Study::new(cfg).expect("study builds")
+        })
+    }
+
+    #[test]
+    fn fig5_produces_sane_grid() {
+        let fig = run(fast_study()).unwrap();
+        assert_eq!(fig.loads.len(), 3);
+        for row in &fig.cells {
+            assert_eq!(row.len(), POLICIES.len());
+            // FCFS normalised to itself.
+            assert!((row[0].turnaround_vs_fcfs - 1.0).abs() < 1e-9);
+            for cell in row {
+                assert!(cell.turnaround_vs_fcfs > 0.2 && cell.turnaround_vs_fcfs < 3.0);
+                assert!(cell.utilization > 0.0 && cell.utilization <= 4.0 + 1e-9);
+                assert!((0.0..=1.0).contains(&cell.empty_fraction));
+            }
+        }
+        // Utilisation grows with load for FCFS.
+        assert!(fig.cells[2][0].utilization >= fig.cells[0][0].utilization - 0.05);
+        // SRPT does not lose badly to FCFS on turnaround (it is designed to
+        // reduce it; sampling noise allows small excursions).
+        for row in &fig.cells {
+            assert!(
+                row[2].turnaround_vs_fcfs < 1.2,
+                "SRPT {} should not be far above FCFS",
+                row[2].turnaround_vs_fcfs
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! One module per reproduced paper artefact.
+//!
+//! | Module | Paper artefact |
+//! |--------|----------------|
+//! | [`fig1`] | Figure 1 — variability of per-job IPC, instantaneous and average throughput |
+//! | [`fig2`] | Figure 2 — FCFS-vs-worst against optimal-vs-worst scatter |
+//! | [`fig3`] | Figure 3 — throughput variability vs linear-bottleneck LSQ error |
+//! | [`table2`] | Table II — coschedule heterogeneity time fractions |
+//! | [`fig4`] | Figure 4 — turnaround vs arrival rate (M/M/4 worked example) |
+//! | [`fig5`] | Figure 5 — turnaround / utilisation / empty fraction per scheduler |
+//! | [`fig6`] | Figure 6 — saturated throughput per scheduler vs LP bounds |
+//! | [`n8`] | Section V-B — N = 8 sensitivity |
+//! | [`fairness`] | Section V-D — fairness counterfactual |
+//! | [`sec7`] | Section VII — fetch/ROB policy study under FCFS vs optimal scheduling |
+//! | [`unit_ablation`] | Section III-B claim — conclusions hold for the plain instruction as unit of work |
+
+pub mod fairness;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod n8;
+pub mod sec7;
+pub mod table2;
+pub mod unit_ablation;

@@ -1,0 +1,252 @@
+//! Section VII: using optimal throughput as a metric in a
+//! microarchitecture study — comparing SMT fetch policies (ICOUNT vs
+//! round-robin) and ROB partitioning (dynamic vs static) under both the
+//! FCFS and the optimal scheduler.
+
+use std::fmt;
+
+use simproc::{FetchPolicy, Machine, MachineConfig, RobPartitioning};
+use symbiosis::{fcfs_throughput, optimal_schedule, JobSize, Objective};
+use workloads::{spec2006, PerfTable};
+
+use crate::study::Study;
+use crate::{mean, parallel_map, pct};
+
+/// One SMT front-end/back-end policy combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Policy {
+    /// Fetch arbitration.
+    pub fetch: FetchPolicy,
+    /// ROB sharing.
+    pub rob: RobPartitioning,
+}
+
+impl Policy {
+    /// The four combinations studied by the paper, RR/static first.
+    pub const ALL: [Policy; 4] = [
+        Policy {
+            fetch: FetchPolicy::RoundRobin,
+            rob: RobPartitioning::Static,
+        },
+        Policy {
+            fetch: FetchPolicy::RoundRobin,
+            rob: RobPartitioning::Dynamic,
+        },
+        Policy {
+            fetch: FetchPolicy::Icount,
+            rob: RobPartitioning::Static,
+        },
+        Policy {
+            fetch: FetchPolicy::Icount,
+            rob: RobPartitioning::Dynamic,
+        },
+    ];
+
+    /// Short label, e.g. `ICOUNT/dyn`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}",
+            match self.fetch {
+                FetchPolicy::Icount => "ICOUNT",
+                FetchPolicy::RoundRobin => "RR",
+            },
+            match self.rob {
+                RobPartitioning::Dynamic => "dyn",
+                RobPartitioning::Static => "static",
+            }
+        )
+    }
+}
+
+/// Per-policy average throughputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyResult {
+    /// The policy.
+    pub policy: Policy,
+    /// Mean FCFS throughput over workloads.
+    pub fcfs: f64,
+    /// Mean optimal throughput over workloads.
+    pub optimal: f64,
+}
+
+/// The full Section VII study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sec7 {
+    /// One row per policy, in [`Policy::ALL`] order.
+    pub rows: Vec<PolicyResult>,
+    /// Fraction of workloads whose best policy changes when switching the
+    /// scheduler from FCFS to optimal (the paper: ~10%).
+    pub ranking_changes: f64,
+    /// Mean optimal-over-FCFS gain for the best policy (scheduling
+    /// headroom to compare against the microarchitectural gain).
+    pub scheduling_gain: f64,
+    /// Workloads analysed.
+    pub workloads: usize,
+}
+
+/// Runs the Section VII study. Builds one performance table per policy
+/// (the study's dominant cost).
+///
+/// # Errors
+///
+/// Propagates simulation/analysis failures as strings.
+pub fn run(study: &Study) -> Result<Sec7, String> {
+    let cfg = study.config();
+    let suite = spec2006();
+    let workloads = study.workloads();
+
+    // Per policy: build the table, then per workload FCFS + optimal.
+    let mut per_policy_fcfs: Vec<Vec<f64>> = Vec::new();
+    let mut per_policy_opt: Vec<Vec<f64>> = Vec::new();
+    for policy in Policy::ALL {
+        let mc = MachineConfig::smt4()
+            .with_fetch_policy(policy.fetch)
+            .with_rob_partitioning(policy.rob)
+            .with_windows(cfg.warmup_cycles, cfg.measure_cycles);
+        let machine = Machine::new(mc).map_err(|e| e.to_string())?;
+        let table = PerfTable::build(&machine, &suite, cfg.threads).map_err(|e| e.to_string())?;
+        let results = parallel_map(&workloads, cfg.threads, |w| {
+            let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
+            let fcfs =
+                fcfs_throughput(&rates, cfg.fcfs_jobs, JobSize::Deterministic, cfg.seed)
+                    .map_err(|e| e.to_string())?;
+            let best = optimal_schedule(&rates, Objective::MaxThroughput)
+                .map_err(|e| e.to_string())?;
+            Ok::<_, String>((fcfs.throughput, best.throughput))
+        });
+        let pairs: Vec<(f64, f64)> = results.into_iter().collect::<Result<_, _>>()?;
+        per_policy_fcfs.push(pairs.iter().map(|p| p.0).collect());
+        per_policy_opt.push(pairs.iter().map(|p| p.1).collect());
+    }
+
+    let rows: Vec<PolicyResult> = Policy::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &policy)| PolicyResult {
+            policy,
+            fcfs: mean(&per_policy_fcfs[i]),
+            optimal: mean(&per_policy_opt[i]),
+        })
+        .collect();
+
+    // Per workload: does the argmax policy change between schedulers?
+    let argmax = |values: &[f64]| -> usize {
+        values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0
+    };
+    let mut changes = 0usize;
+    let mut gains = Vec::new();
+    for wi in 0..workloads.len() {
+        let fcfs_per_policy: Vec<f64> = (0..4).map(|p| per_policy_fcfs[p][wi]).collect();
+        let opt_per_policy: Vec<f64> = (0..4).map(|p| per_policy_opt[p][wi]).collect();
+        let best_fcfs = argmax(&fcfs_per_policy);
+        let best_opt = argmax(&opt_per_policy);
+        if best_fcfs != best_opt {
+            changes += 1;
+        }
+        gains.push(opt_per_policy[best_opt] / fcfs_per_policy[best_opt] - 1.0);
+    }
+
+    Ok(Sec7 {
+        rows,
+        ranking_changes: changes as f64 / workloads.len() as f64,
+        scheduling_gain: mean(&gains),
+        workloads: workloads.len(),
+    })
+}
+
+impl fmt::Display for Sec7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Section VII: SMT fetch/ROB policies under FCFS vs optimal scheduling\n\
+             ({} workloads)",
+            self.workloads
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>12} {:>14}",
+            "policy", "FCFS avg TP", "optimal avg TP"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>12.3} {:>14.3}",
+                r.policy.label(),
+                r.fcfs,
+                r.optimal
+            )?;
+        }
+        let rr_static = &self.rows[0];
+        let icount_dyn = &self.rows[3];
+        writeln!(
+            f,
+            "\nICOUNT/dyn over RR/static: {} (FCFS), {} (optimal)",
+            pct(icount_dyn.fcfs / rr_static.fcfs - 1.0),
+            pct(icount_dyn.optimal / rr_static.optimal - 1.0)
+        )?;
+        writeln!(
+            f,
+            "workloads whose best policy flips with the scheduler: {:.0}%",
+            100.0 * self.ranking_changes
+        )?;
+        writeln!(
+            f,
+            "mean scheduling headroom (optimal over FCFS, best policy): {}",
+            pct(self.scheduling_gain)
+        )?;
+        writeln!(
+            f,
+            "\npaper: ICOUNT+dynamic wins under both schedulers (+1.7% FCFS / +1.5%\n\
+             optimal over RR+static); ~10% of workloads flip their preferred policy;\n\
+             scheduling headroom (3.3%) is comparable to the microarchitectural gain"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+    use std::sync::OnceLock;
+
+    fn fast_study() -> &'static Study {
+        static STUDY: OnceLock<Study> = OnceLock::new();
+        STUDY.get_or_init(|| {
+            let mut cfg = StudyConfig::fast();
+            cfg.sample = Some(6);
+            Study::new(cfg).expect("study builds")
+        })
+    }
+
+    #[test]
+    fn policy_study_produces_positive_throughputs() {
+        let res = run(fast_study()).unwrap();
+        assert_eq!(res.rows.len(), 4);
+        for r in &res.rows {
+            assert!(r.fcfs > 0.0);
+            assert!(
+                r.optimal >= r.fcfs - 1e-6,
+                "{}: optimal {} must dominate FCFS {}",
+                r.policy.label(),
+                r.optimal,
+                r.fcfs
+            );
+        }
+        assert!((0.0..=1.0).contains(&res.ranking_changes));
+        assert!(res.scheduling_gain >= -1e-9);
+    }
+
+    #[test]
+    fn policy_labels_are_distinct() {
+        let labels: Vec<String> = Policy::ALL.iter().map(Policy::label).collect();
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "{labels:?}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Experiment harness for the ISPASS 2015 reproduction.
+//!
+//! Each module under [`experiments`] regenerates one table or figure of
+//! *"Revisiting Symbiotic Job Scheduling"*; the binaries in `src/bin/`
+//! print them (`cargo run --release -p paperbench --bin fig1`). The
+//! mapping from paper artefact to module/binary is indexed in the
+//! repository's `DESIGN.md`.
+//!
+//! All experiments accept a [`StudyConfig`]; `--fast` produces test-scale
+//! runs, the default reproduces the paper-scale sweep (full simulator
+//! windows, all 495 workloads unless `--sample N` is given).
+
+pub mod experiments;
+pub mod study;
+
+pub use study::{Chip, Study, StudyConfig, StudyError};
+
+/// Applies `f` to every item on up to `threads` OS threads, preserving
+/// input order in the output.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+///
+/// # Examples
+///
+/// ```
+/// let squares = paperbench::parallel_map(&[1, 2, 3], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let chunk = items.len().div_ceil(threads).max(1);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let slots: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
+    let f_ref = &f;
+    std::thread::scope(|scope| {
+        for (piece, slot) in items.chunks(chunk).zip(slots) {
+            scope.spawn(move || {
+                for (item, cell) in piece.iter().zip(slot.iter_mut()) {
+                    *cell = Some(f_ref(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Formats a fraction as a signed percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", 100.0 * x)
+}
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum of a slice; `NEG_INFINITY` for empty input.
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Minimum of a slice; `INFINITY` for empty input.
+pub fn min(values: &[f64]) -> f64 {
+    values.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Pearson correlation coefficient of two equal-length samples; `None`
+/// when degenerate (fewer than two points or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx < 1e-300 || syy < 1e-300 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, 7, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // Degenerate thread counts.
+        assert_eq!(parallel_map(&items, 0, |&x| x), items);
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(max(&[1.0, 3.0]), 3.0);
+        assert_eq!(min(&[1.0, 3.0]), 1.0);
+        assert_eq!(pct(0.031), "+3.1%");
+        assert_eq!(pct(-0.09), "-9.0%");
+    }
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let ys_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &ys_neg).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]).is_none());
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Shared experiment context: machine configurations, performance tables
+//! and workload enumeration used by all figure/table reproductions.
+
+use std::error::Error;
+use std::fmt;
+
+use simproc::{Machine, MachineConfig, MachineError};
+use symbiosis::enumerate_workloads;
+use workloads::{spec2006, PerfTable, TableError};
+
+/// Which of the paper's two machine configurations an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Chip {
+    /// 4-way SMT, 4-wide out-of-order core (Section V-A, first config).
+    Smt,
+    /// Quad-core with private L1/L2, shared L3 + bus (second config).
+    Quad,
+}
+
+impl Chip {
+    /// Both configurations, in paper order.
+    pub const ALL: [Chip; 2] = [Chip::Smt, Chip::Quad];
+
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Chip::Smt => "SMT",
+            Chip::Quad => "quad-core",
+        }
+    }
+
+    /// The corresponding simulator configuration.
+    pub fn machine_config(&self) -> MachineConfig {
+        match self {
+            Chip::Smt => MachineConfig::smt4(),
+            Chip::Quad => MachineConfig::quadcore(),
+        }
+    }
+}
+
+/// Tunables for a study run; defaults reproduce the paper-scale setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyConfig {
+    /// Simulator warm-up window in cycles.
+    pub warmup_cycles: u64,
+    /// Simulator measurement window in cycles.
+    pub measure_cycles: u64,
+    /// Job types per workload (the paper's default N = 4).
+    pub workload_size: usize,
+    /// Jobs completed per FCFS maximum-throughput experiment.
+    pub fcfs_jobs: u64,
+    /// If set, analyse only a deterministic sample of this many workloads
+    /// (the full set is 495 for N = 4 over 12 benchmarks).
+    pub sample: Option<usize>,
+    /// OS threads for table building and per-workload sweeps.
+    pub threads: usize,
+    /// Base RNG seed for the stochastic experiment legs.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            warmup_cycles: 60_000,
+            measure_cycles: 240_000,
+            workload_size: 4,
+            fcfs_jobs: 40_000,
+            sample: None,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 0x15_BA_55,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced configuration for tests: short simulator windows, few
+    /// FCFS jobs, a 12-workload sample.
+    pub fn fast() -> Self {
+        StudyConfig {
+            warmup_cycles: 2_000,
+            measure_cycles: 8_000,
+            fcfs_jobs: 4_000,
+            sample: Some(12),
+            ..StudyConfig::default()
+        }
+    }
+
+    /// Parses command-line arguments shared by the experiment binaries:
+    /// `--fast` (test-scale), `--sample N`, `--jobs N`, `--threads N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or malformed numbers.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut cfg = StudyConfig::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut grab = |name: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--fast" => cfg = StudyConfig::fast(),
+                "--sample" => {
+                    cfg.sample = Some(
+                        grab("--sample")?
+                            .parse()
+                            .map_err(|e| format!("--sample: {e}"))?,
+                    )
+                }
+                "--full" => cfg.sample = None,
+                "--jobs" => {
+                    cfg.fcfs_jobs = grab("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("--jobs: {e}"))?
+                }
+                "--threads" => {
+                    cfg.threads = grab("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag {other}; supported: --fast --full --sample N --jobs N --threads N"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Errors from study construction.
+#[derive(Debug)]
+pub enum StudyError {
+    /// Simulator configuration failed.
+    Machine(MachineError),
+    /// Table build failed.
+    Table(TableError),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Machine(e) => write!(f, "machine: {e}"),
+            StudyError::Table(e) => write!(f, "table: {e}"),
+        }
+    }
+}
+
+impl Error for StudyError {}
+
+impl From<MachineError> for StudyError {
+    fn from(e: MachineError) -> Self {
+        StudyError::Machine(e)
+    }
+}
+
+impl From<TableError> for StudyError {
+    fn from(e: TableError) -> Self {
+        StudyError::Table(e)
+    }
+}
+
+/// The full experimental context: performance tables for both chips over
+/// the 12-benchmark suite, plus the workload enumeration.
+pub struct Study {
+    config: StudyConfig,
+    smt: PerfTable,
+    quad: PerfTable,
+}
+
+impl Study {
+    /// Builds performance tables for both configurations (the expensive
+    /// part: every coschedule of sizes 1..=4 over the 12 benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator/table errors.
+    pub fn new(config: StudyConfig) -> Result<Self, StudyError> {
+        let suite = spec2006();
+        let build = |mc: MachineConfig| -> Result<PerfTable, StudyError> {
+            let machine = Machine::new(
+                mc.with_windows(config.warmup_cycles, config.measure_cycles),
+            )?;
+            Ok(PerfTable::build(&machine, &suite, config.threads)?)
+        };
+        Ok(Study {
+            smt: build(Chip::Smt.machine_config())?,
+            quad: build(Chip::Quad.machine_config())?,
+            config,
+        })
+    }
+
+    /// The study configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The performance table for a chip.
+    pub fn table(&self, chip: Chip) -> &PerfTable {
+        match chip {
+            Chip::Smt => &self.smt,
+            Chip::Quad => &self.quad,
+        }
+    }
+
+    /// The analysed workloads: all `C(12, N)` combinations, or a
+    /// deterministic evenly-spaced sample when the config requests one.
+    pub fn workloads(&self) -> Vec<Vec<usize>> {
+        let all = enumerate_workloads(12, self.config.workload_size);
+        match self.config.sample {
+            None => all,
+            Some(n) if n >= all.len() => all,
+            Some(n) => {
+                // Evenly spaced, deterministic sample.
+                let stride = all.len() as f64 / n as f64;
+                (0..n)
+                    .map(|i| all[(i as f64 * stride) as usize].clone())
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_args_parses_flags() {
+        let cfg = StudyConfig::from_args(
+            ["--sample", "7", "--jobs", "1000", "--threads", "2"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cfg.sample, Some(7));
+        assert_eq!(cfg.fcfs_jobs, 1000);
+        assert_eq!(cfg.threads, 2);
+        assert!(StudyConfig::from_args(["--bogus".to_owned()]).is_err());
+        assert!(StudyConfig::from_args(["--sample".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn fast_config_is_reduced() {
+        let fast = StudyConfig::fast();
+        let full = StudyConfig::default();
+        assert!(fast.measure_cycles < full.measure_cycles);
+        assert!(fast.sample.is_some());
+    }
+
+    #[test]
+    fn chip_labels_and_configs() {
+        assert_eq!(Chip::Smt.label(), "SMT");
+        assert_eq!(Chip::Quad.label(), "quad-core");
+        assert_eq!(Chip::Smt.machine_config().contexts(), 4);
+        assert_eq!(Chip::Quad.machine_config().contexts(), 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! Figure 3: the linear-bottleneck least-squares analysis (Section V-C1b).
+//!
+//! A *linear bottleneck* is a fully utilised shared resource that every
+//! job's execution rate is proportional to its share of: `r_b(s) =
+//! f_b(s) * R_b` with `sum_b f_b(s) = 1`. Then `sum_b r_b(s)/R_b = 1` holds
+//! for every coschedule `s` and average throughput is scheduler-independent
+//! (`AT = N / sum_b 1/R_b`, Equation 7).
+//!
+//! Real workloads are never exactly linear; the least-squares error of the
+//! best-fitting `R_b` measures how close a workload is to one. Substituting
+//! `y_b = 1/R_b` makes the fit *linear* least squares: minimise
+//! `sum_s (sum_b r_b(s) y_b - 1)^2`.
+
+use lp::{linsys, Matrix};
+
+use crate::error::SymbiosisError;
+use crate::metrics::mean;
+use crate::rates::WorkloadRates;
+
+/// Result of fitting the linear-bottleneck model to a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckFit {
+    /// Mean squared residual `epsilon^2 = (1/|S|) sum_s (sum_b r_b(s)/R_b - 1)^2`.
+    /// Zero means an exact linear bottleneck.
+    pub mse: f64,
+    /// Fitted full-resource rates `R_b` (may be negative for workloads far
+    /// from a bottleneck; they are a fitting device, not physical rates).
+    pub full_rates: Vec<f64>,
+    /// Scheduler-independent throughput predicted by the bottleneck model,
+    /// `N / sum_b 1/R_b` (Equation 7); `None` if the fit is degenerate.
+    pub predicted_throughput: Option<f64>,
+}
+
+/// Fits the linear-bottleneck model to one workload (one Figure 3 point's
+/// X coordinate).
+///
+/// # Errors
+///
+/// Returns [`SymbiosisError::InvalidParameter`] if the normal equations are
+/// singular even after regularisation (requires a degenerate rate table).
+///
+/// # Examples
+///
+/// An exact bottleneck fits with (near-)zero error:
+///
+/// ```
+/// use symbiosis::{fit_linear_bottleneck, WorkloadRates};
+///
+/// // Dispatch-width bottleneck: each job gets an equal share of the pipe.
+/// let rates = WorkloadRates::build(2, 2, |s| {
+///     let big_r = [1.6, 0.8]; // full-resource rates
+///     let k = s.size() as f64;
+///     s.counts().iter().zip(big_r).map(|(&c, r)| c as f64 / k * r).collect()
+/// })?;
+/// let fit = fit_linear_bottleneck(&rates)?;
+/// assert!(fit.mse < 1e-12);
+/// # Ok::<(), symbiosis::SymbiosisError>(())
+/// ```
+pub fn fit_linear_bottleneck(rates: &WorkloadRates) -> Result<BottleneckFit, SymbiosisError> {
+    let n_s = rates.coschedules().len();
+    let n = rates.num_types();
+    let mut a = Matrix::zeros(n_s, n);
+    for si in 0..n_s {
+        for b in 0..n {
+            a[(si, b)] = rates.rate(si, b);
+        }
+    }
+    let target = vec![1.0; n_s];
+    let y = linsys::least_squares(&a, &target)
+        .map_err(|e| SymbiosisError::InvalidParameter(format!("bottleneck fit: {e}")))?;
+    let mse = linsys::residual_ss(&a, &y, &target) / n_s as f64;
+    let full_rates: Vec<f64> = y
+        .iter()
+        .map(|&yb| if yb.abs() < 1e-12 { f64::INFINITY } else { 1.0 / yb })
+        .collect();
+    let denom: f64 = y.iter().sum();
+    let predicted_throughput = (denom > 1e-12).then_some(n as f64 / denom);
+    Ok(BottleneckFit {
+        mse,
+        full_rates,
+        predicted_throughput,
+    })
+}
+
+/// The Figure 3 colour coordinate: the spread in average per-job WIPC
+/// between the workload's job types (max minus min over types of the mean
+/// per-job rate across coschedules containing the type).
+pub fn per_type_rate_difference(rates: &WorkloadRates) -> f64 {
+    let n = rates.num_types();
+    let n_s = rates.coschedules().len();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for b in 0..n {
+        let avg = mean((0..n_s).filter_map(|si| {
+            (rates.coschedules()[si].count(b) > 0).then(|| rates.per_job_rate(si, b))
+        }))
+        .unwrap_or(0.0);
+        lo = lo.min(avg);
+        hi = hi.max(avg);
+    }
+    hi - lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::{optimal_schedule, Objective};
+
+    fn exact_bottleneck(big_r: &'static [f64], k: usize) -> WorkloadRates {
+        WorkloadRates::build(big_r.len(), k, move |s| {
+            let total = s.size() as f64;
+            s.counts()
+                .iter()
+                .zip(big_r)
+                .map(|(&c, &r)| c as f64 / total * r)
+                .collect()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_bottleneck_has_zero_error() {
+        let rates = exact_bottleneck(&[2.0, 1.0, 0.5], 3);
+        let fit = fit_linear_bottleneck(&rates).unwrap();
+        assert!(fit.mse < 1e-15, "mse {}", fit.mse);
+        for (got, want) in fit.full_rates.iter().zip([2.0, 1.0, 0.5]) {
+            assert!((got - want).abs() < 1e-6, "R_b {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn bottleneck_prediction_matches_lp_for_exact_case() {
+        // Section V-C1b: with an exact bottleneck, throughput is fixed.
+        let rates = exact_bottleneck(&[1.8, 0.9], 2);
+        let fit = fit_linear_bottleneck(&rates).unwrap();
+        let predicted = fit.predicted_throughput.unwrap();
+        let best = optimal_schedule(&rates, Objective::MaxThroughput)
+            .unwrap()
+            .throughput;
+        let worst = optimal_schedule(&rates, Objective::MinThroughput)
+            .unwrap()
+            .throughput;
+        assert!((best - worst).abs() < 1e-7, "scheduler independent");
+        assert!((best - predicted).abs() < 1e-6, "lp {best} vs fit {predicted}");
+    }
+
+    #[test]
+    fn insensitive_jobs_are_a_special_bottleneck() {
+        // Insensitive jobs: r_b(s) = c_b * rate_b = (c_b/K) * (K*rate_b).
+        let rates = WorkloadRates::build(2, 4, |s| {
+            s.counts()
+                .iter()
+                .zip([0.5, 0.25])
+                .map(|(&c, r)| c as f64 * r)
+                .collect()
+        })
+        .unwrap();
+        let fit = fit_linear_bottleneck(&rates).unwrap();
+        assert!(fit.mse < 1e-15);
+        // R_b = K * rate_b.
+        assert!((fit.full_rates[0] - 2.0).abs() < 1e-6);
+        assert!((fit.full_rates[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_bottleneck_workload_has_positive_error() {
+        // Strong symbiosis effects cannot be explained by a single shared
+        // resource: heterogeneity boosts everyone superlinearly.
+        let rates = WorkloadRates::build(3, 3, |s| {
+            let boost = 0.4 + 0.3 * s.heterogeneity() as f64;
+            s.counts()
+                .iter()
+                .map(|&c| c as f64 * 0.4 * boost)
+                .collect()
+        })
+        .unwrap();
+        let fit = fit_linear_bottleneck(&rates).unwrap();
+        assert!(fit.mse > 1e-4, "mse {} should be clearly positive", fit.mse);
+    }
+
+    #[test]
+    fn rate_difference_zero_for_identical_types() {
+        let rates = exact_bottleneck(&[1.0, 1.0], 2);
+        assert!(per_type_rate_difference(&rates) < 1e-12);
+    }
+
+    #[test]
+    fn rate_difference_orders_workloads() {
+        let near = exact_bottleneck(&[1.0, 0.9], 2);
+        let far = exact_bottleneck(&[1.6, 0.4], 2);
+        assert!(per_type_rate_difference(&far) > per_type_rate_difference(&near));
+    }
+}

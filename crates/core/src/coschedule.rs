@@ -1,0 +1,291 @@
+//! Coschedules: multisets of job types running simultaneously.
+
+use std::fmt;
+
+/// A coschedule — the multiset of job types occupying the machine's
+/// hardware contexts at one instant.
+///
+/// Internally a count vector: `counts()[b]` is how many jobs of type `b`
+/// run. For a 4-context machine and workload `ABCD`, the 35 possible
+/// coschedules range from `AAAA` to `DDDD` (combinations with repetition,
+/// Section V-A of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use symbiosis::Coschedule;
+///
+/// let s = Coschedule::from_slots(&[0, 0, 2, 1], 4);
+/// assert_eq!(s.counts(), &[2, 1, 1, 0]);
+/// assert_eq!(s.size(), 4);
+/// assert_eq!(s.heterogeneity(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coschedule {
+    counts: Vec<u32>,
+}
+
+impl Coschedule {
+    /// Builds a coschedule from per-type counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or sums to zero.
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        assert!(!counts.is_empty(), "coschedule needs at least one type");
+        assert!(
+            counts.iter().any(|&c| c > 0),
+            "coschedule must contain at least one job"
+        );
+        Coschedule { counts }
+    }
+
+    /// Builds a coschedule from the job type in each hardware context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or references a type `>= num_types`.
+    pub fn from_slots(slots: &[usize], num_types: usize) -> Self {
+        assert!(!slots.is_empty(), "coschedule must contain at least one job");
+        let mut counts = vec![0u32; num_types];
+        for &t in slots {
+            assert!(t < num_types, "type {t} out of range (num_types {num_types})");
+            counts[t] += 1;
+        }
+        Coschedule { counts }
+    }
+
+    /// Per-type job counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Number of job types this coschedule is defined over.
+    pub fn num_types(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of jobs (must equal the machine's context count).
+    pub fn size(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of *distinct* job types present (Table II's "coschedule
+    /// heterogeneity").
+    pub fn heterogeneity(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Number of jobs of type `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= num_types`.
+    pub fn count(&self, b: usize) -> u32 {
+        self.counts[b]
+    }
+
+    /// Expands to a sorted slot list (`[0, 0, 2, 1]` -> `[0, 0, 1, 2]`).
+    pub fn slots(&self) -> Vec<usize> {
+        let mut slots = Vec::with_capacity(self.size() as usize);
+        for (t, &c) in self.counts.iter().enumerate() {
+            for _ in 0..c {
+                slots.push(t);
+            }
+        }
+        slots
+    }
+
+    /// Returns the coschedule obtained by replacing one job of type `from`
+    /// with one of type `to`, or `None` if no `from` job is present.
+    pub fn replace(&self, from: usize, to: usize) -> Option<Coschedule> {
+        if self.counts.get(from).copied().unwrap_or(0) == 0 || to >= self.num_types() {
+            return None;
+        }
+        let mut counts = self.counts.clone();
+        counts[from] -= 1;
+        counts[to] += 1;
+        Some(Coschedule { counts })
+    }
+}
+
+impl fmt::Display for Coschedule {
+    /// Displays as letters, e.g. `AABD` for counts `[2, 1, 0, 1]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, &c) in self.counts.iter().enumerate() {
+            for _ in 0..c {
+                let ch = if t < 26 {
+                    (b'A' + t as u8) as char
+                } else {
+                    '?'
+                };
+                write!(f, "{ch}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates every coschedule of `k` jobs over `num_types` job types
+/// (combinations with repetition), in lexicographic count order.
+///
+/// # Examples
+///
+/// ```
+/// // 4 types on 4 contexts: C(4+4-1, 4) = 35 coschedules (Section V-A).
+/// let all = symbiosis::enumerate_coschedules(4, 4);
+/// assert_eq!(all.len(), 35);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_types == 0` or `k == 0`.
+pub fn enumerate_coschedules(num_types: usize, k: usize) -> Vec<Coschedule> {
+    assert!(num_types > 0, "need at least one job type");
+    assert!(k > 0, "need at least one context");
+    let mut result = Vec::new();
+    let mut counts = vec![0u32; num_types];
+    fill(&mut result, &mut counts, 0, k as u32);
+    result
+}
+
+fn fill(out: &mut Vec<Coschedule>, counts: &mut Vec<u32>, ty: usize, remaining: u32) {
+    if ty == counts.len() - 1 {
+        counts[ty] = remaining;
+        out.push(Coschedule::from_counts(counts.clone()));
+        counts[ty] = 0;
+        return;
+    }
+    for c in (0..=remaining).rev() {
+        counts[ty] = c;
+        fill(out, counts, ty + 1, remaining - c);
+        counts[ty] = 0;
+    }
+}
+
+/// Enumerates every workload of `n` distinct job types chosen from
+/// `pool_size` candidates (combinations without repetition), as sorted
+/// index vectors.
+///
+/// # Examples
+///
+/// ```
+/// // 4 job types out of 12 benchmarks: C(12, 4) = 495 workloads.
+/// let w = symbiosis::enumerate_workloads(12, 4);
+/// assert_eq!(w.len(), 495);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > pool_size`.
+pub fn enumerate_workloads(pool_size: usize, n: usize) -> Vec<Vec<usize>> {
+    assert!(n > 0, "workloads must contain at least one type");
+    assert!(n <= pool_size, "cannot choose {n} from {pool_size}");
+    let mut result = Vec::new();
+    let mut current = Vec::with_capacity(n);
+    choose(&mut result, &mut current, 0, pool_size, n);
+    result
+}
+
+fn choose(
+    out: &mut Vec<Vec<usize>>,
+    current: &mut Vec<usize>,
+    start: usize,
+    pool: usize,
+    n: usize,
+) {
+    if current.len() == n {
+        out.push(current.clone());
+        return;
+    }
+    let needed = n - current.len();
+    for i in start..=pool - needed {
+        current.push(i);
+        choose(out, current, i + 1, pool, n);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_round_trip_slots() {
+        let s = Coschedule::from_slots(&[3, 1, 1, 0], 4);
+        assert_eq!(s.counts(), &[1, 2, 0, 1]);
+        assert_eq!(s.slots(), vec![0, 1, 1, 3]);
+        assert_eq!(Coschedule::from_slots(&s.slots(), 4), s);
+    }
+
+    #[test]
+    fn heterogeneity_counts_distinct_types() {
+        assert_eq!(Coschedule::from_slots(&[0, 0, 0, 0], 4).heterogeneity(), 1);
+        assert_eq!(Coschedule::from_slots(&[0, 1, 0, 1], 4).heterogeneity(), 2);
+        assert_eq!(Coschedule::from_slots(&[0, 1, 2, 3], 4).heterogeneity(), 4);
+    }
+
+    #[test]
+    fn enumeration_counts_match_combinatorics() {
+        // C(n+k-1, k) with repetition.
+        assert_eq!(enumerate_coschedules(4, 4).len(), 35);
+        assert_eq!(enumerate_coschedules(12, 4).len(), 1365);
+        assert_eq!(enumerate_coschedules(8, 4).len(), 330);
+        assert_eq!(enumerate_coschedules(1, 4).len(), 1);
+        assert_eq!(enumerate_coschedules(4, 1).len(), 4);
+    }
+
+    #[test]
+    fn enumeration_is_unique_and_sized() {
+        let all = enumerate_coschedules(5, 3);
+        let set: HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len(), "no duplicates");
+        for s in &all {
+            assert_eq!(s.size(), 3);
+            assert_eq!(s.num_types(), 5);
+        }
+    }
+
+    #[test]
+    fn workload_enumeration_matches_binomials() {
+        assert_eq!(enumerate_workloads(12, 4).len(), 495);
+        assert_eq!(enumerate_workloads(12, 8).len(), 495);
+        assert_eq!(enumerate_workloads(5, 1).len(), 5);
+        assert_eq!(enumerate_workloads(4, 4).len(), 1);
+    }
+
+    #[test]
+    fn workloads_are_sorted_and_distinct() {
+        for w in enumerate_workloads(6, 3) {
+            assert!(w.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+
+    #[test]
+    fn replace_moves_one_job() {
+        let s = Coschedule::from_counts(vec![2, 1, 1, 0]);
+        let t = s.replace(0, 3).unwrap();
+        assert_eq!(t.counts(), &[1, 1, 1, 1]);
+        assert!(s.replace(3, 0).is_none(), "no type-3 job to replace");
+        assert!(s.replace(0, 9).is_none(), "target type out of range");
+    }
+
+    #[test]
+    fn display_uses_letters() {
+        let s = Coschedule::from_counts(vec![2, 0, 1, 1]);
+        assert_eq!(s.to_string(), "AACD");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_coschedule_panics() {
+        let _ = Coschedule::from_counts(vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slot_type_panics() {
+        let _ = Coschedule::from_slots(&[0, 5], 4);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type shared by the symbiosis analyses.
+
+use std::error::Error;
+use std::fmt;
+
+use lp::SolveError;
+
+/// Errors produced by the scheduling analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymbiosisError {
+    /// A rate table entry is malformed (wrong length, negative, zero for a
+    /// present type, non-zero for an absent type).
+    InvalidRates(String),
+    /// A coschedule index does not belong to the rate table.
+    UnknownCoschedule(usize),
+    /// The scheduling linear program could not be solved.
+    Lp(SolveError),
+    /// An experiment parameter is out of its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SymbiosisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbiosisError::InvalidRates(msg) => write!(f, "invalid rates: {msg}"),
+            SymbiosisError::UnknownCoschedule(i) => {
+                write!(f, "coschedule index {i} not in the rate table")
+            }
+            SymbiosisError::Lp(e) => write!(f, "scheduling LP failed: {e}"),
+            SymbiosisError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for SymbiosisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SymbiosisError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for SymbiosisError {
+    fn from(e: SolveError) -> Self {
+        SymbiosisError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SymbiosisError::UnknownCoschedule(7);
+        assert!(e.to_string().contains('7'));
+        let e = SymbiosisError::InvalidRates("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn lp_errors_convert_and_chain() {
+        let e: SymbiosisError = SolveError::Infeasible.into();
+        assert!(matches!(e, SymbiosisError::Lp(SolveError::Infeasible)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

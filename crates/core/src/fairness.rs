@@ -1,0 +1,169 @@
+//! Section V-D counterfactual: redistributing per-job performance inside
+//! the fully heterogeneous coschedule.
+//!
+//! The paper checks *why* the optimal scheduler cannot exploit the
+//! best-throughput (fully heterogeneous) coschedule on the SMT machine: the
+//! interference there is unfair, so some types fall behind and force other
+//! coschedules to be scheduled. The check: equalise the per-job rates in
+//! that coschedule *without changing its instantaneous throughput* and
+//! observe that the optimal scheduler now selects it almost exclusively,
+//! raising optimal throughput while FCFS/worst barely move.
+
+use crate::coschedule::Coschedule;
+use crate::error::SymbiosisError;
+use crate::fcfs::{fcfs_throughput, JobSize};
+use crate::optimal::{optimal_schedule, Objective};
+use crate::rates::WorkloadRates;
+
+/// Before/after numbers for the fairness counterfactual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessExperiment {
+    /// Index of the fully heterogeneous coschedule that was rebalanced.
+    pub coschedule: usize,
+    /// Optimal throughput with the original (unfair) rates.
+    pub optimal_before: f64,
+    /// Optimal throughput after equalising rates.
+    pub optimal_after: f64,
+    /// Time fraction the optimal scheduler gives the rebalanced coschedule,
+    /// before and after.
+    pub fraction_before: f64,
+    /// See [`FairnessExperiment::fraction_before`].
+    pub fraction_after: f64,
+    /// FCFS throughput before and after (should barely move).
+    pub fcfs_before: f64,
+    /// See [`FairnessExperiment::fcfs_before`].
+    pub fcfs_after: f64,
+    /// Worst-scheduler throughput before and after (should barely move).
+    pub worst_before: f64,
+    /// See [`FairnessExperiment::worst_before`].
+    pub worst_after: f64,
+}
+
+/// Runs the Section V-D counterfactual on a workload whose type count
+/// equals the context count (so a fully heterogeneous coschedule exists).
+///
+/// # Errors
+///
+/// * [`SymbiosisError::InvalidParameter`] if `num_types != contexts`.
+/// * LP/FCFS errors are propagated.
+pub fn fairness_experiment(
+    rates: &WorkloadRates,
+    fcfs_jobs: u64,
+    seed: u64,
+) -> Result<FairnessExperiment, SymbiosisError> {
+    let n = rates.num_types();
+    if n != rates.contexts() {
+        return Err(SymbiosisError::InvalidParameter(format!(
+            "fairness experiment needs N == K, got N={n}, K={}",
+            rates.contexts()
+        )));
+    }
+    let hetero = Coschedule::from_counts(vec![1; n]);
+    let si = rates
+        .index_of(&hetero)
+        .expect("fully heterogeneous coschedule exists when N == K");
+
+    // Equal split of the unchanged instantaneous throughput.
+    let it = rates.instantaneous_throughput(si);
+    let fair = vec![it / n as f64; n];
+    let rebalanced = rates.with_rates(si, fair)?;
+
+    let best_before = optimal_schedule(rates, Objective::MaxThroughput)?;
+    let best_after = optimal_schedule(&rebalanced, Objective::MaxThroughput)?;
+    let worst_before = optimal_schedule(rates, Objective::MinThroughput)?;
+    let worst_after = optimal_schedule(&rebalanced, Objective::MinThroughput)?;
+    let fcfs_before = fcfs_throughput(rates, fcfs_jobs, JobSize::Deterministic, seed)?;
+    let fcfs_after = fcfs_throughput(&rebalanced, fcfs_jobs, JobSize::Deterministic, seed)?;
+
+    Ok(FairnessExperiment {
+        coschedule: si,
+        optimal_before: best_before.throughput,
+        optimal_after: best_after.throughput,
+        fraction_before: best_before.fractions[si],
+        fraction_after: best_after.fractions[si],
+        fcfs_before: fcfs_before.throughput,
+        fcfs_after: fcfs_after.throughput,
+        worst_before: worst_before.throughput,
+        worst_after: worst_after.throughput,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SMT-like rates: the heterogeneous coschedule has the best
+    /// instantaneous throughput but divides it very unfairly.
+    fn unfair_rates() -> WorkloadRates {
+        WorkloadRates::build(4, 4, |s| {
+            if s.counts() == [1, 1, 1, 1] {
+                // it = 2.4 but wildly unfair: fast types race ahead.
+                return vec![1.2, 0.7, 0.3, 0.2];
+            }
+            let het = s.heterogeneity() as f64;
+            let per_job = [0.5, 0.45, 0.4, 0.35];
+            s.counts()
+                .iter()
+                .zip(per_job)
+                .map(|(&c, r)| c as f64 * r * (0.7 + 0.1 * het))
+                .collect()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn rebalancing_raises_optimal_throughput() {
+        let exp = fairness_experiment(&unfair_rates(), 20_000, 3).unwrap();
+        assert!(
+            exp.optimal_after > exp.optimal_before + 1e-6,
+            "after {} must exceed before {}",
+            exp.optimal_after,
+            exp.optimal_before
+        );
+    }
+
+    #[test]
+    fn rebalanced_coschedule_dominates_optimal_schedule() {
+        let exp = fairness_experiment(&unfair_rates(), 20_000, 3).unwrap();
+        assert!(
+            exp.fraction_after > 0.9,
+            "optimal should now select the fair heterogeneous coschedule, got {}",
+            exp.fraction_after
+        );
+        assert!(exp.fraction_after > exp.fraction_before);
+    }
+
+    #[test]
+    fn worst_scheduler_is_unaffected() {
+        // The worst scheduler avoids the best coschedule either way.
+        let exp = fairness_experiment(&unfair_rates(), 20_000, 3).unwrap();
+        assert!(
+            (exp.worst_after - exp.worst_before).abs() < 1e-6,
+            "worst before {} vs after {}",
+            exp.worst_before,
+            exp.worst_after
+        );
+    }
+
+    #[test]
+    fn fcfs_moves_only_slightly() {
+        // FCFS visits the heterogeneous coschedule for a modest fraction of
+        // time; equalising per-job rates inside it (same total) changes
+        // FCFS throughput only marginally (the paper reports "unchanged").
+        let exp = fairness_experiment(&unfair_rates(), 60_000, 3).unwrap();
+        let rel = (exp.fcfs_after - exp.fcfs_before).abs() / exp.fcfs_before;
+        assert!(rel < 0.05, "fcfs moved {rel}");
+    }
+
+    #[test]
+    fn requires_square_workload() {
+        let rates = WorkloadRates::build(3, 4, |s| {
+            s.counts().iter().map(|&c| c as f64 * 0.3).collect()
+        })
+        .unwrap();
+        assert!(matches!(
+            fairness_experiment(&rates, 1_000, 0),
+            Err(SymbiosisError::InvalidParameter(_))
+        ));
+    }
+}

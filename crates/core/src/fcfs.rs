@@ -1,0 +1,334 @@
+//! FCFS (first-come first-served) average throughput.
+//!
+//! The paper's baseline scheduler knows nothing about the workload: jobs are
+//! taken from the queue in arrival order, and arrival order is random
+//! (job types i.i.d. uniform). Two estimators are provided:
+//!
+//! * [`fcfs_throughput`] — an event-driven *maximum throughput experiment*:
+//!   a fully loaded machine executes `jobs` equal-work jobs; throughput is
+//!   total work over makespan. This mirrors the TPCalc construction the
+//!   paper cites (Eyerman et al., TACO 2014).
+//! * [`fcfs_throughput_markov`] — an exact continuous-time Markov-chain
+//!   solution under exponentially distributed job sizes: the coschedule
+//!   multiset is a CTMC state; its stationary distribution yields the
+//!   long-run throughput without simulation.
+//!
+//! For large job counts the two agree closely (the experiment uses
+//! deterministic sizes by default; size distribution has only a small
+//! effect on the equilibrium coschedule mix).
+
+use lp::{linsys, Matrix};
+
+use crate::error::SymbiosisError;
+use crate::rates::WorkloadRates;
+use crate::rng::SplitMix64;
+
+/// Distribution of job sizes (total work per job) in the FCFS experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobSize {
+    /// Every job carries exactly one unit of work (the paper's maximum
+    /// throughput experiment: jobs sized to equal solo execution time).
+    Deterministic,
+    /// Exponentially distributed work with mean one (matches the Markov
+    /// analysis and Snavely et al.'s setup).
+    Exponential,
+}
+
+/// Result of an FCFS throughput experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcfsOutcome {
+    /// Long-run average throughput (weighted instructions per cycle).
+    pub throughput: f64,
+    /// Fraction of time spent in each coschedule (aligned with
+    /// [`WorkloadRates::coschedules`]); sums to ~1.
+    pub fractions: Vec<f64>,
+    /// Number of jobs completed.
+    pub completed: u64,
+}
+
+/// Runs the event-driven FCFS maximum-throughput experiment.
+///
+/// `jobs` equal-probability jobs of each type are processed by a fully
+/// loaded machine: whenever a job finishes, the next job from the random
+/// arrival order takes its slot. Returns throughput and per-coschedule time
+/// fractions.
+///
+/// # Errors
+///
+/// Returns [`SymbiosisError::InvalidParameter`] if `jobs` is smaller than
+/// the number of contexts.
+///
+/// # Examples
+///
+/// ```
+/// use symbiosis::{fcfs_throughput, JobSize, WorkloadRates};
+///
+/// let rates = WorkloadRates::build(2, 2, |s| {
+///     s.counts().iter().map(|&c| c as f64 * 0.5).collect()
+/// })?;
+/// let out = fcfs_throughput(&rates, 20_000, JobSize::Deterministic, 42)?;
+/// assert!((out.throughput - 1.0).abs() < 0.01); // insensitive equal jobs
+/// # Ok::<(), symbiosis::SymbiosisError>(())
+/// ```
+pub fn fcfs_throughput(
+    rates: &WorkloadRates,
+    jobs: u64,
+    sizes: JobSize,
+    seed: u64,
+) -> Result<FcfsOutcome, SymbiosisError> {
+    let k = rates.contexts();
+    if jobs < k as u64 {
+        return Err(SymbiosisError::InvalidParameter(format!(
+            "need at least {k} jobs to load the machine, got {jobs}"
+        )));
+    }
+    let n = rates.num_types();
+    let mut rng = SplitMix64::new(seed);
+    let draw_job = |rng: &mut SplitMix64| {
+        let ty = rng.next_range(n as u64) as usize;
+        let work = match sizes {
+            JobSize::Deterministic => 1.0,
+            JobSize::Exponential => rng.next_exp(1.0),
+        };
+        (ty, work)
+    };
+
+    // Running jobs: (type, remaining work) per slot.
+    let mut slots: Vec<(usize, f64)> = (0..k).map(|_| draw_job(&mut rng)).collect();
+    let mut started = k as u64;
+    let mut completed = 0u64;
+    let mut now = 0.0f64;
+    let mut work_done = 0.0f64;
+    let mut fractions = vec![0.0f64; rates.coschedules().len()];
+
+    // Current coschedule index, maintained incrementally.
+    let mut counts = vec![0u32; n];
+    for &(ty, _) in &slots {
+        counts[ty] += 1;
+    }
+    let mut si = rates
+        .index_of(&crate::Coschedule::from_counts(counts.clone()))
+        .expect("full coschedule must be in the table");
+
+    while completed < jobs {
+        // Per-job rates in the current coschedule.
+        // Advance time until the earliest completion.
+        let mut dt = f64::INFINITY;
+        for &(ty, remaining) in &slots {
+            let r = rates.per_job_rate(si, ty);
+            debug_assert!(r > 0.0, "running job must make progress");
+            dt = dt.min(remaining / r);
+        }
+        debug_assert!(dt.is_finite());
+        now += dt;
+        fractions[si] += dt;
+        // Progress all jobs; replace those that finish.
+        let mut finished_any = false;
+        for slot in slots.iter_mut() {
+            let r = rates.per_job_rate(si, slot.0);
+            let progress = r * dt;
+            work_done += progress.min(slot.1);
+            slot.1 -= progress;
+            if slot.1 <= 1e-12 {
+                finished_any = true;
+                completed += 1;
+                counts[slot.0] -= 1;
+                let (ty, work) = draw_job(&mut rng);
+                *slot = (ty, work);
+                counts[ty] += 1;
+                started += 1;
+            }
+        }
+        debug_assert!(finished_any, "time step must finish at least one job");
+        si = rates
+            .index_of(&crate::Coschedule::from_counts(counts.clone()))
+            .expect("full coschedule must be in the table");
+    }
+    let _ = started;
+    for f in &mut fractions {
+        *f /= now;
+    }
+    Ok(FcfsOutcome {
+        throughput: work_done / now,
+        fractions,
+        completed,
+    })
+}
+
+/// Exact FCFS throughput under exponential job sizes via the stationary
+/// distribution of the coschedule Markov chain.
+///
+/// In state `s`, jobs of type `b` complete with total rate `r_b(s)` (work
+/// is exponential with mean 1); the finished job is replaced by a uniform
+/// random type. The stationary distribution `pi` of this CTMC gives the
+/// long-run throughput `sum_s pi(s) it(s)`.
+///
+/// # Errors
+///
+/// Returns [`SymbiosisError::InvalidParameter`] if the chain's linear
+/// system is singular (cannot happen for valid rate tables).
+pub fn fcfs_throughput_markov(rates: &WorkloadRates) -> Result<FcfsOutcome, SymbiosisError> {
+    let coschedules = rates.coschedules();
+    let n_s = coschedules.len();
+    let n = rates.num_types() as f64;
+
+    // Build the generator Q (row = from, col = to), then solve pi Q = 0
+    // with sum(pi) = 1. We work with Q^T pi^T = 0 and replace the last
+    // equation by the normalisation.
+    let mut qt = Matrix::zeros(n_s, n_s);
+    for (from, s) in coschedules.iter().enumerate() {
+        let mut total_out = 0.0;
+        for b in 0..rates.num_types() {
+            if s.count(b) == 0 {
+                continue;
+            }
+            let rate_b = rates.rate(from, b);
+            total_out += rate_b;
+            for c in 0..rates.num_types() {
+                let to_sched = s.replace(b, c).expect("type b present");
+                let to = rates
+                    .index_of(&to_sched)
+                    .expect("replacement coschedule must be in the table");
+                qt[(to, from)] += rate_b / n;
+            }
+        }
+        qt[(from, from)] -= total_out;
+    }
+    // Replace the last row with the normalisation sum(pi) = 1.
+    let mut rhs = vec![0.0; n_s];
+    for j in 0..n_s {
+        qt[(n_s - 1, j)] = 1.0;
+    }
+    rhs[n_s - 1] = 1.0;
+    let pi = linsys::solve(&qt, &rhs)
+        .map_err(|e| SymbiosisError::InvalidParameter(format!("markov chain solve: {e}")))?;
+    let throughput = pi
+        .iter()
+        .enumerate()
+        .map(|(si, &p)| p * rates.instantaneous_throughput(si))
+        .sum();
+    Ok(FcfsOutcome {
+        throughput,
+        fractions: pi,
+        completed: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insensitive(per_job: &'static [f64], contexts: usize) -> WorkloadRates {
+        WorkloadRates::build(per_job.len(), contexts, move |s| {
+            s.counts()
+                .iter()
+                .zip(per_job)
+                .map(|(&c, &r)| c as f64 * r)
+                .collect()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn insensitive_equal_jobs_reach_nominal_throughput() {
+        let rates = insensitive(&[0.5, 0.5], 2);
+        let out = fcfs_throughput(&rates, 20_000, JobSize::Deterministic, 1).unwrap();
+        assert!((out.throughput - 1.0).abs() < 0.01, "{}", out.throughput);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let rates = insensitive(&[0.8, 0.4, 0.2], 3);
+        let out = fcfs_throughput(&rates, 5_000, JobSize::Deterministic, 7).unwrap();
+        let total: f64 = out.fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_seeds_reproduce() {
+        let rates = insensitive(&[0.8, 0.4], 2);
+        let a = fcfs_throughput(&rates, 2_000, JobSize::Exponential, 3).unwrap();
+        let b = fcfs_throughput(&rates, 2_000, JobSize::Exponential, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn too_few_jobs_rejected() {
+        let rates = insensitive(&[1.0, 1.0], 2);
+        assert!(matches!(
+            fcfs_throughput(&rates, 1, JobSize::Deterministic, 0),
+            Err(SymbiosisError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn markov_matches_simulation_for_exponential_sizes() {
+        // Symbiosis-sensitive table: mixed coschedules run faster.
+        let rates = WorkloadRates::build(2, 2, |s| {
+            let boost = if s.heterogeneity() == 2 { 1.3 } else { 1.0 };
+            s.counts()
+                .iter()
+                .map(|&c| c as f64 * 0.5 * boost)
+                .collect()
+        })
+        .unwrap();
+        let markov = fcfs_throughput_markov(&rates).unwrap();
+        let sim = fcfs_throughput(&rates, 200_000, JobSize::Exponential, 11).unwrap();
+        assert!(
+            (markov.throughput - sim.throughput).abs() < 0.01,
+            "markov {} vs sim {}",
+            markov.throughput,
+            sim.throughput
+        );
+    }
+
+    #[test]
+    fn markov_stationary_distribution_is_proper() {
+        let rates = insensitive(&[0.9, 0.6, 0.3], 3);
+        let out = fcfs_throughput_markov(&rates).unwrap();
+        let total: f64 = out.fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-8);
+        for &p in &out.fractions {
+            assert!(p > -1e-10, "stationary probabilities must be non-negative");
+        }
+    }
+
+    #[test]
+    fn fcfs_lies_between_lp_bounds() {
+        use crate::optimal::{optimal_schedule, Objective};
+        let rates = WorkloadRates::build(3, 3, |s| {
+            let het = s.heterogeneity() as f64;
+            let per_job = [1.0, 0.7, 0.4];
+            s.counts()
+                .iter()
+                .zip(per_job)
+                .map(|(&c, r)| c as f64 * r * (0.6 + 0.13 * het))
+                .collect()
+        })
+        .unwrap();
+        let best = optimal_schedule(&rates, Objective::MaxThroughput).unwrap();
+        let worst = optimal_schedule(&rates, Objective::MinThroughput).unwrap();
+        let fcfs = fcfs_throughput(&rates, 30_000, JobSize::Deterministic, 5).unwrap();
+        assert!(
+            fcfs.throughput <= best.throughput + 1e-6,
+            "fcfs {} > best {}",
+            fcfs.throughput,
+            best.throughput
+        );
+        assert!(
+            fcfs.throughput >= worst.throughput - 1e-6,
+            "fcfs {} < worst {}",
+            fcfs.throughput,
+            worst.throughput
+        );
+    }
+
+    #[test]
+    fn homogeneous_single_type_gives_rate_k() {
+        let rates = insensitive(&[0.25], 4);
+        let out = fcfs_throughput(&rates, 1_000, JobSize::Deterministic, 2).unwrap();
+        assert!((out.throughput - 1.0).abs() < 1e-9);
+        let markov = fcfs_throughput_markov(&rates).unwrap();
+        assert!((markov.throughput - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,236 @@
+//! Table II: which coschedules do the FCFS, optimal and worst schedulers
+//! actually select, grouped by coschedule heterogeneity?
+
+use crate::error::SymbiosisError;
+use crate::fcfs::{fcfs_throughput, FcfsOutcome, JobSize};
+use crate::optimal::{optimal_schedule, Objective};
+use crate::rates::WorkloadRates;
+
+/// One row of Table II: statistics for coschedules with a given number of
+/// distinct job types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeterogeneityRow {
+    /// Number of distinct job types in the coschedules of this group.
+    pub heterogeneity: usize,
+    /// Mean instantaneous throughput of the group's coschedules.
+    pub mean_instantaneous_throughput: f64,
+    /// Fraction of time FCFS spends in this group.
+    pub fcfs_fraction: f64,
+    /// Fraction of time the optimal scheduler spends in this group.
+    pub optimal_fraction: f64,
+    /// Fraction of time the worst scheduler spends in this group.
+    pub worst_fraction: f64,
+}
+
+/// The full Table II for one workload (or averaged over workloads by the
+/// caller).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeterogeneityTable {
+    /// One row per heterogeneity level `1..=min(N, K)`.
+    pub rows: Vec<HeterogeneityRow>,
+}
+
+impl HeterogeneityTable {
+    /// Row for a given heterogeneity level, if present.
+    pub fn row(&self, heterogeneity: usize) -> Option<&HeterogeneityRow> {
+        self.rows.iter().find(|r| r.heterogeneity == heterogeneity)
+    }
+}
+
+/// Computes Table II for one workload.
+///
+/// `fcfs_jobs`/`seed` parameterise the event-driven FCFS experiment that
+/// provides the FCFS column.
+///
+/// # Errors
+///
+/// Propagates [`SymbiosisError`] from the LP solves or FCFS experiment.
+pub fn heterogeneity_table(
+    rates: &WorkloadRates,
+    fcfs_jobs: u64,
+    seed: u64,
+) -> Result<HeterogeneityTable, SymbiosisError> {
+    let fcfs = fcfs_throughput(rates, fcfs_jobs, JobSize::Deterministic, seed)?;
+    let best = optimal_schedule(rates, Objective::MaxThroughput)?;
+    let worst = optimal_schedule(rates, Objective::MinThroughput)?;
+    Ok(heterogeneity_table_from_parts(
+        rates,
+        &fcfs,
+        &best.fractions,
+        &worst.fractions,
+    ))
+}
+
+/// Builds Table II from precomputed schedules (lets callers reuse LP
+/// solutions across analyses).
+pub fn heterogeneity_table_from_parts(
+    rates: &WorkloadRates,
+    fcfs: &FcfsOutcome,
+    optimal_fractions: &[f64],
+    worst_fractions: &[f64],
+) -> HeterogeneityTable {
+    let max_het = rates.num_types().min(rates.contexts());
+    let mut rows = Vec::with_capacity(max_het);
+    for het in 1..=max_het {
+        let members: Vec<usize> = rates
+            .coschedules()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.heterogeneity() == het)
+            .map(|(i, _)| i)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mean_it = members
+            .iter()
+            .map(|&si| rates.instantaneous_throughput(si))
+            .sum::<f64>()
+            / members.len() as f64;
+        let sum = |fractions: &[f64]| members.iter().map(|&si| fractions[si]).sum::<f64>();
+        rows.push(HeterogeneityRow {
+            heterogeneity: het,
+            mean_instantaneous_throughput: mean_it,
+            fcfs_fraction: sum(&fcfs.fractions),
+            optimal_fraction: sum(optimal_fractions),
+            worst_fraction: sum(worst_fractions),
+        });
+    }
+    HeterogeneityTable { rows }
+}
+
+/// The probability that a random draw of `k` i.i.d. uniform types from `n`
+/// has exactly `het` distinct values — the paper's theoretical FCFS
+/// coschedule mix ("2%, 33%, 56%, 9%" for `n = k = 4`).
+///
+/// Computed by exhaustive enumeration of type tuples (cheap for the small
+/// `n`, `k` used here).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `k == 0`, or `k > 12` (12^12 tuples would be
+/// excessive; the study never needs more).
+pub fn random_draw_heterogeneity_probability(n: usize, k: usize, het: usize) -> f64 {
+    assert!(n > 0 && k > 0, "need positive type and context counts");
+    assert!(k <= 12, "enumeration limited to k <= 12");
+    let mut matching = 0u64;
+    let mut total = 0u64;
+    let mut tuple = vec![0usize; k];
+    loop {
+        total += 1;
+        let mut seen = vec![false; n];
+        for &t in &tuple {
+            seen[t] = true;
+        }
+        if seen.iter().filter(|&&s| s).count() == het {
+            matching += 1;
+        }
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            tuple[pos] += 1;
+            if tuple[pos] < n {
+                break;
+            }
+            tuple[pos] = 0;
+            pos += 1;
+            if pos == k {
+                return matching as f64 / total as f64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbiotic_rates() -> WorkloadRates {
+        WorkloadRates::build(4, 4, |s| {
+            let per_job = [0.9, 0.7, 0.5, 0.4];
+            let het = s.heterogeneity() as f64;
+            s.counts()
+                .iter()
+                .zip(per_job)
+                .map(|(&c, r)| c as f64 * r * (0.5 + 0.125 * het))
+                .collect()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_cover_all_heterogeneity_levels() {
+        let t = heterogeneity_table(&symbiotic_rates(), 20_000, 1).unwrap();
+        assert_eq!(t.rows.len(), 4);
+        for (i, r) in t.rows.iter().enumerate() {
+            assert_eq!(r.heterogeneity, i + 1);
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one_per_scheduler() {
+        let t = heterogeneity_table(&symbiotic_rates(), 20_000, 2).unwrap();
+        let fcfs: f64 = t.rows.iter().map(|r| r.fcfs_fraction).sum();
+        let opt: f64 = t.rows.iter().map(|r| r.optimal_fraction).sum();
+        let worst: f64 = t.rows.iter().map(|r| r.worst_fraction).sum();
+        assert!((fcfs - 1.0).abs() < 1e-6, "fcfs {fcfs}");
+        assert!((opt - 1.0).abs() < 1e-6, "optimal {opt}");
+        assert!((worst - 1.0).abs() < 1e-6, "worst {worst}");
+    }
+
+    #[test]
+    fn heterogeneous_coschedules_have_higher_throughput_by_construction() {
+        let t = heterogeneity_table(&symbiotic_rates(), 10_000, 3).unwrap();
+        for pair in t.rows.windows(2) {
+            assert!(
+                pair[1].mean_instantaneous_throughput > pair[0].mean_instantaneous_throughput
+            );
+        }
+    }
+
+    #[test]
+    fn worst_scheduler_prefers_homogeneous_groups() {
+        // With heterogeneity-boosted rates, the worst scheduler must spend
+        // most time in the slowest (homogeneous) coschedules.
+        let t = heterogeneity_table(&symbiotic_rates(), 10_000, 4).unwrap();
+        assert!(
+            t.row(1).unwrap().worst_fraction > 0.5,
+            "worst scheduler should sit in homogeneous coschedules, got {}",
+            t.row(1).unwrap().worst_fraction
+        );
+        assert!(t.row(4).unwrap().worst_fraction < 0.1);
+    }
+
+    #[test]
+    fn fcfs_mix_tracks_random_draw_probabilities() {
+        // With insensitive *equal* jobs, FCFS coschedule fractions follow
+        // the i.i.d. uniform draw distribution exactly (no speed bias).
+        let rates = WorkloadRates::build(4, 4, |s| {
+            s.counts().iter().map(|&c| c as f64 * 0.25).collect()
+        })
+        .unwrap();
+        let t = heterogeneity_table(&rates, 120_000, 5).unwrap();
+        for het in 1..=4 {
+            let p = random_draw_heterogeneity_probability(4, 4, het);
+            let f = t.row(het).unwrap().fcfs_fraction;
+            assert!(
+                (p - f).abs() < 0.02,
+                "het {het}: expected {p:.3}, measured {f:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_draw_probabilities_match_paper_numbers() {
+        // Section V-D quotes 2%, 33%, 56%, 9% for N = K = 4.
+        let p: Vec<f64> = (1..=4)
+            .map(|h| random_draw_heterogeneity_probability(4, 4, h))
+            .collect();
+        assert!((p[0] - 0.015625).abs() < 1e-9); // 4/256 ~ 2%
+        assert!((p[1] - 0.328125).abs() < 1e-9); // 84/256 ~ 33%
+        assert!((p[2] - 0.5625).abs() < 1e-9); // 144/256 ~ 56%
+        assert!((p[3] - 0.09375).abs() < 1e-9); // 24/256 ~ 9%
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

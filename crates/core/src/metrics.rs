@@ -1,0 +1,202 @@
+//! Spread statistics shared by the paper's figures.
+
+/// Min/mean/max summary of a set of values, with relative deviations.
+///
+/// The paper reports bars like "+23% / −14% around the average" (Figure 1)
+/// and defines *variability* as `(max − min) / mean`.
+///
+/// # Examples
+///
+/// ```
+/// use symbiosis::metrics::Spread;
+///
+/// let s = Spread::from_values([0.8, 1.0, 1.2]).unwrap();
+/// assert!((s.mean - 1.0).abs() < 1e-12);
+/// assert!((s.rel_max() - 0.2).abs() < 1e-12);
+/// assert!((s.rel_min() + 0.2).abs() < 1e-12);
+/// assert!((s.variability() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spread {
+    /// Smallest value.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Spread {
+    /// Summarises a non-empty collection of finite values.
+    ///
+    /// Returns `None` if the iterator is empty or any value is non-finite.
+    pub fn from_values<I>(values: I) -> Option<Spread>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for v in values {
+            if !v.is_finite() {
+                return None;
+            }
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            count += 1;
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(Spread {
+            min,
+            mean: sum / count as f64,
+            max,
+        })
+    }
+
+    /// Relative excursion of the maximum above the mean (`+23%` -> `0.23`).
+    pub fn rel_max(&self) -> f64 {
+        self.max / self.mean - 1.0
+    }
+
+    /// Relative excursion of the minimum below the mean (`-14%` -> `-0.14`).
+    pub fn rel_min(&self) -> f64 {
+        self.min / self.mean - 1.0
+    }
+
+    /// The paper's variability: `(max - min) / mean`.
+    pub fn variability(&self) -> f64 {
+        (self.max - self.min) / self.mean
+    }
+}
+
+/// Averages an iterator of spreads component-wise (used to aggregate
+/// per-workload spreads into the "avg best"/"avg worst" bars of Figure 1).
+///
+/// Returns `None` on an empty iterator.
+pub fn mean_spread<I>(spreads: I) -> Option<Spread>
+where
+    I: IntoIterator<Item = Spread>,
+{
+    let mut min = 0.0;
+    let mut mean = 0.0;
+    let mut max = 0.0;
+    let mut count = 0usize;
+    for s in spreads {
+        min += s.min;
+        mean += s.mean;
+        max += s.max;
+        count += 1;
+    }
+    if count == 0 {
+        return None;
+    }
+    let n = count as f64;
+    Some(Spread {
+        min: min / n,
+        mean: mean / n,
+        max: max / n,
+    })
+}
+
+/// Arithmetic mean of an iterator; `None` when empty.
+pub fn mean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(sum / count as f64)
+    }
+}
+
+/// Ordinary least-squares slope of `y = a * x` through the origin.
+///
+/// Used for the Figure 2 trend lines (FCFS-vs-worst against
+/// optimal-vs-worst are ratios around 1, fitted as `y - 1 = a (x - 1)`).
+///
+/// Returns `None` if fewer than one point or all `x` are ~0.
+pub fn slope_through_origin(points: &[(f64, f64)]) -> Option<f64> {
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    if points.is_empty() || sxx < 1e-300 {
+        None
+    } else {
+        Some(sxy / sxx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_of_singleton() {
+        let s = Spread::from_values([2.0]).unwrap();
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.variability(), 0.0);
+    }
+
+    #[test]
+    fn spread_empty_is_none() {
+        assert!(Spread::from_values(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn spread_rejects_nan() {
+        assert!(Spread::from_values([1.0, f64::NAN]).is_none());
+        assert!(Spread::from_values([1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn relative_excursions() {
+        let s = Spread::from_values([1.0, 2.0, 3.0]).unwrap();
+        assert!((s.rel_max() - 0.5).abs() < 1e-12);
+        assert!((s.rel_min() + 0.5).abs() < 1e-12);
+        assert!((s.variability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_spread_averages_components() {
+        let a = Spread {
+            min: 0.0,
+            mean: 1.0,
+            max: 2.0,
+        };
+        let b = Spread {
+            min: 2.0,
+            mean: 3.0,
+            max: 4.0,
+        };
+        let m = mean_spread([a, b]).unwrap();
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.max, 3.0);
+        assert!(mean_spread(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn slope_fits_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 0.7 * i as f64)).collect();
+        let a = slope_through_origin(&pts).unwrap();
+        assert!((a - 0.7).abs() < 1e-12);
+        assert!(slope_through_origin(&[]).is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! Optimal (and worst) average throughput via linear programming —
+//! Section IV of the paper.
+//!
+//! Let `x_s` be the fraction of time the machine spends in coschedule `s`.
+//! The average throughput is `sum_s x_s * it(s)`; the constraints are
+//! `x_s >= 0`, `sum_s x_s = 1`, and — because every job type contributes the
+//! same total amount of work — for every type `b > 0`:
+//! `sum_s x_s * r_b(s) = sum_s x_s * r_0(s)` (Equation 5).
+//!
+//! Maximising gives the theoretically best scheduler; minimising gives the
+//! worst. A fundamental property of basic LP solutions bounds the number of
+//! coschedules with non-zero time fraction by the number of equality
+//! constraints, i.e. by the number of job types.
+
+use lp::{LinearProgram, Relation};
+
+use crate::error::SymbiosisError;
+use crate::rates::WorkloadRates;
+
+/// Optimisation direction for the scheduling LP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// The theoretically best scheduler (paper's "optimal").
+    MaxThroughput,
+    /// The theoretically worst scheduler (used for normalisation in
+    /// Figures 2, 3 and 6).
+    MinThroughput,
+}
+
+/// A solved schedule: throughput plus the time fraction of each coschedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Long-term average throughput in weighted instructions per cycle.
+    pub throughput: f64,
+    /// Time fraction per coschedule, aligned with
+    /// [`WorkloadRates::coschedules`]; sums to 1.
+    pub fractions: Vec<f64>,
+}
+
+impl Schedule {
+    /// Indices of coschedules with time fraction above `tol`.
+    pub fn selected(&self, tol: f64) -> Vec<usize> {
+        self.fractions
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x > tol)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Work executed per unit time for job type `b` under this schedule.
+    pub fn work_rate(&self, rates: &WorkloadRates, b: usize) -> f64 {
+        self.fractions
+            .iter()
+            .enumerate()
+            .map(|(si, &x)| x * rates.rate(si, b))
+            .sum()
+    }
+}
+
+/// Solves the Section IV scheduling LP for the given objective.
+///
+/// # Errors
+///
+/// Returns [`SymbiosisError::Lp`] if the LP is infeasible (cannot happen for
+/// valid rate tables: homogeneous coschedules always balance work) or
+/// numerically fails.
+///
+/// # Examples
+///
+/// ```
+/// use symbiosis::{optimal_schedule, Objective, WorkloadRates};
+///
+/// let rates = WorkloadRates::build(2, 2, |s| {
+///     // Type A runs at 0.8 per job, type B at 0.4; no interference.
+///     let per_job = [0.8, 0.4];
+///     s.counts().iter().zip(per_job).map(|(&c, r)| c as f64 * r).collect()
+/// })?;
+/// let best = optimal_schedule(&rates, Objective::MaxThroughput)?;
+/// let worst = optimal_schedule(&rates, Objective::MinThroughput)?;
+/// assert!(best.throughput >= worst.throughput);
+/// # Ok::<(), symbiosis::SymbiosisError>(())
+/// ```
+pub fn optimal_schedule(
+    rates: &WorkloadRates,
+    objective: Objective,
+) -> Result<Schedule, SymbiosisError> {
+    let coschedules = rates.coschedules();
+    let n_s = coschedules.len();
+    let n_types = rates.num_types();
+
+    let it: Vec<f64> = (0..n_s)
+        .map(|si| rates.instantaneous_throughput(si))
+        .collect();
+    let mut program = match objective {
+        Objective::MaxThroughput => LinearProgram::maximize(&it),
+        Objective::MinThroughput => LinearProgram::minimize(&it),
+    };
+    // Time fractions form a distribution.
+    program.constraint(&vec![1.0; n_s], Relation::Eq, 1.0);
+    // Equal total work per job type (Equation 5): r_b - r_0 balances.
+    for b in 1..n_types {
+        let row: Vec<f64> = (0..n_s)
+            .map(|si| rates.rate(si, b) - rates.rate(si, 0))
+            .collect();
+        program.constraint(&row, Relation::Eq, 0.0);
+    }
+    let solution = program.solve()?;
+    Ok(Schedule {
+        throughput: solution.objective,
+        fractions: solution.values,
+    })
+}
+
+/// Convenience: both LP bounds at once.
+///
+/// # Errors
+///
+/// Propagates [`SymbiosisError`] from either solve.
+pub fn throughput_bounds(rates: &WorkloadRates) -> Result<(Schedule, Schedule), SymbiosisError> {
+    Ok((
+        optimal_schedule(rates, Objective::MinThroughput)?,
+        optimal_schedule(rates, Objective::MaxThroughput)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Insensitive jobs: per-job rate independent of co-runners.
+    fn insensitive(per_job: &'static [f64], contexts: usize) -> WorkloadRates {
+        WorkloadRates::build(per_job.len(), contexts, move |s| {
+            s.counts()
+                .iter()
+                .zip(per_job)
+                .map(|(&c, &r)| c as f64 * r)
+                .collect()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn insensitive_equal_jobs_fix_throughput() {
+        // All types identical and insensitive: every schedule achieves the
+        // same throughput, so max == min == K * rate.
+        let rates = insensitive(&[0.5, 0.5, 0.5, 0.5], 4);
+        let (worst, best) = throughput_bounds(&rates).unwrap();
+        assert!((best.throughput - 2.0).abs() < 1e-7);
+        assert!((worst.throughput - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn insensitive_unequal_jobs_follow_harmonic_formula() {
+        // Linear-bottleneck analysis (Section V-C1b): for insensitive jobs
+        // the average throughput is N / sum_b (1/(K*rate_b)) and is
+        // scheduler independent. With rates 0.8 and 0.4 on K=2:
+        // AT = 2 / (1/1.6 + 1/0.8) = 1.0666...
+        let rates = insensitive(&[0.8, 0.4], 2);
+        let (worst, best) = throughput_bounds(&rates).unwrap();
+        let expected = 2.0 / (1.0 / 1.6 + 1.0 / 0.8);
+        assert!((best.throughput - expected).abs() < 1e-7, "{}", best.throughput);
+        assert!((worst.throughput - expected).abs() < 1e-7);
+    }
+
+    #[test]
+    fn symbiotic_pairing_is_exploited() {
+        // Two types on 2 contexts. Mixed coschedule AB runs at full speed
+        // (no interference); homogeneous pairs thrash (half speed each).
+        let rates = WorkloadRates::build(2, 2, |s| {
+            let c = s.counts();
+            if c[0] == 1 && c[1] == 1 {
+                vec![1.0, 1.0]
+            } else {
+                c.iter().map(|&x| x as f64 * 0.5).collect()
+            }
+        })
+        .unwrap();
+        let (worst, best) = throughput_bounds(&rates).unwrap();
+        // Best: always run AB at it = 2. Worst: alternate AA/BB at it = 1.
+        assert!((best.throughput - 2.0).abs() < 1e-7);
+        assert!((worst.throughput - 1.0).abs() < 1e-7);
+        // The optimal schedule indeed selects only AB.
+        let ab = rates
+            .index_of(&crate::Coschedule::from_counts(vec![1, 1]))
+            .unwrap();
+        assert!((best.fractions[ab] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fractions_form_distribution_and_balance_work() {
+        let rates = WorkloadRates::build(3, 3, |s| {
+            let per_job = [1.0, 0.6, 0.3];
+            let k = s.size() as f64;
+            s.counts()
+                .iter()
+                .zip(per_job)
+                .map(|(&c, r)| c as f64 * r * (1.0 - 0.05 * (k - 1.0)))
+                .collect()
+        })
+        .unwrap();
+        let best = optimal_schedule(&rates, Objective::MaxThroughput).unwrap();
+        let total: f64 = best.fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-7);
+        let w0 = best.work_rate(&rates, 0);
+        for b in 1..3 {
+            assert!(
+                (best.work_rate(&rates, b) - w0).abs() < 1e-6,
+                "work must balance across types"
+            );
+        }
+    }
+
+    #[test]
+    fn support_bounded_by_type_count() {
+        // Section IV: an optimal basic solution selects at most N coschedules.
+        let rates = WorkloadRates::build(4, 4, |s| {
+            let per_job = [1.1, 0.8, 0.5, 0.3];
+            let het = s.heterogeneity() as f64;
+            s.counts()
+                .iter()
+                .zip(per_job)
+                .map(|(&c, r)| c as f64 * r * (0.7 + 0.1 * het))
+                .collect()
+        })
+        .unwrap();
+        for obj in [Objective::MaxThroughput, Objective::MinThroughput] {
+            let sched = optimal_schedule(&rates, obj).unwrap();
+            assert!(
+                sched.selected(1e-7).len() <= 4,
+                "basic solution uses at most N coschedules"
+            );
+        }
+    }
+
+    #[test]
+    fn max_dominates_min_on_random_like_tables() {
+        let rates = WorkloadRates::build(4, 4, |s| {
+            // Pseudo-irregular but deterministic rates.
+            s.counts()
+                .iter()
+                .enumerate()
+                .map(|(b, &c)| {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        let x = (si_hash(s.counts(), b) % 100) as f64 / 100.0;
+                        c as f64 * (0.2 + 0.6 * x) / s.size() as f64
+                    }
+                })
+                .collect()
+        })
+        .unwrap();
+        let (worst, best) = throughput_bounds(&rates).unwrap();
+        assert!(best.throughput >= worst.throughput - 1e-9);
+    }
+
+    fn si_hash(counts: &[u32], b: usize) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &c in counts {
+            h = (h ^ c as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    }
+
+    #[test]
+    fn single_type_workload_has_unique_throughput() {
+        let rates = WorkloadRates::build(1, 4, |s| vec![s.size() as f64 * 0.25]).unwrap();
+        let (worst, best) = throughput_bounds(&rates).unwrap();
+        assert!((best.throughput - 1.0).abs() < 1e-9);
+        assert!((worst.throughput - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-coschedule execution-rate tables — the scheduler's knowledge.
+
+use std::collections::HashMap;
+
+use crate::coschedule::{enumerate_coschedules, Coschedule};
+use crate::error::SymbiosisError;
+
+/// Execution rates of every job type in every possible coschedule of one
+/// workload, in weighted instructions per cycle (WIPC).
+///
+/// `rate(s, b)` is `r_b(s)` from Section IV of the paper: the *total*
+/// execution rate of all jobs of type `b` in coschedule `s` (if two type-`b`
+/// jobs run, it is the sum of their rates). Weighted instructions normalise
+/// each type by its solo execution rate, so a job running alone at full
+/// speed has rate 1.
+///
+/// # Examples
+///
+/// ```
+/// use symbiosis::WorkloadRates;
+///
+/// // Two job types on a 2-context machine; a toy rate model where each job
+/// // runs at 1/(number of co-runners + its own weight).
+/// let rates = WorkloadRates::build(2, 2, |s| {
+///     s.counts()
+///         .iter()
+///         .map(|&c| c as f64 * 0.9f64.powi(s.size() as i32 - 1))
+///         .collect()
+/// })?;
+/// assert_eq!(rates.coschedules().len(), 3); // AA, AB, BB
+/// # Ok::<(), symbiosis::SymbiosisError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadRates {
+    num_types: usize,
+    contexts: usize,
+    coschedules: Vec<Coschedule>,
+    index: HashMap<Vec<u32>, usize>,
+    /// `rates[s][b]` = total WIPC of type `b` in coschedule `s`.
+    rates: Vec<Vec<f64>>,
+}
+
+impl WorkloadRates {
+    /// Enumerates all coschedules of `contexts` jobs over `num_types` types
+    /// and obtains each one's per-type rates from `rate_fn`.
+    ///
+    /// `rate_fn` must return a vector of length `num_types` whose entry `b`
+    /// is the total rate of type `b` in the queried coschedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SymbiosisError::InvalidRates`] if any returned vector has
+    /// the wrong length, contains a negative/non-finite value, is positive
+    /// for an absent type, or is zero for a present type.
+    pub fn build<F>(
+        num_types: usize,
+        contexts: usize,
+        mut rate_fn: F,
+    ) -> Result<Self, SymbiosisError>
+    where
+        F: FnMut(&Coschedule) -> Vec<f64>,
+    {
+        let coschedules = enumerate_coschedules(num_types, contexts);
+        let mut rates = Vec::with_capacity(coschedules.len());
+        for s in &coschedules {
+            let r = rate_fn(s);
+            Self::check_rates(s, &r)?;
+            rates.push(r);
+        }
+        let index = coschedules
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.counts().to_vec(), i))
+            .collect();
+        Ok(WorkloadRates {
+            num_types,
+            contexts,
+            coschedules,
+            index,
+            rates,
+        })
+    }
+
+    fn check_rates(s: &Coschedule, r: &[f64]) -> Result<(), SymbiosisError> {
+        if r.len() != s.num_types() {
+            return Err(SymbiosisError::InvalidRates(format!(
+                "coschedule {s}: expected {} rates, got {}",
+                s.num_types(),
+                r.len()
+            )));
+        }
+        for (b, &v) in r.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(SymbiosisError::InvalidRates(format!(
+                    "coschedule {s}: rate of type {b} is {v}"
+                )));
+            }
+            if s.count(b) == 0 && v != 0.0 {
+                return Err(SymbiosisError::InvalidRates(format!(
+                    "coschedule {s}: absent type {b} has non-zero rate {v}"
+                )));
+            }
+            if s.count(b) > 0 && v <= 0.0 {
+                return Err(SymbiosisError::InvalidRates(format!(
+                    "coschedule {s}: present type {b} has non-positive rate {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of job types in the workload.
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// Number of hardware contexts (jobs per coschedule).
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// All coschedules, in enumeration order (indices used throughout).
+    pub fn coschedules(&self) -> &[Coschedule] {
+        &self.coschedules
+    }
+
+    /// Index of a coschedule given its counts, if it belongs to this table.
+    pub fn index_of(&self, s: &Coschedule) -> Option<usize> {
+        self.index.get(s.counts()).copied()
+    }
+
+    /// Total rate `r_b(s)` of job type `b` in coschedule index `si`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` or `b` is out of range.
+    pub fn rate(&self, si: usize, b: usize) -> f64 {
+        self.rates[si][b]
+    }
+
+    /// Rate of *one* job of type `b` in coschedule `si` (total rate divided
+    /// by the number of type-`b` jobs), or 0 if the type is absent.
+    pub fn per_job_rate(&self, si: usize, b: usize) -> f64 {
+        let c = self.coschedules[si].count(b);
+        if c == 0 {
+            0.0
+        } else {
+            self.rates[si][b] / c as f64
+        }
+    }
+
+    /// Instantaneous throughput `it(s) = sum_b r_b(s)` (Equation 1).
+    pub fn instantaneous_throughput(&self, si: usize) -> f64 {
+        self.rates[si].iter().sum()
+    }
+
+    /// All per-type rate rows (aligned with [`WorkloadRates::coschedules`]).
+    pub fn rate_rows(&self) -> &[Vec<f64>] {
+        &self.rates
+    }
+
+    /// Derives a new table with one coschedule's rates replaced.
+    ///
+    /// Used by the Section V-D counterfactual (redistributing per-job
+    /// performance inside the fully heterogeneous coschedule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SymbiosisError::InvalidRates`] if the new rates are
+    /// malformed, or [`SymbiosisError::UnknownCoschedule`] for a bad index.
+    pub fn with_rates(&self, si: usize, new_rates: Vec<f64>) -> Result<Self, SymbiosisError> {
+        let s = self
+            .coschedules
+            .get(si)
+            .ok_or(SymbiosisError::UnknownCoschedule(si))?;
+        Self::check_rates(s, &new_rates)?;
+        let mut clone = self.clone();
+        clone.rates[si] = new_rates;
+        Ok(clone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple analytic rate model: each job gets an equal share of a
+    /// width-4 pipe, scaled by a per-type solo speed.
+    fn toy_rates(num_types: usize, contexts: usize) -> WorkloadRates {
+        WorkloadRates::build(num_types, contexts, |s| {
+            let k = s.size() as f64;
+            s.counts()
+                .iter()
+                .map(|&c| c as f64 / k.max(1.0))
+                .collect()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_all_coschedules() {
+        let r = toy_rates(4, 4);
+        assert_eq!(r.coschedules().len(), 35);
+        assert_eq!(r.num_types(), 4);
+        assert_eq!(r.contexts(), 4);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let r = toy_rates(3, 2);
+        for (i, s) in r.coschedules().iter().enumerate() {
+            assert_eq!(r.index_of(s), Some(i));
+        }
+        let foreign = Coschedule::from_counts(vec![1, 1, 1]);
+        assert_eq!(r.index_of(&foreign), None, "size-3 coschedule not in table");
+    }
+
+    #[test]
+    fn per_job_rate_divides_by_count() {
+        let r = toy_rates(2, 4);
+        let si = r
+            .index_of(&Coschedule::from_counts(vec![3, 1]))
+            .unwrap();
+        assert!((r.rate(si, 0) - 0.75).abs() < 1e-12);
+        assert!((r.per_job_rate(si, 0) - 0.25).abs() < 1e-12);
+        assert!((r.per_job_rate(si, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instantaneous_throughput_sums_rates() {
+        let r = toy_rates(3, 3);
+        for si in 0..r.coschedules().len() {
+            let manual: f64 = (0..3).map(|b| r.rate(si, b)).sum();
+            assert!((r.instantaneous_throughput(si) - manual).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn absent_type_with_rate_rejected() {
+        let err = WorkloadRates::build(2, 2, |_| vec![0.5, 0.5]).unwrap_err();
+        assert!(matches!(err, SymbiosisError::InvalidRates(_)));
+    }
+
+    #[test]
+    fn present_type_with_zero_rate_rejected() {
+        let err = WorkloadRates::build(2, 2, |s| {
+            s.counts().iter().map(|_| 0.0).collect()
+        })
+        .unwrap_err();
+        assert!(matches!(err, SymbiosisError::InvalidRates(_)));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let err = WorkloadRates::build(2, 2, |_| vec![1.0]).unwrap_err();
+        assert!(matches!(err, SymbiosisError::InvalidRates(_)));
+    }
+
+    #[test]
+    fn non_finite_rate_rejected() {
+        let err = WorkloadRates::build(2, 2, |s| {
+            s.counts()
+                .iter()
+                .map(|&c| if c > 0 { f64::NAN } else { 0.0 })
+                .collect()
+        })
+        .unwrap_err();
+        assert!(matches!(err, SymbiosisError::InvalidRates(_)));
+    }
+
+    #[test]
+    fn with_rates_replaces_one_row() {
+        let r = toy_rates(2, 2);
+        let si = r
+            .index_of(&Coschedule::from_counts(vec![1, 1]))
+            .unwrap();
+        let modified = r.with_rates(si, vec![0.8, 0.2]).unwrap();
+        assert!((modified.rate(si, 0) - 0.8).abs() < 1e-12);
+        // Other rows untouched.
+        for i in 0..r.coschedules().len() {
+            if i != si {
+                assert_eq!(r.rate_rows()[i], modified.rate_rows()[i]);
+            }
+        }
+        // Invalid replacement rejected.
+        assert!(r.with_rates(si, vec![0.8, 0.0]).is_err());
+        assert!(r.with_rates(99, vec![0.5, 0.5]).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Small deterministic RNG for the FCFS throughput experiment.
+//!
+//! Kept crate-private and self-contained so that published experiment
+//! numbers cannot drift with external crate upgrades. (The simulator crate
+//! carries its own copy for the same reason; the two crates are
+//! intentionally independent.)
+
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be positive.
+    pub(crate) fn next_range(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Exponentially distributed value with mean `mean`.
+    pub(crate) fn next_exp(&mut self, mean: f64) -> f64 {
+        // Avoid ln(0) by mapping the draw into (0, 1].
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SplitMix64::new(4);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.next_exp(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn range_bounds_hold() {
+        let mut rng = SplitMix64::new(8);
+        for _ in 0..1000 {
+            assert!(rng.next_range(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Dense linear programming and small linear-algebra kernels.
+//!
+//! This crate is the numerical substrate for the symbiotic-scheduling study.
+//! The paper ("Revisiting Symbiotic Job Scheduling", ISPASS 2015) computes
+//! the theoretically optimal (and worst) average throughput of a processor by
+//! solving a small linear program with the GNU linear programming kit; this
+//! crate provides an equivalent from-scratch solver:
+//!
+//! * [`LinearProgram`] — a builder for LPs over non-negative variables with
+//!   `<=`, `>=` and `==` constraints, solved by a dense two-phase primal
+//!   simplex method with Bland's anti-cycling rule ([`simplex`]).
+//! * [`Matrix`] — a minimal row-major dense matrix ([`dense`]).
+//! * [`linsys`] — LU factorisation with partial pivoting, linear solves and
+//!   least-squares via normal equations (used for Markov-chain stationary
+//!   distributions and the paper's linear-bottleneck analysis).
+//!
+//! # Examples
+//!
+//! Maximise `3x + 2y` subject to `x + y <= 4`, `x <= 2` and `x, y >= 0`:
+//!
+//! ```
+//! use lp::{LinearProgram, Relation};
+//!
+//! # fn main() -> Result<(), lp::SolveError> {
+//! let mut problem = LinearProgram::maximize(&[3.0, 2.0]);
+//! problem.constraint(&[1.0, 1.0], Relation::Le, 4.0);
+//! problem.constraint(&[1.0, 0.0], Relation::Le, 2.0);
+//! let solution = problem.solve()?;
+//! assert!((solution.objective - 10.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dense;
+pub mod linsys;
+pub mod problem;
+pub mod simplex;
+
+pub use dense::Matrix;
+pub use problem::{LinearProgram, Relation, Sense, SolveError, Solution};

@@ -1,0 +1,398 @@
+//! Two-phase primal simplex on a dense tableau with Bland's rule.
+//!
+//! The solver works on problems in computational standard form:
+//! minimise `c . x` subject to `A x = b`, `x >= 0`, `b >= 0`. The
+//! higher-level [`crate::LinearProgram`] builder converts general `<=`, `>=`
+//! and `==` constraints into this form (adding slack/surplus columns) and
+//! tells the solver which columns already form identity columns so that
+//! artificial variables are only introduced where needed.
+//!
+//! Bland's pivoting rule (always pick the lowest-index eligible entering and
+//! leaving variable) guarantees termination even on degenerate problems,
+//! which the scheduling LPs frequently are (many coschedules share identical
+//! rates).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::dense::Matrix;
+
+/// Numerical tolerance for pivot eligibility and optimality tests.
+const EPS: f64 = 1e-9;
+/// Tolerance on the phase-1 objective deciding feasibility.
+const FEAS_EPS: f64 = 1e-7;
+
+/// Errors from the raw tableau solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimplexError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The iteration cap was hit; indicates a numerical pathology.
+    NumericalFailure,
+}
+
+impl fmt::Display for SimplexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimplexError::Infeasible => write!(f, "linear program is infeasible"),
+            SimplexError::Unbounded => write!(f, "linear program is unbounded"),
+            SimplexError::NumericalFailure => {
+                write!(f, "simplex iteration limit exceeded (numerical failure)")
+            }
+        }
+    }
+}
+
+impl Error for SimplexError {}
+
+/// Outcome of a successful solve in standard form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardSolution {
+    /// Minimised objective value `c . x`.
+    pub objective: f64,
+    /// Values of the `n` structural variables (slacks included).
+    pub values: Vec<f64>,
+    /// Column index of the basic variable for each surviving row.
+    pub basis: Vec<usize>,
+}
+
+/// Internal dense tableau: `rows` of length `ncols + 1` (last entry = rhs),
+/// plus a cost row of the same width (last entry = minus the objective).
+struct Tableau {
+    rows: Vec<Vec<f64>>,
+    cost: Vec<f64>,
+    basis: Vec<usize>,
+    ncols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, i: usize) -> f64 {
+        self.rows[i][self.ncols]
+    }
+
+    /// Pivots on `(row, col)`: normalises the pivot row and eliminates the
+    /// pivot column from every other row and from the cost row.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > EPS, "pivot on (near-)zero element");
+        let inv = 1.0 / pivot_val;
+        for v in &mut self.rows[row] {
+            *v *= inv;
+        }
+        // Clamp the pivot column of the pivot row to exactly 1 to limit drift.
+        self.rows[row][col] = 1.0;
+        for i in 0..self.rows.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][col];
+            if factor == 0.0 {
+                continue;
+            }
+            let (pivot_row, target_row) = if i < row {
+                let (a, b) = self.rows.split_at_mut(row);
+                (&b[0], &mut a[i])
+            } else {
+                let (a, b) = self.rows.split_at_mut(i);
+                (&a[row], &mut b[0])
+            };
+            for (t, p) in target_row.iter_mut().zip(pivot_row) {
+                *t -= factor * p;
+            }
+            target_row[col] = 0.0;
+        }
+        let factor = self.cost[col];
+        if factor != 0.0 {
+            let pivot_row = &self.rows[row];
+            for (t, p) in self.cost.iter_mut().zip(pivot_row) {
+                *t -= factor * p;
+            }
+            self.cost[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations until optimality, restricting entering
+    /// candidates to columns `< col_limit`. Returns `Err(Unbounded)` if an
+    /// improving ray is found.
+    fn iterate(&mut self, col_limit: usize, max_iters: usize) -> Result<(), SimplexError> {
+        for _ in 0..max_iters {
+            // Bland's rule: lowest-index column with negative reduced cost.
+            let entering = (0..col_limit).find(|&j| self.cost[j] < -EPS);
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            // Ratio test with Bland tie-breaking on the basis variable index.
+            let mut leaving: Option<(usize, f64)> = None;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][col];
+                if a > EPS {
+                    let ratio = self.rhs(i) / a;
+                    let better = match leaving {
+                        None => true,
+                        Some((best_i, best_r)) => {
+                            ratio < best_r - EPS
+                                || (ratio < best_r + EPS && self.basis[i] < self.basis[best_i])
+                        }
+                    };
+                    if better {
+                        leaving = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leaving else {
+                return Err(SimplexError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(SimplexError::NumericalFailure)
+    }
+}
+
+/// Solves `min c . x` s.t. `A x = b`, `x >= 0` with the two-phase method.
+///
+/// `basis_hint[i]`, when `Some(j)`, promises that column `j` of `a` is an
+/// identity column for row `i` (typically a slack variable added by the
+/// caller); such rows need no artificial variable. All `b[i]` must be
+/// non-negative (the caller normalises signs).
+///
+/// # Errors
+///
+/// [`SimplexError::Infeasible`] or [`SimplexError::Unbounded`] describe the
+/// problem; [`SimplexError::NumericalFailure`] indicates the iteration cap
+/// was exceeded.
+///
+/// # Panics
+///
+/// Panics if dimensions of `a`, `b`, `c`, `basis_hint` are inconsistent or
+/// any `b[i]` is negative (caller contract).
+pub fn solve_standard(
+    a: &Matrix,
+    b: &[f64],
+    c: &[f64],
+    basis_hint: &[Option<usize>],
+) -> Result<StandardSolution, SimplexError> {
+    let m = a.rows();
+    let n = a.cols();
+    assert_eq!(b.len(), m, "rhs length must equal row count");
+    assert_eq!(c.len(), n, "cost length must equal column count");
+    assert_eq!(basis_hint.len(), m, "basis hint length must equal row count");
+    assert!(
+        b.iter().all(|&x| x >= 0.0),
+        "rhs must be non-negative in standard form"
+    );
+
+    // Build the tableau with one artificial column per un-hinted row.
+    let n_art = basis_hint.iter().filter(|h| h.is_none()).count();
+    let ncols = n + n_art;
+    let mut rows = Vec::with_capacity(m);
+    let mut basis = Vec::with_capacity(m);
+    let mut next_art = n;
+    for i in 0..m {
+        let mut row = vec![0.0; ncols + 1];
+        row[..n].copy_from_slice(a.row(i));
+        row[ncols] = b[i];
+        match basis_hint[i] {
+            Some(j) => {
+                debug_assert!(
+                    (a[(i, j)] - 1.0).abs() < 1e-12,
+                    "basis hint column must be an identity column"
+                );
+                basis.push(j);
+            }
+            None => {
+                row[next_art] = 1.0;
+                basis.push(next_art);
+                next_art += 1;
+            }
+        }
+        rows.push(row);
+    }
+
+    let max_iters = 2000 * (ncols + m + 10);
+
+    // Phase 1: minimise the sum of artificial variables.
+    let mut tab = Tableau {
+        rows,
+        cost: {
+            let mut cost = vec![0.0; ncols + 1];
+            for v in cost.iter_mut().take(ncols).skip(n) {
+                *v = 1.0;
+            }
+            cost
+        },
+        basis,
+        ncols,
+    };
+    // Price out the initially basic artificial columns.
+    for i in 0..m {
+        if tab.basis[i] >= n {
+            let row = tab.rows[i].clone();
+            for (t, p) in tab.cost.iter_mut().zip(&row) {
+                *t -= p;
+            }
+        }
+    }
+    if n_art > 0 {
+        tab.iterate(ncols, max_iters)?;
+        let phase1_obj = -tab.cost[ncols];
+        if phase1_obj > FEAS_EPS {
+            return Err(SimplexError::Infeasible);
+        }
+        // Drive residual artificials out of the basis (degenerate pivots) or
+        // drop redundant rows.
+        let mut i = 0;
+        while i < tab.rows.len() {
+            if tab.basis[i] >= n {
+                let pivot_col = (0..n).find(|&j| tab.rows[i][j].abs() > EPS);
+                match pivot_col {
+                    Some(j) => tab.pivot(i, j),
+                    None => {
+                        // Redundant constraint: the row is zero on all
+                        // structural columns; remove it.
+                        tab.rows.remove(i);
+                        tab.basis.remove(i);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // Phase 2: restore the true objective, priced out over the current basis.
+    tab.cost = {
+        let mut cost = vec![0.0; ncols + 1];
+        cost[..n].copy_from_slice(c);
+        cost
+    };
+    for i in 0..tab.rows.len() {
+        let bj = tab.basis[i];
+        let cb = tab.cost[bj];
+        if cb != 0.0 {
+            let row = tab.rows[i].clone();
+            for (t, p) in tab.cost.iter_mut().zip(&row) {
+                *t -= cb * p;
+            }
+        }
+    }
+    // Artificial columns are excluded from entering (col_limit = n).
+    tab.iterate(n, max_iters)?;
+
+    let mut values = vec![0.0; n];
+    for (i, &bj) in tab.basis.iter().enumerate() {
+        if bj < n {
+            values[bj] = tab.rhs(i).max(0.0);
+        }
+    }
+    let objective = c.iter().zip(&values).map(|(ci, xi)| ci * xi).sum();
+    Ok(StandardSolution {
+        objective,
+        values,
+        basis: tab.basis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `min -3x - 2y` s.t. `x + y + s1 = 4`, `x + s2 = 2` — the doc example.
+    #[test]
+    fn solves_basic_maximisation_as_negated_min() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 0.0], &[1.0, 0.0, 0.0, 1.0]]);
+        let sol = solve_standard(
+            &a,
+            &[4.0, 2.0],
+            &[-3.0, -2.0, 0.0, 0.0],
+            &[Some(2), Some(3)],
+        )
+        .unwrap();
+        assert!((sol.objective + 10.0).abs() < 1e-9);
+        assert!((sol.values[0] - 2.0).abs() < 1e-9);
+        assert!((sol.values[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_unbounded_problem() {
+        // min -x s.t. x - y + s = 1 : x can grow with y.
+        let a = Matrix::from_rows(&[&[1.0, -1.0, 1.0]]);
+        let err = solve_standard(&a, &[1.0], &[-1.0, 0.0, 0.0], &[Some(2)]).unwrap_err();
+        assert_eq!(err, SimplexError::Unbounded);
+    }
+
+    #[test]
+    fn detects_infeasible_problem() {
+        // x = 2 and x = 3 simultaneously.
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let err = solve_standard(&a, &[2.0, 3.0], &[1.0], &[None, None]).unwrap_err();
+        assert_eq!(err, SimplexError::Infeasible);
+    }
+
+    #[test]
+    fn equality_constraints_via_artificials() {
+        // min x + y s.t. x + 2y = 4, 3x + y = 7  => x = 2, y = 1.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]);
+        let sol = solve_standard(&a, &[4.0, 7.0], &[1.0, 1.0], &[None, None]).unwrap();
+        assert!((sol.values[0] - 2.0).abs() < 1e-8);
+        assert!((sol.values[1] - 1.0).abs() < 1e-8);
+        assert!((sol.objective - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_dropped() {
+        // x + y = 2 stated twice, minimise x.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let sol = solve_standard(&a, &[2.0, 2.0], &[1.0, 0.0], &[None, None]).unwrap();
+        assert!(sol.objective.abs() < 1e-9);
+        assert!((sol.values[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple constraints active at the optimum (classic degeneracy).
+        let a = Matrix::from_rows(&[
+            &[1.0, 1.0, 1.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0, 1.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0, 1.0],
+        ]);
+        let sol = solve_standard(
+            &a,
+            &[1.0, 1.0, 1.0],
+            &[-1.0, -1.0, 0.0, 0.0, 0.0],
+            &[Some(2), Some(3), Some(4)],
+        )
+        .unwrap();
+        assert!((sol.objective + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_equality_is_feasible() {
+        // x - y = 0, x + y = 2 => x = y = 1.
+        let a = Matrix::from_rows(&[&[1.0, -1.0], &[1.0, 1.0]]);
+        let sol = solve_standard(&a, &[0.0, 2.0], &[0.0, 1.0], &[None, None]).unwrap();
+        assert!((sol.values[0] - 1.0).abs() < 1e-8);
+        assert!((sol.values[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn basic_solution_has_at_most_m_nonzeros() {
+        // Fundamental LP property exploited by the paper (Section IV): the
+        // optimal basic solution uses no more coschedules than constraints.
+        let a = Matrix::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            &[2.0, 1.0, 3.0, 0.5, 1.5, 2.5],
+        ]);
+        let sol = solve_standard(
+            &a,
+            &[1.0, 1.7],
+            &[-3.0, -1.0, -4.0, -1.5, -2.0, -3.5],
+            &[None, None],
+        )
+        .unwrap();
+        let nonzeros = sol.values.iter().filter(|&&v| v > 1e-9).count();
+        assert!(nonzeros <= 2, "basic solution should have <= 2 nonzeros");
+    }
+}

@@ -1,0 +1,274 @@
+//! Jobs and the in-system job pool used by the latency simulator.
+
+use std::collections::BTreeSet;
+
+/// Identifier of a job within one experiment (arrival order).
+pub type JobId = u64;
+
+/// A job present in the system (running or queued).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Arrival-order identifier.
+    pub id: JobId,
+    /// Job type index.
+    pub ty: usize,
+    /// Remaining work (starts at the job's size).
+    pub remaining: f64,
+    /// Simulation time at which the job arrived.
+    pub arrival: f64,
+}
+
+/// Orders `f64` keys inside a `BTreeSet`; remaining work is always >= 0 so
+/// IEEE bit order equals numeric order.
+fn key(remaining: f64, id: JobId) -> (u64, JobId) {
+    (remaining.to_bits(), id)
+}
+
+/// All jobs currently in the system, indexable the ways the four schedulers
+/// need: global arrival order, per-type counts, and per-type
+/// smallest-remaining-first.
+#[derive(Debug, Default)]
+pub struct JobPool {
+    jobs: Vec<Option<Job>>,
+    /// Arrival order (ids are dense and monotonically assigned).
+    fifo: std::collections::VecDeque<JobId>,
+    /// Arrival order per type (pruned lazily); keeps `oldest_of_type`
+    /// O(want) even when thousands of jobs queue under saturation.
+    fifo_by_type: Vec<std::collections::VecDeque<JobId>>,
+    /// Per type: jobs ordered by remaining work.
+    by_remaining: Vec<BTreeSet<(u64, JobId)>>,
+    counts: Vec<u32>,
+    len: usize,
+}
+
+impl JobPool {
+    /// Creates an empty pool for `num_types` job types.
+    pub fn new(num_types: usize) -> Self {
+        JobPool {
+            jobs: Vec::new(),
+            fifo: std::collections::VecDeque::new(),
+            fifo_by_type: vec![std::collections::VecDeque::new(); num_types],
+            by_remaining: vec![BTreeSet::new(); num_types],
+            counts: vec![0; num_types],
+            len: 0,
+        }
+    }
+
+    /// Number of jobs in the system.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Per-type job counts (length = number of types).
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Adds a job; its `id` must be fresh and monotonically increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was used before or the type is out of range.
+    pub fn insert(&mut self, job: Job) {
+        let idx = job.id as usize;
+        if idx >= self.jobs.len() {
+            self.jobs.resize(idx + 1, None);
+        }
+        assert!(self.jobs[idx].is_none(), "job id {} reused", job.id);
+        assert!(job.ty < self.counts.len(), "type {} out of range", job.ty);
+        self.fifo.push_back(job.id);
+        self.fifo_by_type[job.ty].push_back(job.id);
+        self.by_remaining[job.ty].insert(key(job.remaining, job.id));
+        self.counts[job.ty] += 1;
+        self.len += 1;
+        self.jobs[idx] = Some(job);
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(id as usize).and_then(Option::as_ref)
+    }
+
+    /// Removes a finished job and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not in the pool.
+    pub fn remove(&mut self, id: JobId) -> Job {
+        let job = self.jobs[id as usize]
+            .take()
+            .unwrap_or_else(|| panic!("job {id} not in pool"));
+        self.by_remaining[job.ty].remove(&key(job.remaining, job.id));
+        self.counts[job.ty] -= 1;
+        self.len -= 1;
+        // fifo entries are pruned lazily in `iter_fifo`.
+        job
+    }
+
+    /// Decreases a job's remaining work, keeping indexes consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not in the pool or `new_remaining` is negative
+    /// beyond rounding.
+    pub fn set_remaining(&mut self, id: JobId, new_remaining: f64) {
+        let job = self.jobs[id as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("job {id} not in pool"));
+        let new_remaining = new_remaining.max(0.0);
+        self.by_remaining[job.ty].remove(&key(job.remaining, job.id));
+        job.remaining = new_remaining;
+        self.by_remaining[job.ty].insert(key(job.remaining, job.id));
+    }
+
+    /// Iterates job ids in arrival order (oldest first).
+    pub fn iter_fifo(&mut self) -> impl Iterator<Item = JobId> + '_ {
+        // Prune dead ids from the front lazily; then iterate live ones.
+        while let Some(&front) = self.fifo.front() {
+            if self.jobs[front as usize].is_some() {
+                break;
+            }
+            self.fifo.pop_front();
+        }
+        let jobs = &self.jobs;
+        self.fifo
+            .iter()
+            .copied()
+            .filter(move |&id| jobs[id as usize].is_some())
+    }
+
+    /// The oldest `want` jobs of type `ty` (arrival order).
+    pub fn oldest_of_type(&mut self, ty: usize, want: usize) -> Vec<JobId> {
+        // Prune dead entries from the front; completed jobs are biased to
+        // be old, so lazily-deleted ids rarely linger in the middle.
+        while let Some(&front) = self.fifo_by_type[ty].front() {
+            if self.jobs[front as usize].is_some() {
+                break;
+            }
+            self.fifo_by_type[ty].pop_front();
+        }
+        let jobs = &self.jobs;
+        self.fifo_by_type[ty]
+            .iter()
+            .copied()
+            .filter(|&id| jobs[id as usize].is_some())
+            .take(want)
+            .collect()
+    }
+
+    /// The `want` jobs of type `ty` with the smallest remaining work.
+    pub fn shortest_of_type(&self, ty: usize, want: usize) -> Vec<JobId> {
+        self.by_remaining[ty]
+            .iter()
+            .take(want)
+            .map(|&(_, id)| id)
+            .collect()
+    }
+
+    /// Sum of the remaining work of the `want` shortest jobs of type `ty`.
+    pub fn shortest_remaining_sum(&self, ty: usize, want: usize) -> f64 {
+        self.by_remaining[ty]
+            .iter()
+            .take(want)
+            .map(|&(bits, _)| f64::from_bits(bits))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: JobId, ty: usize, remaining: f64) -> Job {
+        Job {
+            id,
+            ty,
+            remaining,
+            arrival: id as f64,
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut pool = JobPool::new(2);
+        pool.insert(job(0, 0, 1.0));
+        pool.insert(job(1, 1, 2.0));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.counts(), &[1, 1]);
+        let j = pool.remove(0);
+        assert_eq!(j.ty, 0);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.counts(), &[0, 1]);
+        assert!(pool.get(0).is_none());
+        assert!(pool.get(1).is_some());
+    }
+
+    #[test]
+    fn fifo_order_skips_removed() {
+        let mut pool = JobPool::new(1);
+        for i in 0..5 {
+            pool.insert(job(i, 0, 1.0));
+        }
+        pool.remove(0);
+        pool.remove(2);
+        let order: Vec<JobId> = pool.iter_fifo().collect();
+        assert_eq!(order, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn shortest_of_type_orders_by_remaining() {
+        let mut pool = JobPool::new(2);
+        pool.insert(job(0, 0, 3.0));
+        pool.insert(job(1, 0, 1.0));
+        pool.insert(job(2, 0, 2.0));
+        pool.insert(job(3, 1, 0.5));
+        assert_eq!(pool.shortest_of_type(0, 2), vec![1, 2]);
+        assert!((pool.shortest_remaining_sum(0, 2) - 3.0).abs() < 1e-12);
+        assert_eq!(pool.shortest_of_type(1, 5), vec![3]);
+    }
+
+    #[test]
+    fn set_remaining_reorders() {
+        let mut pool = JobPool::new(1);
+        pool.insert(job(0, 0, 3.0));
+        pool.insert(job(1, 0, 2.0));
+        pool.set_remaining(0, 0.5);
+        assert_eq!(pool.shortest_of_type(0, 1), vec![0]);
+        assert_eq!(pool.get(0).unwrap().remaining, 0.5);
+        // Negative values are clamped to zero.
+        pool.set_remaining(1, -1e-15);
+        assert_eq!(pool.get(1).unwrap().remaining, 0.0);
+    }
+
+    #[test]
+    fn oldest_of_type_filters() {
+        let mut pool = JobPool::new(2);
+        pool.insert(job(0, 1, 1.0));
+        pool.insert(job(1, 0, 1.0));
+        pool.insert(job(2, 1, 1.0));
+        pool.insert(job(3, 1, 1.0));
+        assert_eq!(pool.oldest_of_type(1, 2), vec![0, 2]);
+        assert_eq!(pool.oldest_of_type(0, 5), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused")]
+    fn duplicate_id_panics() {
+        let mut pool = JobPool::new(1);
+        pool.insert(job(0, 0, 1.0));
+        pool.insert(job(0, 0, 1.0));
+    }
+
+    #[test]
+    fn equal_remaining_jobs_distinct_in_index() {
+        let mut pool = JobPool::new(1);
+        pool.insert(job(0, 0, 1.0));
+        pool.insert(job(1, 0, 1.0));
+        assert_eq!(pool.shortest_of_type(0, 2).len(), 2);
+    }
+}

@@ -1,0 +1,409 @@
+//! The four scheduling policies of the paper's Section VI.
+
+use crate::job::{JobId, JobPool};
+use crate::rates::CoscheduleRates;
+
+/// A scheduling policy: at every event it picks which of the jobs in the
+/// system run on the machine's contexts.
+pub trait Scheduler {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Selects up to `rates.contexts()` job ids from the pool to run next.
+    /// All four paper policies are work-conserving: they run
+    /// `min(contexts, jobs in system)` jobs.
+    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId>;
+
+    /// Observes that the multiset `counts` ran for `dt` time units
+    /// (used by MAXTP to track realised coschedule fractions).
+    fn observe(&mut self, _counts: &[u32], _dt: f64) {}
+}
+
+/// Enumerates all multisets of `size` jobs drawable from `avail` (per-type
+/// availability), as count vectors.
+///
+/// # Examples
+///
+/// ```
+/// let all = queueing::sched::feasible_multisets(&[2, 1], 2);
+/// assert_eq!(all, vec![vec![2, 0], vec![1, 1]]);
+/// ```
+pub fn feasible_multisets(avail: &[u32], size: u32) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut current = vec![0u32; avail.len()];
+    fill(&mut out, &mut current, avail, 0, size);
+    out
+}
+
+fn fill(out: &mut Vec<Vec<u32>>, current: &mut Vec<u32>, avail: &[u32], ty: usize, left: u32) {
+    if ty == avail.len() {
+        if left == 0 {
+            out.push(current.clone());
+        }
+        return;
+    }
+    let remaining_capacity: u32 = avail[ty + 1..].iter().sum();
+    let min_here = left.saturating_sub(remaining_capacity);
+    let max_here = left.min(avail[ty]);
+    for c in (min_here..=max_here).rev() {
+        current[ty] = c;
+        fill(out, current, avail, ty + 1, left - c);
+        current[ty] = 0;
+    }
+}
+
+/// Picks the oldest job of each type according to a multiset of counts.
+fn jobs_for_counts_oldest(pool: &mut JobPool, counts: &[u32]) -> Vec<JobId> {
+    let mut out = Vec::new();
+    for (ty, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            out.extend(pool.oldest_of_type(ty, c as usize));
+        }
+    }
+    out
+}
+
+/// First-come first-served: run the `K` oldest jobs in the system.
+///
+/// The paper's baseline; needs no knowledge about the workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsScheduler;
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId> {
+        let k = rates.contexts();
+        pool.iter_fifo().take(k).collect()
+    }
+}
+
+/// MAXIT: run the feasible coschedule with the highest instantaneous
+/// throughput; ties go to the combination containing the oldest jobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxItScheduler;
+
+impl MaxItScheduler {
+    /// Best feasible multiset by instantaneous throughput (ties: oldest
+    /// jobs). Shared with the MAXTP fallback path.
+    fn best_counts(pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<u32> {
+        let size = pool.len().min(rates.contexts()) as u32;
+        let candidates = feasible_multisets(pool.counts(), size);
+        debug_assert!(!candidates.is_empty());
+        let mut best: Option<(f64, f64, Vec<u32>)> = None;
+        for counts in candidates {
+            let it = rates.instantaneous_throughput(&counts);
+            // Tie-break: smaller total arrival time = older jobs.
+            let need_age = match &best {
+                Some((bit, _, _)) => (it - bit).abs() < 1e-12 || it > *bit,
+                None => true,
+            };
+            if !need_age {
+                continue;
+            }
+            let mut selected = Vec::new();
+            for (ty, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    selected.extend(pool.oldest_of_type(ty, c as usize));
+                }
+            }
+            let age: f64 = selected
+                .iter()
+                .map(|&id| pool.get(id).expect("selected job exists").arrival)
+                .sum();
+            let better = match &best {
+                None => true,
+                Some((bit, bage, _)) => {
+                    it > bit + 1e-12 || ((it - bit).abs() <= 1e-12 && age < *bage)
+                }
+            };
+            if better {
+                best = Some((it, age, counts));
+            }
+        }
+        best.expect("at least one candidate").2
+    }
+}
+
+impl Scheduler for MaxItScheduler {
+    fn name(&self) -> &'static str {
+        "MAXIT"
+    }
+
+    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId> {
+        let counts = Self::best_counts(pool, rates);
+        jobs_for_counts_oldest(pool, &counts)
+    }
+}
+
+/// SRPT: run the combination minimising the total remaining execution time,
+/// accounting for each job's speed inside that particular combination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SrptScheduler;
+
+impl Scheduler for SrptScheduler {
+    fn name(&self) -> &'static str {
+        "SRPT"
+    }
+
+    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId> {
+        let size = pool.len().min(rates.contexts()) as u32;
+        let candidates = feasible_multisets(pool.counts(), size);
+        let mut best: Option<(f64, Vec<u32>)> = None;
+        for counts in candidates {
+            let mut total_time = 0.0;
+            for (ty, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    let rate = rates.per_job_rate(&counts, ty);
+                    total_time += pool.shortest_remaining_sum(ty, c as usize) / rate;
+                }
+            }
+            if best.as_ref().is_none_or(|(bt, _)| total_time < *bt) {
+                best = Some((total_time, counts));
+            }
+        }
+        let counts = best.expect("at least one candidate").1;
+        let mut out = Vec::new();
+        for (ty, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                out.extend(pool.shortest_of_type(ty, c as usize));
+            }
+        }
+        out
+    }
+}
+
+/// MAXTP: follow the offline-optimal coschedule time fractions from the
+/// linear program (Section IV); pick the target coschedule that is furthest
+/// behind its ideal fraction; fall back to MAXIT when no target is
+/// composable from the jobs in the system.
+#[derive(Debug, Clone)]
+pub struct MaxTpScheduler {
+    /// `(counts, ideal fraction)` for every coschedule the LP selected.
+    targets: Vec<(Vec<u32>, f64)>,
+    /// Time actually spent in each target so far.
+    spent: Vec<f64>,
+    /// Total observed time.
+    total: f64,
+}
+
+impl MaxTpScheduler {
+    /// Creates the scheduler from LP-optimal `(coschedule counts, time
+    /// fraction)` pairs; entries with non-positive fractions are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no positive-fraction target remains.
+    pub fn new(targets: Vec<(Vec<u32>, f64)>) -> Self {
+        let targets: Vec<(Vec<u32>, f64)> =
+            targets.into_iter().filter(|(_, f)| *f > 1e-12).collect();
+        assert!(
+            !targets.is_empty(),
+            "MAXTP needs at least one coschedule with positive fraction"
+        );
+        let n = targets.len();
+        MaxTpScheduler {
+            targets,
+            spent: vec![0.0; n],
+            total: 0.0,
+        }
+    }
+
+    /// The LP targets (counts, ideal fraction).
+    pub fn targets(&self) -> &[(Vec<u32>, f64)] {
+        &self.targets
+    }
+}
+
+impl Scheduler for MaxTpScheduler {
+    fn name(&self) -> &'static str {
+        "MAXTP"
+    }
+
+    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId> {
+        let avail = pool.counts();
+        // Deficit = how far behind its ideal share this target is.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, (counts, ideal)) in self.targets.iter().enumerate() {
+            let composable = counts.iter().zip(avail).all(|(&need, &have)| need <= have);
+            if !composable {
+                continue;
+            }
+            let deficit = ideal * self.total.max(1e-9) - self.spent[i];
+            if best.is_none_or(|(bd, _)| deficit > bd) {
+                best = Some((deficit, i));
+            }
+        }
+        match best {
+            Some((_, i)) => {
+                let counts = self.targets[i].0.clone();
+                jobs_for_counts_oldest(pool, &counts)
+            }
+            None => {
+                let counts = MaxItScheduler::best_counts(pool, rates);
+                jobs_for_counts_oldest(pool, &counts)
+            }
+        }
+    }
+
+    fn observe(&mut self, counts: &[u32], dt: f64) {
+        self.total += dt;
+        for (i, (target, _)) in self.targets.iter().enumerate() {
+            if target == counts {
+                self.spent[i] += dt;
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::rates::ContentionModel;
+
+    fn pool_with(types: &[usize], num_types: usize) -> JobPool {
+        let mut pool = JobPool::new(num_types);
+        for (i, &ty) in types.iter().enumerate() {
+            pool.insert(Job {
+                id: i as JobId,
+                ty,
+                remaining: 1.0,
+                arrival: i as f64,
+            });
+        }
+        pool
+    }
+
+    #[test]
+    fn feasible_multisets_respect_availability() {
+        let all = feasible_multisets(&[2, 1, 0], 2);
+        assert_eq!(all, vec![vec![2, 0, 0], vec![1, 1, 0]]);
+        let none = feasible_multisets(&[1, 0], 2);
+        assert!(none.is_empty());
+        let exact = feasible_multisets(&[1, 1], 2);
+        assert_eq!(exact, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn fcfs_takes_oldest() {
+        let rates = ContentionModel::new(vec![1.0, 1.0], 0.0, 2);
+        let mut pool = pool_with(&[0, 1, 0, 1], 2);
+        let sel = FcfsScheduler.select(&mut pool, &rates);
+        assert_eq!(sel, vec![0, 1]);
+    }
+
+    #[test]
+    fn maxit_prefers_high_throughput_mix() {
+        // Type 0 runs at 1.0, type 1 at 0.1; with no contention MAXIT picks
+        // two type-0 jobs over mixing.
+        let rates = ContentionModel::new(vec![1.0, 0.1], 0.0, 2);
+        let mut pool = pool_with(&[1, 0, 0, 1], 2);
+        let sel = MaxItScheduler.select(&mut pool, &rates);
+        let types: Vec<usize> = sel.iter().map(|&id| pool.get(id).unwrap().ty).collect();
+        assert_eq!(types, vec![0, 0]);
+    }
+
+    #[test]
+    fn maxit_breaks_ties_by_age() {
+        let rates = ContentionModel::new(vec![1.0, 1.0], 0.0, 1);
+        let mut pool = pool_with(&[1, 0], 2);
+        // Both singleton coschedules have it = 1.0; the older job (id 0,
+        // type 1) must win.
+        let sel = MaxItScheduler.select(&mut pool, &rates);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn srpt_picks_shortest_jobs() {
+        let rates = ContentionModel::new(vec![1.0], 0.0, 1);
+        let mut pool = JobPool::new(1);
+        pool.insert(Job {
+            id: 0,
+            ty: 0,
+            remaining: 5.0,
+            arrival: 0.0,
+        });
+        pool.insert(Job {
+            id: 1,
+            ty: 0,
+            remaining: 0.5,
+            arrival: 1.0,
+        });
+        let sel = SrptScheduler.select(&mut pool, &rates);
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    fn srpt_accounts_for_coschedule_speed() {
+        // One context. Type 0 job has 1.0 work at rate 1.0 (time 1.0);
+        // type 1 job has 0.5 work at rate 0.25 (time 2.0). SRPT must pick
+        // the type-0 job despite its larger remaining work.
+        let rates = ContentionModel::new(vec![1.0, 0.25], 0.0, 1);
+        let mut pool = JobPool::new(2);
+        pool.insert(Job {
+            id: 0,
+            ty: 1,
+            remaining: 0.5,
+            arrival: 0.0,
+        });
+        pool.insert(Job {
+            id: 1,
+            ty: 0,
+            remaining: 1.0,
+            arrival: 1.0,
+        });
+        let sel = SrptScheduler.select(&mut pool, &rates);
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    fn maxtp_follows_targets_and_tracks_deficits() {
+        let rates = ContentionModel::new(vec![1.0, 1.0], 0.0, 2);
+        let mut sched = MaxTpScheduler::new(vec![
+            (vec![2, 0], 0.5),
+            (vec![0, 2], 0.5),
+            (vec![1, 1], 0.0), // dropped
+        ]);
+        assert_eq!(sched.targets().len(), 2);
+        let mut pool = pool_with(&[0, 0, 1, 1], 2);
+        // First selection: both targets composable with zero deficit delta;
+        // run one, observe, and the other should be picked next.
+        let sel1 = sched.select(&mut pool, &rates);
+        let t1 = pool.get(sel1[0]).unwrap().ty;
+        let counts1 = if t1 == 0 { vec![2, 0] } else { vec![0, 2] };
+        sched.observe(&counts1, 1.0);
+        let sel2 = sched.select(&mut pool, &rates);
+        let t2 = pool.get(sel2[0]).unwrap().ty;
+        assert_ne!(t1, t2, "the lagging target must be chosen next");
+    }
+
+    #[test]
+    fn maxtp_falls_back_to_maxit() {
+        let rates = ContentionModel::new(vec![1.0, 0.1], 0.0, 2);
+        let mut sched = MaxTpScheduler::new(vec![(vec![2, 0], 1.0)]);
+        // Only type-1 jobs present: target not composable.
+        let mut pool = pool_with(&[1, 1], 2);
+        let sel = sched.select(&mut pool, &rates);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive fraction")]
+    fn maxtp_rejects_empty_targets() {
+        let _ = MaxTpScheduler::new(vec![(vec![1, 0], 0.0)]);
+    }
+
+    #[test]
+    fn partial_load_runs_everything() {
+        let rates = ContentionModel::new(vec![1.0, 1.0], 0.1, 4);
+        let mut pool = pool_with(&[0, 1], 2);
+        for sched in [&mut FcfsScheduler as &mut dyn Scheduler, &mut MaxItScheduler, &mut SrptScheduler] {
+            let sel = sched.select(&mut pool, &rates);
+            assert_eq!(sel.len(), 2, "{} must be work conserving", sched.name());
+        }
+    }
+}

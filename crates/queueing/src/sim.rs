@@ -1,0 +1,591 @@
+//! The discrete-event latency experiment (Section VI of the paper).
+//!
+//! Jobs arrive as a Poisson process, queue when the machine is busy, and
+//! run at coschedule-dependent rates chosen by a pluggable [`Scheduler`].
+//! Between events (arrival / completion) the running coschedule is fixed,
+//! so time advances analytically to the next event — no time-stepping.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::job::{Job, JobPool};
+use crate::rates::CoscheduleRates;
+use crate::sched::Scheduler;
+
+/// Distribution of job sizes (work per job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeDist {
+    /// All jobs carry one unit of work.
+    Deterministic,
+    /// Exponential with mean one (the M/M/c-style setting used by the
+    /// paper's Section VI experiments and by Snavely et al.).
+    Exponential,
+}
+
+/// Parameters of a latency experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyConfig {
+    /// Mean arrivals per cycle. May exceed the machine's maximum
+    /// throughput, turning the run into a saturation (maximum-throughput)
+    /// experiment — Figure 6.
+    pub arrival_rate: f64,
+    /// Completions counted into the measurement.
+    pub measured_jobs: u64,
+    /// Completions discarded as warm-up before measurement starts.
+    pub warmup_jobs: u64,
+    /// Job size distribution.
+    pub sizes: SizeDist,
+    /// RNG seed (arrivals, types, sizes).
+    pub seed: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            arrival_rate: 1.0,
+            measured_jobs: 20_000,
+            warmup_jobs: 2_000,
+            sizes: SizeDist::Exponential,
+            seed: 0xD15C,
+        }
+    }
+}
+
+/// Measured outcome of a latency experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyReport {
+    /// Mean time from arrival to completion.
+    pub mean_turnaround: f64,
+    /// Mean number of busy contexts (the paper's "processor utilization").
+    pub utilization: f64,
+    /// Fraction of time the system held no jobs at all.
+    pub empty_fraction: f64,
+    /// Work completed per cycle over the measurement window (equals the
+    /// arrival rate for stable systems; the achieved maximum throughput in
+    /// saturation).
+    pub throughput: f64,
+    /// Time-averaged number of jobs in the system.
+    pub mean_jobs_in_system: f64,
+    /// Number of completions measured.
+    pub completed: u64,
+}
+
+/// Runs one latency experiment.
+///
+/// # Errors
+///
+/// Returns a description of the first invalid parameter (non-positive
+/// arrival rate or zero measured jobs).
+///
+/// # Examples
+///
+/// ```
+/// use queueing::{
+///     run_latency_experiment, ContentionModel, FcfsScheduler, LatencyConfig, SizeDist,
+/// };
+///
+/// let rates = ContentionModel::new(vec![1.0], 0.0, 4);
+/// let report = run_latency_experiment(
+///     &rates,
+///     &mut FcfsScheduler,
+///     &LatencyConfig {
+///         arrival_rate: 3.5,
+///         measured_jobs: 5_000,
+///         warmup_jobs: 500,
+///         sizes: SizeDist::Exponential,
+///         seed: 7,
+///     },
+/// )
+/// .unwrap();
+/// assert!(report.mean_turnaround > 1.0); // queueing adds to service time
+/// ```
+pub fn run_latency_experiment(
+    rates: &dyn CoscheduleRates,
+    scheduler: &mut dyn Scheduler,
+    config: &LatencyConfig,
+) -> Result<LatencyReport, String> {
+    if config.arrival_rate <= 0.0 || !config.arrival_rate.is_finite() {
+        return Err(format!("arrival rate {} must be positive", config.arrival_rate));
+    }
+    if config.measured_jobs == 0 {
+        return Err("measured_jobs must be positive".into());
+    }
+    let n_types = rates.num_types();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let draw_exp = |rng: &mut StdRng, mean: f64| -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    };
+
+    let mut pool = JobPool::new(n_types);
+    let mut now = 0.0f64;
+    let mut next_arrival = draw_exp(&mut rng, 1.0 / config.arrival_rate);
+    let mut next_id: u64 = 0;
+
+    let target = config.warmup_jobs + config.measured_jobs;
+    let mut completed_total: u64 = 0;
+
+    // Measurement accumulators (active after warm-up).
+    let mut measuring = config.warmup_jobs == 0;
+    let mut t_start = 0.0f64;
+    let mut busy_time = 0.0f64;
+    let mut empty_time = 0.0f64;
+    let mut jobs_time = 0.0f64;
+    let mut work_done = 0.0f64;
+    let mut turnaround_sum = 0.0f64;
+    let mut measured_completions: u64 = 0;
+
+    while completed_total < target {
+        if pool.is_empty() {
+            // Idle until the next arrival.
+            let dt = next_arrival - now;
+            if measuring {
+                empty_time += dt;
+            }
+            now = next_arrival;
+            pool.insert(Job {
+                id: next_id,
+                ty: rng.gen_range(0..n_types),
+                remaining: match config.sizes {
+                    SizeDist::Deterministic => 1.0,
+                    SizeDist::Exponential => draw_exp(&mut rng, 1.0),
+                },
+                arrival: now,
+            });
+            next_id += 1;
+            next_arrival = now + draw_exp(&mut rng, 1.0 / config.arrival_rate);
+            continue;
+        }
+
+        // Ask the policy for the running coschedule.
+        let selection = scheduler.select(&mut pool, rates);
+        debug_assert!(!selection.is_empty());
+        let mut counts = vec![0u32; n_types];
+        for &id in &selection {
+            counts[pool.get(id).expect("selected job exists").ty] += 1;
+        }
+        // Per-job rates and earliest completion.
+        let mut dt_complete = f64::INFINITY;
+        let mut sel_rates = Vec::with_capacity(selection.len());
+        for &id in &selection {
+            let job = pool.get(id).expect("selected job exists");
+            let r = rates.per_job_rate(&counts, job.ty);
+            debug_assert!(r > 0.0, "running jobs must progress");
+            dt_complete = dt_complete.min(job.remaining / r);
+            sel_rates.push((id, r));
+        }
+        let dt = dt_complete.min(next_arrival - now);
+        let end = now + dt;
+
+        if measuring {
+            busy_time += selection.len() as f64 * dt;
+            jobs_time += pool.len() as f64 * dt;
+            work_done += sel_rates.iter().map(|(_, r)| r * dt).sum::<f64>();
+        }
+        scheduler.observe(&counts, dt);
+
+        // Advance running jobs; collect completions.
+        for &(id, r) in &sel_rates {
+            let job = pool.get(id).expect("selected job exists");
+            let left = job.remaining - r * dt;
+            pool.set_remaining(id, left);
+        }
+        for &(id, _) in &sel_rates {
+            if pool.get(id).expect("job exists").remaining <= 1e-12 {
+                let job = pool.remove(id);
+                completed_total += 1;
+                if measuring {
+                    turnaround_sum += end - job.arrival;
+                    measured_completions += 1;
+                }
+                if !measuring && completed_total >= config.warmup_jobs {
+                    measuring = true;
+                    t_start = end;
+                }
+            }
+        }
+        now = end;
+        // Admit an arrival that falls exactly at or before the new time.
+        if next_arrival <= now + 1e-15 {
+            pool.insert(Job {
+                id: next_id,
+                ty: rng.gen_range(0..n_types),
+                remaining: match config.sizes {
+                    SizeDist::Deterministic => 1.0,
+                    SizeDist::Exponential => draw_exp(&mut rng, 1.0),
+                },
+                arrival: next_arrival,
+            });
+            next_id += 1;
+            next_arrival = now + draw_exp(&mut rng, 1.0 / config.arrival_rate);
+        }
+    }
+
+    let elapsed = (now - t_start).max(1e-12);
+    Ok(LatencyReport {
+        mean_turnaround: turnaround_sum / measured_completions.max(1) as f64,
+        utilization: busy_time / elapsed,
+        empty_fraction: empty_time / elapsed,
+        throughput: work_done / elapsed,
+        mean_jobs_in_system: jobs_time / elapsed,
+        completed: measured_completions,
+    })
+}
+
+
+/// Parameters of a fixed-batch (makespan / maximum-throughput) experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Jobs placed in the queue at time zero (types i.i.d. uniform).
+    pub jobs: u64,
+    /// Job size distribution.
+    pub sizes: SizeDist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Outcome of a fixed-batch experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Time to drain the whole batch.
+    pub makespan: f64,
+    /// Total work divided by makespan — the paper's *maximum throughput*
+    /// of the scheduler on a fixed workload.
+    pub throughput: f64,
+    /// Mean completion time over the batch.
+    pub mean_turnaround: f64,
+}
+
+/// Runs a fixed-batch maximum-throughput experiment: `jobs` jobs are all
+/// present at time zero and the machine runs until every one completes.
+///
+/// This matches the paper's Section III-A "maximum throughput experiment"
+/// and its Figure 6 setup: because the *entire* batch must finish, a
+/// scheduler that postpones unfavourable jobs pays for them at the end
+/// (drained in bad coschedules) — the mechanism behind the paper's finding
+/// that MAXIT gains nothing over FCFS.
+///
+/// # Errors
+///
+/// Returns a description of the first invalid parameter.
+///
+/// # Examples
+///
+/// ```
+/// use queueing::{run_batch_experiment, BatchConfig, ContentionModel,
+///                FcfsScheduler, SizeDist};
+///
+/// let rates = ContentionModel::new(vec![1.0], 0.0, 4);
+/// let report = run_batch_experiment(
+///     &rates,
+///     &mut FcfsScheduler,
+///     &BatchConfig { jobs: 1_000, sizes: SizeDist::Deterministic, seed: 1 },
+/// )
+/// .unwrap();
+/// // Four unit-rate contexts: throughput ~4 work units per cycle.
+/// assert!((report.throughput - 4.0).abs() < 0.05);
+/// ```
+pub fn run_batch_experiment(
+    rates: &dyn CoscheduleRates,
+    scheduler: &mut dyn Scheduler,
+    config: &BatchConfig,
+) -> Result<BatchReport, String> {
+    if config.jobs == 0 {
+        return Err("batch must contain at least one job".into());
+    }
+    let n_types = rates.num_types();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut pool = JobPool::new(n_types);
+    let mut total_work = 0.0;
+    for id in 0..config.jobs {
+        let size = match config.sizes {
+            SizeDist::Deterministic => 1.0,
+            SizeDist::Exponential => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -u.ln()
+            }
+        };
+        total_work += size;
+        pool.insert(Job {
+            id,
+            ty: rng.gen_range(0..n_types),
+            remaining: size,
+            arrival: 0.0,
+        });
+    }
+
+    let mut now = 0.0f64;
+    let mut turnaround_sum = 0.0f64;
+    while !pool.is_empty() {
+        let selection = scheduler.select(&mut pool, rates);
+        debug_assert!(!selection.is_empty());
+        let mut counts = vec![0u32; n_types];
+        for &id in &selection {
+            counts[pool.get(id).expect("selected job exists").ty] += 1;
+        }
+        let mut dt = f64::INFINITY;
+        let mut sel_rates = Vec::with_capacity(selection.len());
+        for &id in &selection {
+            let job = pool.get(id).expect("selected job exists");
+            let r = rates.per_job_rate(&counts, job.ty);
+            debug_assert!(r > 0.0, "running jobs must progress");
+            dt = dt.min(job.remaining / r);
+            sel_rates.push((id, r));
+        }
+        now += dt;
+        scheduler.observe(&counts, dt);
+        for &(id, r) in &sel_rates {
+            let left = pool.get(id).expect("job exists").remaining - r * dt;
+            pool.set_remaining(id, left);
+        }
+        for &(id, _) in &sel_rates {
+            if pool.get(id).expect("job exists").remaining <= 1e-12 {
+                let job = pool.remove(id);
+                turnaround_sum += now - job.arrival;
+            }
+        }
+    }
+    Ok(BatchReport {
+        makespan: now,
+        throughput: total_work / now,
+        mean_turnaround: turnaround_sum / config.jobs as f64,
+    })
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::rates::ContentionModel;
+    use crate::sched::{FcfsScheduler, MaxItScheduler, SrptScheduler};
+
+    #[test]
+    fn empty_batch_rejected() {
+        let rates = ContentionModel::new(vec![1.0], 0.0, 2);
+        let cfg = BatchConfig {
+            jobs: 0,
+            sizes: SizeDist::Deterministic,
+            seed: 0,
+        };
+        assert!(run_batch_experiment(&rates, &mut FcfsScheduler, &cfg).is_err());
+    }
+
+    #[test]
+    fn insensitive_batch_runs_at_capacity() {
+        let rates = ContentionModel::new(vec![0.5, 0.5], 0.0, 4);
+        let cfg = BatchConfig {
+            jobs: 4_000,
+            sizes: SizeDist::Deterministic,
+            seed: 2,
+        };
+        let report = run_batch_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        assert!((report.throughput - 2.0).abs() < 0.02, "{}", report.throughput);
+        assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn maxit_gains_nothing_on_a_fixed_batch_of_insensitive_jobs() {
+        // The paper's core argument in miniature: with a fixed batch, the
+        // fast jobs MAXIT favours run out and the slow ones dominate the
+        // tail, cancelling the early advantage.
+        let rates = ContentionModel::new(vec![1.0, 0.25], 0.0, 2);
+        let cfg = BatchConfig {
+            jobs: 6_000,
+            sizes: SizeDist::Deterministic,
+            seed: 5,
+        };
+        let fcfs = run_batch_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        let maxit = run_batch_experiment(&rates, &mut MaxItScheduler, &cfg).unwrap();
+        let rel = (maxit.throughput - fcfs.throughput) / fcfs.throughput;
+        assert!(
+            rel.abs() < 0.02,
+            "insensitive jobs: MAXIT {} vs FCFS {} must coincide",
+            maxit.throughput,
+            fcfs.throughput
+        );
+    }
+
+    #[test]
+    fn batch_turnaround_favours_srpt() {
+        let rates = ContentionModel::new(vec![1.0], 0.0, 1);
+        let cfg = BatchConfig {
+            jobs: 400,
+            sizes: SizeDist::Exponential,
+            seed: 9,
+        };
+        let fcfs = run_batch_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        let srpt = run_batch_experiment(&rates, &mut SrptScheduler, &cfg).unwrap();
+        // Same makespan (work conserving single server)...
+        assert!((fcfs.makespan - srpt.makespan).abs() < 1e-6);
+        // ...but SRPT strictly improves mean turnaround (Schrage).
+        assert!(srpt.mean_turnaround < fcfs.mean_turnaround);
+    }
+
+    #[test]
+    fn batch_is_deterministic() {
+        let rates = ContentionModel::new(vec![1.0, 0.5], 0.2, 4);
+        let cfg = BatchConfig {
+            jobs: 1_000,
+            sizes: SizeDist::Exponential,
+            seed: 3,
+        };
+        let a = run_batch_experiment(&rates, &mut MaxItScheduler, &cfg).unwrap();
+        let b = run_batch_experiment(&rates, &mut MaxItScheduler, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::ContentionModel;
+    use crate::sched::{FcfsScheduler, MaxItScheduler, SrptScheduler};
+
+    fn single_server_rates() -> ContentionModel {
+        ContentionModel::new(vec![1.0], 0.0, 1)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let rates = single_server_rates();
+        let mut cfg = LatencyConfig::default();
+        cfg.arrival_rate = 0.0;
+        assert!(run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).is_err());
+        cfg.arrival_rate = 1.0;
+        cfg.measured_jobs = 0;
+        assert!(run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).is_err());
+    }
+
+    #[test]
+    fn mm1_turnaround_matches_theory() {
+        // M/M/1: W = 1 / (mu - lambda). With mu = 1, lambda = 0.5: W = 2.
+        let rates = single_server_rates();
+        let cfg = LatencyConfig {
+            arrival_rate: 0.5,
+            measured_jobs: 60_000,
+            warmup_jobs: 5_000,
+            sizes: SizeDist::Exponential,
+            seed: 11,
+        };
+        let report = run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        assert!(
+            (report.mean_turnaround - 2.0).abs() < 0.1,
+            "W = {}, expected ~2.0",
+            report.mean_turnaround
+        );
+        // Stable system: throughput equals arrival rate.
+        assert!((report.throughput - 0.5).abs() < 0.02);
+        // Utilisation of an M/M/1 at rho = 0.5.
+        assert!((report.utilization - 0.5).abs() < 0.02);
+        // Empty fraction = 1 - rho for M/M/1.
+        assert!((report.empty_fraction - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let rates = ContentionModel::new(vec![1.0, 1.0], 0.0, 2);
+        let cfg = LatencyConfig {
+            arrival_rate: 1.2,
+            measured_jobs: 40_000,
+            warmup_jobs: 4_000,
+            sizes: SizeDist::Exponential,
+            seed: 3,
+        };
+        let report = run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        // L = lambda * W (use measured throughput as effective lambda).
+        let lw = report.throughput * report.mean_turnaround;
+        let rel = (report.mean_jobs_in_system - lw).abs() / report.mean_jobs_in_system;
+        assert!(rel < 0.05, "L {} vs lambda*W {}", report.mean_jobs_in_system, lw);
+    }
+
+    #[test]
+    fn deterministic_sizes_have_lower_variance_waiting() {
+        // M/D/1 waits less than M/M/1 at equal load.
+        let rates = single_server_rates();
+        let base = LatencyConfig {
+            arrival_rate: 0.7,
+            measured_jobs: 40_000,
+            warmup_jobs: 4_000,
+            sizes: SizeDist::Exponential,
+            seed: 5,
+        };
+        let exp = run_latency_experiment(&rates, &mut FcfsScheduler, &base).unwrap();
+        let det_cfg = LatencyConfig {
+            sizes: SizeDist::Deterministic,
+            ..base
+        };
+        let det = run_latency_experiment(&rates, &mut FcfsScheduler, &det_cfg).unwrap();
+        assert!(
+            det.mean_turnaround < exp.mean_turnaround,
+            "M/D/1 {} must wait less than M/M/1 {}",
+            det.mean_turnaround,
+            exp.mean_turnaround
+        );
+    }
+
+    #[test]
+    fn srpt_beats_fcfs_on_turnaround() {
+        // Single server, exponential sizes: SRPT is optimal for mean
+        // turnaround (Schrage's theorem).
+        let rates = single_server_rates();
+        let cfg = LatencyConfig {
+            arrival_rate: 0.8,
+            measured_jobs: 40_000,
+            warmup_jobs: 4_000,
+            sizes: SizeDist::Exponential,
+            seed: 9,
+        };
+        let fcfs = run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        let srpt = run_latency_experiment(&rates, &mut SrptScheduler, &cfg).unwrap();
+        assert!(
+            srpt.mean_turnaround < fcfs.mean_turnaround,
+            "SRPT {} must beat FCFS {}",
+            srpt.mean_turnaround,
+            fcfs.mean_turnaround
+        );
+    }
+
+    #[test]
+    fn saturation_throughput_is_capacity_bound() {
+        // lambda far above capacity: achieved throughput caps at the
+        // service capacity (1.0 for a single unit-rate server).
+        let rates = single_server_rates();
+        let cfg = LatencyConfig {
+            arrival_rate: 3.0,
+            measured_jobs: 20_000,
+            warmup_jobs: 2_000,
+            sizes: SizeDist::Deterministic,
+            seed: 13,
+        };
+        let report = run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        assert!((report.throughput - 1.0).abs() < 0.02, "{}", report.throughput);
+        assert!(report.empty_fraction < 1e-9);
+        assert!((report.utilization - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn work_conserving_policies_agree_on_utilization_under_low_load() {
+        let rates = ContentionModel::new(vec![1.0, 0.5], 0.1, 2);
+        let cfg = LatencyConfig {
+            arrival_rate: 0.3,
+            measured_jobs: 20_000,
+            warmup_jobs: 2_000,
+            sizes: SizeDist::Exponential,
+            seed: 21,
+        };
+        let fcfs = run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        let maxit = run_latency_experiment(&rates, &mut MaxItScheduler, &cfg).unwrap();
+        // At low load scheduling barely matters (paper, Section VI points
+        // A/B): both see nearly the same utilisation.
+        let rel = (fcfs.utilization - maxit.utilization).abs() / fcfs.utilization;
+        assert!(rel < 0.05, "fcfs {} vs maxit {}", fcfs.utilization, maxit.utilization);
+    }
+
+    #[test]
+    fn experiment_is_reproducible() {
+        let rates = single_server_rates();
+        let cfg = LatencyConfig::default();
+        let a = run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        let b = run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,647 @@
+//! Cycle-driven chip simulation engine.
+//!
+//! The engine follows the instruction-window-centric modelling style of
+//! Sniper (Carlson et al., TACO 2014 — the simulator the paper uses):
+//! instructions are dispatched in order into a reorder buffer, each with a
+//! completion time derived from its class, the cache hierarchy, and the
+//! thread's dependence chain; commit is in-order and bandwidth-limited.
+//! Interference between co-running jobs emerges from:
+//!
+//! * shared dispatch/commit bandwidth on an SMT core (fetch policy decides
+//!   who gets the slots),
+//! * shared or partitioned ROB entries,
+//! * shared caches at the configured levels,
+//! * a shared memory bus with queueing (bandwidth contention).
+
+use std::collections::VecDeque;
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::{FetchPolicy, MachineConfig, RobPartitioning, Topology};
+use crate::insn::{Insn, InsnKind};
+use crate::mem::{BusStats, MemoryBus};
+use crate::profile::BenchmarkProfile;
+use crate::trace::TraceGen;
+
+/// Result of one coschedule simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+    /// Instructions committed per context during measurement.
+    pub committed: Vec<u64>,
+    /// Per-context IPC over the measurement window.
+    pub ipc: Vec<f64>,
+    /// Aggregate L1D statistics (all cores).
+    pub l1d: CacheStats,
+    /// Aggregate L2 statistics (all cores).
+    pub l2: CacheStats,
+    /// Shared L3 statistics.
+    pub l3: CacheStats,
+    /// Memory bus statistics.
+    pub bus: BusStats,
+}
+
+impl SimResult {
+    /// Sum of per-context IPCs (instantaneous IPC throughput).
+    pub fn total_ipc(&self) -> f64 {
+        self.ipc.iter().sum()
+    }
+}
+
+/// Per-hardware-context execution state.
+struct ThreadState {
+    gen: TraceGen,
+    /// Completion times of in-flight instructions, program order.
+    rob: VecDeque<u64>,
+    /// Completion time of the youngest chain instruction.
+    chain_ready: u64,
+    /// Front end stalled until this cycle (branch redirect, bubbles).
+    fetch_resume: u64,
+    /// Completion times of outstanding memory misses (MSHR occupancy).
+    outstanding: Vec<u64>,
+    /// Committed instructions since the last counter reset.
+    committed: u64,
+    /// Index of the core this context belongs to.
+    core: usize,
+}
+
+impl ThreadState {
+    fn new(profile: &BenchmarkProfile, slot: usize, line_bytes: u32, core: usize) -> Self {
+        ThreadState {
+            gen: TraceGen::new(profile, slot, line_bytes),
+            rob: VecDeque::with_capacity(256),
+            chain_ready: 0,
+            fetch_resume: 0,
+            outstanding: Vec::with_capacity(16),
+            committed: 0,
+            core,
+        }
+    }
+}
+
+/// Private (per-core) cache levels.
+struct CoreCaches {
+    l1d: Cache,
+    l2: Cache,
+}
+
+/// The simulated chip: cores, threads, caches, bus.
+pub(crate) struct Chip<'a> {
+    cfg: &'a MachineConfig,
+    threads: Vec<ThreadState>,
+    /// One entry for an SMT core; one per core for a multicore.
+    core_caches: Vec<CoreCaches>,
+    l3: Cache,
+    bus: MemoryBus,
+    cycle: u64,
+    /// Per-core rotation state for round-robin arbitration.
+    rr_offset: u64,
+    /// Scratch: thread indices per core (built once).
+    core_threads: Vec<Vec<usize>>,
+}
+
+impl<'a> Chip<'a> {
+    /// Builds a chip with `profiles[i]` pinned to hardware context `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or longer than the number of contexts
+    /// (callers validate); unused contexts stay idle.
+    pub(crate) fn new(cfg: &'a MachineConfig, profiles: &[&BenchmarkProfile]) -> Self {
+        let contexts = cfg.contexts();
+        assert!(
+            !profiles.is_empty() && profiles.len() <= contexts,
+            "between 1 and {contexts} profiles required"
+        );
+        let (num_cores, threads_per_core) = match cfg.topology {
+            Topology::SmtCore { threads } => (1, threads),
+            Topology::Multicore { cores } => (cores, 1),
+        };
+        let line = cfg.l1d.line_bytes;
+        let threads: Vec<ThreadState> = profiles
+            .iter()
+            .enumerate()
+            .map(|(slot, p)| ThreadState::new(p, slot, line, slot / threads_per_core))
+            .collect();
+        let mut core_threads = vec![Vec::new(); num_cores];
+        for (i, t) in threads.iter().enumerate() {
+            core_threads[t.core].push(i);
+        }
+        let core_caches = (0..num_cores)
+            .map(|_| CoreCaches {
+                l1d: Cache::new(&cfg.l1d),
+                l2: Cache::new(&cfg.l2),
+            })
+            .collect();
+        Chip {
+            cfg,
+            threads,
+            core_caches,
+            l3: Cache::new(&cfg.l3),
+            bus: MemoryBus::new(&cfg.mem),
+            cycle: 0,
+            rr_offset: 0,
+            core_threads,
+        }
+    }
+
+    /// Runs warm-up then measurement; returns per-context results.
+    pub(crate) fn run(&mut self) -> SimResult {
+        let warmup = self.cfg.warmup_cycles;
+        let measure = self.cfg.measure_cycles;
+        for _ in 0..warmup {
+            self.step();
+        }
+        // Reset counters at the measurement boundary.
+        for t in &mut self.threads {
+            t.committed = 0;
+        }
+        for cc in &mut self.core_caches {
+            cc.l1d.reset_stats();
+            cc.l2.reset_stats();
+        }
+        self.l3.reset_stats();
+        self.bus.reset_stats();
+        for _ in 0..measure {
+            self.step();
+        }
+        let committed: Vec<u64> = self.threads.iter().map(|t| t.committed).collect();
+        let ipc = committed
+            .iter()
+            .map(|&c| c as f64 / measure as f64)
+            .collect();
+        let mut l1d = CacheStats::default();
+        let mut l2 = CacheStats::default();
+        for cc in &self.core_caches {
+            l1d.accesses += cc.l1d.stats().accesses;
+            l1d.hits += cc.l1d.stats().hits;
+            l2.accesses += cc.l2.stats().accesses;
+            l2.hits += cc.l2.stats().hits;
+        }
+        SimResult {
+            cycles: measure,
+            committed,
+            ipc,
+            l1d,
+            l2,
+            l3: self.l3.stats(),
+            bus: self.bus.stats(),
+        }
+    }
+
+    /// Advances the chip by one cycle: commit, then dispatch.
+    fn step(&mut self) {
+        self.commit();
+        self.dispatch();
+        self.cycle += 1;
+        self.rr_offset = self.rr_offset.wrapping_add(1);
+    }
+
+    /// In-order, bandwidth-limited commit, fair-rotating across the threads
+    /// of each core.
+    fn commit(&mut self) {
+        let width = self.cfg.core.commit_width as usize;
+        for core in 0..self.core_caches.len() {
+            let members = &self.core_threads[core];
+            if members.is_empty() {
+                continue;
+            }
+            let mut budget = width;
+            let start = (self.rr_offset as usize) % members.len();
+            for k in 0..members.len() {
+                let ti = members[(start + k) % members.len()];
+                let t = &mut self.threads[ti];
+                while budget > 0 {
+                    match t.rob.front() {
+                        Some(&done) if done <= self.cycle => {
+                            t.rob.pop_front();
+                            t.committed += 1;
+                            budget -= 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Dispatches up to `dispatch_width` instructions per core, choosing
+    /// threads according to the fetch policy.
+    fn dispatch(&mut self) {
+        let width = self.cfg.core.dispatch_width as usize;
+        for core in 0..self.core_caches.len() {
+            let members = self.core_threads[core].clone();
+            if members.is_empty() {
+                continue;
+            }
+            // Establish thread priority order.
+            let mut order = members;
+            match self.cfg.core.fetch_policy {
+                FetchPolicy::Icount => {
+                    // Fewest in-flight instructions first (stable sort keeps
+                    // a deterministic tie-break by slot index).
+                    order.sort_by_key(|&ti| self.threads[ti].rob.len());
+                }
+                FetchPolicy::RoundRobin => {
+                    let n = order.len();
+                    let start = (self.rr_offset as usize) % n;
+                    order.rotate_left(start);
+                }
+            }
+            let mut budget = width;
+            for &ti in &order {
+                if budget == 0 {
+                    break;
+                }
+                budget = self.dispatch_thread(core, ti, budget);
+            }
+        }
+    }
+
+    /// Dispatches from one thread until its budget share runs out or it
+    /// stalls; returns the remaining budget.
+    fn dispatch_thread(&mut self, core: usize, ti: usize, mut budget: usize) -> usize {
+        if self.threads[ti].fetch_resume > self.cycle {
+            return budget;
+        }
+        while budget > 0 {
+            if !self.rob_has_space(core, ti) {
+                break;
+            }
+            let insn = self.threads[ti].gen.next_insn();
+            let stall = self.execute(core, ti, insn);
+            budget -= 1;
+            if stall {
+                break;
+            }
+        }
+        budget
+    }
+
+    /// Checks ROB availability under the configured partitioning.
+    ///
+    /// Dynamic sharing keeps a small per-thread reservation (in the spirit
+    /// of DCRA, Cazorla et al., MICRO 2004) so that a thread stalled on
+    /// long dependence chains through memory cannot permanently absorb
+    /// every entry another thread releases during a branch redirect.
+    /// The `dynamic_reservation` config switch ablates it (see the
+    /// `reservation_ablation_quantifies_the_guard` test).
+    fn rob_has_space(&self, core: usize, ti: usize) -> bool {
+        let rob_size = self.cfg.core.rob_size as usize;
+        let members = &self.core_threads[core];
+        match self.cfg.core.rob_partitioning {
+            RobPartitioning::Dynamic => {
+                if !self.cfg.core.dynamic_reservation {
+                    // Ablation mode: a fully shared pool with no guarantee.
+                    let used: usize = members
+                        .iter()
+                        .map(|&i| self.threads[i].rob.len())
+                        .sum();
+                    return used < rob_size;
+                }
+                let n = members.len().max(1);
+                let guarantee = (rob_size / (4 * n)).max(2);
+                let len = self.threads[ti].rob.len();
+                if len < guarantee {
+                    return true;
+                }
+                let shared_capacity = rob_size - n * guarantee;
+                let shared_used: usize = members
+                    .iter()
+                    .map(|&i| self.threads[i].rob.len().saturating_sub(guarantee))
+                    .sum();
+                shared_used < shared_capacity
+            }
+            RobPartitioning::Static => {
+                let share = rob_size / members.len().max(1);
+                self.threads[ti].rob.len() < share.max(1)
+            }
+        }
+    }
+
+    /// Models one instruction's execution; returns `true` if the thread's
+    /// front end must stall after this instruction (mispredicted branch or
+    /// fetch bubble).
+    fn execute(&mut self, core: usize, ti: usize, insn: Insn) -> bool {
+        let now = self.cycle;
+        let chain_ready = self.threads[ti].chain_ready;
+        // Dispatch itself consumes this cycle; execution can start next.
+        let mut ready = now + 1;
+        if insn.on_chain {
+            ready = ready.max(chain_ready);
+        }
+        let mut stall = false;
+        let done = match insn.kind {
+            InsnKind::Alu => ready + 1,
+            InsnKind::LongOp => ready + self.cfg.core.long_op_latency,
+            InsnKind::Branch => {
+                let resolve = ready + 1;
+                if insn.mispredicted {
+                    self.threads[ti].fetch_resume =
+                        resolve + self.cfg.core.branch_redirect_penalty;
+                    stall = true;
+                }
+                resolve
+            }
+            InsnKind::Store => {
+                // Stores retire via the store buffer: completion is fast,
+                // but the write-allocated line still occupies an MSHR and
+                // bus bandwidth on an L3 miss, so store-heavy streaming
+                // threads feel bandwidth backpressure instead of flooding
+                // the bus without bound.
+                let (_lat, l3_miss) = self.access_memory(core, insn.addr, ready);
+                if l3_miss {
+                    let _fill = self.memory_fill(ti, now);
+                }
+                ready + 1
+            }
+            InsnKind::Load => {
+                let (lat, l3_miss) = self.access_memory(core, insn.addr, ready);
+                if l3_miss {
+                    // The line starts its journey when the load dispatches
+                    // (addresses are known then); a dependence-delayed
+                    // consumer waits for whichever is later, its operands
+                    // or the fill.
+                    let fill = self.memory_fill(ti, now);
+                    ready.max(fill)
+                } else {
+                    ready + lat
+                }
+            }
+        };
+        let t = &mut self.threads[ti];
+        if insn.on_chain {
+            t.chain_ready = t.chain_ready.max(done);
+        }
+        if insn.fetch_bubble {
+            t.fetch_resume = t.fetch_resume.max(now + 2);
+            stall = true;
+        }
+        t.rob.push_back(done);
+        stall
+    }
+
+    /// Cache-hierarchy lookup for `addr`; returns `(hit latency, l3 miss)`.
+    /// On an L3 miss the memory path latency is handled by the caller.
+    fn access_memory(&mut self, core: usize, addr: u64, _ready: u64) -> (u64, bool) {
+        let cc = &mut self.core_caches[core];
+        if cc.l1d.access(addr) {
+            return (self.cfg.l1d.latency, false);
+        }
+        if cc.l2.access(addr) {
+            return (self.cfg.l2.latency, false);
+        }
+        if self.l3.access(addr) {
+            return (self.cfg.l3.latency, false);
+        }
+        (0, true)
+    }
+
+    /// Issues a memory-line fill for thread `ti` starting no earlier than
+    /// `now`: waits for an MSHR, queues on the shared bus, and returns the
+    /// cycle at which the line arrives.
+    ///
+    /// All requests are issued in the dispatch-time domain (which advances
+    /// monotonically), so bus queueing reflects genuine bandwidth demand;
+    /// dependence-delayed consumers simply wait for `max(operands, fill)`.
+    fn memory_fill(&mut self, ti: usize, now: u64) -> u64 {
+        let issue = self.acquire_mshr(ti, now);
+        let mem_lat = self.bus.request(issue);
+        let fill = issue + self.cfg.l3.latency + mem_lat;
+        self.threads[ti].outstanding.push(fill);
+        fill
+    }
+
+    /// Blocks until an MSHR is available; returns the (possibly delayed)
+    /// issue time.
+    fn acquire_mshr(&mut self, ti: usize, now: u64) -> u64 {
+        let cap = self.cfg.core.mshrs_per_thread as usize;
+        let t = &mut self.threads[ti];
+        t.outstanding.retain(|&fill| fill > now);
+        if t.outstanding.len() < cap {
+            return now;
+        }
+        // Wait for the earliest outstanding miss to return.
+        let earliest = t
+            .outstanding
+            .iter()
+            .copied()
+            .min()
+            .expect("outstanding non-empty when at capacity");
+        let issue = now.max(earliest);
+        t.outstanding.retain(|&fill| fill > issue);
+        issue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::profile::BenchmarkProfile;
+
+    fn fast_cfg() -> MachineConfig {
+        MachineConfig::smt4().with_windows(5_000, 20_000)
+    }
+
+    fn compute_profile() -> BenchmarkProfile {
+        let mut p = BenchmarkProfile::balanced("compute", 11);
+        p.load_frac = 0.10;
+        p.store_frac = 0.05;
+        p.long_op_frac = 0.02;
+        p.dep_frac = 0.20;
+        p.hot_lines = 64;
+        p.footprint_lines = 128;
+        p.mispredict_rate = 0.01;
+        p
+    }
+
+    fn memory_profile() -> BenchmarkProfile {
+        let mut p = BenchmarkProfile::balanced("memory", 13);
+        p.load_frac = 0.35;
+        p.dep_frac = 0.55;
+        p.hot_lines = 512;
+        p.hot_frac = 0.4;
+        p.footprint_lines = 400_000;
+        p.streaming_frac = 0.2;
+        p
+    }
+
+    #[test]
+    fn solo_compute_job_reaches_high_ipc() {
+        let cfg = fast_cfg();
+        let p = compute_profile();
+        let mut chip = Chip::new(&cfg, &[&p]);
+        let res = chip.run();
+        assert!(
+            res.ipc[0] > 1.5,
+            "compute-bound solo IPC should be high, got {}",
+            res.ipc[0]
+        );
+        assert!(res.ipc[0] <= 4.0, "IPC cannot exceed dispatch width");
+    }
+
+    #[test]
+    fn solo_memory_job_has_low_ipc() {
+        let cfg = fast_cfg();
+        let p = memory_profile();
+        let mut chip = Chip::new(&cfg, &[&p]);
+        let res = chip.run();
+        assert!(
+            res.ipc[0] < 1.0,
+            "memory-bound solo IPC should be low, got {}",
+            res.ipc[0]
+        );
+        assert!(res.bus.transfers > 0, "memory job must touch DRAM");
+    }
+
+    #[test]
+    fn smt_contention_slows_threads_down() {
+        let cfg = fast_cfg();
+        let p = compute_profile();
+        let solo = Chip::new(&cfg, &[&p]).run().ipc[0];
+        let four = Chip::new(&cfg, &[&p, &p, &p, &p]).run();
+        for &ipc in &four.ipc {
+            assert!(
+                ipc < solo,
+                "co-running must not speed a thread up (solo {solo}, co {ipc})"
+            );
+        }
+        // Shared 4-wide dispatch: aggregate can exceed solo, each thread
+        // gets roughly a quarter of the front end.
+        assert!(four.total_ipc() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg = fast_cfg();
+        let a = compute_profile();
+        let b = memory_profile();
+        let r1 = Chip::new(&cfg, &[&a, &b]).run();
+        let r2 = Chip::new(&cfg, &[&a, &b]).run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn multicore_isolates_core_bandwidth() {
+        let cfg = MachineConfig::quadcore().with_windows(5_000, 20_000);
+        let p = compute_profile();
+        let solo = Chip::new(&cfg, &[&p]).run().ipc[0];
+        let res = Chip::new(&cfg, &[&p, &p, &p, &p]).run();
+        // Compute jobs barely share anything on a multicore: each core
+        // should stay near solo speed.
+        for &ipc in &res.ipc {
+            assert!(
+                ipc > 0.8 * solo,
+                "private-core compute job should run near solo speed ({ipc} vs {solo})"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_jobs_interfere_more_on_shared_bus() {
+        let cfg = MachineConfig::quadcore().with_windows(5_000, 20_000);
+        let p = memory_profile();
+        let solo = Chip::new(&cfg, &[&p]).run().ipc[0];
+        let res = Chip::new(&cfg, &[&p, &p, &p, &p]).run();
+        let min = res.ipc.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            min < solo,
+            "bus contention should slow memory jobs ({min} vs solo {solo})"
+        );
+        assert!(res.bus.mean_queue_delay() > 0.0);
+    }
+
+    #[test]
+    fn static_partitioning_changes_behaviour() {
+        let cfg_dyn = fast_cfg();
+        let cfg_static = fast_cfg().with_rob_partitioning(RobPartitioning::Static);
+        let a = compute_profile();
+        let b = memory_profile();
+        let r_dyn = Chip::new(&cfg_dyn, &[&a, &b, &b, &b]).run();
+        let r_static = Chip::new(&cfg_static, &[&a, &b, &b, &b]).run();
+        // With three memory threads hogging a dynamic ROB, the compute
+        // thread benefits from a guaranteed static share.
+        assert_ne!(r_dyn.ipc, r_static.ipc);
+    }
+
+    #[test]
+    fn icount_favours_fast_threads_over_round_robin() {
+        let cfg_ic = fast_cfg();
+        let cfg_rr = fast_cfg().with_fetch_policy(FetchPolicy::RoundRobin);
+        let a = compute_profile();
+        let b = memory_profile();
+        let r_ic = Chip::new(&cfg_ic, &[&a, &b, &b, &b]).run();
+        let r_rr = Chip::new(&cfg_rr, &[&a, &b, &b, &b]).run();
+        // ICOUNT keeps the memory threads (which clog the ROB) from
+        // monopolising dispatch, so the compute thread does better.
+        assert!(
+            r_ic.ipc[0] >= r_rr.ipc[0] * 0.95,
+            "ICOUNT should not hurt the compute thread: {} vs {}",
+            r_ic.ipc[0],
+            r_rr.ipc[0]
+        );
+    }
+
+    #[test]
+    fn committed_counts_match_ipc() {
+        let cfg = fast_cfg();
+        let p = compute_profile();
+        let res = Chip::new(&cfg, &[&p, &p]).run();
+        for (c, ipc) in res.committed.iter().zip(&res.ipc) {
+            assert!((ipc - *c as f64 / res.cycles as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "profiles required")]
+    fn too_many_profiles_panics() {
+        let cfg = fast_cfg();
+        let p = compute_profile();
+        let _ = Chip::new(&cfg, &[&p, &p, &p, &p, &p]);
+    }
+
+    #[test]
+    fn reservation_ablation_quantifies_the_guard() {
+        // The design choice DESIGN.md documents. With the current memory
+        // path (dispatch-time MSHR gating) the catastrophic clogging the
+        // reservation was introduced against no longer occurs, so its
+        // effect is a small protective margin; the ablation asserts it
+        // never *hurts* the victim thread and that the knob is live.
+        let mut cfg_off = fast_cfg();
+        cfg_off.core.dynamic_reservation = false;
+        let cfg_on = fast_cfg();
+        let a = compute_profile();
+        // A pathological aggressor: nearly every load misses to DRAM and
+        // chains serialise, so its ROB entries linger for thousands of
+        // cycles — the clogging scenario the reservation defends against.
+        let mut b = memory_profile();
+        b.stack_frac = 0.05;
+        b.hot_frac = 0.10;
+        b.dep_frac = 0.65;
+        b.load_frac = 0.40;
+        b.footprint_lines = 1 << 20;
+        let with = Chip::new(&cfg_on, &[&a, &b, &b, &b]).run();
+        let without = Chip::new(&cfg_off, &[&a, &b, &b, &b]).run();
+        assert!(
+            with.ipc[0] >= 0.95 * without.ipc[0],
+            "reservation must not hurt the compute thread: with {}, without {}",
+            with.ipc[0],
+            without.ipc[0]
+        );
+        assert_ne!(with.ipc, without.ipc, "the ablation knob must be live");
+    }
+
+    #[test]
+    fn cache_stats_populated() {
+        let cfg = fast_cfg();
+        let p = memory_profile();
+        let res = Chip::new(&cfg, &[&p]).run();
+        assert!(res.l1d.accesses > 0);
+        assert!(res.l3.accesses > 0, "memory job must reach L3");
+        assert!(res.l1d.hit_rate() > 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Dynamic instruction representation produced by the trace generators.
+
+/// Classes of dynamic instructions the core model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsnKind {
+    /// Single-cycle integer operation.
+    Alu,
+    /// Long-latency operation (floating point, multiply/divide).
+    LongOp,
+    /// Memory load; latency depends on the cache hierarchy.
+    Load,
+    /// Memory store; retires quickly via the store buffer but touches caches.
+    Store,
+    /// Conditional branch; may be mispredicted.
+    Branch,
+}
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Insn {
+    /// Instruction class.
+    pub kind: InsnKind,
+    /// Byte address touched by loads/stores (line-aligned); 0 otherwise.
+    pub addr: u64,
+    /// Whether this instruction extends the thread's critical dependence
+    /// chain (serialising behind the previous chain instruction).
+    pub on_chain: bool,
+    /// For branches: whether the prediction was wrong.
+    pub mispredicted: bool,
+    /// Whether fetching this instruction incurred a front-end bubble
+    /// (models I-cache misses / decode roughness).
+    pub fetch_bubble: bool,
+}
+
+impl Insn {
+    /// True for loads and stores.
+    pub fn is_memory(&self) -> bool {
+        matches!(self.kind, InsnKind::Load | InsnKind::Store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_classification() {
+        let mut i = Insn {
+            kind: InsnKind::Load,
+            addr: 64,
+            on_chain: false,
+            mispredicted: false,
+            fetch_bubble: false,
+        };
+        assert!(i.is_memory());
+        i.kind = InsnKind::Store;
+        assert!(i.is_memory());
+        i.kind = InsnKind::Alu;
+        assert!(!i.is_memory());
+        i.kind = InsnKind::Branch;
+        assert!(!i.is_memory());
+    }
+}

@@ -1,0 +1,58 @@
+//! A fast, deterministic SMT / multicore performance simulator.
+//!
+//! This crate is the processor substrate for the reproduction of
+//! *"Revisiting Symbiotic Job Scheduling"* (Eyerman, Michaud, Rogiest,
+//! ISPASS 2015). The paper simulated SPEC CPU2006 coschedules with Sniper;
+//! this crate provides an equivalent, self-contained stand-in in the same
+//! modelling family (instruction-window-centric): it reports the per-job
+//! IPC of any coschedule of synthetic benchmark profiles on
+//!
+//! * a 4-way SMT, 4-wide out-of-order core ([`MachineConfig::smt4`]), and
+//! * a quad-core with private L1/L2, shared L3 and shared memory bus
+//!   ([`MachineConfig::quadcore`]),
+//!
+//! including the fetch-policy (ICOUNT / round-robin) and ROB-partitioning
+//! (dynamic / static) axes the paper sweeps in its Section VII case study.
+//!
+//! Jobs are *statistical profiles* ([`profile::BenchmarkProfile`]) expanded
+//! into endless deterministic instruction streams ([`trace::TraceGen`]);
+//! interference between co-running jobs emerges from shared dispatch
+//! bandwidth, shared/partitioned ROB entries, shared caches and a
+//! bandwidth-limited memory bus — the same resources the paper's analysis
+//! attributes job symbiosis to.
+//!
+//! # Quick start
+//!
+//! ```
+//! use simproc::{Machine, MachineConfig, profile::BenchmarkProfile};
+//!
+//! # fn main() -> Result<(), simproc::MachineError> {
+//! let machine = Machine::new(MachineConfig::smt4().with_windows(2_000, 8_000))?;
+//! let mut mem_job = BenchmarkProfile::balanced("memory-ish", 1);
+//! mem_job.footprint_lines = 1 << 18;
+//! mem_job.hot_frac = 0.5;
+//! let cpu_job = BenchmarkProfile::balanced("compute-ish", 2);
+//!
+//! let solo = machine.simulate_solo(&cpu_job)?;
+//! let coscheduled = machine.simulate(&[&cpu_job, &mem_job, &mem_job, &mem_job])?;
+//! assert!(coscheduled.ipc[0] <= solo.ipc[0]); // interference can only hurt
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod config;
+mod engine;
+pub mod insn;
+pub mod machine;
+pub mod mem;
+pub mod profile;
+pub mod rng;
+pub mod trace;
+
+pub use config::{
+    CacheGeometry, CoreParams, FetchPolicy, MachineConfig, MemParams, RobPartitioning, Topology,
+};
+pub use engine::SimResult;
+pub use machine::{Machine, MachineError};
+pub use profile::BenchmarkProfile;

@@ -1,0 +1,161 @@
+//! Shared memory bus with bandwidth-induced queueing.
+
+use crate::config::MemParams;
+
+/// Statistics accumulated by the bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Number of line transfers served.
+    pub transfers: u64,
+    /// Total cycles transfers spent waiting for the bus (queueing only,
+    /// not the flat access latency).
+    pub queue_cycles: u64,
+}
+
+impl BusStats {
+    /// Mean queueing delay per transfer in cycles.
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.queue_cycles as f64 / self.transfers as f64
+        }
+    }
+}
+
+/// A single shared memory channel.
+///
+/// Each line transfer occupies the bus for a fixed number of cycles
+/// ([`MemParams::cycles_per_transfer`]); overlapping requests from different
+/// cores/threads queue behind each other, so memory-intensive coschedules
+/// see growing effective latency — the bandwidth-sharing interference the
+/// paper attributes much of the quad-core symbiosis variation to.
+///
+/// # Examples
+///
+/// ```
+/// use simproc::{mem::MemoryBus, config::MemParams};
+///
+/// let mut bus = MemoryBus::new(&MemParams { latency: 100, cycles_per_transfer: 8 });
+/// // Two back-to-back requests at the same cycle: the second queues.
+/// assert_eq!(bus.request(10), 100);
+/// assert_eq!(bus.request(10), 108);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryBus {
+    latency: u64,
+    cycles_per_transfer: u64,
+    next_free: u64,
+    stats: BusStats,
+}
+
+impl MemoryBus {
+    /// Creates an idle bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.cycles_per_transfer == 0`.
+    pub fn new(params: &MemParams) -> Self {
+        assert!(
+            params.cycles_per_transfer > 0,
+            "bus occupancy must be positive"
+        );
+        MemoryBus {
+            latency: params.latency,
+            cycles_per_transfer: params.cycles_per_transfer,
+            next_free: 0,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Issues a line transfer at cycle `now`; returns the total latency in
+    /// cycles until the data arrives (queueing + flat access latency).
+    pub fn request(&mut self, now: u64) -> u64 {
+        let start = self.next_free.max(now);
+        self.next_free = start + self.cycles_per_transfer;
+        let queue = start - now;
+        self.stats.transfers += 1;
+        self.stats.queue_cycles += queue;
+        queue + self.latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Resets statistics without clearing bus occupancy.
+    pub fn reset_stats(&mut self) {
+        self.stats = BusStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> MemoryBus {
+        MemoryBus::new(&MemParams {
+            latency: 100,
+            cycles_per_transfer: 8,
+        })
+    }
+
+    #[test]
+    fn idle_bus_serves_at_flat_latency() {
+        let mut b = bus();
+        assert_eq!(b.request(0), 100);
+        assert_eq!(b.stats().queue_cycles, 0);
+    }
+
+    #[test]
+    fn burst_requests_queue_linearly() {
+        let mut b = bus();
+        assert_eq!(b.request(0), 100);
+        assert_eq!(b.request(0), 108);
+        assert_eq!(b.request(0), 116);
+        assert_eq!(b.stats().transfers, 3);
+        assert_eq!(b.stats().queue_cycles, 8 + 16);
+    }
+
+    #[test]
+    fn spaced_requests_do_not_queue() {
+        let mut b = bus();
+        assert_eq!(b.request(0), 100);
+        assert_eq!(b.request(8), 100);
+        assert_eq!(b.request(100), 100);
+        assert_eq!(b.stats().queue_cycles, 0);
+    }
+
+    #[test]
+    fn mean_queue_delay() {
+        let mut b = bus();
+        b.request(0);
+        b.request(0);
+        assert!((b.stats().mean_queue_delay() - 4.0).abs() < 1e-12);
+        let idle = MemoryBus::new(&MemParams {
+            latency: 1,
+            cycles_per_transfer: 1,
+        });
+        assert_eq!(idle.stats().mean_queue_delay(), 0.0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_occupancy() {
+        let mut b = bus();
+        b.request(0);
+        b.reset_stats();
+        // The bus is still busy until cycle 8, so a request at 0 queues.
+        assert_eq!(b.request(0), 108);
+        assert_eq!(b.stats().transfers, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy must be positive")]
+    fn zero_occupancy_panics() {
+        let _ = MemoryBus::new(&MemParams {
+            latency: 10,
+            cycles_per_transfer: 0,
+        });
+    }
+}

@@ -1,0 +1,207 @@
+//! Statistical benchmark profiles.
+//!
+//! The paper runs 12 SPEC CPU2006 benchmarks through the Sniper simulator.
+//! We cannot redistribute SPEC binaries or traces, so each benchmark is
+//! replaced by a *statistical profile*: instruction mix, branch-misprediction
+//! rate, dependence-chain density (ILP), and a two-level working-set model of
+//! its memory behaviour (hot set + total footprint + streaming fraction).
+//! A seeded generator expands a profile into an endless synthetic
+//! instruction stream (see [`crate::trace::TraceGen`]).
+//!
+//! This preserves what the study actually depends on: job types that span
+//! low- to high-interference behaviour and differ in standalone IPC
+//! (Section V-A: benchmarks were selected to "approximately uniformly cover
+//! the space of low- to high-interference benchmarks").
+
+/// A statistical description of a benchmark's dynamic behaviour.
+///
+/// Fractions refer to the dynamic instruction stream and must satisfy
+/// `load_frac + store_frac + branch_frac + long_op_frac <= 1` (the rest are
+/// single-cycle ALU operations). See [`BenchmarkProfile::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Human-readable name (e.g. `"mcf"`).
+    pub name: String,
+    /// Fraction of dynamic instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction that are stores.
+    pub store_frac: f64,
+    /// Fraction that are conditional branches.
+    pub branch_frac: f64,
+    /// Fraction that are long-latency (FP/mul/div) operations.
+    pub long_op_frac: f64,
+    /// Probability a branch is mispredicted.
+    pub mispredict_rate: f64,
+    /// Probability an instruction serialises behind the previous
+    /// chain instruction (higher = less ILP).
+    pub dep_frac: f64,
+    /// Lines in the innermost working set (stack frames, loop-resident
+    /// data); sized to fit comfortably in L1.
+    pub stack_lines: u64,
+    /// Probability a non-streaming access falls in the innermost set.
+    pub stack_frac: f64,
+    /// Lines in the hot working set (captured by L1/L2 when not thrashed).
+    pub hot_lines: u64,
+    /// Total footprint in lines (hot + cold; exercises L3/memory).
+    pub footprint_lines: u64,
+    /// Probability a non-streaming access falls in the hot set.
+    pub hot_frac: f64,
+    /// Fraction of accesses that walk the footprint sequentially
+    /// (streaming, prefetch-friendly in real machines; here: low reuse).
+    pub streaming_frac: f64,
+    /// Per-instruction probability of a front-end bubble (models I-cache
+    /// and decode roughness for large-code benchmarks like gcc/perlbench).
+    pub frontend_stall_rate: f64,
+    /// Base RNG seed; each (thread slot, run) derives a unique stream.
+    pub seed: u64,
+}
+
+impl BenchmarkProfile {
+    /// A neutral mid-range profile useful as a starting point in tests and
+    /// examples; tweak fields from here.
+    pub fn balanced(name: &str, seed: u64) -> Self {
+        BenchmarkProfile {
+            name: name.to_owned(),
+            load_frac: 0.25,
+            store_frac: 0.10,
+            branch_frac: 0.15,
+            long_op_frac: 0.05,
+            mispredict_rate: 0.04,
+            dep_frac: 0.35,
+            stack_lines: 48,
+            stack_frac: 0.70,
+            hot_lines: 256,
+            footprint_lines: 8_192,
+            hot_frac: 0.90,
+            streaming_frac: 0.05,
+            frontend_stall_rate: 0.01,
+            seed,
+        }
+    }
+
+    /// Checks the profile's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("long_op_frac", self.long_op_frac),
+            ("mispredict_rate", self.mispredict_rate),
+            ("dep_frac", self.dep_frac),
+            ("stack_frac", self.stack_frac),
+            ("hot_frac", self.hot_frac),
+            ("streaming_frac", self.streaming_frac),
+            ("frontend_stall_rate", self.frontend_stall_rate),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} outside [0, 1]"));
+            }
+        }
+        let mix = self.load_frac + self.store_frac + self.branch_frac + self.long_op_frac;
+        if mix > 1.0 + 1e-12 {
+            return Err(format!("instruction mix sums to {mix} > 1"));
+        }
+        if self.footprint_lines == 0 {
+            return Err("footprint must be at least one line".into());
+        }
+        if self.hot_lines == 0 {
+            return Err("hot set must be at least one line".into());
+        }
+        if self.stack_lines == 0 {
+            return Err("stack set must be at least one line".into());
+        }
+        if self.stack_lines > self.hot_lines {
+            return Err(format!(
+                "stack set ({}) larger than hot set ({})",
+                self.stack_lines, self.hot_lines
+            ));
+        }
+        if self.hot_lines > self.footprint_lines {
+            return Err(format!(
+                "hot set ({}) larger than footprint ({})",
+                self.hot_lines, self.footprint_lines
+            ));
+        }
+        if self.name.is_empty() {
+            return Err("profile name must be non-empty".into());
+        }
+        Ok(())
+    }
+
+    /// Fraction of ALU (single-cycle) instructions implied by the mix.
+    pub fn alu_frac(&self) -> f64 {
+        1.0 - self.load_frac - self.store_frac - self.branch_frac - self.long_op_frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_profile_validates() {
+        let p = BenchmarkProfile::balanced("test", 1);
+        p.validate().unwrap();
+        assert!(p.alu_frac() > 0.0);
+    }
+
+    #[test]
+    fn mix_overflow_rejected() {
+        let mut p = BenchmarkProfile::balanced("bad", 1);
+        p.load_frac = 0.9;
+        p.store_frac = 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_probability_rejected() {
+        let mut p = BenchmarkProfile::balanced("bad", 1);
+        p.mispredict_rate = 1.5;
+        assert!(p.validate().is_err());
+        p.mispredict_rate = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn stack_must_fit_in_hot_set() {
+        let mut p = BenchmarkProfile::balanced("bad", 1);
+        p.stack_lines = p.hot_lines + 1;
+        assert!(p.validate().is_err());
+        p.stack_lines = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn hot_set_must_fit_in_footprint() {
+        let mut p = BenchmarkProfile::balanced("bad", 1);
+        p.hot_lines = p.footprint_lines + 1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_footprint_rejected() {
+        let mut p = BenchmarkProfile::balanced("bad", 1);
+        p.footprint_lines = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let mut p = BenchmarkProfile::balanced("x", 1);
+        p.name.clear();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn alu_frac_complements_mix() {
+        let p = BenchmarkProfile::balanced("t", 1);
+        let total =
+            p.alu_frac() + p.load_frac + p.store_frac + p.branch_frac + p.long_op_frac;
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! Prints solo IPCs of the 12 profiles on both machine configurations.
+use simproc::{Machine, MachineConfig};
+use workloads::spec2006;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = spec2006();
+    for (label, cfg) in [
+        ("SMT4 ", MachineConfig::smt4()),
+        ("QUAD ", MachineConfig::quadcore()),
+    ] {
+        let machine = Machine::new(cfg)?;
+        println!("== {label} ==");
+        for p in &suite {
+            let t0 = std::time::Instant::now();
+            let r = machine.simulate_solo(p)?;
+            println!(
+                "{:12} ipc={:.3} l1hit={:.3} l2hit={:.3} l3hit={:.3} busq={:.1} ({:?})",
+                p.name,
+                r.ipc[0],
+                r.l1d.hit_rate(),
+                r.l2.hit_rate(),
+                r.l3.hit_rate(),
+                r.bus.mean_queue_delay(),
+                t0.elapsed()
+            );
+        }
+    }
+    Ok(())
+}

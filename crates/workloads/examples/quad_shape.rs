@@ -1,0 +1,23 @@
+//! Quad-core Figure-1-style shape check.
+use simproc::{Machine, MachineConfig};
+use symbiosis::{analyze_variability, enumerate_workloads, metrics, FcfsParams};
+use workloads::{spec2006, PerfTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = Machine::new(MachineConfig::quadcore())?;
+    let table = PerfTable::build(&machine, &spec2006(), 20)?;
+    let (mut pj, mut it, mut av, mut g, mut l) = (vec![], vec![], vec![], vec![], vec![]);
+    for w in enumerate_workloads(12, 4) {
+        let rates = table.workload_rates(&w)?;
+        let v = analyze_variability(&rates, FcfsParams { jobs: 20_000, ..Default::default() })?;
+        pj.push(v.per_job_variability());
+        it.push(v.instantaneous.variability());
+        av.push(v.average_variability());
+        g.push(v.optimal_gain());
+        l.push(v.worst_loss());
+    }
+    let m = |v: &Vec<f64>| 100.0 * metrics::mean(v.iter().copied()).unwrap();
+    println!("QUAD per-job var avg {:.1}%  inst var avg {:.1}%  avg-TP var avg {:.1}%", m(&pj), m(&it), m(&av));
+    println!("QUAD optimal gain avg {:.1}%  worst loss avg {:.1}%", m(&g), m(&l));
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! The 12 benchmark profiles standing in for Table I of the paper.
+//!
+//! The paper selects 12 SPEC CPU2006 benchmarks that "approximately
+//! uniformly cover the space of low- to high-interference benchmarks".
+//! SPEC binaries and reference inputs cannot be redistributed, so each
+//! benchmark is replaced by a statistical profile whose parameters are set
+//! from its published qualitative behaviour (instruction mix, branch
+//! behaviour, working-set size, memory intensity):
+//!
+//! | Profile      | Character                                              |
+//! |--------------|--------------------------------------------------------|
+//! | `bzip2`      | integer compression; moderate IPC, mid-size working set |
+//! | `calculix`   | FP solver; high IPC, compute bound                       |
+//! | `gcc_cp_decl`| compiler; large code footprint, branchy                  |
+//! | `gcc_g23`    | compiler, bigger input; adds L3 pressure                 |
+//! | `h264ref`    | video encode; high IPC, predictable, small working set   |
+//! | `hmmer`      | sequence search; very high IPC, tiny working set         |
+//! | `libquantum` | streaming; saturates memory bandwidth                    |
+//! | `mcf`        | pointer chasing; memory-latency bound, huge footprint    |
+//! | `perlbench`  | interpreter; branchy, large code                         |
+//! | `sjeng`      | chess; mispredict heavy, moderate IPC                    |
+//! | `tonto`      | FP chemistry; long-latency ops, moderate memory          |
+//! | `xalancbmk`  | XML transform; cache hungry, large working set           |
+//!
+//! What the study needs from this set — job types that differ in solo IPC
+//! and span low→high interference — is preserved; program semantics are
+//! irrelevant to the scheduling analysis.
+
+use simproc::profile::BenchmarkProfile;
+
+/// Builds one of the 12 Table I profiles by name.
+///
+/// Accepted names are those returned by [`spec_names`].
+pub fn spec_profile(name: &str) -> Option<BenchmarkProfile> {
+    #[allow(clippy::too_many_arguments)]
+    fn mk(
+        name: &str,
+        seed: u64,
+        load: f64,
+        store: f64,
+        branch: f64,
+        long: f64,
+        mispredict: f64,
+        dep: f64,
+        stack: (u64, f64),
+        hot: u64,
+        footprint: u64,
+        hot_frac: f64,
+        streaming: f64,
+        frontend: f64,
+    ) -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: name.to_owned(),
+            load_frac: load,
+            store_frac: store,
+            branch_frac: branch,
+            long_op_frac: long,
+            mispredict_rate: mispredict,
+            dep_frac: dep,
+            stack_lines: stack.0,
+            stack_frac: stack.1,
+            hot_lines: hot,
+            footprint_lines: footprint,
+            hot_frac,
+            streaming_frac: streaming,
+            frontend_stall_rate: frontend,
+            seed,
+        }
+    }
+    let p = match name {
+        //                  seed    load  store branch long  mis    dep   (stack)      hot     footpr   hotf  strm  fe
+        "bzip2" => mk("bzip2", 0xB001, 0.26, 0.12, 0.14, 0.01, 0.060, 0.35, (56, 0.72), 1_500, 60_000, 0.85, 0.05, 0.005),
+        "calculix" => mk("calculix", 0xB002, 0.30, 0.08, 0.05, 0.20, 0.005, 0.25, (64, 0.82), 350, 8_000, 0.95, 0.02, 0.002),
+        "gcc_cp_decl" => mk("gcc_cp_decl", 0xB003, 0.26, 0.14, 0.16, 0.01, 0.055, 0.35, (56, 0.60), 2_000, 80_000, 0.80, 0.04, 0.035),
+        "gcc_g23" => mk("gcc_g23", 0xB004, 0.27, 0.14, 0.15, 0.01, 0.050, 0.37, (56, 0.55), 4_000, 150_000, 0.70, 0.05, 0.030),
+        "h264ref" => mk("h264ref", 0xB005, 0.28, 0.10, 0.08, 0.06, 0.010, 0.22, (64, 0.80), 400, 12_000, 0.92, 0.03, 0.005),
+        "hmmer" => mk("hmmer", 0xB006, 0.30, 0.12, 0.08, 0.02, 0.002, 0.15, (64, 0.85), 300, 4_000, 0.95, 0.01, 0.001),
+        "libquantum" => mk("libquantum", 0xB007, 0.30, 0.14, 0.12, 0.02, 0.010, 0.20, (32, 0.80), 64, 500_000, 0.90, 0.55, 0.001),
+        "mcf" => mk("mcf", 0xB008, 0.35, 0.09, 0.12, 0.01, 0.060, 0.50, (48, 0.45), 2_000, 600_000, 0.35, 0.02, 0.005),
+        "perlbench" => mk("perlbench", 0xB009, 0.26, 0.12, 0.16, 0.01, 0.050, 0.33, (56, 0.70), 1_200, 40_000, 0.88, 0.02, 0.030),
+        "sjeng" => mk("sjeng", 0xB00A, 0.22, 0.08, 0.17, 0.01, 0.080, 0.35, (56, 0.75), 800, 30_000, 0.90, 0.01, 0.010),
+        "tonto" => mk("tonto", 0xB00B, 0.28, 0.12, 0.07, 0.22, 0.010, 0.32, (64, 0.75), 500, 30_000, 0.90, 0.03, 0.010),
+        "xalancbmk" => mk("xalancbmk", 0xB00C, 0.30, 0.10, 0.15, 0.01, 0.040, 0.40, (48, 0.50), 5_000, 250_000, 0.60, 0.04, 0.020),
+        _ => return None,
+    };
+    debug_assert!(p.validate().is_ok(), "profile {name} must validate");
+    Some(p)
+}
+
+/// Names of the 12 profiles, in Table I order.
+pub fn spec_names() -> [&'static str; 12] {
+    [
+        "bzip2",
+        "calculix",
+        "gcc_cp_decl",
+        "gcc_g23",
+        "h264ref",
+        "hmmer",
+        "libquantum",
+        "mcf",
+        "perlbench",
+        "sjeng",
+        "tonto",
+        "xalancbmk",
+    ]
+}
+
+/// All 12 Table I profiles, in [`spec_names`] order.
+///
+/// # Examples
+///
+/// ```
+/// let suite = workloads::spec2006();
+/// assert_eq!(suite.len(), 12);
+/// assert_eq!(suite[7].name, "mcf");
+/// ```
+pub fn spec2006() -> Vec<BenchmarkProfile> {
+    spec_names()
+        .iter()
+        .map(|n| spec_profile(n).expect("built-in name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in spec2006() {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_match() {
+        let suite = spec2006();
+        for (p, n) in suite.iter().zip(spec_names()) {
+            assert_eq!(p.name, n);
+        }
+        let mut names: Vec<_> = suite.iter().map(|p| p.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seeds: Vec<_> = spec2006().iter().map(|p| p.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12);
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(spec_profile("gobmk").is_none());
+    }
+
+    #[test]
+    fn footprints_span_cache_capacities() {
+        // The set must include both cache-resident and memory-spilling
+        // working sets to cover the interference space.
+        let suite = spec2006();
+        let min = suite.iter().map(|p| p.footprint_lines).min().unwrap();
+        let max = suite.iter().map(|p| p.footprint_lines).max().unwrap();
+        assert!(min < 16_384, "some benchmark must fit in L2/L3");
+        assert!(max > 131_072, "some benchmark must exceed the L3");
+    }
+
+    #[test]
+    fn streaming_and_pointer_chasing_extremes_present() {
+        let suite = spec2006();
+        assert!(suite.iter().any(|p| p.streaming_frac > 0.5), "libquantum-like");
+        assert!(suite.iter().any(|p| p.dep_frac >= 0.5), "mcf-like");
+    }
+}

@@ -1,0 +1,482 @@
+//! Coschedule performance tables: simulation results for every coschedule.
+//!
+//! The paper simulates all 1365 combinations (with repetition) of 4 jobs out
+//! of 12 benchmarks on both machine configurations (Section V-A).
+//! [`PerfTable::build`] performs that sweep (in parallel across OS threads),
+//! records per-slot IPCs plus solo reference IPCs, and converts any selected
+//! workload into the [`symbiosis::WorkloadRates`] table the scheduling
+//! analyses consume (rates in weighted instructions per cycle: IPC divided
+//! by solo IPC).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Mutex;
+
+use simproc::{Machine, MachineError, BenchmarkProfile};
+use symbiosis::{enumerate_coschedules, SymbiosisError, WorkloadRates};
+
+/// Errors from building or querying a [`PerfTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// The underlying simulation failed.
+    Machine(MachineError),
+    /// A workload references an unknown benchmark index.
+    UnknownBenchmark(usize),
+    /// A workload has the wrong shape (empty, unsorted, duplicates).
+    InvalidWorkload(String),
+    /// Rate-table conversion failed.
+    Rates(SymbiosisError),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Machine(e) => write!(f, "simulation failed: {e}"),
+            TableError::UnknownBenchmark(i) => write!(f, "benchmark index {i} out of range"),
+            TableError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            TableError::Rates(e) => write!(f, "rate conversion failed: {e}"),
+        }
+    }
+}
+
+impl Error for TableError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TableError::Machine(e) => Some(e),
+            TableError::Rates(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for TableError {
+    fn from(e: MachineError) -> Self {
+        TableError::Machine(e)
+    }
+}
+
+impl From<SymbiosisError> for TableError {
+    fn from(e: SymbiosisError) -> Self {
+        TableError::Rates(e)
+    }
+}
+
+/// The unit of work defining throughput (Section III-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WorkUnit {
+    /// Weighted instructions: each type's rate is normalised by its solo
+    /// IPC, so equal work means equal solo execution time. The paper's
+    /// reported unit and this crate's default.
+    #[default]
+    Weighted,
+    /// Plain instructions: rates are raw IPCs and equal work means equal
+    /// instruction counts. The paper states its qualitative conclusions
+    /// also hold under this unit; the `unit_ablation` experiment verifies
+    /// that for this reproduction.
+    Plain,
+}
+
+/// Per-slot IPCs of every coschedule of `K` jobs over a benchmark suite,
+/// plus solo reference IPCs.
+///
+/// Keys are sorted benchmark-index vectors of length `K` (the machine's
+/// context count); per-slot IPCs are aligned with that sorted expansion.
+#[derive(Debug, Clone)]
+pub struct PerfTable {
+    names: Vec<String>,
+    solo_ipc: Vec<f64>,
+    contexts: usize,
+    co_ipc: HashMap<Vec<usize>, Vec<f64>>,
+}
+
+impl PerfTable {
+    /// Simulates every coschedule of `machine.config().contexts()` jobs over
+    /// `suite` (combinations with repetition) plus each benchmark solo.
+    ///
+    /// Work is distributed over up to `threads` OS threads (clamped to at
+    /// least 1). The sweep is deterministic regardless of thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MachineError`] encountered.
+    pub fn build(
+        machine: &Machine,
+        suite: &[BenchmarkProfile],
+        threads: usize,
+    ) -> Result<Self, TableError> {
+        let k = machine.config().contexts();
+        // All multiset sizes 1..=K: the latency experiments (Section VI)
+        // run through partially loaded periods, so partial coschedules are
+        // measured too. Size-1 entries double as the solo reference runs.
+        let combos: Vec<Vec<usize>> = (1..=k)
+            .flat_map(|size| enumerate_coschedules(suite.len(), size))
+            .map(|s| s.slots())
+            .collect();
+
+        let results: Mutex<Vec<(Vec<usize>, Vec<f64>)>> =
+            Mutex::new(Vec::with_capacity(combos.len()));
+        let error: Mutex<Option<MachineError>> = Mutex::new(None);
+        let threads = threads.max(1).min(combos.len().max(1));
+        let chunk = combos.len().div_ceil(threads);
+        let results_ref = &results;
+        let error_ref = &error;
+        std::thread::scope(|scope| {
+            for piece in combos.chunks(chunk.max(1)) {
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(piece.len());
+                    for combo in piece {
+                        let jobs: Vec<&BenchmarkProfile> =
+                            combo.iter().map(|&i| &suite[i]).collect();
+                        match machine.simulate(&jobs) {
+                            Ok(res) => local.push((combo.clone(), res.ipc)),
+                            Err(e) => {
+                                *error_ref.lock().expect("poisoned") = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                    results_ref.lock().expect("poisoned").extend(local);
+                });
+            }
+        });
+        if let Some(e) = error.into_inner().expect("poisoned") {
+            return Err(e.into());
+        }
+        let co_ipc: HashMap<Vec<usize>, Vec<f64>> = results
+            .into_inner()
+            .expect("poisoned")
+            .into_iter()
+            .collect();
+        let solo_ipc: Vec<f64> = (0..suite.len())
+            .map(|b| co_ipc[&vec![b]][0])
+            .collect();
+        Ok(PerfTable {
+            names: suite.iter().map(|p| p.name.clone()).collect(),
+            solo_ipc,
+            contexts: k,
+            co_ipc,
+        })
+    }
+
+    /// Benchmark names, index-aligned with the suite used to build.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of hardware contexts the table was built for.
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Number of coschedules recorded.
+    pub fn len(&self) -> usize {
+        self.co_ipc.len()
+    }
+
+    /// True if no coschedules are recorded (cannot happen for valid builds).
+    pub fn is_empty(&self) -> bool {
+        self.co_ipc.is_empty()
+    }
+
+    /// Solo (reference) IPC of benchmark `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn solo_ipc(&self, b: usize) -> f64 {
+        self.solo_ipc[b]
+    }
+
+    /// Per-slot IPCs for a sorted benchmark-index combination, if recorded.
+    pub fn slot_ipcs(&self, combo: &[usize]) -> Option<&[f64]> {
+        self.co_ipc.get(combo).map(Vec::as_slice)
+    }
+
+    /// Converts a workload (sorted distinct benchmark indices) into the
+    /// WIPC rate table used by the `symbiosis` analyses.
+    ///
+    /// # Errors
+    ///
+    /// * [`TableError::InvalidWorkload`] if `types` is empty, unsorted or
+    ///   has duplicates.
+    /// * [`TableError::UnknownBenchmark`] if an index is out of range.
+    pub fn workload_rates(&self, types: &[usize]) -> Result<WorkloadRates, TableError> {
+        self.workload_rates_with_unit(types, WorkUnit::Weighted)
+    }
+
+    /// Like [`PerfTable::workload_rates`], but with an explicit unit of
+    /// work: weighted instructions (solo-normalised) or plain instructions
+    /// (raw IPC).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PerfTable::workload_rates`].
+    pub fn workload_rates_with_unit(
+        &self,
+        types: &[usize],
+        unit: WorkUnit,
+    ) -> Result<WorkloadRates, TableError> {
+        if types.is_empty() {
+            return Err(TableError::InvalidWorkload("no job types".into()));
+        }
+        if !types.windows(2).all(|w| w[0] < w[1]) {
+            return Err(TableError::InvalidWorkload(
+                "types must be sorted and distinct".into(),
+            ));
+        }
+        for &t in types {
+            if t >= self.names.len() {
+                return Err(TableError::UnknownBenchmark(t));
+            }
+        }
+        let n = types.len();
+        let rates = WorkloadRates::build(n, self.contexts, |s| {
+            // Map local coschedule to the global sorted combination.
+            let combo: Vec<usize> = s.slots().iter().map(|&local| types[local]).collect();
+            let ipcs = self
+                .co_ipc
+                .get(&combo)
+                .unwrap_or_else(|| panic!("coschedule {combo:?} missing from table"));
+            // Sum per local type over its slots, in the requested unit.
+            let mut out = vec![0.0; n];
+            for (slot_idx, &local) in s.slots().iter().enumerate() {
+                let scale = match unit {
+                    WorkUnit::Weighted => self.solo_ipc[types[local]],
+                    WorkUnit::Plain => 1.0,
+                };
+                out[local] += ipcs[slot_idx] / scale;
+            }
+            out
+        })?;
+        Ok(rates)
+    }
+
+    /// Raw WIPC of a recorded combination: sum over slots of
+    /// `IPC / solo IPC` (the weighted-speedup-style instantaneous
+    /// throughput of that coschedule).
+    pub fn combo_wipc(&self, combo: &[usize]) -> Option<f64> {
+        let ipcs = self.co_ipc.get(combo)?;
+        Some(
+            combo
+                .iter()
+                .zip(ipcs)
+                .map(|(&b, &ipc)| ipc / self.solo_ipc[b])
+                .sum(),
+        )
+    }
+
+    /// Creates a [`queueing::CoscheduleRates`] view of this table for one
+    /// workload (sorted distinct benchmark indices), exposing partial
+    /// coschedules to the latency simulator. Rates are in WIPC.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`PerfTable::workload_rates`].
+    pub fn workload_view(&self, types: &[usize]) -> Result<WorkloadView<'_>, TableError> {
+        // Reuse the rate-table validation path.
+        let _ = self.workload_rates(types)?;
+        Ok(WorkloadView {
+            table: self,
+            types: types.to_vec(),
+        })
+    }
+}
+
+/// A borrowed view of a [`PerfTable`] restricted to one workload,
+/// implementing [`queueing::CoscheduleRates`] (including partial
+/// coschedules) for the Section VI latency experiments.
+#[derive(Debug, Clone)]
+pub struct WorkloadView<'a> {
+    table: &'a PerfTable,
+    types: Vec<usize>,
+}
+
+impl queueing::CoscheduleRates for WorkloadView<'_> {
+    fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    fn contexts(&self) -> usize {
+        self.table.contexts
+    }
+
+    fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
+        assert_eq!(counts.len(), self.types.len(), "counts length mismatch");
+        assert!(counts[ty] > 0, "type {ty} not present in coschedule");
+        let mut combo = Vec::with_capacity(counts.iter().sum::<u32>() as usize);
+        for (local, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                combo.push(self.types[local]);
+            }
+        }
+        let ipcs = self
+            .table
+            .co_ipc
+            .get(&combo)
+            .unwrap_or_else(|| panic!("coschedule {combo:?} missing from table"));
+        let global = self.types[ty];
+        // Mean WIPC over this type's slots (slots of the same type differ
+        // only by their RNG stream).
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for (slot, &b) in combo.iter().enumerate() {
+            if b == global {
+                sum += ipcs[slot] / self.table.solo_ipc[global];
+                n += 1;
+            }
+        }
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec2006;
+    use queueing::CoscheduleRates;
+    use simproc::MachineConfig;
+
+    /// A tiny suite + short windows so tests stay fast.
+    fn tiny_table() -> PerfTable {
+        let machine =
+            Machine::new(MachineConfig::smt4().with_windows(2_000, 6_000)).unwrap();
+        let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(3).collect();
+        PerfTable::build(&machine, &suite, 4).unwrap()
+    }
+
+    #[test]
+    fn records_all_multisets() {
+        let t = tiny_table();
+        // Sizes 1..=4 over 3 benchmarks: 3 + 6 + 10 + 15 = 34 multisets.
+        assert_eq!(t.len(), 34);
+        assert_eq!(t.contexts(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn solo_ipcs_are_positive() {
+        let t = tiny_table();
+        for b in 0..3 {
+            assert!(t.solo_ipc(b) > 0.0, "{}", t.names()[b]);
+        }
+    }
+
+    #[test]
+    fn slot_ipcs_keyed_by_sorted_combo() {
+        let t = tiny_table();
+        assert!(t.slot_ipcs(&[0, 0, 1, 2]).is_some());
+        assert!(t.slot_ipcs(&[0, 1]).is_some(), "partial coschedules recorded");
+        assert!(t.slot_ipcs(&[0, 1, 1, 1, 2]).is_none(), "oversized key");
+        assert!(t.slot_ipcs(&[2, 1, 0, 0]).is_none(), "unsorted key");
+    }
+
+    #[test]
+    fn workload_rates_round_trip() {
+        let t = tiny_table();
+        let rates = t.workload_rates(&[0, 1, 2]).unwrap();
+        assert_eq!(rates.num_types(), 3);
+        assert_eq!(rates.contexts(), 4);
+        // Homogeneous coschedule of type 0 maps to combo [0,0,0,0].
+        let s = symbiosis::Coschedule::from_counts(vec![4, 0, 0]);
+        let si = rates.index_of(&s).unwrap();
+        let expected: f64 = t
+            .slot_ipcs(&[0, 0, 0, 0])
+            .unwrap()
+            .iter()
+            .map(|ipc| ipc / t.solo_ipc(0))
+            .sum();
+        assert!((rates.rate(si, 0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_workloads_rejected() {
+        let t = tiny_table();
+        assert!(matches!(
+            t.workload_rates(&[]),
+            Err(TableError::InvalidWorkload(_))
+        ));
+        assert!(matches!(
+            t.workload_rates(&[1, 0]),
+            Err(TableError::InvalidWorkload(_))
+        ));
+        assert!(matches!(
+            t.workload_rates(&[0, 0]),
+            Err(TableError::InvalidWorkload(_))
+        ));
+        assert!(matches!(
+            t.workload_rates(&[0, 9]),
+            Err(TableError::UnknownBenchmark(9))
+        ));
+    }
+
+    #[test]
+    fn build_is_deterministic_across_thread_counts() {
+        let machine =
+            Machine::new(MachineConfig::smt4().with_windows(1_000, 3_000)).unwrap();
+        let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(2).collect();
+        let a = PerfTable::build(&machine, &suite, 1).unwrap();
+        let b = PerfTable::build(&machine, &suite, 8).unwrap();
+        for (combo, ipcs) in &a.co_ipc {
+            assert_eq!(b.slot_ipcs(combo).unwrap(), ipcs.as_slice());
+        }
+    }
+
+    #[test]
+    fn plain_unit_rescales_rates_by_solo_ipc() {
+        let t = tiny_table();
+        let weighted = t.workload_rates(&[0, 1]).unwrap();
+        let plain = t
+            .workload_rates_with_unit(&[0, 1], WorkUnit::Plain)
+            .unwrap();
+        for (si, s) in weighted.coschedules().iter().enumerate() {
+            for b in 0..2 {
+                if s.count(b) > 0 {
+                    let expect = weighted.rate(si, b) * t.solo_ipc([0, 1][b]);
+                    assert!(
+                        (plain.rate(si, b) - expect).abs() < 1e-12,
+                        "unit conversion must be a per-type rescale"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_view_exposes_partial_coschedules() {
+        let t = tiny_table();
+        let view = t.workload_view(&[0, 1]).unwrap();
+        assert_eq!(view.num_types(), 2);
+        assert_eq!(view.contexts(), 4);
+        // Solo rate equals 1 by WIPC construction.
+        assert!((view.per_job_rate(&[1, 0], 0) - 1.0).abs() < 1e-12);
+        // Partial pairs are present and positive.
+        let pair = view.per_job_rate(&[1, 1], 0);
+        assert!(pair > 0.0 && pair <= 1.05);
+        // Full coschedule agrees with the workload_rates table.
+        let rates = t.workload_rates(&[0, 1]).unwrap();
+        let s = symbiosis::Coschedule::from_counts(vec![2, 2]);
+        let si = rates.index_of(&s).unwrap();
+        let via_table = rates.per_job_rate(si, 0);
+        let via_view = view.per_job_rate(&[2, 2], 0);
+        assert!((via_table - via_view).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_view_validates_inputs() {
+        let t = tiny_table();
+        assert!(t.workload_view(&[1, 0]).is_err());
+        assert!(t.workload_view(&[0, 99]).is_err());
+    }
+
+    #[test]
+    fn combo_wipc_bounded_by_context_count() {
+        // WIPC of any coschedule cannot exceed K (each job's WIPC <= 1).
+        let t = tiny_table();
+        for combo in t.co_ipc.keys() {
+            let w = t.combo_wipc(combo).unwrap();
+            assert!(w > 0.0);
+            assert!(w <= t.contexts() as f64 + 0.25, "WIPC {w} for {combo:?}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Diagnosing *why* a workload is scheduler-insensitive with the linear-
+//! bottleneck fit (the paper's Section V-C analysis).
+//!
+//! Run with: `cargo run --release --example bottleneck_analysis`
+
+use symbiotic_scheduling::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = Machine::new(MachineConfig::smt4().with_windows(20_000, 80_000))?;
+    let suite = spec2006();
+    let table = PerfTable::build(&machine, &suite, 8)?;
+
+    // Two contrasting workloads: compute-heavy (front-end bottleneck-ish)
+    // vs mixed compute/memory.
+    let cases: [(&str, [usize; 4]); 2] = [
+        ("compute-heavy (calculix h264ref hmmer tonto)", [1, 4, 5, 10]),
+        ("mixed (hmmer libquantum mcf xalancbmk)", [5, 6, 7, 11]),
+    ];
+
+    for (label, mix) in cases {
+        let rates = table.workload_rates(&mix)?;
+        let fit = fit_linear_bottleneck(&rates)?;
+        let (worst, best) = throughput_bounds(&rates)?;
+        println!("== {label} ==");
+        println!("  linear-bottleneck LSQ error: {:.5}", fit.mse);
+        if let Some(pred) = fit.predicted_throughput {
+            println!("  bottleneck-model throughput: {pred:.3}");
+        }
+        println!(
+            "  LP bounds: worst {:.3} .. best {:.3}  (variability {:+.1}%)",
+            worst.throughput,
+            best.throughput,
+            100.0 * (best.throughput / worst.throughput - 1.0)
+        );
+        println!(
+            "  fitted full-resource rates R_b: {:?}\n",
+            fit.full_rates
+                .iter()
+                .map(|r| (r * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "reading: a small LSQ error means every job's rate is proportional to\n\
+         its share of one saturated resource, so *no* scheduler can move the\n\
+         average throughput (Equation 7 in the paper pins it); large errors\n\
+         leave room — unless per-type speed differences shrink the feasible\n\
+         schedule space instead."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: how much can a perfect symbiosis-aware scheduler gain over
+//! FCFS on a fully loaded 4-way SMT processor?
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use symbiotic_scheduling::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A simulated 4-way SMT machine (shorter windows than the paper's
+    //    sweep so the example finishes in seconds).
+    let machine = Machine::new(MachineConfig::smt4().with_windows(20_000, 80_000))?;
+
+    // 2. Measure every coschedule of a 4-program mix: a compute-bound job
+    //    (hmmer), a branchy one (sjeng), a streaming one (libquantum) and a
+    //    pointer chaser (mcf).
+    let suite = spec2006();
+    let names = spec_names();
+    let mix: Vec<usize> = ["hmmer", "sjeng", "libquantum", "mcf"]
+        .iter()
+        .map(|n| names.iter().position(|m| m == n).expect("known name"))
+        .collect();
+    let mut mix = mix;
+    mix.sort_unstable();
+
+    println!("simulating all coschedules of:");
+    for &b in &mix {
+        println!("  {:12} (solo profile)", suite[b].name);
+    }
+    let table = PerfTable::build(&machine, &suite, 8)?;
+    let rates = table.workload_rates(&mix)?;
+
+    // 3. The paper's Section IV machinery: LP bounds + FCFS baseline.
+    let (worst, best) = throughput_bounds(&rates)?;
+    let fcfs = fcfs_throughput(&rates, 40_000, JobSize::Deterministic, 42)?;
+
+    println!("\naverage throughput (weighted instructions / cycle):");
+    println!("  worst scheduler   {:.3}", worst.throughput);
+    println!("  FCFS              {:.3}", fcfs.throughput);
+    println!("  optimal scheduler {:.3}", best.throughput);
+    println!(
+        "\noptimal gain over FCFS: {:+.1}%   (the paper's headline: ~3%)",
+        100.0 * (best.throughput / fcfs.throughput - 1.0)
+    );
+
+    // 4. Which coschedules does the optimal schedule actually use? (At most
+    //    N of them — a property of basic LP solutions.)
+    println!("\noptimal schedule time fractions:");
+    for si in best.selected(1e-6) {
+        let s = &rates.coschedules()[si];
+        println!(
+            "  {:>6.1}%  {}  (it = {:.3})",
+            100.0 * best.fractions[si],
+            s,
+            rates.instantaneous_throughput(si)
+        );
+    }
+    Ok(())
+}

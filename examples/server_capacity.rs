@@ -1,0 +1,66 @@
+//! Capacity planning: why a small maximum-throughput gain matters near
+//! saturation (the paper's Section VI argument).
+//!
+//! A service team sizing an SMT box wants to know: if a smarter scheduler
+//! buys only 3% more maximum throughput, is it worth deploying? This
+//! example answers with both the analytic M/M/4 model and the discrete-
+//! event simulator: at high load, 3% more capacity cuts turnaround ~16%.
+//!
+//! Run with: `cargo run --release --example server_capacity`
+
+use symbiotic_scheduling::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("analytic M/M/4, service rate 1.0 vs 1.03 per context\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "load", "lambda", "W (mu=1.00)", "W (mu=1.03)", "reduction"
+    );
+    for load in [0.5, 0.7, 0.8, 0.875, 0.9, 0.95] {
+        let lambda = 4.0 * load;
+        let base = MmcQueue::new(lambda, 1.0, 4).map_err(|e| e.to_string())?;
+        let fast = MmcQueue::new(lambda, 1.03, 4).map_err(|e| e.to_string())?;
+        println!(
+            "{:>8.3} {:>10.2} {:>12.3} {:>12.3} {:>11.1}%",
+            load,
+            lambda,
+            base.mean_turnaround(),
+            fast.mean_turnaround(),
+            100.0 * (1.0 - fast.mean_turnaround() / base.mean_turnaround())
+        );
+    }
+
+    // Cross-check one point with the discrete-event simulator: four
+    // identical contexts, no symbiosis effects, exponential sizes.
+    println!("\ncross-check at load 0.875 (lambda = 3.5) with the DES:");
+    let rates = ContentionModel::new(vec![1.0], 0.0, 4);
+    for (label, mu) in [("mu = 1.00", 1.0), ("mu = 1.03", 1.03)] {
+        let scaled = ContentionModel::new(vec![mu], 0.0, 4);
+        let _ = &rates;
+        let report = run_latency_experiment(
+            &scaled,
+            &mut FcfsScheduler,
+            &LatencyConfig {
+                arrival_rate: 3.5,
+                measured_jobs: 120_000,
+                warmup_jobs: 12_000,
+                sizes: SizeDist::Exponential,
+                seed: 7,
+            },
+        )?;
+        println!(
+            "  {label}: W = {:.2}, jobs in system = {:.1}, utilisation = {:.2}, empty = {:.1}%",
+            report.mean_turnaround,
+            report.mean_jobs_in_system,
+            report.utilization,
+            100.0 * report.empty_fraction
+        );
+    }
+    println!(
+        "\npaper's worked example: L 8.7 -> 7.3 jobs, W 2.5 -> 2.1 (16% less)\n\
+         takeaway: report utilisation/empty time when comparing schedulers —\n\
+         turnaround gains are a property of the operating point, not the\n\
+         scheduler alone."
+    );
+    Ok(())
+}

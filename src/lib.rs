@@ -1,0 +1,65 @@
+//! Reproduction of *"Revisiting Symbiotic Job Scheduling"* (Eyerman,
+//! Michaud, Rogiest — ISPASS 2015) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace's five libraries so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`lp`] — dense two-phase simplex and linear-algebra kernels;
+//! * [`simproc`] — the SMT / multicore performance simulator substrate;
+//! * [`workloads`] — the 12 SPEC-CPU2006-like benchmark profiles and the
+//!   coschedule performance tables;
+//! * [`symbiosis`] — the paper's contribution: optimal/worst/FCFS average
+//!   throughput and the Section V analyses;
+//! * [`queueing`] — the Section VI latency experiments (FCFS / MAXIT /
+//!   SRPT / MAXTP schedulers, analytic M/M/c).
+//!
+//! The experiment harness that regenerates every paper figure/table lives
+//! in the `paperbench` crate (binaries `fig1`..`fig6`, `table2`,
+//! `n8_sensitivity`, `fairness`, `sec7_policies`, `all`).
+//!
+//! # Quick start
+//!
+//! Compute how much a perfect symbiosis-aware scheduler could speed up a
+//! fully loaded 4-way SMT machine running a 4-program mix:
+//!
+//! ```no_run
+//! use symbiotic_scheduling::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = Machine::new(MachineConfig::smt4())?;
+//! let table = PerfTable::build(&machine, &spec2006(), 8)?;
+//! // bzip2 + hmmer + mcf + xalancbmk
+//! let rates = table.workload_rates(&[0, 5, 7, 11])?;
+//! let best = optimal_schedule(&rates, Objective::MaxThroughput)?;
+//! let fcfs = fcfs_throughput(&rates, 40_000, JobSize::Deterministic, 42)?;
+//! println!(
+//!     "optimal scheduler gains {:.1}% over FCFS",
+//!     100.0 * (best.throughput / fcfs.throughput - 1.0)
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lp;
+pub use queueing;
+pub use simproc;
+pub use symbiosis;
+pub use workloads;
+
+/// Commonly used items from across the workspace.
+pub mod prelude {
+    pub use queueing::{
+        run_latency_experiment, ContentionModel, CoscheduleRates, FcfsScheduler, LatencyConfig,
+        MaxItScheduler, MaxTpScheduler, MmcQueue, Scheduler, SizeDist, SrptScheduler,
+    };
+    pub use simproc::{
+        BenchmarkProfile, FetchPolicy, Machine, MachineConfig, RobPartitioning,
+    };
+    pub use symbiosis::{
+        analyze_variability, enumerate_coschedules, enumerate_workloads, fairness_experiment,
+        fcfs_throughput, fcfs_throughput_markov, fit_linear_bottleneck, heterogeneity_table,
+        optimal_schedule, throughput_bounds, Coschedule, FcfsParams, JobSize, Objective,
+        WorkloadRates,
+    };
+    pub use workloads::{spec2006, spec_names, spec_profile, PerfTable};
+}

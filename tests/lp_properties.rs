@@ -1,0 +1,135 @@
+//! Property-based tests of the scheduling LP machinery on randomly
+//! generated rate tables.
+
+use proptest::prelude::*;
+
+use symbiotic_scheduling::prelude::*;
+
+/// Strategy: a random symbiosis-flavoured rate table for N types on K
+/// contexts. Per-job rates are positive and bounded by 1 (WIPC), modulated
+/// by heterogeneity so both symbiotic and anti-symbiotic tables appear.
+fn rate_table(n: usize, k: usize) -> impl Strategy<Value = WorkloadRates> {
+    let per_job = prop::collection::vec(0.05f64..1.0, n);
+    let het_boost = -0.15f64..0.15;
+    (per_job, het_boost).prop_map(move |(solo, boost)| {
+        WorkloadRates::build(n, k, |s| {
+            let het = s.heterogeneity() as f64;
+            s.counts()
+                .iter()
+                .zip(&solo)
+                .map(|(&c, &r)| {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        // Scale keeps per-job rates in (0, 1].
+                        let share = 1.0 / s.size() as f64;
+                        let factor = (1.0 + boost * (het - 2.0)).clamp(0.2, 1.8);
+                        (c as f64 * r * share.max(0.4) * factor).min(c as f64)
+                    }
+                })
+                .collect()
+        })
+        .expect("generated table is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lp_bounds_sandwich_fcfs(rates in rate_table(3, 3), seed in 0u64..1000) {
+        let (worst, best) = throughput_bounds(&rates).expect("lp solves");
+        prop_assert!(best.throughput >= worst.throughput - 1e-7);
+        let fcfs = fcfs_throughput(&rates, 25_000, JobSize::Deterministic, seed)
+            .expect("fcfs runs");
+        // The LP bounds hold exactly in the infinite-run limit; a finite
+        // experiment's realised type mix fluctuates, so allow ~2% slack
+        // (FCFS sits *at* the boundary when the worst and best schedules
+        // nearly coincide).
+        prop_assert!(fcfs.throughput <= best.throughput * 1.02 + 1e-6);
+        prop_assert!(fcfs.throughput >= worst.throughput * 0.98 - 1e-6);
+    }
+
+    #[test]
+    fn markov_fcfs_also_within_bounds(rates in rate_table(3, 3)) {
+        let (worst, best) = throughput_bounds(&rates).expect("lp solves");
+        let markov = fcfs_throughput_markov(&rates).expect("chain solves");
+        prop_assert!(markov.throughput <= best.throughput + 1e-6);
+        prop_assert!(markov.throughput >= worst.throughput - 1e-6);
+    }
+
+    #[test]
+    fn optimal_fractions_form_distribution_and_balance_work(
+        rates in rate_table(4, 4)
+    ) {
+        for objective in [Objective::MaxThroughput, Objective::MinThroughput] {
+            let sched = optimal_schedule(&rates, objective).expect("lp solves");
+            let total: f64 = sched.fractions.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6, "fractions sum {total}");
+            prop_assert!(sched.fractions.iter().all(|&x| x >= -1e-9));
+            let w0 = sched.work_rate(&rates, 0);
+            for b in 1..rates.num_types() {
+                prop_assert!((sched.work_rate(&rates, b) - w0).abs() < 1e-5);
+            }
+            // Basic-solution support bound (Section IV).
+            prop_assert!(sched.selected(1e-7).len() <= rates.num_types());
+        }
+    }
+
+    #[test]
+    fn throughput_equals_fraction_weighted_instantaneous(
+        rates in rate_table(3, 4)
+    ) {
+        let best = optimal_schedule(&rates, Objective::MaxThroughput).expect("solves");
+        let recomputed: f64 = best
+            .fractions
+            .iter()
+            .enumerate()
+            .map(|(si, &x)| x * rates.instantaneous_throughput(si))
+            .sum();
+        prop_assert!((recomputed - best.throughput).abs() < 1e-7);
+    }
+
+    #[test]
+    fn insensitive_tables_are_scheduler_independent(
+        solo in prop::collection::vec(0.1f64..0.9, 3)
+    ) {
+        let solo_clone = solo.clone();
+        let rates = WorkloadRates::build(3, 3, move |s| {
+            s.counts()
+                .iter()
+                .zip(&solo_clone)
+                .map(|(&c, &r)| c as f64 * r / 3.0)
+                .collect()
+        })
+        .expect("valid");
+        let (worst, best) = throughput_bounds(&rates).expect("solves");
+        prop_assert!((best.throughput - worst.throughput).abs() < 1e-6);
+        // Equation 7: AT = N / sum_b 1/R_b with R_b = K * r_b / K = r_b...
+        // here per-job rate r_b/3 with K=3 jobs: R_b = 3 * r_b / 3 = r_b.
+        let expected = 3.0 / solo.iter().map(|r| 1.0 / r).sum::<f64>();
+        prop_assert!((best.throughput - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_error_is_nonnegative_and_zero_for_exact(
+        big_r in prop::collection::vec(0.2f64..2.0, 3)
+    ) {
+        let big_r_clone = big_r.clone();
+        let rates = WorkloadRates::build(3, 3, move |s| {
+            let total = s.size() as f64;
+            s.counts()
+                .iter()
+                .zip(&big_r_clone)
+                .map(|(&c, &r)| c as f64 / total * r)
+                .collect()
+        })
+        .expect("valid");
+        let fit = fit_linear_bottleneck(&rates).expect("fits");
+        prop_assert!(fit.mse >= 0.0);
+        prop_assert!(fit.mse < 1e-12, "exact bottleneck must fit, mse {}", fit.mse);
+        for (got, want) in fit.full_rates.iter().zip(&big_r) {
+            prop_assert!((got - want).abs() < 1e-5);
+        }
+    }
+}

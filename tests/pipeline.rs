@@ -1,0 +1,117 @@
+//! End-to-end integration: simulator -> performance table -> scheduling
+//! analyses, on a reduced scale.
+
+use symbiotic_scheduling::prelude::*;
+
+fn small_table(config: MachineConfig) -> PerfTable {
+    let machine = Machine::new(config.with_windows(2_000, 8_000)).expect("valid config");
+    let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(4).collect();
+    PerfTable::build(&machine, &suite, 4).expect("table builds")
+}
+
+#[test]
+fn smt_pipeline_reproduces_headline_ordering() {
+    let table = small_table(MachineConfig::smt4());
+    let rates = table.workload_rates(&[0, 1, 2, 3]).expect("valid workload");
+    let (worst, best) = throughput_bounds(&rates).expect("lp solves");
+    let fcfs =
+        fcfs_throughput(&rates, 20_000, JobSize::Deterministic, 7).expect("fcfs runs");
+    // The paper's sandwich: worst <= FCFS <= best.
+    assert!(worst.throughput <= fcfs.throughput + 1e-6);
+    assert!(fcfs.throughput <= best.throughput + 1e-6);
+    // And the headline: the FCFS->optimal gap is small relative to the
+    // per-coschedule instantaneous throughput spread.
+    let n_s = rates.coschedules().len();
+    let its: Vec<f64> = (0..n_s)
+        .map(|si| rates.instantaneous_throughput(si))
+        .collect();
+    let it_spread = (its.iter().cloned().fold(f64::MIN, f64::max)
+        - its.iter().cloned().fold(f64::MAX, f64::min))
+        / (its.iter().sum::<f64>() / n_s as f64);
+    let gain = best.throughput / fcfs.throughput - 1.0;
+    assert!(
+        gain < it_spread,
+        "optimal gain {gain} should be well below IT spread {it_spread}"
+    );
+}
+
+#[test]
+fn quadcore_pipeline_yields_valid_rate_tables() {
+    let table = small_table(MachineConfig::quadcore());
+    let rates = table.workload_rates(&[0, 1, 2, 3]).expect("valid workload");
+    assert_eq!(rates.coschedules().len(), 35);
+    for si in 0..35 {
+        let s = &rates.coschedules()[si];
+        for b in 0..4 {
+            let r = rates.rate(si, b);
+            if s.count(b) > 0 {
+                assert!(r > 0.0, "present type must progress");
+                // WIPC of c jobs of a type can never exceed c (jobs cannot
+                // run faster than solo).
+                assert!(
+                    r <= s.count(b) as f64 + 0.15,
+                    "rate {r} exceeds count {}",
+                    s.count(b)
+                );
+            } else {
+                assert_eq!(r, 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn optimal_schedule_uses_few_coschedules_end_to_end() {
+    let table = small_table(MachineConfig::smt4());
+    let rates = table.workload_rates(&[0, 1, 2, 3]).expect("valid workload");
+    let best = optimal_schedule(&rates, Objective::MaxThroughput).expect("lp solves");
+    // Section IV property on real (simulated) data: at most N coschedules.
+    assert!(best.selected(1e-7).len() <= 4);
+    // Work balance holds.
+    let w0 = best.work_rate(&rates, 0);
+    for b in 1..4 {
+        assert!((best.work_rate(&rates, b) - w0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn markov_and_event_fcfs_agree_on_simulated_rates() {
+    let table = small_table(MachineConfig::smt4());
+    let rates = table.workload_rates(&[0, 1, 2, 3]).expect("valid workload");
+    let markov = fcfs_throughput_markov(&rates).expect("chain solves");
+    let sim = fcfs_throughput(&rates, 150_000, JobSize::Exponential, 3).expect("sim runs");
+    let rel = (markov.throughput - sim.throughput).abs() / markov.throughput;
+    assert!(
+        rel < 0.02,
+        "markov {} vs event sim {}",
+        markov.throughput,
+        sim.throughput
+    );
+}
+
+#[test]
+fn latency_experiment_runs_on_simulated_view() {
+    let table = small_table(MachineConfig::smt4());
+    let rates = table.workload_rates(&[0, 1, 2, 3]).expect("valid workload");
+    let view = table.workload_view(&[0, 1, 2, 3]).expect("valid view");
+    let fcfs_max =
+        fcfs_throughput(&rates, 20_000, JobSize::Deterministic, 7).expect("fcfs runs");
+    let report = run_latency_experiment(
+        &view,
+        &mut FcfsScheduler,
+        &LatencyConfig {
+            arrival_rate: 0.8 * fcfs_max.throughput,
+            measured_jobs: 5_000,
+            warmup_jobs: 500,
+            sizes: SizeDist::Exponential,
+            seed: 2,
+        },
+    )
+    .expect("experiment runs");
+    // Stable system: throughput tracks the offered load.
+    let rel = (report.throughput - 0.8 * fcfs_max.throughput).abs()
+        / (0.8 * fcfs_max.throughput);
+    assert!(rel < 0.08, "throughput {} vs load", report.throughput);
+    assert!(report.utilization <= 4.0 + 1e-9);
+    assert!(report.empty_fraction < 0.5);
+}
