@@ -1,0 +1,45 @@
+//! The unified scheduling API: `RateModel` + `Policy` + `Session`.
+//!
+//! This crate is the single entry point over the workspace's analysis
+//! machinery. It ties together
+//!
+//! * a rate source — any [`symbiosis::RateModel`]: a measured
+//!   `workloads::WorkloadView`, an analytic [`symbiosis::AnalyticModel`],
+//!   a memoizing [`symbiosis::CachedModel`], or a machine + workload pair
+//!   this crate simulates for you;
+//! * the [`Policy`] registry — the paper's four throughput analyses and
+//!   four latency schedulers, addressable by name; and
+//! * the builder-style [`Session`], which evaluates any set of policies on
+//!   one rate source and returns uniform [`PolicyReport`] rows.
+//!
+//! # Examples
+//!
+//! Simulate a workload on the SMT machine and compare the LP bounds with
+//! the FCFS baseline (the paper's headline experiment):
+//!
+//! ```no_run
+//! use session::{Policy, Session};
+//! use simproc::MachineConfig;
+//!
+//! # fn main() -> Result<(), session::SessionError> {
+//! let report = Session::builder()
+//!     .machine(MachineConfig::smt4())
+//!     .workload(&[0, 5, 7, 11]) // bzip2 + hmmer + mcf + xalancbmk
+//!     .policies([Policy::Worst, Policy::FcfsEvent, Policy::Optimal])
+//!     .fcfs_jobs(40_000)
+//!     .seed(42)
+//!     .run()?;
+//! println!("{report}");
+//! let gain = report.throughput(Policy::Optimal).unwrap()
+//!     / report.throughput(Policy::FcfsEvent).unwrap()
+//!     - 1.0;
+//! println!("optimal scheduler gains {:.1}% over FCFS", 100.0 * gain);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod policy;
+pub mod session;
+
+pub use policy::{Policy, PolicyKind};
+pub use session::{PolicyReport, Session, SessionBuilder, SessionError, SessionReport};

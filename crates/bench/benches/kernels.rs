@@ -1,20 +1,73 @@
-//! Criterion benches of the performance-critical kernels behind the
-//! paper's experiments: the simplex solver, the coschedule simulator, the
-//! FCFS estimators, and the discrete-event scheduler step.
+//! Benchmarks of the performance-critical kernels behind the paper's
+//! experiments: the simplex solver, the coschedule simulator, the FCFS
+//! estimators, and the discrete-event scheduler step.
+//!
+//! Self-contained harness (no external bench framework): each kernel is
+//! auto-calibrated to a target batch duration, timed over several batches,
+//! and reported as the median ns/iteration. `cargo bench -p paperbench`
+//! prints the table and rewrites `BENCH_session.json` at the workspace
+//! root so successive PRs accumulate a perf trajectory.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use lp::{LinearProgram, Relation};
-use queueing::{
-    run_latency_experiment, ContentionModel, FcfsScheduler, LatencyConfig, MaxItScheduler,
-    Scheduler, SizeDist, SrptScheduler,
-};
+use queueing::{run_latency_experiment, ContentionModel, LatencyConfig, SizeDist};
+use session::Policy;
 use simproc::{Machine, MachineConfig};
 use symbiosis::{
     enumerate_coschedules, fcfs_throughput, fcfs_throughput_markov, optimal_schedule, JobSize,
     Objective, WorkloadRates,
 };
 use workloads::spec2006;
+
+/// One benchmark's outcome.
+struct Measurement {
+    name: &'static str,
+    median_ns: f64,
+    batches: usize,
+    iters_per_batch: u64,
+}
+
+/// Times `f` adaptively: calibrates an iteration count for ~40ms batches,
+/// then reports the median per-iteration time over 7 batches.
+fn bench<F: FnMut()>(name: &'static str, mut f: F) -> Measurement {
+    const TARGET_BATCH_NS: f64 = 40_000_000.0;
+    const BATCHES: usize = 7;
+
+    // Warm up and calibrate.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t0.elapsed().as_nanos() as f64;
+        if elapsed >= TARGET_BATCH_NS / 4.0 || iters >= 1 << 20 {
+            let scale = (TARGET_BATCH_NS / elapsed.max(1.0)).clamp(0.25, 1024.0);
+            iters = ((iters as f64 * scale) as u64).max(1);
+            break;
+        }
+        iters *= 4;
+    }
+
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Measurement {
+        name,
+        median_ns: per_iter[BATCHES / 2],
+        batches: BATCHES,
+        iters_per_batch: iters,
+    }
+}
 
 /// The Section IV scheduling LP at paper scale: 35 coschedule variables,
 /// 4 equality constraints.
@@ -31,11 +84,14 @@ fn scheduling_rates() -> WorkloadRates {
     .expect("valid table")
 }
 
-fn bench_simplex(c: &mut Criterion) {
+fn main() {
+    let mut results: Vec<Measurement> = Vec::new();
+
     let rates = scheduling_rates();
-    c.bench_function("lp/optimal_schedule_n4_k4", |b| {
-        b.iter(|| optimal_schedule(&rates, Objective::MaxThroughput).expect("solves"))
-    });
+    results.push(bench("lp/optimal_schedule_n4_k4", || {
+        black_box(optimal_schedule(&rates, Objective::MaxThroughput).expect("solves"));
+    }));
+
     // A larger LP: N = 8 -> 330 variables, 8 constraints.
     let big = WorkloadRates::build(8, 4, |s| {
         let het = s.heterogeneity() as f64;
@@ -46,95 +102,98 @@ fn bench_simplex(c: &mut Criterion) {
             .collect()
     })
     .expect("valid table");
-    c.bench_function("lp/optimal_schedule_n8_k4", |b| {
-        b.iter(|| optimal_schedule(&big, Objective::MaxThroughput).expect("solves"))
-    });
-    c.bench_function("lp/raw_simplex_20x8", |b| {
-        b.iter_batched(
-            || {
-                let mut p = LinearProgram::maximize(&[1.0; 20]);
-                for i in 0..8 {
-                    let row: Vec<f64> = (0..20)
-                        .map(|j| ((i * 7 + j * 3) % 11) as f64 / 11.0)
-                        .collect();
-                    p.constraint(&row, Relation::Le, 1.0 + i as f64 * 0.1);
-                }
-                p
-            },
-            |p| p.solve().expect("solves"),
-            BatchSize::SmallInput,
-        )
-    });
-}
+    results.push(bench("lp/optimal_schedule_n8_k4", || {
+        black_box(optimal_schedule(&big, Objective::MaxThroughput).expect("solves"));
+    }));
 
-fn bench_simproc(c: &mut Criterion) {
+    results.push(bench("lp/raw_simplex_20x8", || {
+        let mut p = LinearProgram::maximize(&[1.0; 20]);
+        for i in 0..8 {
+            let row: Vec<f64> = (0..20)
+                .map(|j| ((i * 7 + j * 3) % 11) as f64 / 11.0)
+                .collect();
+            p.constraint(&row, Relation::Le, 1.0 + i as f64 * 0.1);
+        }
+        black_box(p.solve().expect("solves"));
+    }));
+
     let suite = spec2006();
-    let machine = Machine::new(MachineConfig::smt4().with_windows(1_000, 4_000))
-        .expect("valid config");
-    c.bench_function("simproc/smt4_coschedule_5k_cycles", |b| {
-        b.iter(|| {
+    let machine =
+        Machine::new(MachineConfig::smt4().with_windows(1_000, 4_000)).expect("valid config");
+    results.push(bench("simproc/smt4_coschedule_5k_cycles", || {
+        black_box(
             machine
                 .simulate(&[&suite[0], &suite[5], &suite[7], &suite[11]])
-                .expect("simulates")
-        })
-    });
-    let quad = Machine::new(MachineConfig::quadcore().with_windows(1_000, 4_000))
-        .expect("valid config");
-    c.bench_function("simproc/quadcore_coschedule_5k_cycles", |b| {
-        b.iter(|| {
+                .expect("simulates"),
+        );
+    }));
+    let quad =
+        Machine::new(MachineConfig::quadcore().with_windows(1_000, 4_000)).expect("valid config");
+    results.push(bench("simproc/quadcore_coschedule_5k_cycles", || {
+        black_box(
             quad.simulate(&[&suite[0], &suite[5], &suite[7], &suite[11]])
-                .expect("simulates")
-        })
-    });
-}
+                .expect("simulates"),
+        );
+    }));
 
-fn bench_fcfs(c: &mut Criterion) {
-    let rates = scheduling_rates();
-    c.bench_function("fcfs/event_sim_5k_jobs", |b| {
-        b.iter(|| fcfs_throughput(&rates, 5_000, JobSize::Deterministic, 1).expect("runs"))
-    });
-    c.bench_function("fcfs/markov_chain_35_states", |b| {
-        b.iter(|| fcfs_throughput_markov(&rates).expect("solves"))
-    });
-}
+    results.push(bench("fcfs/event_sim_5k_jobs", || {
+        black_box(fcfs_throughput(&rates, 5_000, JobSize::Deterministic, 1).expect("runs"));
+    }));
+    results.push(bench("fcfs/markov_chain_35_states", || {
+        black_box(fcfs_throughput_markov(&rates).expect("solves"));
+    }));
 
-fn bench_des(c: &mut Criterion) {
-    let rates = ContentionModel::new(vec![1.0, 0.7, 0.5, 0.3], 0.2, 4);
-    let cfg = LatencyConfig {
+    let des_rates = ContentionModel::new(vec![1.0, 0.7, 0.5, 0.3], 0.2, 4);
+    let des_cfg = LatencyConfig {
         arrival_rate: 1.2,
         measured_jobs: 2_000,
         warmup_jobs: 200,
         sizes: SizeDist::Exponential,
         seed: 3,
     };
-    let policies: [(&str, fn() -> Box<dyn Scheduler>); 3] = [
-        ("fcfs", || Box::new(FcfsScheduler)),
-        ("maxit", || Box::new(MaxItScheduler)),
-        ("srpt", || Box::new(SrptScheduler)),
-    ];
-    for (name, make) in policies {
-        c.bench_function(&format!("des/latency_2k_jobs_{name}"), |b| {
-            b.iter_batched(
-                make,
-                |mut s| run_latency_experiment(&rates, s.as_mut(), &cfg).expect("runs"),
-                BatchSize::SmallInput,
-            )
-        });
+    for policy in [Policy::Fcfs, Policy::MaxIt, Policy::Srpt] {
+        let name: &'static str = match policy {
+            Policy::Fcfs => "des/latency_2k_jobs_fcfs",
+            Policy::MaxIt => "des/latency_2k_jobs_maxit",
+            _ => "des/latency_2k_jobs_srpt",
+        };
+        results.push(bench(name, || {
+            let mut sched = policy.latency_scheduler(&[]).expect("latency policy");
+            black_box(run_latency_experiment(&des_rates, sched.as_mut(), &des_cfg).expect("runs"));
+        }));
+    }
+
+    results.push(bench("enumerate/coschedules_12_choose_4_multiset", || {
+        black_box(enumerate_coschedules(12, 4));
+    }));
+
+    println!(
+        "{:<44} {:>14} {:>8} {:>12}",
+        "kernel", "median ns/iter", "batches", "iters/batch"
+    );
+    for m in &results {
+        println!(
+            "{:<44} {:>14.0} {:>8} {:>12}",
+            m.name, m.median_ns, m.batches, m.iters_per_batch
+        );
+    }
+
+    // Emit the JSON trajectory file at the workspace root.
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns_per_iter\": {:.1}, \"batches\": {}, \"iters_per_batch\": {}}}{}\n",
+            m.name,
+            m.median_ns,
+            m.batches,
+            m.iters_per_batch,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
-
-fn bench_enumeration(c: &mut Criterion) {
-    c.bench_function("enumerate/coschedules_12_choose_4_multiset", |b| {
-        b.iter(|| enumerate_coschedules(12, 4))
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_simplex,
-    bench_simproc,
-    bench_fcfs,
-    bench_des,
-    bench_enumeration
-);
-criterion_main!(benches);

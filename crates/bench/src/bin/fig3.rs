@@ -22,7 +22,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    eprintln!("tables ready in {:.1?}; running experiment...", t0.elapsed());
+    eprintln!(
+        "tables ready in {:.1?}; running experiment...",
+        t0.elapsed()
+    );
     match fig3::run(&study) {
         Ok(result) => println!("{result}"),
         Err(e) => {

@@ -4,9 +4,10 @@
 
 use std::fmt;
 
-use symbiosis::fairness_experiment;
+use session::Policy;
+use symbiosis::{rebalanced_heterogeneous, FairnessExperiment, WorkloadRates};
 
-use crate::study::{Chip, Study};
+use crate::study::{Chip, Study, StudyConfig};
 use crate::{mean, parallel_map, pct};
 
 /// Averaged before/after numbers for the counterfactual.
@@ -26,6 +27,53 @@ pub struct Fairness {
     pub workloads: usize,
 }
 
+/// The Section V-D counterfactual expressed as two `Session` runs: the
+/// original and the rebalanced table each evaluated under the optimal,
+/// worst and event-FCFS policies. Produces exactly the numbers the
+/// pre-`Session` `fairness_experiment` free function produced — the parity
+/// suite pins that equivalence bitwise.
+///
+/// # Errors
+///
+/// Propagates session/analysis failures as strings; requires `N == K` so
+/// the fully heterogeneous coschedule exists.
+pub fn counterfactual(
+    rates: &WorkloadRates,
+    config: &StudyConfig,
+) -> Result<FairnessExperiment, String> {
+    let (si, rebalanced) = rebalanced_heterogeneous(rates).map_err(|e| e.to_string())?;
+
+    let evaluate = |table: &WorkloadRates| {
+        config
+            .session()
+            .rates(table)
+            .policies([Policy::Optimal, Policy::Worst, Policy::FcfsEvent])
+            .run()
+            .map_err(|e| e.to_string())
+    };
+    let before = evaluate(rates)?;
+    let after = evaluate(&rebalanced)?;
+    let fraction = |report: &session::SessionReport| {
+        report
+            .row(Policy::Optimal)
+            .expect("requested")
+            .fractions
+            .as_ref()
+            .expect("LP rows carry fractions")[si]
+    };
+    Ok(FairnessExperiment {
+        coschedule: si,
+        optimal_before: before.throughput(Policy::Optimal).expect("requested"),
+        optimal_after: after.throughput(Policy::Optimal).expect("requested"),
+        fraction_before: fraction(&before),
+        fraction_after: fraction(&after),
+        fcfs_before: before.throughput(Policy::FcfsEvent).expect("requested"),
+        fcfs_after: after.throughput(Policy::FcfsEvent).expect("requested"),
+        worst_before: before.throughput(Policy::Worst).expect("requested"),
+        worst_after: after.throughput(Policy::Worst).expect("requested"),
+    })
+}
+
 /// Runs the fairness counterfactual over the study workloads (SMT).
 ///
 /// # Errors
@@ -36,8 +84,7 @@ pub fn run(study: &Study) -> Result<Fairness, String> {
     let table = study.table(Chip::Smt);
     let results = parallel_map(&workloads, study.config().threads, |w| {
         let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-        fairness_experiment(&rates, study.config().fcfs_jobs, study.config().seed)
-            .map_err(|e| e.to_string())
+        counterfactual(&rates, study.config())
     });
     let experiments: Vec<_> = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let gains: Vec<f64> = experiments
@@ -72,15 +119,27 @@ impl fmt::Display for Fairness {
              coschedule (SMT, {} workloads)",
             self.workloads
         )?;
-        writeln!(f, "mean optimal-throughput gain:        {}", pct(self.optimal_gain))?;
+        writeln!(
+            f,
+            "mean optimal-throughput gain:        {}",
+            pct(self.optimal_gain)
+        )?;
         writeln!(
             f,
             "heterogeneous coschedule fraction:   {:.0}% -> {:.0}%",
             100.0 * self.fraction_before,
             100.0 * self.fraction_after
         )?;
-        writeln!(f, "mean |FCFS shift|:                   {}", pct(self.fcfs_shift))?;
-        writeln!(f, "mean |worst shift|:                  {}", pct(self.worst_shift))?;
+        writeln!(
+            f,
+            "mean |FCFS shift|:                   {}",
+            pct(self.fcfs_shift)
+        )?;
+        writeln!(
+            f,
+            "mean |worst shift|:                  {}",
+            pct(self.worst_shift)
+        )?;
         writeln!(
             f,
             "\npaper: after equalising, the optimal scheduler selects the heterogeneous\n\
@@ -110,6 +169,10 @@ mod tests {
             "fraction must not fall"
         );
         assert!(res.worst_shift < 1e-6, "worst scheduler unaffected");
-        assert!(res.fcfs_shift < 0.06, "FCFS barely moves: {}", res.fcfs_shift);
+        assert!(
+            res.fcfs_shift < 0.06,
+            "FCFS barely moves: {}",
+            res.fcfs_shift
+        );
     }
 }

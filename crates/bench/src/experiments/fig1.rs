@@ -3,9 +3,11 @@
 
 use std::fmt;
 
-use symbiosis::{analyze_variability, FcfsParams, JobSize};
+use session::Policy;
+use symbiosis::{instantaneous_spread, per_job_spreads, WorkloadRates, WorkloadVariability};
+use workloads::PerfTable;
 
-use crate::study::{Chip, Study};
+use crate::study::{Chip, Study, StudyConfig};
 use crate::{max, mean, min, parallel_map, pct};
 
 /// One Figure 1 bar: relative excursions around its zero line.
@@ -60,6 +62,45 @@ pub struct Fig1 {
     pub workloads: usize,
 }
 
+/// One workload's variability statistics, with the throughput legs
+/// obtained through the `Session` API (the spread legs are pure table
+/// statistics). Produces exactly the numbers the pre-`Session`
+/// `analyze_variability` free function produced — the parity suite pins
+/// that equivalence bitwise.
+///
+/// # Errors
+///
+/// Propagates session/analysis failures as strings.
+pub fn workload_variability(
+    rates: &WorkloadRates,
+    config: &StudyConfig,
+) -> Result<WorkloadVariability, String> {
+    let report = config
+        .session()
+        .rates(rates)
+        .policies([Policy::Optimal, Policy::Worst, Policy::FcfsEvent])
+        .run()
+        .map_err(|e| e.to_string())?;
+    Ok(WorkloadVariability {
+        per_job: per_job_spreads(rates).map_err(|e| e.to_string())?,
+        instantaneous: instantaneous_spread(rates),
+        fcfs: report.throughput(Policy::FcfsEvent).expect("requested"),
+        best: report.throughput(Policy::Optimal).expect("requested"),
+        worst: report.throughput(Policy::Worst).expect("requested"),
+    })
+}
+
+/// The per-workload leg shared by [`run`]: rates from the table, then
+/// [`workload_variability`] through the session.
+fn analyze_one(
+    table: &PerfTable,
+    workload: &[usize],
+    config: &StudyConfig,
+) -> Result<WorkloadVariability, String> {
+    let rates = table.workload_rates(workload).map_err(|e| e.to_string())?;
+    workload_variability(&rates, config)
+}
+
 /// Runs the Figure 1 analysis.
 ///
 /// # Errors
@@ -72,16 +113,7 @@ pub fn run(study: &Study) -> Result<Fig1, String> {
     for chip in Chip::ALL {
         let table = study.table(chip);
         let results = parallel_map(&workloads, study.config().threads, |w| {
-            let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-            analyze_variability(
-                &rates,
-                FcfsParams {
-                    jobs: study.config().fcfs_jobs,
-                    sizes: JobSize::Deterministic,
-                    seed: study.config().seed,
-                },
-            )
-            .map_err(|e| e.to_string())
+            analyze_one(table, w, study.config())
         });
         let mut pj_max = Vec::new();
         let mut pj_min = Vec::new();

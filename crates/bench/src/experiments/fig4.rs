@@ -105,7 +105,11 @@ mod tests {
     #[test]
     fn worked_example_matches_paper() {
         let fig = run().unwrap();
-        assert!((fig.example_base.0 - 8.7).abs() < 0.15, "{:?}", fig.example_base);
+        assert!(
+            (fig.example_base.0 - 8.7).abs() < 0.15,
+            "{:?}",
+            fig.example_base
+        );
         assert!((fig.example_base.1 - 2.5).abs() < 0.05);
         assert!((fig.example_improved.0 - 7.3).abs() < 0.2);
         assert!((fig.example_improved.1 - 2.1).abs() < 0.06);

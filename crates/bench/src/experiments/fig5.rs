@@ -4,17 +4,15 @@
 
 use std::fmt;
 
-use queueing::{
-    run_latency_experiment, FcfsScheduler, LatencyConfig, MaxItScheduler, MaxTpScheduler,
-    Scheduler, SizeDist, SrptScheduler,
-};
+use queueing::{run_latency_experiment, LatencyConfig, SizeDist};
+use session::Policy;
 use symbiosis::{fcfs_throughput, optimal_schedule, JobSize, Objective};
 
 use crate::study::{Chip, Study};
 use crate::{mean, parallel_map};
 
-/// The four policies of Section VI, in paper order.
-pub const POLICIES: [&str; 4] = ["FCFS", "MAXIT", "SRPT", "MAXTP"];
+/// The four policies of Section VI, in paper order (registry entries).
+pub const POLICIES: [Policy; 4] = Policy::LATENCY;
 
 /// Averaged metrics for one (policy, load) cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,46 +59,47 @@ pub fn run(study: &Study) -> Result<Fig5, String> {
 
     let mut cells = Vec::new();
     for &load in &loads {
-        let runs = parallel_map(&workloads, cfg.threads, |w| -> Result<WorkloadRun, String> {
-            let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-            let view = table.workload_view(w).map_err(|e| e.to_string())?;
-            let fcfs_tp = fcfs_throughput(&rates, cfg.fcfs_jobs, JobSize::Deterministic, cfg.seed)
-                .map_err(|e| e.to_string())?
-                .throughput;
-            let best = optimal_schedule(&rates, Objective::MaxThroughput)
-                .map_err(|e| e.to_string())?;
-            let targets: Vec<(Vec<u32>, f64)> = rates
-                .coschedules()
-                .iter()
-                .zip(&best.fractions)
-                .filter(|(_, &x)| x > 1e-9)
-                .map(|(s, &x)| (s.counts().to_vec(), x))
-                .collect();
-            let latency_cfg = LatencyConfig {
-                arrival_rate: load * fcfs_tp,
-                measured_jobs,
-                warmup_jobs: measured_jobs / 10,
-                sizes: SizeDist::Exponential,
-                seed: cfg.seed ^ (load * 1000.0) as u64,
-            };
-            let mut per_policy = Vec::new();
-            for policy in POLICIES {
-                let mut sched: Box<dyn Scheduler> = match policy {
-                    "FCFS" => Box::new(FcfsScheduler),
-                    "MAXIT" => Box::new(MaxItScheduler),
-                    "SRPT" => Box::new(SrptScheduler),
-                    "MAXTP" => Box::new(MaxTpScheduler::new(targets.clone())),
-                    _ => unreachable!("policy list is fixed"),
+        let runs = parallel_map(
+            &workloads,
+            cfg.threads,
+            |w| -> Result<WorkloadRun, String> {
+                let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
+                let view = table.workload_view(w).map_err(|e| e.to_string())?;
+                let fcfs_tp =
+                    fcfs_throughput(&rates, cfg.fcfs_jobs, JobSize::Deterministic, cfg.seed)
+                        .map_err(|e| e.to_string())?
+                        .throughput;
+                let best = optimal_schedule(&rates, Objective::MaxThroughput)
+                    .map_err(|e| e.to_string())?;
+                let targets: Vec<(Vec<u32>, f64)> = rates
+                    .coschedules()
+                    .iter()
+                    .zip(&best.fractions)
+                    .filter(|(_, &x)| x > 1e-9)
+                    .map(|(s, &x)| (s.counts().to_vec(), x))
+                    .collect();
+                let latency_cfg = LatencyConfig {
+                    arrival_rate: load * fcfs_tp,
+                    measured_jobs,
+                    warmup_jobs: measured_jobs / 10,
+                    sizes: SizeDist::Exponential,
+                    seed: cfg.seed ^ (load * 1000.0) as u64,
                 };
-                let report = run_latency_experiment(&view, sched.as_mut(), &latency_cfg)?;
-                per_policy.push((
-                    report.mean_turnaround,
-                    report.utilization,
-                    report.empty_fraction,
-                ));
-            }
-            Ok(WorkloadRun { per_policy })
-        });
+                let mut per_policy = Vec::new();
+                for policy in POLICIES {
+                    let mut sched = policy
+                        .latency_scheduler(&targets)
+                        .expect("latency policy has a scheduler");
+                    let report = run_latency_experiment(&view, sched.as_mut(), &latency_cfg)?;
+                    per_policy.push((
+                        report.mean_turnaround,
+                        report.utilization,
+                        report.empty_fraction,
+                    ));
+                }
+                Ok(WorkloadRun { per_policy })
+            },
+        );
         let runs: Vec<WorkloadRun> = runs.into_iter().collect::<Result<_, _>>()?;
         let mut row = Vec::new();
         for (pi, _) in POLICIES.iter().enumerate() {
@@ -133,17 +132,14 @@ impl fmt::Display for Fig5 {
             self.workloads
         )?;
         for (metric, pick) in [
-            (
-                "turnaround time (normalised to FCFS)",
-                0usize,
-            ),
+            ("turnaround time (normalised to FCFS)", 0usize),
             ("processor utilization (busy contexts)", 1),
             ("processor empty fraction", 2),
         ] {
             writeln!(f, "\n-- {metric} --")?;
             write!(f, "{:>8}", "load")?;
             for p in POLICIES {
-                write!(f, " {p:>8}")?;
+                write!(f, " {:>8}", p.name())?;
             }
             writeln!(f)?;
             for (li, &load) in self.loads.iter().enumerate() {

@@ -4,10 +4,8 @@
 
 use std::fmt;
 
-use queueing::{
-    run_batch_experiment, BatchConfig, FcfsScheduler, MaxItScheduler, MaxTpScheduler, Scheduler,
-    SizeDist, SrptScheduler,
-};
+use queueing::{run_batch_experiment, BatchConfig, SizeDist};
+use session::Policy;
 use symbiosis::throughput_bounds;
 
 use crate::study::{Chip, Study};
@@ -69,14 +67,10 @@ pub fn run(study: &Study) -> Result<Fig6, String> {
             seed: cfg.seed ^ 0xF16,
         };
         let mut achieved = Vec::new();
-        for policy in ["FCFS", "MAXIT", "SRPT", "MAXTP"] {
-            let mut sched: Box<dyn Scheduler> = match policy {
-                "FCFS" => Box::new(FcfsScheduler),
-                "MAXIT" => Box::new(MaxItScheduler),
-                "SRPT" => Box::new(SrptScheduler),
-                "MAXTP" => Box::new(MaxTpScheduler::new(targets.clone())),
-                _ => unreachable!("policy list is fixed"),
-            };
+        for policy in Policy::LATENCY {
+            let mut sched = policy
+                .latency_scheduler(&targets)
+                .expect("latency policy has a scheduler");
             let report = run_batch_experiment(&view, sched.as_mut(), &batch_cfg)?;
             achieved.push(report.throughput);
         }

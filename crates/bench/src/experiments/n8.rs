@@ -30,13 +30,14 @@ fn mean_gain(study: &Study, n: usize) -> Result<(f64, f64, usize), String> {
         Some(s) if s >= all.len() => all,
         Some(s) => {
             let stride = all.len() as f64 / s as f64;
-            (0..s).map(|i| all[(i as f64 * stride) as usize].clone()).collect()
+            (0..s)
+                .map(|i| all[(i as f64 * stride) as usize].clone())
+                .collect()
         }
     };
     let gains = parallel_map(&workloads, study.config().threads, |w| {
         let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-        let best = optimal_schedule(&rates, Objective::MaxThroughput)
-            .map_err(|e| e.to_string())?;
+        let best = optimal_schedule(&rates, Objective::MaxThroughput).map_err(|e| e.to_string())?;
         let fcfs = fcfs_throughput(
             &rates,
             study.config().fcfs_jobs,
@@ -68,7 +69,10 @@ pub fn run(study: &Study) -> Result<N8, String> {
 
 impl fmt::Display for N8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Section V-B: sensitivity to the number of job types (SMT)")?;
+        writeln!(
+            f,
+            "Section V-B: sensitivity to the number of job types (SMT)"
+        )?;
         writeln!(
             f,
             "N = 4: mean optimal gain over FCFS {} ({} workloads)",

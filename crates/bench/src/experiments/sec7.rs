@@ -5,11 +5,12 @@
 
 use std::fmt;
 
+use session::Policy as SessionPolicy;
 use simproc::{FetchPolicy, Machine, MachineConfig, RobPartitioning};
-use symbiosis::{fcfs_throughput, optimal_schedule, JobSize, Objective};
-use workloads::{spec2006, PerfTable};
+use workloads::spec2006;
+use workloads::PerfTable;
 
-use crate::study::Study;
+use crate::study::{Study, StudyConfig};
 use crate::{mean, parallel_map, pct};
 
 /// One SMT front-end/back-end policy combination.
@@ -84,6 +85,36 @@ pub struct Sec7 {
     pub workloads: usize,
 }
 
+/// FCFS and optimal average throughput of one workload, obtained through
+/// one `Session` over the table's measured rate model. Matches the old
+/// `fcfs_throughput` + `optimal_schedule` pair bitwise (pinned by the
+/// parity suite).
+///
+/// # Errors
+///
+/// Propagates session failures as strings.
+pub fn workload_throughputs(
+    table: &PerfTable,
+    workload: &[usize],
+    config: &StudyConfig,
+) -> Result<(f64, f64), String> {
+    let rates = table.workload_rates(workload).map_err(|e| e.to_string())?;
+    let report = config
+        .session()
+        .rates(&rates)
+        .policies([SessionPolicy::FcfsEvent, SessionPolicy::Optimal])
+        .run()
+        .map_err(|e| e.to_string())?;
+    Ok((
+        report
+            .throughput(SessionPolicy::FcfsEvent)
+            .expect("requested"),
+        report
+            .throughput(SessionPolicy::Optimal)
+            .expect("requested"),
+    ))
+}
+
 /// Runs the Section VII study. Builds one performance table per policy
 /// (the study's dominant cost).
 ///
@@ -106,13 +137,7 @@ pub fn run(study: &Study) -> Result<Sec7, String> {
         let machine = Machine::new(mc).map_err(|e| e.to_string())?;
         let table = PerfTable::build(&machine, &suite, cfg.threads).map_err(|e| e.to_string())?;
         let results = parallel_map(&workloads, cfg.threads, |w| {
-            let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-            let fcfs =
-                fcfs_throughput(&rates, cfg.fcfs_jobs, JobSize::Deterministic, cfg.seed)
-                    .map_err(|e| e.to_string())?;
-            let best = optimal_schedule(&rates, Objective::MaxThroughput)
-                .map_err(|e| e.to_string())?;
-            Ok::<_, String>((fcfs.throughput, best.throughput))
+            workload_throughputs(&table, w, cfg)
         });
         let pairs: Vec<(f64, f64)> = results.into_iter().collect::<Result<_, _>>()?;
         per_policy_fcfs.push(pairs.iter().map(|p| p.0).collect());

@@ -65,10 +65,7 @@ pub fn run(study: &Study) -> Result<Table2, String> {
         let mut rows = Vec::new();
         for het in 1..=max_het {
             let collect = |f: &dyn Fn(&symbiosis::HeterogeneityRow) -> f64| -> Vec<f64> {
-                tables
-                    .iter()
-                    .filter_map(|t| t.row(het).map(f))
-                    .collect()
+                tables.iter().filter_map(|t| t.row(het).map(f)).collect()
             };
             rows.push(Row {
                 heterogeneity: het,

@@ -48,8 +48,8 @@ pub fn run(study: &Study) -> Result<UnitAblation, String> {
             let rates = table
                 .workload_rates_with_unit(w, unit)
                 .map_err(|e| e.to_string())?;
-            let best = optimal_schedule(&rates, Objective::MaxThroughput)
-                .map_err(|e| e.to_string())?;
+            let best =
+                optimal_schedule(&rates, Objective::MaxThroughput).map_err(|e| e.to_string())?;
             let fcfs = fcfs_throughput(&rates, cfg.fcfs_jobs, JobSize::Deterministic, cfg.seed)
                 .map_err(|e| e.to_string())?;
             Ok::<_, String>(best.throughput / fcfs.throughput - 1.0)
@@ -79,11 +79,7 @@ impl fmt::Display for UnitAblation {
             "Unit-of-work ablation (SMT, {} workloads): optimal gain over FCFS",
             self.workloads
         )?;
-        writeln!(
-            f,
-            "{:<22} {:>10} {:>10}",
-            "unit", "mean gain", "max gain"
-        )?;
+        writeln!(f, "{:<22} {:>10} {:>10}", "unit", "mean gain", "max gain")?;
         writeln!(
             f,
             "{:<22} {:>10} {:>10}",

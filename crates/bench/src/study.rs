@@ -4,9 +4,10 @@
 use std::error::Error;
 use std::fmt;
 
+use session::{Session, SessionBuilder};
 use simproc::{Machine, MachineConfig, MachineError};
 use symbiosis::enumerate_workloads;
-use workloads::{spec2006, PerfTable, TableError};
+use workloads::{spec2006, PerfTable, TableError, WorkloadView};
 
 /// Which of the paper's two machine configurations an experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,6 +88,16 @@ impl StudyConfig {
         }
     }
 
+    /// Starts a [`Session`] builder carrying this study's experiment
+    /// parameters (FCFS job count, base seed, thread count) — the
+    /// config-driven entry point every experiment hangs its policies on.
+    pub fn session(&self) -> SessionBuilder<'static> {
+        Session::builder()
+            .fcfs_jobs(self.fcfs_jobs)
+            .seed(self.seed)
+            .threads(self.threads)
+    }
+
     /// Parses command-line arguments shared by the experiment binaries:
     /// `--fast` (test-scale), `--sample N`, `--jobs N`, `--threads N`.
     ///
@@ -97,10 +108,7 @@ impl StudyConfig {
         let mut cfg = StudyConfig::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
-            let mut grab = |name: &str| {
-                iter.next()
-                    .ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut grab = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
             match arg.as_str() {
                 "--fast" => cfg = StudyConfig::fast(),
                 "--sample" => {
@@ -182,9 +190,8 @@ impl Study {
     pub fn new(config: StudyConfig) -> Result<Self, StudyError> {
         let suite = spec2006();
         let build = |mc: MachineConfig| -> Result<PerfTable, StudyError> {
-            let machine = Machine::new(
-                mc.with_windows(config.warmup_cycles, config.measure_cycles),
-            )?;
+            let machine =
+                Machine::new(mc.with_windows(config.warmup_cycles, config.measure_cycles))?;
             Ok(PerfTable::build(&machine, &suite, config.threads)?)
         };
         Ok(Study {
@@ -205,6 +212,16 @@ impl Study {
             Chip::Smt => &self.smt,
             Chip::Quad => &self.quad,
         }
+    }
+
+    /// The measured rate model for one workload on one chip — the source
+    /// experiments hand to [`StudyConfig::session`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload validation errors from the table.
+    pub fn model(&self, chip: Chip, workload: &[usize]) -> Result<WorkloadView<'_>, TableError> {
+        self.table(chip).workload_view(workload)
     }
 
     /// The analysed workloads: all `C(12, N)` combinations, or a
@@ -232,8 +249,7 @@ mod tests {
     #[test]
     fn from_args_parses_flags() {
         let cfg = StudyConfig::from_args(
-            ["--sample", "7", "--jobs", "1000", "--threads", "2"]
-                .map(String::from),
+            ["--sample", "7", "--jobs", "1000", "--threads", "2"].map(String::from),
         )
         .unwrap();
         assert_eq!(cfg.sample, Some(7));
@@ -249,6 +265,16 @@ mod tests {
         let full = StudyConfig::default();
         assert!(fast.measure_cycles < full.measure_cycles);
         assert!(fast.sample.is_some());
+    }
+
+    #[test]
+    fn config_driven_session_carries_study_parameters() {
+        use session::{Policy, SessionError};
+        let mut cfg = StudyConfig::fast();
+        cfg.fcfs_jobs = 123;
+        // The builder is preconfigured but has no rate source yet.
+        let err = cfg.session().policy(Policy::Optimal).run();
+        assert!(matches!(err, Err(SessionError::MissingRates)));
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! API parity: every migrated experiment path produces *byte-identical*
+//! numbers through the new `Session` API as through the old free
+//! functions, for a fixed seed. Uses a reduced-scale measured table so the
+//! suite stays fast.
+
+use std::sync::OnceLock;
+
+use paperbench::experiments::{fairness, fig1, sec7};
+use paperbench::StudyConfig;
+use simproc::BenchmarkProfile;
+use simproc::{Machine, MachineConfig};
+use symbiosis::{
+    analyze_variability, fairness_experiment, fcfs_throughput, optimal_schedule, FcfsParams,
+    JobSize, Objective, WorkloadRates,
+};
+use workloads::{spec2006, PerfTable};
+
+fn tiny_table() -> &'static PerfTable {
+    static TABLE: OnceLock<PerfTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let machine =
+            Machine::new(MachineConfig::smt4().with_windows(2_000, 8_000)).expect("valid config");
+        let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(5).collect();
+        PerfTable::build(&machine, &suite, 4).expect("table builds")
+    })
+}
+
+fn parity_config() -> StudyConfig {
+    let mut cfg = StudyConfig::fast();
+    cfg.fcfs_jobs = 6_000;
+    cfg.seed = 0xBEEF;
+    cfg
+}
+
+fn workloads() -> [[usize; 4]; 3] {
+    [[0, 1, 2, 3], [0, 1, 2, 4], [1, 2, 3, 4]]
+}
+
+#[test]
+fn fig1_variability_matches_free_functions_bitwise() {
+    let table = tiny_table();
+    let cfg = parity_config();
+    for w in workloads() {
+        let rates: WorkloadRates = table.workload_rates(&w).expect("valid workload");
+        let via_session = fig1::workload_variability(&rates, &cfg).expect("session path");
+        let via_free = analyze_variability(
+            &rates,
+            FcfsParams {
+                jobs: cfg.fcfs_jobs,
+                sizes: JobSize::Deterministic,
+                seed: cfg.seed,
+            },
+        )
+        .expect("free-function path");
+        // PartialEq on every field — f64s compare bitwise-equal values.
+        assert_eq!(via_session, via_free, "workload {w:?}");
+    }
+}
+
+#[test]
+fn sec7_throughputs_match_free_functions_bitwise() {
+    let table = tiny_table();
+    let cfg = parity_config();
+    for w in workloads() {
+        let (fcfs_s, opt_s) = sec7::workload_throughputs(table, &w, &cfg).expect("session path");
+        let rates = table.workload_rates(&w).expect("valid workload");
+        let fcfs_f = fcfs_throughput(&rates, cfg.fcfs_jobs, JobSize::Deterministic, cfg.seed)
+            .expect("fcfs runs")
+            .throughput;
+        let opt_f = optimal_schedule(&rates, Objective::MaxThroughput)
+            .expect("lp solves")
+            .throughput;
+        assert_eq!(fcfs_s.to_bits(), fcfs_f.to_bits(), "workload {w:?}: FCFS");
+        assert_eq!(opt_s.to_bits(), opt_f.to_bits(), "workload {w:?}: optimal");
+    }
+}
+
+#[test]
+fn fairness_counterfactual_matches_free_function_bitwise() {
+    let table = tiny_table();
+    let cfg = parity_config();
+    for w in workloads() {
+        let rates = table.workload_rates(&w).expect("valid workload");
+        let via_session = fairness::counterfactual(&rates, &cfg).expect("session path");
+        let via_free =
+            fairness_experiment(&rates, cfg.fcfs_jobs, cfg.seed).expect("free-function path");
+        assert_eq!(via_session, via_free, "workload {w:?}");
+    }
+}

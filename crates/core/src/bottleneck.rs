@@ -71,7 +71,13 @@ pub fn fit_linear_bottleneck(rates: &WorkloadRates) -> Result<BottleneckFit, Sym
     let mse = linsys::residual_ss(&a, &y, &target) / n_s as f64;
     let full_rates: Vec<f64> = y
         .iter()
-        .map(|&yb| if yb.abs() < 1e-12 { f64::INFINITY } else { 1.0 / yb })
+        .map(|&yb| {
+            if yb.abs() < 1e-12 {
+                f64::INFINITY
+            } else {
+                1.0 / yb
+            }
+        })
         .collect();
     let denom: f64 = y.iter().sum();
     let predicted_throughput = (denom > 1e-12).then_some(n as f64 / denom);
@@ -91,9 +97,11 @@ pub fn per_type_rate_difference(rates: &WorkloadRates) -> f64 {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for b in 0..n {
-        let avg = mean((0..n_s).filter_map(|si| {
-            (rates.coschedules()[si].count(b) > 0).then(|| rates.per_job_rate(si, b))
-        }))
+        let avg = mean(
+            (0..n_s)
+                .filter(|&si| rates.coschedules()[si].count(b) > 0)
+                .map(|si| rates.per_job_rate(si, b)),
+        )
         .unwrap_or(0.0);
         lo = lo.min(avg);
         hi = hi.max(avg);
@@ -141,7 +149,10 @@ mod tests {
             .unwrap()
             .throughput;
         assert!((best - worst).abs() < 1e-7, "scheduler independent");
-        assert!((best - predicted).abs() < 1e-6, "lp {best} vs fit {predicted}");
+        assert!(
+            (best - predicted).abs() < 1e-6,
+            "lp {best} vs fit {predicted}"
+        );
     }
 
     #[test]
@@ -168,10 +179,7 @@ mod tests {
         // resource: heterogeneity boosts everyone superlinearly.
         let rates = WorkloadRates::build(3, 3, |s| {
             let boost = 0.4 + 0.3 * s.heterogeneity() as f64;
-            s.counts()
-                .iter()
-                .map(|&c| c as f64 * 0.4 * boost)
-                .collect()
+            s.counts().iter().map(|&c| c as f64 * 0.4 * boost).collect()
         })
         .unwrap();
         let fit = fit_linear_bottleneck(&rates).unwrap();

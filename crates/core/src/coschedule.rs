@@ -46,10 +46,16 @@ impl Coschedule {
     ///
     /// Panics if `slots` is empty or references a type `>= num_types`.
     pub fn from_slots(slots: &[usize], num_types: usize) -> Self {
-        assert!(!slots.is_empty(), "coschedule must contain at least one job");
+        assert!(
+            !slots.is_empty(),
+            "coschedule must contain at least one job"
+        );
         let mut counts = vec![0u32; num_types];
         for &t in slots {
-            assert!(t < num_types, "type {t} out of range (num_types {num_types})");
+            assert!(
+                t < num_types,
+                "type {t} out of range (num_types {num_types})"
+            );
             counts[t] += 1;
         }
         Coschedule { counts }

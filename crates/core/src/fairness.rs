@@ -39,18 +39,20 @@ pub struct FairnessExperiment {
     pub worst_after: f64,
 }
 
-/// Runs the Section V-D counterfactual on a workload whose type count
-/// equals the context count (so a fully heterogeneous coschedule exists).
+/// The Section V-D rebalancing rule: locates the fully heterogeneous
+/// coschedule (requires `N == K`) and equalises its per-job rates without
+/// changing its instantaneous throughput. Returns the coschedule index and
+/// the rebalanced table — shared by [`fairness_experiment`] and the
+/// session-composed counterfactual in the experiment harness.
 ///
 /// # Errors
 ///
 /// * [`SymbiosisError::InvalidParameter`] if `num_types != contexts`.
-/// * LP/FCFS errors are propagated.
-pub fn fairness_experiment(
+/// * [`SymbiosisError::InvalidRates`] is impossible for valid tables but
+///   propagated from the rate replacement.
+pub fn rebalanced_heterogeneous(
     rates: &WorkloadRates,
-    fcfs_jobs: u64,
-    seed: u64,
-) -> Result<FairnessExperiment, SymbiosisError> {
+) -> Result<(usize, WorkloadRates), SymbiosisError> {
     let n = rates.num_types();
     if n != rates.contexts() {
         return Err(SymbiosisError::InvalidParameter(format!(
@@ -66,7 +68,22 @@ pub fn fairness_experiment(
     // Equal split of the unchanged instantaneous throughput.
     let it = rates.instantaneous_throughput(si);
     let fair = vec![it / n as f64; n];
-    let rebalanced = rates.with_rates(si, fair)?;
+    Ok((si, rates.with_rates(si, fair)?))
+}
+
+/// Runs the Section V-D counterfactual on a workload whose type count
+/// equals the context count (so a fully heterogeneous coschedule exists).
+///
+/// # Errors
+///
+/// * [`SymbiosisError::InvalidParameter`] if `num_types != contexts`.
+/// * LP/FCFS errors are propagated.
+pub fn fairness_experiment(
+    rates: &WorkloadRates,
+    fcfs_jobs: u64,
+    seed: u64,
+) -> Result<FairnessExperiment, SymbiosisError> {
+    let (si, rebalanced) = rebalanced_heterogeneous(rates)?;
 
     let best_before = optimal_schedule(rates, Objective::MaxThroughput)?;
     let best_after = optimal_schedule(&rebalanced, Objective::MaxThroughput)?;

@@ -266,10 +266,7 @@ mod tests {
         // Symbiosis-sensitive table: mixed coschedules run faster.
         let rates = WorkloadRates::build(2, 2, |s| {
             let boost = if s.heterogeneity() == 2 { 1.3 } else { 1.0 };
-            s.counts()
-                .iter()
-                .map(|&c| c as f64 * 0.5 * boost)
-                .collect()
+            s.counts().iter().map(|&c| c as f64 * 0.5 * boost).collect()
         })
         .unwrap();
         let markov = fcfs_throughput_markov(&rates).unwrap();

@@ -182,9 +182,7 @@ mod tests {
     fn heterogeneous_coschedules_have_higher_throughput_by_construction() {
         let t = heterogeneity_table(&symbiotic_rates(), 10_000, 3).unwrap();
         for pair in t.rows.windows(2) {
-            assert!(
-                pair[1].mean_instantaneous_throughput > pair[0].mean_instantaneous_throughput
-            );
+            assert!(pair[1].mean_instantaneous_throughput > pair[0].mean_instantaneous_throughput);
         }
     }
 

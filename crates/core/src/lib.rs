@@ -55,13 +55,14 @@ pub mod heterogeneity;
 pub mod metrics;
 pub mod optimal;
 pub mod rates;
-mod rng;
+#[doc(hidden)]
+pub mod rng;
 pub mod variability;
 
 pub use bottleneck::{fit_linear_bottleneck, per_type_rate_difference, BottleneckFit};
 pub use coschedule::{enumerate_coschedules, enumerate_workloads, Coschedule};
 pub use error::SymbiosisError;
-pub use fairness::{fairness_experiment, FairnessExperiment};
+pub use fairness::{fairness_experiment, rebalanced_heterogeneous, FairnessExperiment};
 pub use fcfs::{fcfs_throughput, fcfs_throughput_markov, FcfsOutcome, JobSize};
 pub use heterogeneity::{
     heterogeneity_table, heterogeneity_table_from_parts, random_draw_heterogeneity_probability,
@@ -69,5 +70,9 @@ pub use heterogeneity::{
 };
 pub use metrics::Spread;
 pub use optimal::{optimal_schedule, throughput_bounds, Objective, Schedule};
-pub use rates::WorkloadRates;
-pub use variability::{analyze_variability, FcfsParams, WorkloadVariability};
+pub use rates::{
+    assert_rate_model_conformance, AnalyticModel, CachedModel, RateModel, WorkloadRates,
+};
+pub use variability::{
+    analyze_variability, instantaneous_spread, per_job_spreads, FcfsParams, WorkloadVariability,
+};

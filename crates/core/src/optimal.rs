@@ -159,7 +159,11 @@ mod tests {
         let rates = insensitive(&[0.8, 0.4], 2);
         let (worst, best) = throughput_bounds(&rates).unwrap();
         let expected = 2.0 / (1.0 / 1.6 + 1.0 / 0.8);
-        assert!((best.throughput - expected).abs() < 1e-7, "{}", best.throughput);
+        assert!(
+            (best.throughput - expected).abs() < 1e-7,
+            "{}",
+            best.throughput
+        );
         assert!((worst.throughput - expected).abs() < 1e-7);
     }
 

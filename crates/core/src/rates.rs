@@ -1,9 +1,349 @@
-//! Per-coschedule execution-rate tables — the scheduler's knowledge.
+//! Per-coschedule execution rates — the scheduler's knowledge.
+//!
+//! Two representations live here:
+//!
+//! * [`WorkloadRates`] — the materialised table of every *full* coschedule
+//!   of one workload, consumed by the LP / Markov / variability analyses;
+//! * [`RateModel`] — the workspace-wide trait over *any* rate source
+//!   (measured tables, analytic closures, caches), including partial
+//!   coschedules for the latency experiments. The `queueing` crate's
+//!   schedulers and the `session` crate's [`Session`] entry point consume
+//!   this trait; `workloads::WorkloadView` implements it for simulated
+//!   tables.
+//!
+//! [`Session`]: https://docs.rs/session
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::coschedule::{enumerate_coschedules, Coschedule};
 use crate::error::SymbiosisError;
+
+/// A source of per-coschedule execution rates — the one abstraction every
+/// scheduler and analysis in the workspace consumes.
+///
+/// `counts` describes a multiset of jobs occupying the machine (length
+/// [`RateModel::num_types`], total between 1 and [`RateModel::contexts`]).
+/// Implementations backed by saturated-machine tables may only support
+/// *full* multisets (`counts.sum() == contexts`); they advertise that via
+/// [`RateModel::supports_partial`] and the latency experiments reject them
+/// up front.
+///
+/// # Examples
+///
+/// ```
+/// use symbiosis::{AnalyticModel, RateModel};
+///
+/// // Each job runs at its solo speed divided by the number of co-runners.
+/// let m = AnalyticModel::new(2, 4, |counts, ty| {
+///     let n: u32 = counts.iter().sum();
+///     [1.0, 0.5][ty] / n as f64
+/// });
+/// assert_eq!(m.per_job_rate(&[1, 0], 0), 1.0);
+/// assert!((m.instantaneous_throughput(&[2, 2]) - (2.0 * 0.25 + 2.0 * 0.125)).abs() < 1e-12);
+/// ```
+pub trait RateModel {
+    /// Number of job types.
+    fn num_types(&self) -> usize;
+
+    /// Number of hardware contexts.
+    fn contexts(&self) -> usize;
+
+    /// Execution rate of *one* job of type `ty` when the multiset described
+    /// by `counts` occupies the machine, in work units per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `counts[ty] == 0`, the multiset is
+    /// empty/oversized, or (for full-only models) the multiset is partial.
+    fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64;
+
+    /// Total rate `r_ty(s)` of all jobs of type `ty` in the multiset
+    /// (`counts[ty] * per_job_rate`), or 0 for an absent type.
+    fn total_rate(&self, counts: &[u32], ty: usize) -> f64 {
+        if counts[ty] == 0 {
+            0.0
+        } else {
+            counts[ty] as f64 * self.per_job_rate(counts, ty)
+        }
+    }
+
+    /// Total work rate of the multiset: `sum_ty counts[ty] * per_job_rate`.
+    fn instantaneous_throughput(&self, counts: &[u32]) -> f64 {
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(ty, &c)| c as f64 * self.per_job_rate(counts, ty))
+            .sum()
+    }
+
+    /// Whether the model answers queries for partial multisets
+    /// (`counts.sum() < contexts`). Latency experiments require this;
+    /// saturated-machine analyses do not.
+    fn supports_partial(&self) -> bool {
+        true
+    }
+
+    /// Materialises the full-coschedule [`WorkloadRates`] table this model
+    /// induces, for the LP / Markov / variability analyses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SymbiosisError::InvalidRates`] if the model produces
+    /// malformed rates (non-finite, non-positive for a present type).
+    fn full_table(&self) -> Result<WorkloadRates, SymbiosisError> {
+        let n = self.num_types();
+        WorkloadRates::build(n, self.contexts(), |s| {
+            (0..n).map(|b| self.total_rate(s.counts(), b)).collect()
+        })
+    }
+}
+
+impl<M: RateModel + ?Sized> RateModel for &M {
+    fn num_types(&self) -> usize {
+        (**self).num_types()
+    }
+
+    fn contexts(&self) -> usize {
+        (**self).contexts()
+    }
+
+    fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
+        (**self).per_job_rate(counts, ty)
+    }
+
+    fn total_rate(&self, counts: &[u32], ty: usize) -> f64 {
+        (**self).total_rate(counts, ty)
+    }
+
+    fn instantaneous_throughput(&self, counts: &[u32]) -> f64 {
+        (**self).instantaneous_throughput(counts)
+    }
+
+    fn supports_partial(&self) -> bool {
+        (**self).supports_partial()
+    }
+
+    fn full_table(&self) -> Result<WorkloadRates, SymbiosisError> {
+        (**self).full_table()
+    }
+}
+
+/// A [`RateModel`] defined by a closure returning per-job rates.
+///
+/// The cheapest way to express predicted or synthetic rate sources — toy
+/// contention laws, analytic interference models, digital-twin predictors.
+pub struct AnalyticModel<F> {
+    num_types: usize,
+    contexts: usize,
+    rate_fn: F,
+}
+
+impl<F> AnalyticModel<F>
+where
+    F: Fn(&[u32], usize) -> f64,
+{
+    /// Creates the model. `rate_fn(counts, ty)` must return the rate of one
+    /// job of type `ty` inside the multiset `counts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_types == 0` or `contexts == 0`.
+    pub fn new(num_types: usize, contexts: usize, rate_fn: F) -> Self {
+        assert!(num_types > 0, "need at least one job type");
+        assert!(contexts > 0, "need at least one context");
+        AnalyticModel {
+            num_types,
+            contexts,
+            rate_fn,
+        }
+    }
+}
+
+impl<F> RateModel for AnalyticModel<F>
+where
+    F: Fn(&[u32], usize) -> f64,
+{
+    fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
+        assert_eq!(counts.len(), self.num_types, "counts length mismatch");
+        assert!(counts[ty] > 0, "type {ty} not present");
+        let n: u32 = counts.iter().sum();
+        assert!(
+            n >= 1 && n as usize <= self.contexts,
+            "multiset size {n} out of range"
+        );
+        (self.rate_fn)(counts, ty)
+    }
+}
+
+/// A memoizing wrapper caching per-job rates of an inner [`RateModel`].
+///
+/// Wrap expensive models (simulator-backed or heavyweight analytic
+/// predictors) before handing them to the event-driven experiments, which
+/// revisit the same multisets millions of times.
+pub struct CachedModel<M> {
+    inner: M,
+    cache: Mutex<HashMap<Vec<u32>, Vec<f64>>>,
+}
+
+impl<M: RateModel> CachedModel<M> {
+    /// Wraps `inner` with an unbounded multiset-keyed cache.
+    pub fn new(inner: M) -> Self {
+        CachedModel {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Number of multisets currently cached.
+    pub fn cached_multisets(&self) -> usize {
+        self.cache.lock().expect("poisoned").len()
+    }
+}
+
+impl<M: RateModel> RateModel for CachedModel<M> {
+    fn num_types(&self) -> usize {
+        self.inner.num_types()
+    }
+
+    fn contexts(&self) -> usize {
+        self.inner.contexts()
+    }
+
+    fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
+        assert!(counts[ty] > 0, "type {ty} not present");
+        let mut cache = self.cache.lock().expect("poisoned");
+        let row = cache.entry(counts.to_vec()).or_insert_with(|| {
+            (0..self.inner.num_types())
+                .map(|b| {
+                    if counts[b] == 0 {
+                        0.0
+                    } else {
+                        self.inner.per_job_rate(counts, b)
+                    }
+                })
+                .collect()
+        });
+        row[ty]
+    }
+
+    fn supports_partial(&self) -> bool {
+        self.inner.supports_partial()
+    }
+}
+
+/// A full-coschedule table is itself a rate model — for the saturated
+/// analyses only ([`RateModel::supports_partial`] is `false`).
+impl RateModel for WorkloadRates {
+    fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
+        let si = self
+            .index
+            .get(counts)
+            .copied()
+            .unwrap_or_else(|| panic!("coschedule {counts:?} not in the table"));
+        WorkloadRates::per_job_rate(self, si, ty)
+    }
+
+    fn supports_partial(&self) -> bool {
+        false
+    }
+
+    fn full_table(&self) -> Result<WorkloadRates, SymbiosisError> {
+        Ok(self.clone())
+    }
+}
+
+/// Asserts the [`RateModel`] contract on `model` — the shared conformance
+/// check every implementation's test suite runs.
+///
+/// Verifies, over every full coschedule (and every partial multiset when
+/// the model supports them): rates of present types are finite and
+/// positive, absent types contribute zero, `total_rate` equals
+/// `count * per_job_rate`, `instantaneous_throughput` equals the sum of
+/// total rates, and [`RateModel::full_table`] reproduces the same numbers.
+///
+/// # Panics
+///
+/// Panics with a description of the first violated invariant.
+pub fn assert_rate_model_conformance(model: &dyn RateModel) {
+    let n = model.num_types();
+    let k = model.contexts();
+    assert!(n > 0, "model must have at least one type");
+    assert!(k > 0, "model must have at least one context");
+
+    let sizes = if model.supports_partial() {
+        1..=k
+    } else {
+        k..=k
+    };
+    for size in sizes {
+        for s in enumerate_coschedules(n, size) {
+            let counts = s.counts();
+            let mut sum = 0.0;
+            for ty in 0..n {
+                let total = model.total_rate(counts, ty);
+                if counts[ty] == 0 {
+                    assert_eq!(
+                        total, 0.0,
+                        "absent type {ty} in {counts:?} has rate {total}"
+                    );
+                    continue;
+                }
+                let per_job = model.per_job_rate(counts, ty);
+                assert!(
+                    per_job.is_finite() && per_job > 0.0,
+                    "present type {ty} in {counts:?} has per-job rate {per_job}"
+                );
+                assert!(
+                    (total - counts[ty] as f64 * per_job).abs() <= 1e-9 * total.abs().max(1.0),
+                    "total_rate {total} != count * per_job {per_job} for {counts:?}"
+                );
+                sum += total;
+            }
+            let it = model.instantaneous_throughput(counts);
+            assert!(
+                (it - sum).abs() <= 1e-9 * sum.abs().max(1.0),
+                "instantaneous_throughput {it} != sum of totals {sum} for {counts:?}"
+            );
+        }
+    }
+
+    let table = model.full_table().expect("full_table must build");
+    assert_eq!(table.num_types(), n);
+    assert_eq!(table.contexts(), k);
+    for (si, s) in table.coschedules().iter().enumerate() {
+        for ty in 0..n {
+            let via_table = table.rate(si, ty);
+            let via_model = model.total_rate(s.counts(), ty);
+            assert!(
+                (via_table - via_model).abs() <= 1e-9 * via_model.abs().max(1.0),
+                "full_table rate {via_table} != model rate {via_model} for {s}"
+            );
+        }
+    }
+}
 
 /// Execution rates of every job type in every possible coschedule of one
 /// workload, in weighted instructions per cycle (WIPC).
@@ -189,10 +529,7 @@ mod tests {
     fn toy_rates(num_types: usize, contexts: usize) -> WorkloadRates {
         WorkloadRates::build(num_types, contexts, |s| {
             let k = s.size() as f64;
-            s.counts()
-                .iter()
-                .map(|&c| c as f64 / k.max(1.0))
-                .collect()
+            s.counts().iter().map(|&c| c as f64 / k.max(1.0)).collect()
         })
         .unwrap()
     }
@@ -218,9 +555,7 @@ mod tests {
     #[test]
     fn per_job_rate_divides_by_count() {
         let r = toy_rates(2, 4);
-        let si = r
-            .index_of(&Coschedule::from_counts(vec![3, 1]))
-            .unwrap();
+        let si = r.index_of(&Coschedule::from_counts(vec![3, 1])).unwrap();
         assert!((r.rate(si, 0) - 0.75).abs() < 1e-12);
         assert!((r.per_job_rate(si, 0) - 0.25).abs() < 1e-12);
         assert!((r.per_job_rate(si, 1) - 0.25).abs() < 1e-12);
@@ -243,10 +578,8 @@ mod tests {
 
     #[test]
     fn present_type_with_zero_rate_rejected() {
-        let err = WorkloadRates::build(2, 2, |s| {
-            s.counts().iter().map(|_| 0.0).collect()
-        })
-        .unwrap_err();
+        let err =
+            WorkloadRates::build(2, 2, |s| s.counts().iter().map(|_| 0.0).collect()).unwrap_err();
         assert!(matches!(err, SymbiosisError::InvalidRates(_)));
     }
 
@@ -268,12 +601,76 @@ mod tests {
         assert!(matches!(err, SymbiosisError::InvalidRates(_)));
     }
 
+    fn contention(
+        num_types: usize,
+        contexts: usize,
+    ) -> AnalyticModel<impl Fn(&[u32], usize) -> f64> {
+        AnalyticModel::new(num_types, contexts, move |counts, ty| {
+            let n: u32 = counts.iter().sum();
+            (0.4 + 0.1 * ty as f64) / (1.0 + 0.2 * (n - 1) as f64)
+        })
+    }
+
+    #[test]
+    fn analytic_model_passes_conformance() {
+        assert_rate_model_conformance(&contention(3, 4));
+        assert_rate_model_conformance(&contention(1, 1));
+    }
+
+    #[test]
+    fn cached_model_passes_conformance_and_memoizes() {
+        let cached = CachedModel::new(contention(2, 3));
+        assert_rate_model_conformance(&cached);
+        let before = cached.cached_multisets();
+        assert!(before > 0, "conformance check must populate the cache");
+        // Replaying queries must not grow the cache.
+        let _ = cached.per_job_rate(&[1, 1], 0);
+        assert_eq!(cached.cached_multisets(), before);
+        // Cached answers match the inner model.
+        assert_eq!(
+            cached.per_job_rate(&[2, 1], 1),
+            cached.inner().per_job_rate(&[2, 1], 1)
+        );
+    }
+
+    #[test]
+    fn workload_rates_passes_conformance_as_full_only_model() {
+        let table = toy_rates(3, 3);
+        assert!(!RateModel::supports_partial(&table));
+        assert_rate_model_conformance(&table);
+        // Trait access agrees with the inherent index-based accessors.
+        let si = table
+            .index_of(&Coschedule::from_counts(vec![2, 1, 0]))
+            .unwrap();
+        assert_eq!(
+            RateModel::per_job_rate(&table, &[2, 1, 0], 0),
+            table.per_job_rate(si, 0)
+        );
+        // full_table round-trips to an identical table.
+        assert_eq!(RateModel::full_table(&table).unwrap(), table);
+    }
+
+    #[test]
+    fn full_table_materialises_analytic_models() {
+        let table = contention(2, 2).full_table().unwrap();
+        assert_eq!(table.coschedules().len(), 3);
+        // AA: two type-0 jobs at 0.4 / 1.2 each.
+        let si = table
+            .index_of(&Coschedule::from_counts(vec![2, 0]))
+            .unwrap();
+        assert!((table.rate(si, 0) - 2.0 * 0.4 / 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn analytic_model_rejects_absent_type_queries() {
+        let _ = contention(2, 2).per_job_rate(&[1, 0], 1);
+    }
+
     #[test]
     fn with_rates_replaces_one_row() {
         let r = toy_rates(2, 2);
-        let si = r
-            .index_of(&Coschedule::from_counts(vec![1, 1]))
-            .unwrap();
+        let si = r.index_of(&Coschedule::from_counts(vec![1, 1])).unwrap();
         let modified = r.with_rates(si, vec![0.8, 0.2]).unwrap();
         assert!((modified.rate(si, 0) - 0.8).abs() < 1e-12);
         // Other rows untouched.

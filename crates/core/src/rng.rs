@@ -1,21 +1,25 @@
-//! Small deterministic RNG for the FCFS throughput experiment.
+//! Small deterministic RNG (SplitMix64) for the stochastic experiments.
 //!
-//! Kept crate-private and self-contained so that published experiment
-//! numbers cannot drift with external crate upgrades. (The simulator crate
-//! carries its own copy for the same reason; the two crates are
-//! intentionally independent.)
+//! Self-contained so that published experiment numbers cannot drift with
+//! external crate upgrades. Exported `#[doc(hidden)]` for the sibling
+//! crates and the workspace test suites — one definition keeps every
+//! stream bit-identical. (The `simproc` crate carries its own copy on
+//! purpose: it is fully independent of this crate.)
 
+/// SplitMix64 pseudo-random generator.
 #[derive(Debug, Clone)]
-pub(crate) struct SplitMix64 {
+pub struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    pub(crate) fn new(seed: u64) -> Self {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    pub(crate) fn next_u64(&mut self) -> u64 {
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -23,18 +27,19 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    pub(crate) fn next_f64(&mut self) -> f64 {
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, bound)`; `bound` must be positive.
-    pub(crate) fn next_range(&mut self, bound: u64) -> u64 {
+    pub fn next_range(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
     /// Exponentially distributed value with mean `mean`.
-    pub(crate) fn next_exp(&mut self, mean: f64) -> f64 {
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
         // Avoid ln(0) by mapping the draw into (0, 1].
         let u = 1.0 - self.next_f64();
         -mean * u.ln()

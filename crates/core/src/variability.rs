@@ -105,10 +105,35 @@ pub fn analyze_variability(
     rates: &WorkloadRates,
     fcfs_params: FcfsParams,
 ) -> Result<WorkloadVariability, SymbiosisError> {
+    let per_job = per_job_spreads(rates)?;
+    let instantaneous = instantaneous_spread(rates);
+
+    let best = optimal_schedule(rates, Objective::MaxThroughput)?.throughput;
+    let worst = optimal_schedule(rates, Objective::MinThroughput)?.throughput;
+    let fcfs =
+        fcfs_throughput(rates, fcfs_params.jobs, fcfs_params.sizes, fcfs_params.seed)?.throughput;
+
+    Ok(WorkloadVariability {
+        per_job,
+        instantaneous,
+        fcfs,
+        best,
+        worst,
+    })
+}
+
+/// Per-type spread of one job's rate over the coschedules containing the
+/// type — the pure table statistics behind the Figure 1 "per-job IPC" bar.
+/// Callers obtaining the throughput legs through a `Session` combine this
+/// with the session's rows to assemble a [`WorkloadVariability`].
+///
+/// # Errors
+///
+/// Returns [`SymbiosisError::InvalidRates`] if some type appears in no
+/// coschedule (impossible for tables built by `WorkloadRates::build`).
+pub fn per_job_spreads(rates: &WorkloadRates) -> Result<Vec<Spread>, SymbiosisError> {
     let n = rates.num_types();
     let n_s = rates.coschedules().len();
-
-    // Per-job rate spread per type, over coschedules containing the type.
     let mut per_job = Vec::with_capacity(n);
     for b in 0..n {
         let values = (0..n_s).filter_map(|si| {
@@ -120,23 +145,15 @@ pub fn analyze_variability(
         })?;
         per_job.push(spread);
     }
+    Ok(per_job)
+}
 
-    let instantaneous =
-        Spread::from_values((0..n_s).map(|si| rates.instantaneous_throughput(si)))
-            .expect("at least one coschedule");
-
-    let best = optimal_schedule(rates, Objective::MaxThroughput)?.throughput;
-    let worst = optimal_schedule(rates, Objective::MinThroughput)?.throughput;
-    let fcfs = fcfs_throughput(rates, fcfs_params.jobs, fcfs_params.sizes, fcfs_params.seed)?
-        .throughput;
-
-    Ok(WorkloadVariability {
-        per_job,
-        instantaneous,
-        fcfs,
-        best,
-        worst,
-    })
+/// Spread of the instantaneous throughput `it(s)` over all coschedules —
+/// the Figure 1 "instantaneous TP" bar.
+pub fn instantaneous_spread(rates: &WorkloadRates) -> Spread {
+    let n_s = rates.coschedules().len();
+    Spread::from_values((0..n_s).map(|si| rates.instantaneous_throughput(si)))
+        .expect("at least one coschedule")
 }
 
 #[cfg(test)]

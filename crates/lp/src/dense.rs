@@ -121,9 +121,7 @@ impl Matrix {
     /// ```
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "vector length must match columns");
-        (0..self.rows)
-            .map(|i| dot(self.row(i), v))
-            .collect()
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
     }
 
     /// Returns the transpose.

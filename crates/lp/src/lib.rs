@@ -37,4 +37,4 @@ pub mod problem;
 pub mod simplex;
 
 pub use dense::Matrix;
-pub use problem::{LinearProgram, Relation, Sense, SolveError, Solution};
+pub use problem::{LinearProgram, Relation, Sense, Solution, SolveError};

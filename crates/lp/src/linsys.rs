@@ -132,8 +132,8 @@ impl Lu {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * yj;
             }
             y[i] = acc;
         }
@@ -141,8 +141,8 @@ impl Lu {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in i + 1..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -214,10 +214,7 @@ pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinsysError> {
 /// Panics if dimensions are inconsistent.
 pub fn residual_ss(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     let ax = a.mul_vec(x);
-    ax.iter()
-        .zip(b)
-        .map(|(p, q)| (p - q) * (p - q))
-        .sum()
+    ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum()
 }
 
 #[cfg(test)]
@@ -233,11 +230,7 @@ mod tests {
 
     #[test]
     fn solves_3x3_system() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
         assert_close(&x, &[2.0, 3.0, -1.0], 1e-10);
     }
@@ -280,12 +273,7 @@ mod tests {
     #[test]
     fn least_squares_recovers_exact_solution() {
         // Overdetermined but consistent: y = 2 t + 1 sampled at 4 points.
-        let a = Matrix::from_rows(&[
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[2.0, 1.0],
-            &[3.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0]]);
         let b = [1.0, 3.0, 5.0, 7.0];
         let x = least_squares(&a, &b).unwrap();
         assert_close(&x, &[2.0, 1.0], 1e-9);

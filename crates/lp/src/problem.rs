@@ -212,7 +212,8 @@ impl LinearProgram {
 
         // Normalise constraints: make every rhs non-negative, then count
         // slack columns (one per inequality after sign normalisation).
-        let mut normalised: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(self.constraints.len());
+        let mut normalised: Vec<(Vec<f64>, Relation, f64)> =
+            Vec::with_capacity(self.constraints.len());
         for (coeffs, rel, rhs) in &self.constraints {
             if *rhs < 0.0 {
                 let flipped = match rel {

@@ -178,7 +178,11 @@ pub fn solve_standard(
     let n = a.cols();
     assert_eq!(b.len(), m, "rhs length must equal row count");
     assert_eq!(c.len(), n, "cost length must equal column count");
-    assert_eq!(basis_hint.len(), m, "basis hint length must equal row count");
+    assert_eq!(
+        basis_hint.len(),
+        m,
+        "basis hint length must equal row count"
+    );
     assert!(
         b.iter().all(|&x| x >= 0.0),
         "rhs must be non-negative in standard form"

@@ -16,9 +16,11 @@
 //!   illustration (3% more throughput → 16% less turnaround near
 //!   saturation).
 //!
-//! Performance data is supplied through the [`CoscheduleRates`] trait,
-//! implemented by the `workloads` crate for simulated tables and by
-//! [`ContentionModel`] for analytic toy systems.
+//! Performance data is supplied through the workspace-wide
+//! [`symbiosis::RateModel`] trait (re-exported here), implemented by the
+//! `workloads` crate for simulated tables and by [`ContentionModel`] for
+//! analytic toy systems. The crate-local `CoscheduleRates` trait this crate
+//! used to define is a deprecated alias of `RateModel`.
 //!
 //! # Examples
 //!
@@ -53,11 +55,16 @@ pub mod rates;
 pub mod sched;
 pub mod sim;
 
+pub use symbiosis::RateModel;
+
 pub use job::{Job, JobId, JobPool};
 pub use mmc::MmcQueue;
-pub use rates::{ContentionModel, CoscheduleRates};
+pub use rates::ContentionModel;
 pub use sched::{FcfsScheduler, MaxItScheduler, MaxTpScheduler, Scheduler, SrptScheduler};
 pub use sim::{
     run_batch_experiment, run_latency_experiment, BatchConfig, BatchReport, LatencyConfig,
     LatencyReport, SizeDist,
 };
+
+#[allow(deprecated)]
+pub use rates::CoscheduleRates;

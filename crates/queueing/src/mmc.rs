@@ -153,11 +153,7 @@ mod tests {
     fn turnaround_diverges_near_saturation() {
         let w: Vec<f64> = [0.5, 0.9, 0.99]
             .iter()
-            .map(|&rho| {
-                MmcQueue::new(4.0 * rho, 1.0, 4)
-                    .unwrap()
-                    .mean_turnaround()
-            })
+            .map(|&rho| MmcQueue::new(4.0 * rho, 1.0, 4).unwrap().mean_turnaround())
             .collect();
         assert!(w[0] < w[1] && w[1] < w[2]);
         assert!(w[2] > 10.0, "near saturation W explodes, got {}", w[2]);

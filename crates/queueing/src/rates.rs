@@ -1,44 +1,25 @@
 //! The interface between the latency simulator and performance data.
+//!
+//! Since the `RateModel` unification the schedulers consume
+//! [`symbiosis::RateModel`] directly; the old crate-local `CoscheduleRates`
+//! trait survives as a deprecated alias so existing implementations keep
+//! compiling unchanged (the method set is identical).
 
-/// Per-coschedule execution rates, including *partial* coschedules.
-///
-/// Unlike the maximum-throughput analyses (which only ever see a fully
-/// loaded machine), a latency experiment runs through periods where fewer
-/// jobs than hardware contexts are present, so rates must be defined for
-/// any multiset of 1..=contexts jobs. Implementations are typically backed
-/// by simulation sweeps (the `workloads` crate) or analytic models (tests).
-pub trait CoscheduleRates {
-    /// Number of job types.
-    fn num_types(&self) -> usize;
+use symbiosis::RateModel;
 
-    /// Number of hardware contexts.
-    fn contexts(&self) -> usize;
-
-    /// Execution rate of *one* job of type `ty` when the multiset described
-    /// by `counts` (length [`CoscheduleRates::num_types`], total between 1
-    /// and [`CoscheduleRates::contexts`]) occupies the machine, in work
-    /// units per cycle.
-    ///
-    /// # Panics
-    ///
-    /// Implementations may panic if `counts[ty] == 0` or the multiset is
-    /// empty/oversized.
-    fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64;
-
-    /// Total work rate of the multiset: `sum_ty counts[ty] * per_job_rate`.
-    fn instantaneous_throughput(&self, counts: &[u32]) -> f64 {
-        counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(ty, &c)| c as f64 * self.per_job_rate(counts, ty))
-            .sum()
-    }
-}
+/// Former name of the shared rate abstraction.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `symbiosis::RateModel` (identical method set)"
+)]
+pub use symbiosis::RateModel as CoscheduleRates;
 
 /// A simple analytic rate model for tests and examples: each job runs at
 /// `solo[ty]` scaled by a contention factor `1 / (1 + alpha * (n - 1))`
 /// where `n` is the number of co-running jobs.
+///
+/// Equivalent to a [`symbiosis::AnalyticModel`] closure, kept as a named
+/// type because the queueing validation suites construct it constantly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ContentionModel {
     /// Solo rate per type.
@@ -69,7 +50,7 @@ impl ContentionModel {
     }
 }
 
-impl CoscheduleRates for ContentionModel {
+impl RateModel for ContentionModel {
     fn num_types(&self) -> usize {
         self.solo.len()
     }
@@ -93,6 +74,7 @@ impl CoscheduleRates for ContentionModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use symbiosis::assert_rate_model_conformance;
 
     #[test]
     fn solo_rate_is_unscaled() {
@@ -113,6 +95,12 @@ mod tests {
         let m = ContentionModel::new(vec![1.0, 0.5], 0.0, 4);
         let it = m.instantaneous_throughput(&[2, 2]);
         assert!((it - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_model_passes_shared_conformance() {
+        assert_rate_model_conformance(&ContentionModel::new(vec![1.0, 0.5], 0.3, 3));
+        assert_rate_model_conformance(&ContentionModel::new(vec![0.8], 0.0, 1));
     }
 
     #[test]

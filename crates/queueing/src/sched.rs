@@ -1,18 +1,24 @@
 //! The four scheduling policies of the paper's Section VI.
 
+use symbiosis::RateModel;
+
 use crate::job::{JobId, JobPool};
-use crate::rates::CoscheduleRates;
 
 /// A scheduling policy: at every event it picks which of the jobs in the
 /// system run on the machine's contexts.
+///
+/// The machine's context count is passed explicitly so that
+/// workload-agnostic policies (FCFS) need no rate model at all; the other
+/// policies consult `rates` to compare candidate coschedules.
 pub trait Scheduler {
-    /// Policy name for reports.
+    /// Policy name — the registry key used by `session::Policy::by_name`
+    /// and printed in reports. Uppercase, matching the paper's labels.
     fn name(&self) -> &'static str;
 
-    /// Selects up to `rates.contexts()` job ids from the pool to run next.
-    /// All four paper policies are work-conserving: they run
+    /// Selects up to `contexts` job ids from the pool to run next. All
+    /// four paper policies are work-conserving: they run
     /// `min(contexts, jobs in system)` jobs.
-    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId>;
+    fn select(&mut self, pool: &mut JobPool, contexts: usize, rates: &dyn RateModel) -> Vec<JobId>;
 
     /// Observes that the multiset `counts` ran for `dt` time units
     /// (used by MAXTP to track realised coschedule fractions).
@@ -21,6 +27,10 @@ pub trait Scheduler {
 
 /// Enumerates all multisets of `size` jobs drawable from `avail` (per-type
 /// availability), as count vectors.
+///
+/// Edge cases: `size == 0` yields exactly the empty (all-zero) multiset;
+/// `size` above the total availability yields nothing; an empty `avail`
+/// yields the empty multiset for `size == 0` and nothing otherwise.
 ///
 /// # Examples
 ///
@@ -65,7 +75,8 @@ fn jobs_for_counts_oldest(pool: &mut JobPool, counts: &[u32]) -> Vec<JobId> {
 
 /// First-come first-served: run the `K` oldest jobs in the system.
 ///
-/// The paper's baseline; needs no knowledge about the workload.
+/// The paper's baseline; needs no knowledge about the workload — only the
+/// context count it is handed.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FcfsScheduler;
 
@@ -74,9 +85,13 @@ impl Scheduler for FcfsScheduler {
         "FCFS"
     }
 
-    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId> {
-        let k = rates.contexts();
-        pool.iter_fifo().take(k).collect()
+    fn select(
+        &mut self,
+        pool: &mut JobPool,
+        contexts: usize,
+        _rates: &dyn RateModel,
+    ) -> Vec<JobId> {
+        pool.iter_fifo().take(contexts).collect()
     }
 }
 
@@ -88,8 +103,8 @@ pub struct MaxItScheduler;
 impl MaxItScheduler {
     /// Best feasible multiset by instantaneous throughput (ties: oldest
     /// jobs). Shared with the MAXTP fallback path.
-    fn best_counts(pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<u32> {
-        let size = pool.len().min(rates.contexts()) as u32;
+    fn best_counts(pool: &mut JobPool, contexts: usize, rates: &dyn RateModel) -> Vec<u32> {
+        let size = pool.len().min(contexts) as u32;
         let candidates = feasible_multisets(pool.counts(), size);
         debug_assert!(!candidates.is_empty());
         let mut best: Option<(f64, f64, Vec<u32>)> = None;
@@ -132,8 +147,8 @@ impl Scheduler for MaxItScheduler {
         "MAXIT"
     }
 
-    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId> {
-        let counts = Self::best_counts(pool, rates);
+    fn select(&mut self, pool: &mut JobPool, contexts: usize, rates: &dyn RateModel) -> Vec<JobId> {
+        let counts = Self::best_counts(pool, contexts, rates);
         jobs_for_counts_oldest(pool, &counts)
     }
 }
@@ -148,8 +163,8 @@ impl Scheduler for SrptScheduler {
         "SRPT"
     }
 
-    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId> {
-        let size = pool.len().min(rates.contexts()) as u32;
+    fn select(&mut self, pool: &mut JobPool, contexts: usize, rates: &dyn RateModel) -> Vec<JobId> {
+        let size = pool.len().min(contexts) as u32;
         let candidates = feasible_multisets(pool.counts(), size);
         let mut best: Option<(f64, Vec<u32>)> = None;
         for counts in candidates {
@@ -222,7 +237,7 @@ impl Scheduler for MaxTpScheduler {
         "MAXTP"
     }
 
-    fn select(&mut self, pool: &mut JobPool, rates: &dyn CoscheduleRates) -> Vec<JobId> {
+    fn select(&mut self, pool: &mut JobPool, contexts: usize, rates: &dyn RateModel) -> Vec<JobId> {
         let avail = pool.counts();
         // Deficit = how far behind its ideal share this target is.
         let mut best: Option<(f64, usize)> = None;
@@ -242,7 +257,7 @@ impl Scheduler for MaxTpScheduler {
                 jobs_for_counts_oldest(pool, &counts)
             }
             None => {
-                let counts = MaxItScheduler::best_counts(pool, rates);
+                let counts = MaxItScheduler::best_counts(pool, contexts, rates);
                 jobs_for_counts_oldest(pool, &counts)
             }
         }
@@ -289,10 +304,76 @@ mod tests {
     }
 
     #[test]
+    fn feasible_multisets_edge_cases() {
+        // Size 0: exactly the empty multiset, regardless of availability.
+        assert_eq!(feasible_multisets(&[2, 1], 0), vec![vec![0, 0]]);
+        assert_eq!(feasible_multisets(&[0, 0], 0), vec![vec![0, 0]]);
+        // No types at all.
+        assert_eq!(feasible_multisets(&[], 0), vec![Vec::<u32>::new()]);
+        assert!(feasible_multisets(&[], 3).is_empty());
+        // Size above total availability: nothing is feasible.
+        assert!(feasible_multisets(&[1, 1], 3).is_empty());
+        assert!(feasible_multisets(&[0, 0], 1).is_empty());
+    }
+
+    /// Property check over deterministic pseudo-random availabilities:
+    /// every returned multiset is within bounds and sums to `size`, the
+    /// enumeration is duplicate-free, and its cardinality matches a direct
+    /// dynamic-programming count.
+    #[test]
+    fn feasible_multisets_match_counting_dp() {
+        fn dp_count(avail: &[u32], size: u32) -> u64 {
+            let mut ways = vec![0u64; size as usize + 1];
+            ways[0] = 1;
+            for &a in avail {
+                let mut next = vec![0u64; size as usize + 1];
+                for (s, &w) in ways.iter().enumerate() {
+                    if w == 0 {
+                        continue;
+                    }
+                    for c in 0..=a.min(size - s as u32) {
+                        next[s + c as usize] += w;
+                    }
+                }
+                ways = next;
+            }
+            ways[size as usize]
+        }
+
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..200 {
+            let n_types = (next() % 4 + 1) as usize;
+            let avail: Vec<u32> = (0..n_types).map(|_| next() % 4).collect();
+            let total: u32 = avail.iter().sum();
+            for size in 0..=total + 1 {
+                let all = feasible_multisets(&avail, size);
+                assert_eq!(
+                    all.len() as u64,
+                    dp_count(&avail, size),
+                    "{avail:?} size {size}"
+                );
+                let mut seen = std::collections::HashSet::new();
+                for m in &all {
+                    assert_eq!(m.len(), avail.len());
+                    assert_eq!(m.iter().sum::<u32>(), size);
+                    assert!(m.iter().zip(&avail).all(|(&c, &a)| c <= a));
+                    assert!(seen.insert(m.clone()), "duplicate {m:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn fcfs_takes_oldest() {
         let rates = ContentionModel::new(vec![1.0, 1.0], 0.0, 2);
         let mut pool = pool_with(&[0, 1, 0, 1], 2);
-        let sel = FcfsScheduler.select(&mut pool, &rates);
+        let sel = FcfsScheduler.select(&mut pool, 2, &rates);
         assert_eq!(sel, vec![0, 1]);
     }
 
@@ -302,7 +383,7 @@ mod tests {
         // two type-0 jobs over mixing.
         let rates = ContentionModel::new(vec![1.0, 0.1], 0.0, 2);
         let mut pool = pool_with(&[1, 0, 0, 1], 2);
-        let sel = MaxItScheduler.select(&mut pool, &rates);
+        let sel = MaxItScheduler.select(&mut pool, 2, &rates);
         let types: Vec<usize> = sel.iter().map(|&id| pool.get(id).unwrap().ty).collect();
         assert_eq!(types, vec![0, 0]);
     }
@@ -313,7 +394,7 @@ mod tests {
         let mut pool = pool_with(&[1, 0], 2);
         // Both singleton coschedules have it = 1.0; the older job (id 0,
         // type 1) must win.
-        let sel = MaxItScheduler.select(&mut pool, &rates);
+        let sel = MaxItScheduler.select(&mut pool, 1, &rates);
         assert_eq!(sel, vec![0]);
     }
 
@@ -333,7 +414,7 @@ mod tests {
             remaining: 0.5,
             arrival: 1.0,
         });
-        let sel = SrptScheduler.select(&mut pool, &rates);
+        let sel = SrptScheduler.select(&mut pool, 1, &rates);
         assert_eq!(sel, vec![1]);
     }
 
@@ -356,7 +437,7 @@ mod tests {
             remaining: 1.0,
             arrival: 1.0,
         });
-        let sel = SrptScheduler.select(&mut pool, &rates);
+        let sel = SrptScheduler.select(&mut pool, 1, &rates);
         assert_eq!(sel, vec![1]);
     }
 
@@ -372,11 +453,11 @@ mod tests {
         let mut pool = pool_with(&[0, 0, 1, 1], 2);
         // First selection: both targets composable with zero deficit delta;
         // run one, observe, and the other should be picked next.
-        let sel1 = sched.select(&mut pool, &rates);
+        let sel1 = sched.select(&mut pool, 2, &rates);
         let t1 = pool.get(sel1[0]).unwrap().ty;
         let counts1 = if t1 == 0 { vec![2, 0] } else { vec![0, 2] };
         sched.observe(&counts1, 1.0);
-        let sel2 = sched.select(&mut pool, &rates);
+        let sel2 = sched.select(&mut pool, 2, &rates);
         let t2 = pool.get(sel2[0]).unwrap().ty;
         assert_ne!(t1, t2, "the lagging target must be chosen next");
     }
@@ -387,7 +468,7 @@ mod tests {
         let mut sched = MaxTpScheduler::new(vec![(vec![2, 0], 1.0)]);
         // Only type-1 jobs present: target not composable.
         let mut pool = pool_with(&[1, 1], 2);
-        let sel = sched.select(&mut pool, &rates);
+        let sel = sched.select(&mut pool, 2, &rates);
         assert_eq!(sel.len(), 2);
     }
 
@@ -401,9 +482,29 @@ mod tests {
     fn partial_load_runs_everything() {
         let rates = ContentionModel::new(vec![1.0, 1.0], 0.1, 4);
         let mut pool = pool_with(&[0, 1], 2);
-        for sched in [&mut FcfsScheduler as &mut dyn Scheduler, &mut MaxItScheduler, &mut SrptScheduler] {
-            let sel = sched.select(&mut pool, &rates);
+        for sched in [
+            &mut FcfsScheduler as &mut dyn Scheduler,
+            &mut MaxItScheduler,
+            &mut SrptScheduler,
+        ] {
+            let sel = sched.select(&mut pool, 4, &rates);
             assert_eq!(sel.len(), 2, "{} must be work conserving", sched.name());
+        }
+    }
+
+    #[test]
+    fn scheduler_names_are_registry_keys() {
+        // The names double as `session::Policy::by_name` keys; keep them
+        // uppercase and distinct.
+        let names = [
+            FcfsScheduler.name(),
+            MaxItScheduler.name(),
+            SrptScheduler.name(),
+            MaxTpScheduler::new(vec![(vec![1], 1.0)]).name(),
+        ];
+        assert_eq!(names, ["FCFS", "MAXIT", "SRPT", "MAXTP"]);
+        for n in names {
+            assert_eq!(n, n.to_uppercase());
         }
     }
 }

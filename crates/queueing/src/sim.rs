@@ -5,11 +5,10 @@
 //! Between events (arrival / completion) the running coschedule is fixed,
 //! so time advances analytically to the next event — no time-stepping.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use symbiosis::rng::SplitMix64;
+use symbiosis::RateModel;
 
 use crate::job::{Job, JobPool};
-use crate::rates::CoscheduleRates;
 use crate::sched::Scheduler;
 
 /// Distribution of job sizes (work per job).
@@ -100,26 +99,33 @@ pub struct LatencyReport {
 /// assert!(report.mean_turnaround > 1.0); // queueing adds to service time
 /// ```
 pub fn run_latency_experiment(
-    rates: &dyn CoscheduleRates,
+    rates: &dyn RateModel,
     scheduler: &mut dyn Scheduler,
     config: &LatencyConfig,
 ) -> Result<LatencyReport, String> {
     if config.arrival_rate <= 0.0 || !config.arrival_rate.is_finite() {
-        return Err(format!("arrival rate {} must be positive", config.arrival_rate));
+        return Err(format!(
+            "arrival rate {} must be positive",
+            config.arrival_rate
+        ));
     }
     if config.measured_jobs == 0 {
         return Err("measured_jobs must be positive".into());
     }
+    if !rates.supports_partial() {
+        return Err(
+            "latency experiments pass through partially loaded states; the rate \
+             model must support partial multisets"
+                .into(),
+        );
+    }
     let n_types = rates.num_types();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let draw_exp = |rng: &mut StdRng, mean: f64| -> f64 {
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        -mean * u.ln()
-    };
+    let contexts = rates.contexts();
+    let mut rng = SplitMix64::new(config.seed);
 
     let mut pool = JobPool::new(n_types);
     let mut now = 0.0f64;
-    let mut next_arrival = draw_exp(&mut rng, 1.0 / config.arrival_rate);
+    let mut next_arrival = rng.next_exp(1.0 / config.arrival_rate);
     let mut next_id: u64 = 0;
 
     let target = config.warmup_jobs + config.measured_jobs;
@@ -145,20 +151,20 @@ pub fn run_latency_experiment(
             now = next_arrival;
             pool.insert(Job {
                 id: next_id,
-                ty: rng.gen_range(0..n_types),
+                ty: rng.next_range(n_types as u64) as usize,
                 remaining: match config.sizes {
                     SizeDist::Deterministic => 1.0,
-                    SizeDist::Exponential => draw_exp(&mut rng, 1.0),
+                    SizeDist::Exponential => rng.next_exp(1.0),
                 },
                 arrival: now,
             });
             next_id += 1;
-            next_arrival = now + draw_exp(&mut rng, 1.0 / config.arrival_rate);
+            next_arrival = now + rng.next_exp(1.0 / config.arrival_rate);
             continue;
         }
 
         // Ask the policy for the running coschedule.
-        let selection = scheduler.select(&mut pool, rates);
+        let selection = scheduler.select(&mut pool, contexts, rates);
         debug_assert!(!selection.is_empty());
         let mut counts = vec![0u32; n_types];
         for &id in &selection {
@@ -209,15 +215,15 @@ pub fn run_latency_experiment(
         if next_arrival <= now + 1e-15 {
             pool.insert(Job {
                 id: next_id,
-                ty: rng.gen_range(0..n_types),
+                ty: rng.next_range(n_types as u64) as usize,
                 remaining: match config.sizes {
                     SizeDist::Deterministic => 1.0,
-                    SizeDist::Exponential => draw_exp(&mut rng, 1.0),
+                    SizeDist::Exponential => rng.next_exp(1.0),
                 },
                 arrival: next_arrival,
             });
             next_id += 1;
-            next_arrival = now + draw_exp(&mut rng, 1.0 / config.arrival_rate);
+            next_arrival = now + rng.next_exp(1.0 / config.arrival_rate);
         }
     }
 
@@ -231,7 +237,6 @@ pub fn run_latency_experiment(
         completed: measured_completions,
     })
 }
-
 
 /// Parameters of a fixed-batch (makespan / maximum-throughput) experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -286,29 +291,34 @@ pub struct BatchReport {
 /// assert!((report.throughput - 4.0).abs() < 0.05);
 /// ```
 pub fn run_batch_experiment(
-    rates: &dyn CoscheduleRates,
+    rates: &dyn RateModel,
     scheduler: &mut dyn Scheduler,
     config: &BatchConfig,
 ) -> Result<BatchReport, String> {
     if config.jobs == 0 {
         return Err("batch must contain at least one job".into());
     }
+    if !rates.supports_partial() {
+        return Err(
+            "batch experiments drain through partially loaded states; the rate \
+             model must support partial multisets"
+                .into(),
+        );
+    }
     let n_types = rates.num_types();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let contexts = rates.contexts();
+    let mut rng = SplitMix64::new(config.seed);
     let mut pool = JobPool::new(n_types);
     let mut total_work = 0.0;
     for id in 0..config.jobs {
         let size = match config.sizes {
             SizeDist::Deterministic => 1.0,
-            SizeDist::Exponential => {
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                -u.ln()
-            }
+            SizeDist::Exponential => rng.next_exp(1.0),
         };
         total_work += size;
         pool.insert(Job {
             id,
-            ty: rng.gen_range(0..n_types),
+            ty: rng.next_range(n_types as u64) as usize,
             remaining: size,
             arrival: 0.0,
         });
@@ -317,7 +327,7 @@ pub fn run_batch_experiment(
     let mut now = 0.0f64;
     let mut turnaround_sum = 0.0f64;
     while !pool.is_empty() {
-        let selection = scheduler.select(&mut pool, rates);
+        let selection = scheduler.select(&mut pool, contexts, rates);
         debug_assert!(!selection.is_empty());
         let mut counts = vec![0u32; n_types];
         for &id in &selection {
@@ -378,7 +388,11 @@ mod batch_tests {
             seed: 2,
         };
         let report = run_batch_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
-        assert!((report.throughput - 2.0).abs() < 0.02, "{}", report.throughput);
+        assert!(
+            (report.throughput - 2.0).abs() < 0.02,
+            "{}",
+            report.throughput
+        );
         assert!(report.makespan > 0.0);
     }
 
@@ -447,8 +461,10 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         let rates = single_server_rates();
-        let mut cfg = LatencyConfig::default();
-        cfg.arrival_rate = 0.0;
+        let mut cfg = LatencyConfig {
+            arrival_rate: 0.0,
+            ..Default::default()
+        };
         assert!(run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).is_err());
         cfg.arrival_rate = 1.0;
         cfg.measured_jobs = 0;
@@ -494,7 +510,12 @@ mod tests {
         // L = lambda * W (use measured throughput as effective lambda).
         let lw = report.throughput * report.mean_turnaround;
         let rel = (report.mean_jobs_in_system - lw).abs() / report.mean_jobs_in_system;
-        assert!(rel < 0.05, "L {} vs lambda*W {}", report.mean_jobs_in_system, lw);
+        assert!(
+            rel < 0.05,
+            "L {} vs lambda*W {}",
+            report.mean_jobs_in_system,
+            lw
+        );
     }
 
     #[test]
@@ -557,7 +578,11 @@ mod tests {
             seed: 13,
         };
         let report = run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).unwrap();
-        assert!((report.throughput - 1.0).abs() < 0.02, "{}", report.throughput);
+        assert!(
+            (report.throughput - 1.0).abs() < 0.02,
+            "{}",
+            report.throughput
+        );
         assert!(report.empty_fraction < 1e-9);
         assert!((report.utilization - 1.0).abs() < 1e-6);
     }
@@ -577,7 +602,12 @@ mod tests {
         // At low load scheduling barely matters (paper, Section VI points
         // A/B): both see nearly the same utilisation.
         let rel = (fcfs.utilization - maxit.utilization).abs() / fcfs.utilization;
-        assert!(rel < 0.05, "fcfs {} vs maxit {}", fcfs.utilization, maxit.utilization);
+        assert!(
+            rel < 0.05,
+            "fcfs {} vs maxit {}",
+            fcfs.utilization,
+            maxit.utilization
+        );
     }
 
     #[test]

@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn capacity_thrash_produces_misses() {
         let mut c = small_cache(8, 512); // 512 lines
-        // Cyclic walk over 1024 lines with LRU: everything misses after warmup.
+                                         // Cyclic walk over 1024 lines with LRU: everything misses after warmup.
         let mut last_round_hits = 0;
         for round in 0..3 {
             c.reset_stats();

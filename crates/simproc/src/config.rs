@@ -92,12 +92,18 @@ impl CacheGeometry {
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err(format!("line size {} must be a power of two", self.line_bytes));
+            return Err(format!(
+                "line size {} must be a power of two",
+                self.line_bytes
+            ));
         }
         if self.ways == 0 {
             return Err("associativity must be positive".into());
         }
-        if self.size_bytes % (self.line_bytes as u64 * self.ways as u64) != 0 {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes as u64 * self.ways as u64)
+        {
             return Err(format!(
                 "capacity {} not divisible by ways*line ({}*{})",
                 self.size_bytes, self.ways, self.line_bytes

@@ -296,10 +296,7 @@ impl<'a> Chip<'a> {
             RobPartitioning::Dynamic => {
                 if !self.cfg.core.dynamic_reservation {
                     // Ablation mode: a fully shared pool with no guarantee.
-                    let used: usize = members
-                        .iter()
-                        .map(|&i| self.threads[i].rob.len())
-                        .sum();
+                    let used: usize = members.iter().map(|&i| self.threads[i].rob.len()).sum();
                     return used < rob_size;
                 }
                 let n = members.len().max(1);
@@ -340,8 +337,7 @@ impl<'a> Chip<'a> {
             InsnKind::Branch => {
                 let resolve = ready + 1;
                 if insn.mispredicted {
-                    self.threads[ti].fetch_resume =
-                        resolve + self.cfg.core.branch_redirect_penalty;
+                    self.threads[ti].fetch_resume = resolve + self.cfg.core.branch_redirect_penalty;
                     stall = true;
                 }
                 resolve

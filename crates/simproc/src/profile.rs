@@ -200,8 +200,7 @@ mod tests {
     #[test]
     fn alu_frac_complements_mix() {
         let p = BenchmarkProfile::balanced("t", 1);
-        let total =
-            p.alu_frac() + p.load_frac + p.store_frac + p.branch_frac + p.long_op_frac;
+        let total = p.alu_frac() + p.load_frac + p.store_frac + p.branch_frac + p.long_op_frac;
         assert!((total - 1.0).abs() < 1e-12);
     }
 }

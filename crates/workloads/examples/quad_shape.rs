@@ -9,7 +9,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (mut pj, mut it, mut av, mut g, mut l) = (vec![], vec![], vec![], vec![], vec![]);
     for w in enumerate_workloads(12, 4) {
         let rates = table.workload_rates(&w)?;
-        let v = analyze_variability(&rates, FcfsParams { jobs: 20_000, ..Default::default() })?;
+        let v = analyze_variability(
+            &rates,
+            FcfsParams {
+                jobs: 20_000,
+                ..Default::default()
+            },
+        )?;
         pj.push(v.per_job_variability());
         it.push(v.instantaneous.variability());
         av.push(v.average_variability());
@@ -17,7 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         l.push(v.worst_loss());
     }
     let m = |v: &Vec<f64>| 100.0 * metrics::mean(v.iter().copied()).unwrap();
-    println!("QUAD per-job var avg {:.1}%  inst var avg {:.1}%  avg-TP var avg {:.1}%", m(&pj), m(&it), m(&av));
-    println!("QUAD optimal gain avg {:.1}%  worst loss avg {:.1}%", m(&g), m(&l));
+    println!(
+        "QUAD per-job var avg {:.1}%  inst var avg {:.1}%  avg-TP var avg {:.1}%",
+        m(&pj),
+        m(&it),
+        m(&av)
+    );
+    println!(
+        "QUAD optimal gain avg {:.1}%  worst loss avg {:.1}%",
+        m(&g),
+        m(&l)
+    );
     Ok(())
 }

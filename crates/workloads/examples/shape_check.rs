@@ -1,9 +1,7 @@
 //! End-to-end shape check: build the full SMT perf table, compute Figure 1
 //! style statistics over all 495 workloads of 4 types.
 use simproc::{Machine, MachineConfig};
-use symbiosis::{
-    analyze_variability, enumerate_workloads, metrics, FcfsParams,
-};
+use symbiosis::{analyze_variability, enumerate_workloads, metrics, FcfsParams};
 use workloads::{spec2006, PerfTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -12,7 +10,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = spec2006();
     let threads = std::thread::available_parallelism()?.get();
     let table = PerfTable::build(&machine, &suite, threads)?;
-    eprintln!("table built in {:?} ({} coschedules)", t0.elapsed(), table.len());
+    eprintln!(
+        "table built in {:?} ({} coschedules)",
+        t0.elapsed(),
+        table.len()
+    );
 
     let workloads = enumerate_workloads(12, 4);
     let mut per_job_var = Vec::new();
@@ -23,7 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t1 = std::time::Instant::now();
     for w in &workloads {
         let rates = table.workload_rates(w)?;
-        let v = analyze_variability(&rates, FcfsParams { jobs: 20_000, ..FcfsParams::default() })?;
+        let v = analyze_variability(
+            &rates,
+            FcfsParams {
+                jobs: 20_000,
+                ..FcfsParams::default()
+            },
+        )?;
         per_job_var.push(v.per_job_variability());
         inst_var.push(v.instantaneous.variability());
         avg_var.push(v.average_variability());
@@ -34,10 +42,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = |v: &Vec<f64>| metrics::mean(v.iter().copied()).unwrap();
     let mx = |v: &Vec<f64>| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mn = |v: &Vec<f64>| v.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("per-job IPC variability : avg {:5.1}%  max {:5.1}%", 100.0*m(&per_job_var), 100.0*mx(&per_job_var));
-    println!("instantaneous TP var    : avg {:5.1}%  max {:5.1}%", 100.0*m(&inst_var), 100.0*mx(&inst_var));
-    println!("average TP variability  : avg {:5.1}%  max {:5.1}%", 100.0*m(&avg_var), 100.0*mx(&avg_var));
-    println!("optimal gain vs FCFS    : avg {:5.1}%  max {:5.1}%", 100.0*m(&gains), 100.0*mx(&gains));
-    println!("worst loss vs FCFS      : avg {:5.1}%  min {:5.1}%", 100.0*m(&losses), 100.0*mn(&losses));
+    println!(
+        "per-job IPC variability : avg {:5.1}%  max {:5.1}%",
+        100.0 * m(&per_job_var),
+        100.0 * mx(&per_job_var)
+    );
+    println!(
+        "instantaneous TP var    : avg {:5.1}%  max {:5.1}%",
+        100.0 * m(&inst_var),
+        100.0 * mx(&inst_var)
+    );
+    println!(
+        "average TP variability  : avg {:5.1}%  max {:5.1}%",
+        100.0 * m(&avg_var),
+        100.0 * mx(&avg_var)
+    );
+    println!(
+        "optimal gain vs FCFS    : avg {:5.1}%  max {:5.1}%",
+        100.0 * m(&gains),
+        100.0 * mx(&gains)
+    );
+    println!(
+        "worst loss vs FCFS      : avg {:5.1}%  min {:5.1}%",
+        100.0 * m(&losses),
+        100.0 * mn(&losses)
+    );
     Ok(())
 }

@@ -30,4 +30,4 @@ pub mod spec;
 pub mod table;
 
 pub use spec::{spec2006, spec_names, spec_profile};
-pub use table::{PerfTable, TableError, WorkUnit};
+pub use table::{PerfTable, TableError, WorkUnit, WorkloadView};

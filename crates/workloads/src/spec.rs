@@ -69,18 +69,198 @@ pub fn spec_profile(name: &str) -> Option<BenchmarkProfile> {
     }
     let p = match name {
         //                  seed    load  store branch long  mis    dep   (stack)      hot     footpr   hotf  strm  fe
-        "bzip2" => mk("bzip2", 0xB001, 0.26, 0.12, 0.14, 0.01, 0.060, 0.35, (56, 0.72), 1_500, 60_000, 0.85, 0.05, 0.005),
-        "calculix" => mk("calculix", 0xB002, 0.30, 0.08, 0.05, 0.20, 0.005, 0.25, (64, 0.82), 350, 8_000, 0.95, 0.02, 0.002),
-        "gcc_cp_decl" => mk("gcc_cp_decl", 0xB003, 0.26, 0.14, 0.16, 0.01, 0.055, 0.35, (56, 0.60), 2_000, 80_000, 0.80, 0.04, 0.035),
-        "gcc_g23" => mk("gcc_g23", 0xB004, 0.27, 0.14, 0.15, 0.01, 0.050, 0.37, (56, 0.55), 4_000, 150_000, 0.70, 0.05, 0.030),
-        "h264ref" => mk("h264ref", 0xB005, 0.28, 0.10, 0.08, 0.06, 0.010, 0.22, (64, 0.80), 400, 12_000, 0.92, 0.03, 0.005),
-        "hmmer" => mk("hmmer", 0xB006, 0.30, 0.12, 0.08, 0.02, 0.002, 0.15, (64, 0.85), 300, 4_000, 0.95, 0.01, 0.001),
-        "libquantum" => mk("libquantum", 0xB007, 0.30, 0.14, 0.12, 0.02, 0.010, 0.20, (32, 0.80), 64, 500_000, 0.90, 0.55, 0.001),
-        "mcf" => mk("mcf", 0xB008, 0.35, 0.09, 0.12, 0.01, 0.060, 0.50, (48, 0.45), 2_000, 600_000, 0.35, 0.02, 0.005),
-        "perlbench" => mk("perlbench", 0xB009, 0.26, 0.12, 0.16, 0.01, 0.050, 0.33, (56, 0.70), 1_200, 40_000, 0.88, 0.02, 0.030),
-        "sjeng" => mk("sjeng", 0xB00A, 0.22, 0.08, 0.17, 0.01, 0.080, 0.35, (56, 0.75), 800, 30_000, 0.90, 0.01, 0.010),
-        "tonto" => mk("tonto", 0xB00B, 0.28, 0.12, 0.07, 0.22, 0.010, 0.32, (64, 0.75), 500, 30_000, 0.90, 0.03, 0.010),
-        "xalancbmk" => mk("xalancbmk", 0xB00C, 0.30, 0.10, 0.15, 0.01, 0.040, 0.40, (48, 0.50), 5_000, 250_000, 0.60, 0.04, 0.020),
+        "bzip2" => mk(
+            "bzip2",
+            0xB001,
+            0.26,
+            0.12,
+            0.14,
+            0.01,
+            0.060,
+            0.35,
+            (56, 0.72),
+            1_500,
+            60_000,
+            0.85,
+            0.05,
+            0.005,
+        ),
+        "calculix" => mk(
+            "calculix",
+            0xB002,
+            0.30,
+            0.08,
+            0.05,
+            0.20,
+            0.005,
+            0.25,
+            (64, 0.82),
+            350,
+            8_000,
+            0.95,
+            0.02,
+            0.002,
+        ),
+        "gcc_cp_decl" => mk(
+            "gcc_cp_decl",
+            0xB003,
+            0.26,
+            0.14,
+            0.16,
+            0.01,
+            0.055,
+            0.35,
+            (56, 0.60),
+            2_000,
+            80_000,
+            0.80,
+            0.04,
+            0.035,
+        ),
+        "gcc_g23" => mk(
+            "gcc_g23",
+            0xB004,
+            0.27,
+            0.14,
+            0.15,
+            0.01,
+            0.050,
+            0.37,
+            (56, 0.55),
+            4_000,
+            150_000,
+            0.70,
+            0.05,
+            0.030,
+        ),
+        "h264ref" => mk(
+            "h264ref",
+            0xB005,
+            0.28,
+            0.10,
+            0.08,
+            0.06,
+            0.010,
+            0.22,
+            (64, 0.80),
+            400,
+            12_000,
+            0.92,
+            0.03,
+            0.005,
+        ),
+        "hmmer" => mk(
+            "hmmer",
+            0xB006,
+            0.30,
+            0.12,
+            0.08,
+            0.02,
+            0.002,
+            0.15,
+            (64, 0.85),
+            300,
+            4_000,
+            0.95,
+            0.01,
+            0.001,
+        ),
+        "libquantum" => mk(
+            "libquantum",
+            0xB007,
+            0.30,
+            0.14,
+            0.12,
+            0.02,
+            0.010,
+            0.20,
+            (32, 0.80),
+            64,
+            500_000,
+            0.90,
+            0.55,
+            0.001,
+        ),
+        "mcf" => mk(
+            "mcf",
+            0xB008,
+            0.35,
+            0.09,
+            0.12,
+            0.01,
+            0.060,
+            0.50,
+            (48, 0.45),
+            2_000,
+            600_000,
+            0.35,
+            0.02,
+            0.005,
+        ),
+        "perlbench" => mk(
+            "perlbench",
+            0xB009,
+            0.26,
+            0.12,
+            0.16,
+            0.01,
+            0.050,
+            0.33,
+            (56, 0.70),
+            1_200,
+            40_000,
+            0.88,
+            0.02,
+            0.030,
+        ),
+        "sjeng" => mk(
+            "sjeng",
+            0xB00A,
+            0.22,
+            0.08,
+            0.17,
+            0.01,
+            0.080,
+            0.35,
+            (56, 0.75),
+            800,
+            30_000,
+            0.90,
+            0.01,
+            0.010,
+        ),
+        "tonto" => mk(
+            "tonto",
+            0xB00B,
+            0.28,
+            0.12,
+            0.07,
+            0.22,
+            0.010,
+            0.32,
+            (64, 0.75),
+            500,
+            30_000,
+            0.90,
+            0.03,
+            0.010,
+        ),
+        "xalancbmk" => mk(
+            "xalancbmk",
+            0xB00C,
+            0.30,
+            0.10,
+            0.15,
+            0.01,
+            0.040,
+            0.40,
+            (48, 0.50),
+            5_000,
+            250_000,
+            0.60,
+            0.04,
+            0.020,
+        ),
         _ => return None,
     };
     debug_assert!(p.validate().is_ok(), "profile {name} must validate");
@@ -171,7 +351,10 @@ mod tests {
     #[test]
     fn streaming_and_pointer_chasing_extremes_present() {
         let suite = spec2006();
-        assert!(suite.iter().any(|p| p.streaming_frac > 0.5), "libquantum-like");
+        assert!(
+            suite.iter().any(|p| p.streaming_frac > 0.5),
+            "libquantum-like"
+        );
         assert!(suite.iter().any(|p| p.dep_frac >= 0.5), "mcf-like");
     }
 }

@@ -13,8 +13,8 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Mutex;
 
-use simproc::{Machine, MachineError, BenchmarkProfile};
-use symbiosis::{enumerate_coschedules, SymbiosisError, WorkloadRates};
+use simproc::{BenchmarkProfile, Machine, MachineError};
+use symbiosis::{enumerate_coschedules, RateModel, SymbiosisError, WorkloadRates};
 
 /// Errors from building or querying a [`PerfTable`].
 #[derive(Debug, Clone, PartialEq)]
@@ -148,9 +148,7 @@ impl PerfTable {
             .expect("poisoned")
             .into_iter()
             .collect();
-        let solo_ipc: Vec<f64> = (0..suite.len())
-            .map(|b| co_ipc[&vec![b]][0])
-            .collect();
+        let solo_ipc: Vec<f64> = (0..suite.len()).map(|b| co_ipc[&vec![b]][0]).collect();
         Ok(PerfTable {
             names: suite.iter().map(|p| p.name.clone()).collect(),
             solo_ipc,
@@ -266,7 +264,7 @@ impl PerfTable {
         )
     }
 
-    /// Creates a [`queueing::CoscheduleRates`] view of this table for one
+    /// Creates a [`symbiosis::RateModel`] view of this table for one
     /// workload (sorted distinct benchmark indices), exposing partial
     /// coschedules to the latency simulator. Rates are in WIPC.
     ///
@@ -283,16 +281,16 @@ impl PerfTable {
     }
 }
 
-/// A borrowed view of a [`PerfTable`] restricted to one workload,
-/// implementing [`queueing::CoscheduleRates`] (including partial
-/// coschedules) for the Section VI latency experiments.
+/// A borrowed view of a [`PerfTable`] restricted to one workload — the
+/// *measured* [`RateModel`] implementation (including partial coschedules)
+/// consumed by the Section VI latency experiments and the `session` crate.
 #[derive(Debug, Clone)]
 pub struct WorkloadView<'a> {
     table: &'a PerfTable,
     types: Vec<usize>,
 }
 
-impl queueing::CoscheduleRates for WorkloadView<'_> {
+impl RateModel for WorkloadView<'_> {
     fn num_types(&self) -> usize {
         self.types.len()
     }
@@ -328,19 +326,29 @@ impl queueing::CoscheduleRates for WorkloadView<'_> {
         }
         sum / n as f64
     }
+
+    fn full_table(&self) -> Result<WorkloadRates, SymbiosisError> {
+        // Delegate to the direct conversion: the default implementation
+        // would recompute each total as count * (sum/count), which differs
+        // from the slot sum by a ULP — enough to break the bit-identical
+        // parity with the pre-`Session` path.
+        self.table.workload_rates(&self.types).map_err(|e| match e {
+            TableError::Rates(e) => e,
+            other => SymbiosisError::InvalidRates(other.to_string()),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::spec2006;
-    use queueing::CoscheduleRates;
     use simproc::MachineConfig;
+    use symbiosis::assert_rate_model_conformance;
 
     /// A tiny suite + short windows so tests stay fast.
     fn tiny_table() -> PerfTable {
-        let machine =
-            Machine::new(MachineConfig::smt4().with_windows(2_000, 6_000)).unwrap();
+        let machine = Machine::new(MachineConfig::smt4().with_windows(2_000, 6_000)).unwrap();
         let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(3).collect();
         PerfTable::build(&machine, &suite, 4).unwrap()
     }
@@ -366,7 +374,10 @@ mod tests {
     fn slot_ipcs_keyed_by_sorted_combo() {
         let t = tiny_table();
         assert!(t.slot_ipcs(&[0, 0, 1, 2]).is_some());
-        assert!(t.slot_ipcs(&[0, 1]).is_some(), "partial coschedules recorded");
+        assert!(
+            t.slot_ipcs(&[0, 1]).is_some(),
+            "partial coschedules recorded"
+        );
         assert!(t.slot_ipcs(&[0, 1, 1, 1, 2]).is_none(), "oversized key");
         assert!(t.slot_ipcs(&[2, 1, 0, 0]).is_none(), "unsorted key");
     }
@@ -412,8 +423,7 @@ mod tests {
 
     #[test]
     fn build_is_deterministic_across_thread_counts() {
-        let machine =
-            Machine::new(MachineConfig::smt4().with_windows(1_000, 3_000)).unwrap();
+        let machine = Machine::new(MachineConfig::smt4().with_windows(1_000, 3_000)).unwrap();
         let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(2).collect();
         let a = PerfTable::build(&machine, &suite, 1).unwrap();
         let b = PerfTable::build(&machine, &suite, 8).unwrap();
@@ -460,6 +470,17 @@ mod tests {
         let via_table = rates.per_job_rate(si, 0);
         let via_view = view.per_job_rate(&[2, 2], 0);
         assert!((via_table - via_view).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_view_passes_shared_conformance() {
+        let t = tiny_table();
+        let view = t.workload_view(&[0, 2]).unwrap();
+        assert!(view.supports_partial());
+        assert_rate_model_conformance(&view);
+        // The materialised full table is the direct conversion, bitwise.
+        let direct = t.workload_rates(&[0, 2]).unwrap();
+        assert_eq!(view.full_table().unwrap(), direct);
     }
 
     #[test]

@@ -13,14 +13,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two contrasting workloads: compute-heavy (front-end bottleneck-ish)
     // vs mixed compute/memory.
     let cases: [(&str, [usize; 4]); 2] = [
-        ("compute-heavy (calculix h264ref hmmer tonto)", [1, 4, 5, 10]),
+        (
+            "compute-heavy (calculix h264ref hmmer tonto)",
+            [1, 4, 5, 10],
+        ),
         ("mixed (hmmer libquantum mcf xalancbmk)", [5, 6, 7, 11]),
     ];
 
     for (label, mix) in cases {
         let rates = table.workload_rates(&mix)?;
-        let fit = fit_linear_bottleneck(&rates)?;
-        let (worst, best) = throughput_bounds(&rates)?;
+        let fit = symbiosis::fit_linear_bottleneck(&rates)?;
+        let report = Session::builder()
+            .rates(&rates)
+            .policies([Policy::Worst, Policy::Optimal])
+            .run()?;
+        let worst = report.row(Policy::Worst).expect("requested");
+        let best = report.row(Policy::Optimal).expect("requested");
         println!("== {label} ==");
         println!("  linear-bottleneck LSQ error: {:.5}", fit.mse);
         if let Some(pred) = fit.predicted_throughput {

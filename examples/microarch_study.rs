@@ -10,15 +10,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = spec2006();
     // A few representative 4-type workloads.
     let mixes: [[usize; 4]; 4] = [
-        [0, 4, 7, 9],   // bzip2 h264ref mcf sjeng
-        [1, 5, 6, 11],  // calculix hmmer libquantum xalancbmk
-        [2, 3, 8, 10],  // gcc_cp_decl gcc_g23 perlbench tonto
-        [0, 5, 7, 11],  // bzip2 hmmer mcf xalancbmk
+        [0, 4, 7, 9],  // bzip2 h264ref mcf sjeng
+        [1, 5, 6, 11], // calculix hmmer libquantum xalancbmk
+        [2, 3, 8, 10], // gcc_cp_decl gcc_g23 perlbench tonto
+        [0, 5, 7, 11], // bzip2 hmmer mcf xalancbmk
     ];
 
     let policies = [
-        ("RR / static ROB", FetchPolicy::RoundRobin, RobPartitioning::Static),
-        ("ICOUNT / dynamic ROB", FetchPolicy::Icount, RobPartitioning::Dynamic),
+        (
+            "RR / static ROB",
+            FetchPolicy::RoundRobin,
+            RobPartitioning::Static,
+        ),
+        (
+            "ICOUNT / dynamic ROB",
+            FetchPolicy::Icount,
+            RobPartitioning::Dynamic,
+        ),
     ];
 
     let mut summaries = Vec::new();
@@ -34,16 +42,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut opt_sum = 0.0;
         for mix in &mixes {
             let rates = table.workload_rates(mix)?;
-            fcfs_sum +=
-                fcfs_throughput(&rates, 30_000, JobSize::Deterministic, 5)?.throughput;
-            opt_sum += optimal_schedule(&rates, Objective::MaxThroughput)?.throughput;
+            let report = Session::builder()
+                .rates(&rates)
+                .policies([Policy::FcfsEvent, Policy::Optimal])
+                .fcfs_jobs(30_000)
+                .seed(5)
+                .run()?;
+            fcfs_sum += report.throughput(Policy::FcfsEvent).expect("requested");
+            opt_sum += report.throughput(Policy::Optimal).expect("requested");
         }
         let n = mixes.len() as f64;
         summaries.push((label, fcfs_sum / n, opt_sum / n));
     }
 
     println!("SMT policy comparison over {} workloads:\n", mixes.len());
-    println!("{:<22} {:>12} {:>14}", "policy", "FCFS avg TP", "optimal avg TP");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "policy", "FCFS avg TP", "optimal avg TP"
+    );
     for (label, fcfs, opt) in &summaries {
         println!("{label:<22} {fcfs:>12.3} {opt:>14.3}");
     }

@@ -15,11 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    pointer chaser (mcf).
     let suite = spec2006();
     let names = spec_names();
-    let mix: Vec<usize> = ["hmmer", "sjeng", "libquantum", "mcf"]
+    let mut mix: Vec<usize> = ["hmmer", "sjeng", "libquantum", "mcf"]
         .iter()
         .map(|n| names.iter().position(|m| m == n).expect("known name"))
         .collect();
-    let mut mix = mix;
     mix.sort_unstable();
 
     println!("simulating all coschedules of:");
@@ -29,30 +28,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = PerfTable::build(&machine, &suite, 8)?;
     let rates = table.workload_rates(&mix)?;
 
-    // 3. The paper's Section IV machinery: LP bounds + FCFS baseline.
-    let (worst, best) = throughput_bounds(&rates)?;
-    let fcfs = fcfs_throughput(&rates, 40_000, JobSize::Deterministic, 42)?;
+    // 3. One session, three policies: the paper's Section IV machinery
+    //    (LP bounds) plus the FCFS baseline.
+    let report = Session::builder()
+        .rates(&rates)
+        .policies([Policy::Worst, Policy::FcfsEvent, Policy::Optimal])
+        .fcfs_jobs(40_000)
+        .seed(42)
+        .run()?;
 
+    let worst = report.throughput(Policy::Worst).expect("requested");
+    let fcfs = report.throughput(Policy::FcfsEvent).expect("requested");
+    let best = report.throughput(Policy::Optimal).expect("requested");
     println!("\naverage throughput (weighted instructions / cycle):");
-    println!("  worst scheduler   {:.3}", worst.throughput);
-    println!("  FCFS              {:.3}", fcfs.throughput);
-    println!("  optimal scheduler {:.3}", best.throughput);
+    println!("  worst scheduler   {worst:.3}");
+    println!("  FCFS              {fcfs:.3}");
+    println!("  optimal scheduler {best:.3}");
     println!(
         "\noptimal gain over FCFS: {:+.1}%   (the paper's headline: ~3%)",
-        100.0 * (best.throughput / fcfs.throughput - 1.0)
+        100.0 * (best / fcfs - 1.0)
     );
 
     // 4. Which coschedules does the optimal schedule actually use? (At most
     //    N of them — a property of basic LP solutions.)
+    let fractions = report
+        .row(Policy::Optimal)
+        .and_then(|r| r.fractions.as_deref())
+        .expect("LP rows carry fractions");
     println!("\noptimal schedule time fractions:");
-    for si in best.selected(1e-6) {
-        let s = &rates.coschedules()[si];
-        println!(
-            "  {:>6.1}%  {}  (it = {:.3})",
-            100.0 * best.fractions[si],
-            s,
-            rates.instantaneous_throughput(si)
-        );
+    for (si, s) in rates.coschedules().iter().enumerate() {
+        if fractions[si] > 1e-6 {
+            println!(
+                "  {:>6.1}%  {}  (it = {:.3})",
+                100.0 * fractions[si],
+                s,
+                rates.instantaneous_throughput(si)
+            );
+        }
     }
     Ok(())
 }

@@ -1,6 +1,6 @@
 //! Comparing the paper's four scheduling policies (FCFS, MAXIT, SRPT,
 //! MAXTP) on one SMT workload across load levels — a miniature of the
-//! paper's Figure 5.
+//! paper's Figure 5, driven end-to-end by the `Session` API.
 //!
 //! Run with: `cargo run --release --example scheduler_comparison`
 
@@ -16,21 +16,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rates = table.workload_rates(&mix)?;
     let view = table.workload_view(&mix)?;
 
-    // FCFS maximum throughput defines the load scale; the LP solution
-    // parameterises MAXTP.
-    let fcfs_max = fcfs_throughput(&rates, 40_000, JobSize::Deterministic, 1)?.throughput;
-    let best = optimal_schedule(&rates, Objective::MaxThroughput)?;
-    let targets: Vec<(Vec<u32>, f64)> = rates
-        .coschedules()
-        .iter()
-        .zip(&best.fractions)
-        .filter(|(_, &x)| x > 1e-9)
-        .map(|(s, &x)| (s.counts().to_vec(), x))
-        .collect();
+    // FCFS maximum throughput defines the load scale; the LP optimum shows
+    // the headroom (and parameterises MAXTP inside later sessions).
+    let bounds = Session::builder()
+        .rates(&rates)
+        .policies([Policy::FcfsEvent, Policy::Optimal])
+        .fcfs_jobs(40_000)
+        .seed(1)
+        .run()?;
+    let fcfs_max = bounds.throughput(Policy::FcfsEvent).expect("requested");
+    let best = bounds.throughput(Policy::Optimal).expect("requested");
     println!(
-        "FCFS max throughput {fcfs_max:.3} WIPC; LP optimal {:.3} ({:+.1}%)\n",
-        best.throughput,
-        100.0 * (best.throughput / fcfs_max - 1.0)
+        "FCFS max throughput {fcfs_max:.3} WIPC; LP optimal {best:.3} ({:+.1}%)\n",
+        100.0 * (best / fcfs_max - 1.0)
     );
 
     println!(
@@ -38,29 +36,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "load", "policy", "turnaround", "utilisation", "empty"
     );
     for load in [0.8, 0.9, 0.95] {
-        let cfg = LatencyConfig {
-            arrival_rate: load * fcfs_max,
-            measured_jobs: 30_000,
-            warmup_jobs: 3_000,
-            sizes: SizeDist::Exponential,
-            seed: 99,
-        };
-        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
-            Box::new(FcfsScheduler),
-            Box::new(MaxItScheduler),
-            Box::new(SrptScheduler),
-            Box::new(MaxTpScheduler::new(targets.clone())),
-        ];
-        for sched in &mut schedulers {
-            let name = sched.name();
-            let report = run_latency_experiment(&view, sched.as_mut(), &cfg)?;
+        let report = Session::builder()
+            .rates(&view)
+            .policies(Policy::LATENCY)
+            .latency(LatencyConfig {
+                arrival_rate: load * fcfs_max,
+                measured_jobs: 30_000,
+                warmup_jobs: 3_000,
+                sizes: SizeDist::Exponential,
+                seed: 99,
+            })
+            .run()?;
+        for row in &report.rows {
+            let latency = row.latency.as_ref().expect("latency semantics");
             println!(
                 "{:>6.2} {:>8} {:>12.1} {:>12.2} {:>9.1}%",
                 load,
-                name,
-                report.mean_turnaround,
-                report.utilization,
-                100.0 * report.empty_fraction
+                row.policy.name(),
+                latency.mean_turnaround,
+                latency.utilization,
+                100.0 * latency.empty_fraction
             );
         }
         println!();

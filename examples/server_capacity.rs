@@ -33,21 +33,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cross-check one point with the discrete-event simulator: four
     // identical contexts, no symbiosis effects, exponential sizes.
     println!("\ncross-check at load 0.875 (lambda = 3.5) with the DES:");
-    let rates = ContentionModel::new(vec![1.0], 0.0, 4);
     for (label, mu) in [("mu = 1.00", 1.0), ("mu = 1.03", 1.03)] {
         let scaled = ContentionModel::new(vec![mu], 0.0, 4);
-        let _ = &rates;
-        let report = run_latency_experiment(
-            &scaled,
-            &mut FcfsScheduler,
-            &LatencyConfig {
+        let session = Session::builder()
+            .rates(&scaled)
+            .policy(Policy::Fcfs)
+            .latency(LatencyConfig {
                 arrival_rate: 3.5,
                 measured_jobs: 120_000,
                 warmup_jobs: 12_000,
                 sizes: SizeDist::Exponential,
                 seed: 7,
-            },
-        )?;
+            })
+            .run()?;
+        let report = session
+            .row(Policy::Fcfs)
+            .and_then(|r| r.latency.as_ref())
+            .expect("latency semantics");
         println!(
             "  {label}: W = {:.2}, jobs in system = {:.1}, utilisation = {:.2}, empty = {:.1}%",
             report.mean_turnaround,

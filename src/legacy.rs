@@ -1,0 +1,128 @@
+//! Thin deprecated shims for the pre-`Session` free-function API.
+//!
+//! Every shim delegates to the engine function that now backs the
+//! [`session`](::session) crate, so old call sites keep producing exactly
+//! the numbers they always did — the deprecation only points new code at
+//! the unified entry point.
+
+use queueing::{BatchConfig, BatchReport, LatencyConfig, LatencyReport, Scheduler};
+use symbiosis::{
+    BottleneckFit, FairnessExperiment, FcfsOutcome, FcfsParams, HeterogeneityTable, JobSize,
+    Objective, RateModel, Schedule, SymbiosisError, WorkloadRates, WorkloadVariability,
+};
+
+/// See [`symbiosis::optimal_schedule`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::builder().rates(..).policy(Policy::Optimal).run()"
+)]
+pub fn optimal_schedule(
+    rates: &WorkloadRates,
+    objective: Objective,
+) -> Result<Schedule, SymbiosisError> {
+    symbiosis::optimal_schedule(rates, objective)
+}
+
+/// See [`symbiosis::throughput_bounds`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::builder().rates(..).policies([Policy::Worst, Policy::Optimal]).run()"
+)]
+pub fn throughput_bounds(rates: &WorkloadRates) -> Result<(Schedule, Schedule), SymbiosisError> {
+    symbiosis::throughput_bounds(rates)
+}
+
+/// See [`symbiosis::fcfs_throughput`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::builder().rates(..).policy(Policy::FcfsEvent).run()"
+)]
+pub fn fcfs_throughput(
+    rates: &WorkloadRates,
+    jobs: u64,
+    sizes: JobSize,
+    seed: u64,
+) -> Result<FcfsOutcome, SymbiosisError> {
+    symbiosis::fcfs_throughput(rates, jobs, sizes, seed)
+}
+
+/// See [`symbiosis::fcfs_throughput_markov`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::builder().rates(..).policy(Policy::FcfsMarkov).run()"
+)]
+pub fn fcfs_throughput_markov(rates: &WorkloadRates) -> Result<FcfsOutcome, SymbiosisError> {
+    symbiosis::fcfs_throughput_markov(rates)
+}
+
+/// See [`symbiosis::analyze_variability`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use a Session with [Policy::Worst, Policy::FcfsEvent, Policy::Optimal] plus \
+            symbiosis::variability spreads"
+)]
+pub fn analyze_variability(
+    rates: &WorkloadRates,
+    fcfs_params: FcfsParams,
+) -> Result<WorkloadVariability, SymbiosisError> {
+    symbiosis::analyze_variability(rates, fcfs_params)
+}
+
+/// See [`symbiosis::fairness_experiment`].
+#[deprecated(
+    since = "0.2.0",
+    note = "run a Session on the original and rebalanced tables (see \
+            paperbench::experiments::fairness)"
+)]
+pub fn fairness_experiment(
+    rates: &WorkloadRates,
+    fcfs_jobs: u64,
+    seed: u64,
+) -> Result<FairnessExperiment, SymbiosisError> {
+    symbiosis::fairness_experiment(rates, fcfs_jobs, seed)
+}
+
+/// See [`symbiosis::heterogeneity_table`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session fraction rows with symbiosis::heterogeneity_table_from_parts"
+)]
+pub fn heterogeneity_table(
+    rates: &WorkloadRates,
+    fcfs_jobs: u64,
+    seed: u64,
+) -> Result<HeterogeneityTable, SymbiosisError> {
+    symbiosis::heterogeneity_table(rates, fcfs_jobs, seed)
+}
+
+/// See [`symbiosis::fit_linear_bottleneck`].
+#[deprecated(since = "0.2.0", note = "use symbiosis::fit_linear_bottleneck")]
+pub fn fit_linear_bottleneck(rates: &WorkloadRates) -> Result<BottleneckFit, SymbiosisError> {
+    symbiosis::fit_linear_bottleneck(rates)
+}
+
+/// See [`queueing::run_latency_experiment`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::builder().rates(..).latency(config).policies(Policy::LATENCY).run()"
+)]
+pub fn run_latency_experiment(
+    rates: &dyn RateModel,
+    scheduler: &mut dyn Scheduler,
+    config: &LatencyConfig,
+) -> Result<LatencyReport, String> {
+    queueing::run_latency_experiment(rates, scheduler, config)
+}
+
+/// See [`queueing::run_batch_experiment`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::builder().rates(..).policies(Policy::LATENCY).run()"
+)]
+pub fn run_batch_experiment(
+    rates: &dyn RateModel,
+    scheduler: &mut dyn Scheduler,
+    config: &BatchConfig,
+) -> Result<BatchReport, String> {
+    queueing::run_batch_experiment(rates, scheduler, config)
+}

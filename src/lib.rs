@@ -1,16 +1,20 @@
 //! Reproduction of *"Revisiting Symbiotic Job Scheduling"* (Eyerman,
 //! Michaud, Rogiest — ISPASS 2015) as a Rust workspace.
 //!
-//! This facade crate re-exports the workspace's five libraries so examples
-//! and downstream users can depend on a single crate:
+//! This facade crate re-exports the workspace's libraries so examples and
+//! downstream users can depend on a single crate:
 //!
+//! * [`session`] — **the public API**: the [`prelude::Session`] entry
+//!   point, the [`prelude::Policy`] registry and uniform
+//!   [`prelude::PolicyReport`] rows;
+//! * [`symbiosis`] — the analyses behind it: the [`prelude::RateModel`]
+//!   abstraction, LP optimal/worst throughput, Markov/event FCFS, and the
+//!   Section V studies;
 //! * [`lp`] — dense two-phase simplex and linear-algebra kernels;
 //! * [`simproc`] — the SMT / multicore performance simulator substrate;
 //! * [`workloads`] — the 12 SPEC-CPU2006-like benchmark profiles and the
 //!   coschedule performance tables;
-//! * [`symbiosis`] — the paper's contribution: optimal/worst/FCFS average
-//!   throughput and the Section V analyses;
-//! * [`queueing`] — the Section VI latency experiments (FCFS / MAXIT /
+//! * [`queueing`] — the Section VI latency machinery (FCFS / MAXIT /
 //!   SRPT / MAXTP schedulers, analytic M/M/c).
 //!
 //! The experiment harness that regenerates every paper figure/table lives
@@ -19,47 +23,92 @@
 //!
 //! # Quick start
 //!
-//! Compute how much a perfect symbiosis-aware scheduler could speed up a
-//! fully loaded 4-way SMT machine running a 4-program mix:
+//! Everything goes through a [`prelude::Session`]: pick a rate source
+//! (a machine + workload to simulate, or any [`prelude::RateModel`]),
+//! pick policies from the registry, run, and read uniform rows:
 //!
 //! ```no_run
 //! use symbiotic_scheduling::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let machine = Machine::new(MachineConfig::smt4())?;
-//! let table = PerfTable::build(&machine, &spec2006(), 8)?;
-//! // bzip2 + hmmer + mcf + xalancbmk
-//! let rates = table.workload_rates(&[0, 5, 7, 11])?;
-//! let best = optimal_schedule(&rates, Objective::MaxThroughput)?;
-//! let fcfs = fcfs_throughput(&rates, 40_000, JobSize::Deterministic, 42)?;
+//! let report = Session::builder()
+//!     .machine(MachineConfig::smt4())
+//!     .workload(&[0, 5, 7, 11]) // bzip2 + hmmer + mcf + xalancbmk
+//!     .policies([Policy::Worst, Policy::FcfsEvent, Policy::Optimal])
+//!     .fcfs_jobs(40_000)
+//!     .seed(42)
+//!     .run()?;
+//! println!("{report}");
 //! println!(
 //!     "optimal scheduler gains {:.1}% over FCFS",
-//!     100.0 * (best.throughput / fcfs.throughput - 1.0)
+//!     100.0 * (report.throughput(Policy::Optimal).unwrap()
+//!         / report.throughput(Policy::FcfsEvent).unwrap()
+//!         - 1.0)
 //! );
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Rate sources need not come from the simulator — an analytic model (or a
+//! [`prelude::CachedModel`] around an expensive predictor) plugs into the
+//! same session:
+//!
+//! ```
+//! use symbiotic_scheduling::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = AnalyticModel::new(2, 2, |counts, _ty| {
+//!     let distinct = counts.iter().filter(|&&c| c > 0).count();
+//!     0.5 * if distinct == 2 { 1.2 } else { 1.0 }
+//! });
+//! let report = Session::builder()
+//!     .rates(&model)
+//!     .policy_names(["worst", "fcfs-markov", "optimal"])
+//!     .run()?;
+//! assert!(report.throughput(Policy::Optimal) >= report.throughput(Policy::FcfsMarkov));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The pre-`Session` free functions (`optimal_schedule`, `fcfs_throughput`,
+//! `run_latency_experiment`, ...) remain available through [`legacy`] and
+//! the prelude, deprecated in favour of the session API.
 
 pub use lp;
 pub use queueing;
+pub use session;
 pub use simproc;
 pub use symbiosis;
 pub use workloads;
 
+pub mod legacy;
+
 /// Commonly used items from across the workspace.
 pub mod prelude {
-    pub use queueing::{
-        run_latency_experiment, ContentionModel, CoscheduleRates, FcfsScheduler, LatencyConfig,
-        MaxItScheduler, MaxTpScheduler, MmcQueue, Scheduler, SizeDist, SrptScheduler,
-    };
-    pub use simproc::{
-        BenchmarkProfile, FetchPolicy, Machine, MachineConfig, RobPartitioning,
+    pub use session::{
+        Policy, PolicyKind, PolicyReport, Session, SessionBuilder, SessionError, SessionReport,
     };
     pub use symbiosis::{
-        analyze_variability, enumerate_coschedules, enumerate_workloads, fairness_experiment,
-        fcfs_throughput, fcfs_throughput_markov, fit_linear_bottleneck, heterogeneity_table,
-        optimal_schedule, throughput_bounds, Coschedule, FcfsParams, JobSize, Objective,
-        WorkloadRates,
+        assert_rate_model_conformance, enumerate_coschedules, enumerate_workloads, AnalyticModel,
+        BottleneckFit, CachedModel, Coschedule, FairnessExperiment, FcfsOutcome, FcfsParams,
+        HeterogeneityTable, JobSize, Objective, RateModel, Schedule, SymbiosisError, WorkloadRates,
+        WorkloadVariability,
     };
-    pub use workloads::{spec2006, spec_names, spec_profile, PerfTable};
+
+    pub use queueing::{
+        BatchConfig, BatchReport, ContentionModel, FcfsScheduler, LatencyConfig, LatencyReport,
+        MaxItScheduler, MaxTpScheduler, MmcQueue, Scheduler, SizeDist, SrptScheduler,
+    };
+    pub use simproc::{BenchmarkProfile, FetchPolicy, Machine, MachineConfig, RobPartitioning};
+    pub use workloads::{spec2006, spec_names, spec_profile, PerfTable, WorkloadView};
+
+    #[allow(deprecated)]
+    pub use crate::legacy::{
+        analyze_variability, fairness_experiment, fcfs_throughput, fcfs_throughput_markov,
+        fit_linear_bottleneck, heterogeneity_table, optimal_schedule, run_batch_experiment,
+        run_latency_experiment, throughput_bounds,
+    };
+
+    #[allow(deprecated)]
+    pub use queueing::CoscheduleRates;
 }

@@ -1,0 +1,41 @@
+#![allow(dead_code)]
+
+//! Shared deterministic case generator for the property-style integration
+//! tests (an in-repo stand-in for an external property-testing framework:
+//! no network dependencies, fully reproducible failures).
+
+/// Case sampler over the workspace's shared SplitMix64 generator.
+pub struct CaseRng {
+    inner: symbiotic_scheduling::symbiosis::rng::SplitMix64,
+}
+
+impl CaseRng {
+    pub fn new(seed: u64) -> Self {
+        CaseRng {
+            inner: symbiotic_scheduling::symbiosis::rng::SplitMix64::new(seed),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.inner.next_f64()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.inner.next_range(bound)
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A vector of `n` uniform draws in `[lo, hi)`.
+    pub fn vec(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.range(lo, hi)).collect()
+    }
+}

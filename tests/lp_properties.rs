@@ -1,99 +1,147 @@
-//! Property-based tests of the scheduling LP machinery on randomly
-//! generated rate tables.
+//! Property-style tests of the scheduling LP machinery on deterministic
+//! pseudo-random rate tables (seeded in-repo case generation; every
+//! failure reproduces exactly).
 
-use proptest::prelude::*;
+mod common;
 
+use common::CaseRng;
 use symbiotic_scheduling::prelude::*;
 
-/// Strategy: a random symbiosis-flavoured rate table for N types on K
-/// contexts. Per-job rates are positive and bounded by 1 (WIPC), modulated
-/// by heterogeneity so both symbiotic and anti-symbiotic tables appear.
-fn rate_table(n: usize, k: usize) -> impl Strategy<Value = WorkloadRates> {
-    let per_job = prop::collection::vec(0.05f64..1.0, n);
-    let het_boost = -0.15f64..0.15;
-    (per_job, het_boost).prop_map(move |(solo, boost)| {
-        WorkloadRates::build(n, k, |s| {
-            let het = s.heterogeneity() as f64;
-            s.counts()
-                .iter()
-                .zip(&solo)
-                .map(|(&c, &r)| {
-                    if c == 0 {
-                        0.0
-                    } else {
-                        // Scale keeps per-job rates in (0, 1].
-                        let share = 1.0 / s.size() as f64;
-                        let factor = (1.0 + boost * (het - 2.0)).clamp(0.2, 1.8);
-                        (c as f64 * r * share.max(0.4) * factor).min(c as f64)
-                    }
-                })
-                .collect()
-        })
-        .expect("generated table is valid")
+/// A random symbiosis-flavoured rate table for N types on K contexts.
+/// Per-job rates are positive and bounded by 1 (WIPC), modulated by
+/// heterogeneity so both symbiotic and anti-symbiotic tables appear.
+fn rate_table(rng: &mut CaseRng, n: usize, k: usize) -> WorkloadRates {
+    let solo = rng.vec(n, 0.05, 1.0);
+    let boost = rng.range(-0.15, 0.15);
+    WorkloadRates::build(n, k, |s| {
+        let het = s.heterogeneity() as f64;
+        s.counts()
+            .iter()
+            .zip(&solo)
+            .map(|(&c, &r)| {
+                if c == 0 {
+                    0.0
+                } else {
+                    // Scale keeps per-job rates in (0, 1].
+                    let share = 1.0 / s.size() as f64;
+                    let factor = (1.0 + boost * (het - 2.0)).clamp(0.2, 1.8);
+                    (c as f64 * r * share.max(0.4) * factor).min(c as f64)
+                }
+            })
+            .collect()
     })
+    .expect("generated table is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn lp_bounds_sandwich_fcfs(rates in rate_table(3, 3), seed in 0u64..1000) {
-        let (worst, best) = throughput_bounds(&rates).expect("lp solves");
-        prop_assert!(best.throughput >= worst.throughput - 1e-7);
-        let fcfs = fcfs_throughput(&rates, 25_000, JobSize::Deterministic, seed)
-            .expect("fcfs runs");
+#[test]
+fn lp_bounds_sandwich_fcfs() {
+    let mut rng = CaseRng::new(0xA001);
+    for _ in 0..48 {
+        let rates = rate_table(&mut rng, 3, 3);
+        let seed = rng.below(1000);
+        let report = Session::builder()
+            .rates(&rates)
+            .policies([Policy::Worst, Policy::Optimal, Policy::FcfsEvent])
+            .fcfs_jobs(25_000)
+            .seed(seed)
+            .run()
+            .expect("session runs");
+        let worst = report.throughput(Policy::Worst).unwrap();
+        let best = report.throughput(Policy::Optimal).unwrap();
+        let fcfs = report.throughput(Policy::FcfsEvent).unwrap();
+        assert!(best >= worst - 1e-7);
         // The LP bounds hold exactly in the infinite-run limit; a finite
         // experiment's realised type mix fluctuates, so allow ~2% slack
         // (FCFS sits *at* the boundary when the worst and best schedules
         // nearly coincide).
-        prop_assert!(fcfs.throughput <= best.throughput * 1.02 + 1e-6);
-        prop_assert!(fcfs.throughput >= worst.throughput * 0.98 - 1e-6);
+        assert!(fcfs <= best * 1.02 + 1e-6, "fcfs {fcfs} above best {best}");
+        assert!(
+            fcfs >= worst * 0.98 - 1e-6,
+            "fcfs {fcfs} below worst {worst}"
+        );
     }
+}
 
-    #[test]
-    fn markov_fcfs_also_within_bounds(rates in rate_table(3, 3)) {
-        let (worst, best) = throughput_bounds(&rates).expect("lp solves");
-        let markov = fcfs_throughput_markov(&rates).expect("chain solves");
-        prop_assert!(markov.throughput <= best.throughput + 1e-6);
-        prop_assert!(markov.throughput >= worst.throughput - 1e-6);
+#[test]
+fn markov_fcfs_also_within_bounds() {
+    let mut rng = CaseRng::new(0xA002);
+    for _ in 0..48 {
+        let rates = rate_table(&mut rng, 3, 3);
+        let report = Session::builder()
+            .rates(&rates)
+            .policies([Policy::Worst, Policy::Optimal, Policy::FcfsMarkov])
+            .run()
+            .expect("session runs");
+        let worst = report.throughput(Policy::Worst).unwrap();
+        let best = report.throughput(Policy::Optimal).unwrap();
+        let markov = report.throughput(Policy::FcfsMarkov).unwrap();
+        assert!(markov <= best + 1e-6);
+        assert!(markov >= worst - 1e-6);
     }
+}
 
-    #[test]
-    fn optimal_fractions_form_distribution_and_balance_work(
-        rates in rate_table(4, 4)
-    ) {
-        for objective in [Objective::MaxThroughput, Objective::MinThroughput] {
-            let sched = optimal_schedule(&rates, objective).expect("lp solves");
-            let total: f64 = sched.fractions.iter().sum();
-            prop_assert!((total - 1.0).abs() < 1e-6, "fractions sum {total}");
-            prop_assert!(sched.fractions.iter().all(|&x| x >= -1e-9));
-            let w0 = sched.work_rate(&rates, 0);
+#[test]
+fn optimal_fractions_form_distribution_and_balance_work() {
+    let mut rng = CaseRng::new(0xA003);
+    for _ in 0..48 {
+        let rates = rate_table(&mut rng, 4, 4);
+        let report = Session::builder()
+            .rates(&rates)
+            .policies([Policy::Optimal, Policy::Worst])
+            .run()
+            .expect("session runs");
+        for policy in [Policy::Optimal, Policy::Worst] {
+            let row = report.row(policy).unwrap();
+            let fractions = row.fractions.as_ref().expect("LP rows carry fractions");
+            let total: f64 = fractions.iter().sum();
+            assert!((total - 1.0).abs() < 1e-6, "fractions sum {total}");
+            assert!(fractions.iter().all(|&x| x >= -1e-9));
+            let work_rate = |b: usize| -> f64 {
+                fractions
+                    .iter()
+                    .enumerate()
+                    .map(|(si, &x)| x * rates.rate(si, b))
+                    .sum()
+            };
+            let w0 = work_rate(0);
             for b in 1..rates.num_types() {
-                prop_assert!((sched.work_rate(&rates, b) - w0).abs() < 1e-5);
+                assert!((work_rate(b) - w0).abs() < 1e-5, "work must balance");
             }
             // Basic-solution support bound (Section IV).
-            prop_assert!(sched.selected(1e-7).len() <= rates.num_types());
+            let support = fractions.iter().filter(|&&x| x > 1e-7).count();
+            assert!(support <= rates.num_types());
         }
     }
+}
 
-    #[test]
-    fn throughput_equals_fraction_weighted_instantaneous(
-        rates in rate_table(3, 4)
-    ) {
-        let best = optimal_schedule(&rates, Objective::MaxThroughput).expect("solves");
-        let recomputed: f64 = best
+#[test]
+fn throughput_equals_fraction_weighted_instantaneous() {
+    let mut rng = CaseRng::new(0xA004);
+    for _ in 0..48 {
+        let rates = rate_table(&mut rng, 3, 4);
+        let report = Session::builder()
+            .rates(&rates)
+            .policy(Policy::Optimal)
+            .run()
+            .expect("session runs");
+        let row = report.row(Policy::Optimal).unwrap();
+        let recomputed: f64 = row
             .fractions
+            .as_ref()
+            .expect("LP rows carry fractions")
             .iter()
             .enumerate()
             .map(|(si, &x)| x * rates.instantaneous_throughput(si))
             .sum();
-        prop_assert!((recomputed - best.throughput).abs() < 1e-7);
+        assert!((recomputed - row.throughput).abs() < 1e-7);
     }
+}
 
-    #[test]
-    fn insensitive_tables_are_scheduler_independent(
-        solo in prop::collection::vec(0.1f64..0.9, 3)
-    ) {
+#[test]
+fn insensitive_tables_are_scheduler_independent() {
+    let mut rng = CaseRng::new(0xA005);
+    for _ in 0..48 {
+        let solo = rng.vec(3, 0.1, 0.9);
         let solo_clone = solo.clone();
         let rates = WorkloadRates::build(3, 3, move |s| {
             s.counts()
@@ -103,18 +151,26 @@ proptest! {
                 .collect()
         })
         .expect("valid");
-        let (worst, best) = throughput_bounds(&rates).expect("solves");
-        prop_assert!((best.throughput - worst.throughput).abs() < 1e-6);
+        let report = Session::builder()
+            .rates(&rates)
+            .policies([Policy::Worst, Policy::Optimal])
+            .run()
+            .expect("session runs");
+        let worst = report.throughput(Policy::Worst).unwrap();
+        let best = report.throughput(Policy::Optimal).unwrap();
+        assert!((best - worst).abs() < 1e-6);
         // Equation 7: AT = N / sum_b 1/R_b with R_b = K * r_b / K = r_b...
         // here per-job rate r_b/3 with K=3 jobs: R_b = 3 * r_b / 3 = r_b.
         let expected = 3.0 / solo.iter().map(|r| 1.0 / r).sum::<f64>();
-        prop_assert!((best.throughput - expected).abs() < 1e-6);
+        assert!((best - expected).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn bottleneck_error_is_nonnegative_and_zero_for_exact(
-        big_r in prop::collection::vec(0.2f64..2.0, 3)
-    ) {
+#[test]
+fn bottleneck_error_is_nonnegative_and_zero_for_exact() {
+    let mut rng = CaseRng::new(0xA006);
+    for _ in 0..48 {
+        let big_r = rng.vec(3, 0.2, 2.0);
         let big_r_clone = big_r.clone();
         let rates = WorkloadRates::build(3, 3, move |s| {
             let total = s.size() as f64;
@@ -125,11 +181,15 @@ proptest! {
                 .collect()
         })
         .expect("valid");
-        let fit = fit_linear_bottleneck(&rates).expect("fits");
-        prop_assert!(fit.mse >= 0.0);
-        prop_assert!(fit.mse < 1e-12, "exact bottleneck must fit, mse {}", fit.mse);
+        let fit = symbiosis::fit_linear_bottleneck(&rates).expect("fits");
+        assert!(fit.mse >= 0.0);
+        assert!(
+            fit.mse < 1e-12,
+            "exact bottleneck must fit, mse {}",
+            fit.mse
+        );
         for (got, want) in fit.full_rates.iter().zip(&big_r) {
-            prop_assert!((got - want).abs() < 1e-5);
+            assert!((got - want).abs() < 1e-5);
         }
     }
 }

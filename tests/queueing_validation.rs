@@ -1,8 +1,10 @@
 //! Validation of the discrete-event latency simulator against queueing
-//! theory, plus property tests of its conservation laws.
+//! theory, plus property-style tests of its conservation laws (seeded
+//! in-repo case generation; every failure reproduces exactly).
 
-use proptest::prelude::*;
+mod common;
 
+use common::CaseRng;
 use symbiotic_scheduling::prelude::*;
 
 #[test]
@@ -12,20 +14,24 @@ fn des_matches_erlang_c_across_loads() {
     for (load, seed) in [(0.5, 1u64), (0.7, 2), (0.875, 3)] {
         let lambda = 4.0 * load;
         let analytic = MmcQueue::new(lambda, 1.0, 4).expect("stable queue");
-        let report = run_latency_experiment(
-            &rates,
-            &mut FcfsScheduler,
-            &LatencyConfig {
+        let session = Session::builder()
+            .rates(&rates)
+            .policy(Policy::Fcfs)
+            .latency(LatencyConfig {
                 arrival_rate: lambda,
                 measured_jobs: 80_000,
                 warmup_jobs: 8_000,
                 sizes: SizeDist::Exponential,
                 seed,
-            },
-        )
-        .expect("experiment runs");
-        let rel_w =
-            (report.mean_turnaround - analytic.mean_turnaround()).abs() / analytic.mean_turnaround();
+            })
+            .run()
+            .expect("session runs");
+        let report = session
+            .row(Policy::Fcfs)
+            .and_then(|r| r.latency.as_ref())
+            .expect("latency semantics");
+        let rel_w = (report.mean_turnaround - analytic.mean_turnaround()).abs()
+            / analytic.mean_turnaround();
         assert!(
             rel_w < 0.06,
             "load {load}: W sim {} vs analytic {}",
@@ -48,63 +54,52 @@ fn des_matches_erlang_c_across_loads() {
 
 #[test]
 fn smarter_schedulers_do_not_hurt_turnaround_much_at_high_load() {
-    // A symbiotic toy system where mixing types is faster.
-    struct Symbiotic;
-    impl CoscheduleRates for Symbiotic {
-        fn num_types(&self) -> usize {
-            2
-        }
-        fn contexts(&self) -> usize {
-            4
-        }
-        fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
-            assert!(counts[ty] > 0);
-            let n: u32 = counts.iter().sum();
-            let distinct = counts.iter().filter(|&&c| c > 0).count() as f64;
-            // Mixing gives +15% per extra distinct type.
-            (1.0 / (1.0 + 0.3 * (n - 1) as f64)) * (1.0 + 0.15 * (distinct - 1.0))
-        }
-    }
-    let rates = Symbiotic;
-    let cfg = LatencyConfig {
-        arrival_rate: 1.1,
-        measured_jobs: 30_000,
-        warmup_jobs: 3_000,
-        sizes: SizeDist::Exponential,
-        seed: 5,
+    // A symbiotic toy system where mixing types is faster, expressed as an
+    // analytic rate model.
+    let rates = AnalyticModel::new(2, 4, |counts, _ty| {
+        let n: u32 = counts.iter().sum();
+        let distinct = counts.iter().filter(|&&c| c > 0).count() as f64;
+        // Mixing gives +15% per extra distinct type.
+        (1.0 / (1.0 + 0.3 * (n - 1) as f64)) * (1.0 + 0.15 * (distinct - 1.0))
+    });
+    let report = Session::builder()
+        .rates(&rates)
+        .policies([Policy::Fcfs, Policy::MaxIt, Policy::Srpt])
+        .latency(LatencyConfig {
+            arrival_rate: 1.1,
+            measured_jobs: 30_000,
+            warmup_jobs: 3_000,
+            sizes: SizeDist::Exponential,
+            seed: 5,
+        })
+        .run()
+        .expect("session runs");
+    let turnaround = |p: Policy| {
+        report
+            .row(p)
+            .and_then(|r| r.latency.as_ref())
+            .expect("latency semantics")
+            .mean_turnaround
     };
-    let fcfs = run_latency_experiment(&rates, &mut FcfsScheduler, &cfg).expect("runs");
-    let maxit = run_latency_experiment(&rates, &mut MaxItScheduler, &cfg).expect("runs");
-    let srpt = run_latency_experiment(&rates, &mut SrptScheduler, &cfg).expect("runs");
-    assert!(
-        srpt.mean_turnaround < fcfs.mean_turnaround * 1.05,
-        "SRPT {} vs FCFS {}",
-        srpt.mean_turnaround,
-        fcfs.mean_turnaround
-    );
-    assert!(
-        maxit.mean_turnaround < fcfs.mean_turnaround * 1.5,
-        "MAXIT {} vs FCFS {}",
-        maxit.mean_turnaround,
-        fcfs.mean_turnaround
-    );
+    let fcfs = turnaround(Policy::Fcfs);
+    let maxit = turnaround(Policy::MaxIt);
+    let srpt = turnaround(Policy::Srpt);
+    assert!(srpt < fcfs * 1.05, "SRPT {srpt} vs FCFS {fcfs}");
+    assert!(maxit < fcfs * 1.5, "MAXIT {maxit} vs FCFS {fcfs}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn des_conservation_laws(
-        load in 0.3f64..0.9,
-        alpha in 0.0f64..0.4,
-        seed in 0u64..500,
-        deterministic in any::<bool>(),
-    ) {
+#[test]
+fn des_conservation_laws() {
+    let mut rng = CaseRng::new(0xDE5);
+    for _ in 0..24 {
+        let load = rng.range(0.3, 0.9);
+        let alpha = rng.range(0.0, 0.4);
+        let seed = rng.below(500);
+        let deterministic = rng.bool();
         let rates = ContentionModel::new(vec![1.0, 0.6], alpha, 4);
         // Effective capacity shrinks with contention; stay safely stable.
-        let report = run_latency_experiment(
+        let report = run_latency_experiment_checked(
             &rates,
-            &mut FcfsScheduler,
             &LatencyConfig {
                 arrival_rate: load * 2.0 / (1.0 + 3.0 * alpha),
                 measured_jobs: 8_000,
@@ -116,36 +111,64 @@ proptest! {
                 },
                 seed,
             },
-        )
-        .expect("experiment runs");
+        );
         // Physical bounds.
-        prop_assert!(report.mean_turnaround > 0.0);
-        prop_assert!(report.utilization >= 0.0 && report.utilization <= 4.0 + 1e-9);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&report.empty_fraction));
-        prop_assert!(report.throughput > 0.0);
-        prop_assert!(report.mean_jobs_in_system >= 0.0);
+        assert!(report.mean_turnaround > 0.0);
+        assert!(report.utilization >= 0.0 && report.utilization <= 4.0 + 1e-9);
+        assert!((0.0..=1.0 + 1e-9).contains(&report.empty_fraction));
+        assert!(report.throughput > 0.0);
+        assert!(report.mean_jobs_in_system >= 0.0);
         // Little's law within Monte Carlo tolerance.
         let lw = report.throughput * report.mean_turnaround;
-        let rel = (report.mean_jobs_in_system - lw).abs()
-            / report.mean_jobs_in_system.max(0.1);
-        prop_assert!(rel < 0.25, "L {} vs lambda*W {}", report.mean_jobs_in_system, lw);
+        let rel = (report.mean_jobs_in_system - lw).abs() / report.mean_jobs_in_system.max(0.1);
+        assert!(
+            rel < 0.25,
+            "L {} vs lambda*W {}",
+            report.mean_jobs_in_system,
+            lw
+        );
     }
+}
 
-    #[test]
-    fn erlang_c_monotone_in_load(servers in 1u32..8, lo in 0.05f64..0.45) {
+/// Runs the FCFS latency session and extracts the latency report.
+fn run_latency_experiment_checked(
+    rates: &ContentionModel,
+    config: &LatencyConfig,
+) -> LatencyReport {
+    Session::builder()
+        .rates(rates)
+        .policy(Policy::Fcfs)
+        .latency(config.clone())
+        .run()
+        .expect("session runs")
+        .row(Policy::Fcfs)
+        .and_then(|r| r.latency.clone())
+        .expect("latency semantics")
+}
+
+#[test]
+fn erlang_c_monotone_in_load() {
+    let mut rng = CaseRng::new(0xE71A);
+    for _ in 0..24 {
+        let servers = 1 + rng.below(7) as u32;
+        let lo = rng.range(0.05, 0.45);
         let hi = lo + 0.4;
         let qlo = MmcQueue::new(servers as f64 * lo, 1.0, servers).expect("stable");
         let qhi = MmcQueue::new(servers as f64 * hi, 1.0, servers).expect("stable");
-        prop_assert!(qhi.erlang_c() >= qlo.erlang_c());
-        prop_assert!(qhi.mean_turnaround() >= qlo.mean_turnaround());
-        prop_assert!(qhi.empty_probability() <= qlo.empty_probability());
+        assert!(qhi.erlang_c() >= qlo.erlang_c());
+        assert!(qhi.mean_turnaround() >= qlo.mean_turnaround());
+        assert!(qhi.empty_probability() <= qlo.empty_probability());
     }
+}
 
-    #[test]
-    fn more_servers_reduce_waiting(lambda in 0.5f64..3.5) {
+#[test]
+fn more_servers_reduce_waiting() {
+    let mut rng = CaseRng::new(0x5E4E);
+    for _ in 0..24 {
+        let lambda = rng.range(0.5, 3.5);
         let c1 = (lambda.floor() as u32 + 1).max(4);
         let q_small = MmcQueue::new(lambda, 1.0, c1).expect("stable");
         let q_big = MmcQueue::new(lambda, 1.0, c1 + 2).expect("stable");
-        prop_assert!(q_big.mean_turnaround() <= q_small.mean_turnaround() + 1e-12);
+        assert!(q_big.mean_turnaround() <= q_small.mean_turnaround() + 1e-12);
     }
 }

@@ -1,97 +1,92 @@
-//! Property tests of the processor simulator's physical invariants.
+//! Property-style tests of the processor simulator's physical invariants
+//! (seeded in-repo case generation; every failure reproduces exactly).
 
-use proptest::prelude::*;
+mod common;
 
+use common::CaseRng;
 use symbiotic_scheduling::prelude::*;
 
-/// Strategy: a random but valid benchmark profile.
-fn profile(seed_base: u64) -> impl Strategy<Value = BenchmarkProfile> {
-    (
-        0.05f64..0.4,  // load
-        0.02f64..0.15, // store
-        0.02f64..0.2,  // branch
-        0.0f64..0.2,   // long ops
-        0.0f64..0.1,   // mispredict
-        0.1f64..0.6,   // dep
-        0.3f64..0.9,   // stack frac
-        0.3f64..0.95,  // hot frac
-        0.0f64..0.5,   // streaming
-        7u64..20_000,  // footprint scale
-        0u64..1_000,   // seed offset
-    )
-        .prop_map(
-            move |(load, store, branch, long, mis, dep, sf, hf, stream, fp, seed)| {
-                let mut p = BenchmarkProfile::balanced("prop", seed_base + seed);
-                p.load_frac = load;
-                p.store_frac = store;
-                p.branch_frac = branch;
-                p.long_op_frac = long;
-                p.mispredict_rate = mis;
-                p.dep_frac = dep;
-                p.stack_frac = sf;
-                p.hot_frac = hf;
-                p.streaming_frac = stream;
-                p.stack_lines = 48;
-                p.hot_lines = 256.max(48);
-                p.footprint_lines = 256 + fp * 50;
-                p.validate().expect("generated profile valid");
-                p
-            },
-        )
+/// A random but valid benchmark profile.
+fn profile(rng: &mut CaseRng, seed_base: u64) -> BenchmarkProfile {
+    let mut p = BenchmarkProfile::balanced("prop", seed_base + rng.below(1_000));
+    p.load_frac = rng.range(0.05, 0.4);
+    p.store_frac = rng.range(0.02, 0.15);
+    p.branch_frac = rng.range(0.02, 0.2);
+    p.long_op_frac = rng.range(0.0, 0.2);
+    p.mispredict_rate = rng.range(0.0, 0.1);
+    p.dep_frac = rng.range(0.1, 0.6);
+    p.stack_frac = rng.range(0.3, 0.9);
+    p.hot_frac = rng.range(0.3, 0.95);
+    p.streaming_frac = rng.range(0.0, 0.5);
+    p.stack_lines = 48;
+    p.hot_lines = 256;
+    p.footprint_lines = 256 + (7 + rng.below(20_000 - 7)) * 50;
+    p.validate().expect("generated profile valid");
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn solo_ipc_bounded_by_machine_width(p in profile(0x9000)) {
-        let machine = Machine::new(MachineConfig::smt4().with_windows(1_000, 4_000))
-            .expect("valid config");
+#[test]
+fn solo_ipc_bounded_by_machine_width() {
+    let machine =
+        Machine::new(MachineConfig::smt4().with_windows(1_000, 4_000)).expect("valid config");
+    let mut rng = CaseRng::new(0x9000);
+    for _ in 0..16 {
+        let p = profile(&mut rng, 0x9000);
         let res = machine.simulate_solo(&p).expect("simulates");
-        prop_assert!(res.ipc[0] > 0.0, "forward progress");
-        prop_assert!(res.ipc[0] <= 4.0, "cannot beat dispatch width");
+        assert!(res.ipc[0] > 0.0, "forward progress");
+        assert!(res.ipc[0] <= 4.0, "cannot beat dispatch width");
     }
+}
 
-    #[test]
-    fn corunning_never_speeds_a_job_up(
-        a in profile(0xA000),
-        b in profile(0xB000),
-    ) {
-        let machine = Machine::new(MachineConfig::smt4().with_windows(1_000, 4_000))
-            .expect("valid config");
+#[test]
+fn corunning_never_speeds_a_job_up() {
+    let machine =
+        Machine::new(MachineConfig::smt4().with_windows(1_000, 4_000)).expect("valid config");
+    let mut rng = CaseRng::new(0xAB00);
+    for _ in 0..16 {
+        let a = profile(&mut rng, 0xA000);
+        let b = profile(&mut rng, 0xB000);
         let solo = machine.simulate_solo(&a).expect("simulates").ipc[0];
         let co = machine.simulate(&[&a, &b, &b, &b]).expect("simulates");
-        prop_assert!(
+        assert!(
             co.ipc[0] <= solo * 1.02 + 1e-9,
             "slot 0: co {} vs solo {}",
             co.ipc[0],
             solo
         );
         // Aggregate cannot exceed the shared dispatch width either.
-        prop_assert!(co.total_ipc() <= 4.0 + 1e-9);
+        assert!(co.total_ipc() <= 4.0 + 1e-9);
     }
+}
 
-    #[test]
-    fn simulation_deterministic_across_runs(p in profile(0xC000)) {
-        let machine = Machine::new(MachineConfig::quadcore().with_windows(500, 2_000))
-            .expect("valid config");
+#[test]
+fn simulation_deterministic_across_runs() {
+    let machine =
+        Machine::new(MachineConfig::quadcore().with_windows(500, 2_000)).expect("valid config");
+    let mut rng = CaseRng::new(0xC000);
+    for _ in 0..16 {
+        let p = profile(&mut rng, 0xC000);
         let r1 = machine.simulate(&[&p, &p]).expect("simulates");
         let r2 = machine.simulate(&[&p, &p]).expect("simulates");
-        prop_assert_eq!(r1, r2);
+        assert_eq!(r1, r2);
     }
+}
 
-    #[test]
-    fn static_partitioning_never_exceeds_dynamic_rob_reach(p in profile(0xD000)) {
-        // With clones on all 4 contexts, static partitioning constrains each
-        // thread to ROB/4; a single solo thread under static partitioning
-        // still gets its full share and must make progress.
-        let cfg = MachineConfig::smt4()
-            .with_rob_partitioning(RobPartitioning::Static)
-            .with_windows(1_000, 4_000);
-        let machine = Machine::new(cfg).expect("valid config");
+#[test]
+fn static_partitioning_never_exceeds_dynamic_rob_reach() {
+    // With clones on all 4 contexts, static partitioning constrains each
+    // thread to ROB/4; a single solo thread under static partitioning
+    // still gets its full share and must make progress.
+    let cfg = MachineConfig::smt4()
+        .with_rob_partitioning(RobPartitioning::Static)
+        .with_windows(1_000, 4_000);
+    let machine = Machine::new(cfg).expect("valid config");
+    let mut rng = CaseRng::new(0xD000);
+    for _ in 0..16 {
+        let p = profile(&mut rng, 0xD000);
         let res = machine.simulate(&[&p, &p, &p, &p]).expect("simulates");
         for &ipc in &res.ipc {
-            prop_assert!(ipc > 0.0);
+            assert!(ipc > 0.0);
         }
     }
 }
@@ -100,8 +95,8 @@ proptest! {
 fn cache_pressure_monotone_in_corunner_footprint() {
     // A fixed victim job; co-runners with growing footprints must not make
     // the victim faster (usually strictly slower through L3 contention).
-    let machine = Machine::new(MachineConfig::quadcore().with_windows(5_000, 20_000))
-        .expect("valid config");
+    let machine =
+        Machine::new(MachineConfig::quadcore().with_windows(5_000, 20_000)).expect("valid config");
     let mut victim = BenchmarkProfile::balanced("victim", 1);
     victim.footprint_lines = 60_000; // L3-resident working set
     victim.hot_lines = 4_000;
@@ -112,7 +107,7 @@ fn cache_pressure_monotone_in_corunner_footprint() {
     for (i, fp) in [256u64, 20_000, 200_000].into_iter().enumerate() {
         let mut aggressor = BenchmarkProfile::balanced("aggressor", 2);
         aggressor.footprint_lines = fp;
-        aggressor.hot_lines = fp.min(2_000).max(48);
+        aggressor.hot_lines = fp.clamp(48, 2_000);
         aggressor.hot_frac = 0.3;
         aggressor.streaming_frac = 0.4;
         let res = machine
