@@ -8,9 +8,13 @@
 //!   a memoizing [`symbiosis::CachedModel`], or a machine + workload pair
 //!   this crate simulates for you;
 //! * the [`Policy`] registry — the paper's four throughput analyses and
-//!   four latency schedulers, addressable by name; and
+//!   four latency schedulers, addressable by name;
 //! * the builder-style [`Session`], which evaluates any set of policies on
-//!   one rate source and returns uniform [`PolicyReport`] rows.
+//!   one rate source and returns uniform [`PolicyReport`] rows; and
+//! * the batch [`Session::sweep`] surface, which shares one performance
+//!   table across a workload list, fans the evaluations out over a
+//!   [`WorkerPool`], and returns a [`SweepReport`] with built-in
+//!   aggregation ([`stats`]).
 //!
 //! # Examples
 //!
@@ -38,8 +42,38 @@
 //! # }
 //! ```
 
+//! Batch evaluation goes through the same entry point — one shared table,
+//! many workloads, a worker pool, and aggregate accessors:
+//!
+//! ```no_run
+//! use session::{Policy, Session};
+//! use simproc::{Machine, MachineConfig};
+//! use workloads::{spec2006, PerfTable};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = Machine::new(MachineConfig::smt4())?;
+//! let table = PerfTable::build(&machine, &spec2006(), 8)?;
+//! let sweep = Session::sweep()
+//!     .table(&table)
+//!     .workloads(symbiosis::enumerate_workloads(12, 4))
+//!     .policies([Policy::FcfsEvent, Policy::Optimal])
+//!     .run()?;
+//! println!(
+//!     "optimal over FCFS, averaged over {} mixes: {}",
+//!     sweep.len(),
+//!     session::stats::pct(sweep.mean_gain(Policy::Optimal, Policy::FcfsEvent))
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
 pub mod policy;
+pub mod pool;
 pub mod session;
+pub mod stats;
+pub mod sweep;
 
 pub use policy::{Policy, PolicyKind};
+pub use pool::WorkerPool;
 pub use session::{PolicyReport, Session, SessionBuilder, SessionError, SessionReport};
+pub use sweep::{SweepBuilder, SweepError, SweepItem, SweepReport, SweepRow};

@@ -188,9 +188,30 @@ impl fmt::Display for SessionReport {
     }
 }
 
-enum PolicyRequest {
+pub(crate) enum PolicyRequest {
     Resolved(Policy),
     Unresolved(String),
+}
+
+impl PolicyRequest {
+    /// Resolves a request list to policies, surfacing the first unknown
+    /// name; shared by the session and sweep builders.
+    pub(crate) fn resolve(requests: &[PolicyRequest]) -> Result<Vec<Policy>, SessionError> {
+        requests
+            .iter()
+            .map(|req| match req {
+                PolicyRequest::Resolved(p) => Ok(*p),
+                PolicyRequest::Unresolved(name) => Err(SessionError::UnknownPolicy(name.clone())),
+            })
+            .collect()
+    }
+
+    pub(crate) fn from_name(name: &str) -> PolicyRequest {
+        match Policy::by_name(name) {
+            Some(p) => PolicyRequest::Resolved(p),
+            None => PolicyRequest::Unresolved(name.to_owned()),
+        }
+    }
 }
 
 /// Builder for a [`Session`]. Obtained from [`Session::builder`].
@@ -316,13 +337,7 @@ impl<'a> SessionBuilder<'a> {
         S: AsRef<str>,
     {
         for name in names {
-            let name = name.as_ref();
-            match Policy::by_name(name) {
-                Some(p) => self.policies.push(PolicyRequest::Resolved(p)),
-                None => self
-                    .policies
-                    .push(PolicyRequest::Unresolved(name.to_owned())),
-            }
+            self.policies.push(PolicyRequest::from_name(name.as_ref()));
         }
         self
     }
@@ -370,14 +385,7 @@ impl<'a> SessionBuilder<'a> {
     /// See [`SessionError`] — configuration errors are reported before any
     /// expensive work starts.
     pub fn run(self) -> Result<SessionReport, SessionError> {
-        let policies: Vec<Policy> = self
-            .policies
-            .iter()
-            .map(|req| match req {
-                PolicyRequest::Resolved(p) => Ok(*p),
-                PolicyRequest::Unresolved(name) => Err(SessionError::UnknownPolicy(name.clone())),
-            })
-            .collect::<Result<_, _>>()?;
+        let policies: Vec<Policy> = PolicyRequest::resolve(&self.policies)?;
         if policies.is_empty() {
             return Err(SessionError::NoPolicies);
         }

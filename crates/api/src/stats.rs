@@ -1,0 +1,85 @@
+//! Small aggregation helpers shared by sweep reports and experiment code.
+//!
+//! These used to live in the `paperbench` experiment harness; they moved
+//! into the API layer alongside [`crate::sweep::SweepReport`] so every
+//! caller aggregating per-workload results uses one implementation
+//! (`paperbench` re-exports them unchanged).
+
+/// Formats a fraction as a signed percentage with one decimal.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(session::stats::pct(0.031), "+3.1%");
+/// assert_eq!(session::stats::pct(-0.09), "-9.0%");
+/// ```
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", 100.0 * x)
+}
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum of a slice; `NEG_INFINITY` for empty input.
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Minimum of a slice; `INFINITY` for empty input.
+pub fn min(values: &[f64]) -> f64 {
+    values.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Pearson correlation coefficient of two equal-length samples; `None`
+/// when degenerate (fewer than two points or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx < 1e-300 || syy < 1e-300 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[1.0, 3.0]), 3.0);
+        assert_eq!(min(&[1.0, 3.0]), 1.0);
+        assert_eq!(pct(0.031), "+3.1%");
+        assert_eq!(pct(-0.09), "-9.0%");
+    }
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let ys_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &ys_neg).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]).is_none());
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Sweep parity and behaviour: a `Session::sweep()` over N workloads must
+//! produce rows *bitwise identical* to a sequential loop of single
+//! `Session` runs, regardless of worker-thread count, plus error-path and
+//! aggregation coverage.
+
+use std::sync::OnceLock;
+
+use session::{Policy, Session, SessionError, SessionReport, SweepError};
+use simproc::{BenchmarkProfile, Machine, MachineConfig};
+use symbiosis::enumerate_workloads;
+use workloads::{spec2006, PerfTable, WorkUnit};
+
+fn tiny_table() -> &'static PerfTable {
+    static TABLE: OnceLock<PerfTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let machine =
+            Machine::new(MachineConfig::smt4().with_windows(2_000, 6_000)).expect("valid config");
+        let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(5).collect();
+        PerfTable::build(&machine, &suite, 4).expect("table builds")
+    })
+}
+
+const JOBS: u64 = 4_000;
+const SEED: u64 = 0xBEEF;
+
+fn sequential(workloads: &[Vec<usize>], policies: &[Policy]) -> Vec<SessionReport> {
+    let table = tiny_table();
+    workloads
+        .iter()
+        .map(|w| {
+            let view = table.workload_view(w).expect("valid workload");
+            Session::builder()
+                .rates(&view)
+                .policies(policies.iter().copied())
+                .fcfs_jobs(JOBS)
+                .seed(SEED)
+                .run()
+                .expect("session runs")
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_rows_match_sequential_sessions_bitwise() {
+    let table = tiny_table();
+    let workloads = enumerate_workloads(5, 4); // all 5 choose 4 = 5 mixes
+    let policies = [
+        Policy::Optimal,
+        Policy::Worst,
+        Policy::FcfsMarkov,
+        Policy::FcfsEvent,
+    ];
+    let expected = sequential(&workloads, &policies);
+    // Thread counts below, at, and above the workload count: scheduling
+    // order must never leak into the results.
+    for threads in [1, 3, 16] {
+        let sweep = Session::sweep()
+            .table(table)
+            .workloads(workloads.clone())
+            .policies(policies)
+            .fcfs_jobs(JOBS)
+            .seed(SEED)
+            .threads(threads)
+            .run()
+            .expect("sweep runs");
+        assert_eq!(sweep.len(), workloads.len());
+        for ((row, w), want) in sweep.rows.iter().zip(&workloads).zip(&expected) {
+            assert_eq!(&row.workload, w, "rows stay in request order");
+            // PartialEq on PolicyReport compares every f64 — equality here
+            // means identical bit patterns for every throughput, fraction
+            // and measurement (no NaNs occur in these analyses).
+            assert_eq!(&row.report, want, "threads={threads}, workload {w:?}");
+            for (pr, want_pr) in row.report.rows.iter().zip(&want.rows) {
+                assert_eq!(
+                    pr.throughput.to_bits(),
+                    want_pr.throughput.to_bits(),
+                    "threads={threads}, workload {w:?}, policy {}",
+                    pr.policy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_latency_policies_match_sequential_sessions() {
+    let table = tiny_table();
+    let workloads = vec![vec![0, 1, 2], vec![1, 2, 4]];
+    let policies = [Policy::Fcfs, Policy::MaxIt, Policy::MaxTp];
+    let expected = sequential(&workloads, &policies);
+    let sweep = Session::sweep()
+        .table(table)
+        .workloads(workloads.clone())
+        .policies(policies)
+        .fcfs_jobs(JOBS)
+        .seed(SEED)
+        .threads(2)
+        .run()
+        .expect("sweep runs");
+    for (row, want) in sweep.rows.iter().zip(&expected) {
+        assert_eq!(&row.report, want);
+    }
+}
+
+#[test]
+fn plain_unit_sweep_matches_sequential_plain_rates() {
+    let table = tiny_table();
+    let workloads = vec![vec![0, 1, 2, 3], vec![0, 2, 3, 4]];
+    let sweep = Session::sweep()
+        .table(table)
+        .workloads(workloads.clone())
+        .unit(WorkUnit::Plain)
+        .policies([Policy::Optimal, Policy::FcfsEvent])
+        .fcfs_jobs(JOBS)
+        .seed(SEED)
+        .run()
+        .expect("sweep runs");
+    for (row, w) in sweep.rows.iter().zip(&workloads) {
+        let rates = table
+            .workload_rates_with_unit(w, WorkUnit::Plain)
+            .expect("valid workload");
+        let want = Session::builder()
+            .rates(&rates)
+            .policies([Policy::Optimal, Policy::FcfsEvent])
+            .fcfs_jobs(JOBS)
+            .seed(SEED)
+            .run()
+            .expect("session runs");
+        assert_eq!(&row.report, &want, "workload {w:?}");
+    }
+}
+
+#[test]
+fn aggregation_helpers_fold_the_rows() {
+    let table = tiny_table();
+    let sweep = Session::sweep()
+        .table(table)
+        .workloads(enumerate_workloads(5, 4))
+        .policies([Policy::Worst, Policy::FcfsEvent, Policy::Optimal])
+        .fcfs_jobs(JOBS)
+        .seed(SEED)
+        .run()
+        .expect("sweep runs");
+    let best = sweep.throughputs(Policy::Optimal);
+    let fcfs = sweep.throughputs(Policy::FcfsEvent);
+    let worst = sweep.throughputs(Policy::Worst);
+    assert_eq!(best.len(), sweep.len());
+    for i in 0..best.len() {
+        assert!(worst[i] <= fcfs[i] + 1e-6 && fcfs[i] <= best[i] + 1e-6);
+    }
+    let mean_gain = sweep.mean_gain(Policy::Optimal, Policy::FcfsEvent);
+    assert!(mean_gain >= -1e-9, "optimal dominates FCFS: {mean_gain}");
+    let manual: f64 = best
+        .iter()
+        .zip(&fcfs)
+        .map(|(b, f)| b / f - 1.0)
+        .sum::<f64>()
+        / best.len() as f64;
+    assert_eq!(mean_gain.to_bits(), manual.to_bits());
+    // Optimal and worst track the same underlying symbiosis.
+    assert!(sweep.correlation(Policy::Optimal, Policy::Worst).is_some());
+    let display = sweep.to_string();
+    assert!(display.contains("OPTIMAL") && display.contains("mean TP"));
+}
+
+#[test]
+fn map_fans_custom_analyses_in_order() {
+    let table = tiny_table();
+    let workloads = enumerate_workloads(5, 3);
+    let sums: Vec<(usize, f64)> = Session::sweep()
+        .table(table)
+        .workloads(workloads.clone())
+        .threads(4)
+        .map(|item| {
+            let rates = item.rates()?;
+            Ok((item.index(), rates.rate_rows().iter().flatten().sum()))
+        })
+        .expect("map runs");
+    assert_eq!(sums.len(), workloads.len());
+    for (i, (idx, total)) in sums.iter().enumerate() {
+        assert_eq!(*idx, i, "results in workload order");
+        assert!(*total > 0.0);
+    }
+}
+
+#[test]
+fn configuration_errors_surface_before_work() {
+    let table = tiny_table();
+    // No table.
+    let err = Session::sweep()
+        .workloads(vec![vec![0, 1]])
+        .policy(Policy::Optimal)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SweepError::MissingTable), "{err}");
+    // No workloads.
+    let err = Session::sweep()
+        .table(table)
+        .policy(Policy::Optimal)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SweepError::NoWorkloads), "{err}");
+    // No policies.
+    let err = Session::sweep()
+        .table(table)
+        .workload(&[0, 1])
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, SweepError::Config(SessionError::NoPolicies)),
+        "{err}"
+    );
+    // Unknown policy name.
+    let err = Session::sweep()
+        .table(table)
+        .workload(&[0, 1])
+        .policy_names(["optimal", "bogus"])
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, SweepError::Config(SessionError::UnknownPolicy(ref n)) if n == "bogus"),
+        "{err}"
+    );
+}
+
+#[test]
+fn bad_workload_reported_with_context() {
+    let table = tiny_table();
+    let err = Session::sweep()
+        .table(table)
+        .workloads(vec![vec![0, 1], vec![4, 2]]) // second is unsorted
+        .policy(Policy::Optimal)
+        .threads(2)
+        .run()
+        .unwrap_err();
+    match err {
+        SweepError::Workload { workload, .. } => assert_eq!(workload, vec![4, 2]),
+        other => panic!("expected workload error, got {other}"),
+    }
+    // Custom map errors carry the same context.
+    let err = Session::sweep()
+        .table(table)
+        .workloads(vec![vec![0, 1], vec![1, 3]])
+        .map(|item| {
+            if item.workload() == [1, 3] {
+                Err("boom".into())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+    match err {
+        SweepError::Custom { workload, message } => {
+            assert_eq!(workload, vec![1, 3]);
+            assert_eq!(message, "boom");
+        }
+        other => panic!("expected custom error, got {other}"),
+    }
+}

@@ -14,12 +14,12 @@ use std::time::Instant;
 use lp::{LinearProgram, Relation};
 use queueing::{run_latency_experiment, ContentionModel, LatencyConfig, SizeDist};
 use session::Policy;
-use simproc::{Machine, MachineConfig};
+use simproc::{BenchmarkProfile, Machine, MachineConfig};
 use symbiosis::{
     enumerate_coschedules, fcfs_throughput, fcfs_throughput_markov, optimal_schedule, JobSize,
     Objective, WorkloadRates,
 };
-use workloads::spec2006;
+use workloads::{spec2006, PerfTable, TableStore};
 
 /// One benchmark's outcome.
 struct Measurement {
@@ -142,6 +142,30 @@ fn main() {
     results.push(bench("fcfs/markov_chain_35_states", || {
         black_box(fcfs_throughput_markov(&rates).expect("solves"));
     }));
+
+    // Cold table build vs warm store load: the gap is what a cached
+    // `--table-cache` run skips per table.
+    let tiny_suite: Vec<BenchmarkProfile> = suite.iter().take(3).cloned().collect();
+    let tiny_config = MachineConfig::smt4().with_windows(1_000, 3_000);
+    let tiny_machine = Machine::new(tiny_config.clone()).expect("valid config");
+    results.push(bench("table/build_3bench_tiny_windows", || {
+        black_box(PerfTable::build(&tiny_machine, &tiny_suite, 4).expect("builds"));
+    }));
+    let store_dir = std::env::temp_dir().join(format!("symb-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = TableStore::new(&store_dir);
+    let warmup = store
+        .get_or_build(&tiny_config, &tiny_suite, 4)
+        .expect("cold build");
+    assert!(!warmup.cache_hit);
+    results.push(bench("table/store_warm_load_3bench", || {
+        let outcome = store
+            .get_or_build(&tiny_config, &tiny_suite, 4)
+            .expect("warm load");
+        assert!(outcome.cache_hit, "warm run must skip PerfTable::build");
+        black_box(outcome.table);
+    }));
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     let des_rates = ContentionModel::new(vec![1.0, 0.7, 0.5, 0.3], 0.2, 4);
     let des_cfg = LatencyConfig {

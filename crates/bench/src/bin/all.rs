@@ -1,5 +1,5 @@
 //! Runs every experiment on one shared study and prints all artefacts.
-//! Flags: --fast --full --sample N --jobs N --threads N.
+//! Flags: --fast --full --sample N --jobs N --threads N --table-cache PATH.
 
 use paperbench::experiments::{
     fairness, fig1, fig2, fig3, fig4, fig5, fig6, n8, sec7, table2, unit_ablation,

@@ -1,6 +1,6 @@
 //! Regenerates the paper artefact implemented in
 //! `paperbench::experiments::fairness`. Flags: --fast --full --sample N
-//! --jobs N --threads N.
+//! --jobs N --threads N --table-cache PATH.
 
 use paperbench::experiments::fairness;
 use paperbench::{Study, StudyConfig};

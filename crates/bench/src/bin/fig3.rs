@@ -1,6 +1,6 @@
 //! Regenerates the paper artefact implemented in
 //! `paperbench::experiments::fig3`. Flags: --fast --full --sample N
-//! --jobs N --threads N.
+//! --jobs N --threads N --table-cache PATH.
 
 use paperbench::experiments::fig3;
 use paperbench::{Study, StudyConfig};

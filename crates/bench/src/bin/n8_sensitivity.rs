@@ -1,6 +1,6 @@
 //! Regenerates the paper artefact implemented in
 //! `paperbench::experiments::n8`. Flags: --fast --full --sample N
-//! --jobs N --threads N.
+//! --jobs N --threads N --table-cache PATH.
 
 use paperbench::experiments::n8;
 use paperbench::{Study, StudyConfig};

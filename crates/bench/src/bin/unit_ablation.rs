@@ -1,5 +1,5 @@
 //! Regenerates the Section III-B unit-of-work ablation. Flags: --fast
-//! --full --sample N --jobs N --threads N.
+//! --full --sample N --jobs N --threads N --table-cache PATH.
 
 use paperbench::experiments::unit_ablation;
 use paperbench::{Study, StudyConfig};

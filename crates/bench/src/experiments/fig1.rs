@@ -5,10 +5,9 @@ use std::fmt;
 
 use session::Policy;
 use symbiosis::{instantaneous_spread, per_job_spreads, WorkloadRates, WorkloadVariability};
-use workloads::PerfTable;
 
 use crate::study::{Chip, Study, StudyConfig};
-use crate::{max, mean, min, parallel_map, pct};
+use crate::{max, mean, min, pct};
 
 /// One Figure 1 bar: relative excursions around its zero line.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,18 +89,10 @@ pub fn workload_variability(
     })
 }
 
-/// The per-workload leg shared by [`run`]: rates from the table, then
-/// [`workload_variability`] through the session.
-fn analyze_one(
-    table: &PerfTable,
-    workload: &[usize],
-    config: &StudyConfig,
-) -> Result<WorkloadVariability, String> {
-    let rates = table.workload_rates(workload).map_err(|e| e.to_string())?;
-    workload_variability(&rates, config)
-}
-
-/// Runs the Figure 1 analysis.
+/// Runs the Figure 1 analysis: one [`Study::sweep`] per chip fans
+/// [`workload_variability`] out over the shared worker pool (the spread
+/// legs are not policy rows, so the sweep's custom-map escape hatch
+/// carries them).
 ///
 /// # Errors
 ///
@@ -111,18 +102,17 @@ pub fn run(study: &Study) -> Result<Fig1, String> {
     let workloads = study.workloads();
     let mut chips = Vec::new();
     for chip in Chip::ALL {
-        let table = study.table(chip);
-        let results = parallel_map(&workloads, study.config().threads, |w| {
-            analyze_one(table, w, study.config())
-        });
+        let results = study
+            .sweep(chip)
+            .map(|item| workload_variability(&item.rates()?, study.config()))
+            .map_err(|e| e.to_string())?;
         let mut pj_max = Vec::new();
         let mut pj_min = Vec::new();
         let mut it_max = Vec::new();
         let mut it_min = Vec::new();
         let mut avg_max = Vec::new();
         let mut avg_min = Vec::new();
-        for r in results {
-            let v = r?;
+        for v in results {
             for s in &v.per_job {
                 pj_max.push(s.rel_max());
                 pj_min.push(s.rel_min());

@@ -4,10 +4,11 @@
 
 use std::fmt;
 
-use symbiosis::{enumerate_workloads, fcfs_throughput, optimal_schedule, JobSize, Objective};
+use session::Policy;
+use symbiosis::enumerate_workloads;
 
 use crate::study::{Chip, Study};
-use crate::{max, mean, parallel_map, pct};
+use crate::{max, mean, pct};
 
 /// Result of the N = 8 sensitivity experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,32 +24,15 @@ pub struct N8 {
 }
 
 fn mean_gain(study: &Study, n: usize) -> Result<(f64, f64, usize), String> {
-    let table = study.table(Chip::Smt);
-    let all = enumerate_workloads(12, n);
-    let workloads: Vec<Vec<usize>> = match study.config().sample {
-        None => all,
-        Some(s) if s >= all.len() => all,
-        Some(s) => {
-            let stride = all.len() as f64 / s as f64;
-            (0..s)
-                .map(|i| all[(i as f64 * stride) as usize].clone())
-                .collect()
-        }
-    };
-    let gains = parallel_map(&workloads, study.config().threads, |w| {
-        let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-        let best = optimal_schedule(&rates, Objective::MaxThroughput).map_err(|e| e.to_string())?;
-        let fcfs = fcfs_throughput(
-            &rates,
-            study.config().fcfs_jobs,
-            JobSize::Deterministic,
-            study.config().seed,
-        )
+    let cfg = study.config();
+    let workloads = cfg.sample_workloads(enumerate_workloads(12, n));
+    let sweep = cfg
+        .sweep(study.table(Chip::Smt), workloads)
+        .policies([Policy::Optimal, Policy::FcfsEvent])
+        .run()
         .map_err(|e| e.to_string())?;
-        Ok::<_, String>(best.throughput / fcfs.throughput - 1.0)
-    });
-    let gains: Vec<f64> = gains.into_iter().collect::<Result<_, _>>()?;
-    Ok((mean(&gains), max(&gains), workloads.len()))
+    let gains = sweep.gains(Policy::Optimal, Policy::FcfsEvent);
+    Ok((mean(&gains), max(&gains), sweep.len()))
 }
 
 /// Runs the N = 8 sensitivity on the SMT configuration.

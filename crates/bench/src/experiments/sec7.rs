@@ -6,12 +6,11 @@
 use std::fmt;
 
 use session::Policy as SessionPolicy;
-use simproc::{FetchPolicy, Machine, MachineConfig, RobPartitioning};
-use workloads::spec2006;
+use simproc::{FetchPolicy, MachineConfig, RobPartitioning};
 use workloads::PerfTable;
 
 use crate::study::{Study, StudyConfig};
-use crate::{mean, parallel_map, pct};
+use crate::{mean, pct};
 
 /// One SMT front-end/back-end policy combination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,62 +85,55 @@ pub struct Sec7 {
 }
 
 /// FCFS and optimal average throughput of one workload, obtained through
-/// one `Session` over the table's measured rate model. Matches the old
-/// `fcfs_throughput` + `optimal_schedule` pair bitwise (pinned by the
-/// parity suite).
+/// a single-workload [`session::Session::sweep`] over the table's measured
+/// rate model. Matches the old `fcfs_throughput` + `optimal_schedule` pair
+/// bitwise (pinned by the parity suite).
 ///
 /// # Errors
 ///
-/// Propagates session failures as strings.
+/// Propagates sweep failures as strings.
 pub fn workload_throughputs(
     table: &PerfTable,
     workload: &[usize],
     config: &StudyConfig,
 ) -> Result<(f64, f64), String> {
-    let rates = table.workload_rates(workload).map_err(|e| e.to_string())?;
     let report = config
-        .session()
-        .rates(&rates)
+        .sweep(table, vec![workload.to_vec()])
         .policies([SessionPolicy::FcfsEvent, SessionPolicy::Optimal])
         .run()
         .map_err(|e| e.to_string())?;
     Ok((
-        report
-            .throughput(SessionPolicy::FcfsEvent)
-            .expect("requested"),
-        report
-            .throughput(SessionPolicy::Optimal)
-            .expect("requested"),
+        report.throughputs(SessionPolicy::FcfsEvent)[0],
+        report.throughputs(SessionPolicy::Optimal)[0],
     ))
 }
 
 /// Runs the Section VII study. Builds one performance table per policy
-/// (the study's dominant cost).
+/// (the study's dominant cost — cached through the table store when the
+/// config names one), then sweeps the workloads on each.
 ///
 /// # Errors
 ///
 /// Propagates simulation/analysis failures as strings.
 pub fn run(study: &Study) -> Result<Sec7, String> {
     let cfg = study.config();
-    let suite = spec2006();
     let workloads = study.workloads();
 
-    // Per policy: build the table, then per workload FCFS + optimal.
+    // Per policy: build the table, then sweep FCFS + optimal over it.
     let mut per_policy_fcfs: Vec<Vec<f64>> = Vec::new();
     let mut per_policy_opt: Vec<Vec<f64>> = Vec::new();
     for policy in Policy::ALL {
         let mc = MachineConfig::smt4()
             .with_fetch_policy(policy.fetch)
-            .with_rob_partitioning(policy.rob)
-            .with_windows(cfg.warmup_cycles, cfg.measure_cycles);
-        let machine = Machine::new(mc).map_err(|e| e.to_string())?;
-        let table = PerfTable::build(&machine, &suite, cfg.threads).map_err(|e| e.to_string())?;
-        let results = parallel_map(&workloads, cfg.threads, |w| {
-            workload_throughputs(&table, w, cfg)
-        });
-        let pairs: Vec<(f64, f64)> = results.into_iter().collect::<Result<_, _>>()?;
-        per_policy_fcfs.push(pairs.iter().map(|p| p.0).collect());
-        per_policy_opt.push(pairs.iter().map(|p| p.1).collect());
+            .with_rob_partitioning(policy.rob);
+        let table = cfg.build_table(mc).map_err(|e| e.to_string())?;
+        let sweep = cfg
+            .sweep(&table, workloads.clone())
+            .policies([SessionPolicy::FcfsEvent, SessionPolicy::Optimal])
+            .run()
+            .map_err(|e| e.to_string())?;
+        per_policy_fcfs.push(sweep.throughputs(SessionPolicy::FcfsEvent));
+        per_policy_opt.push(sweep.throughputs(SessionPolicy::Optimal));
     }
 
     let rows: Vec<PolicyResult> = Policy::ALL

@@ -5,8 +5,8 @@ use std::fmt;
 
 use symbiosis::{heterogeneity_table, random_draw_heterogeneity_probability};
 
+use crate::mean;
 use crate::study::{Chip, Study};
-use crate::{mean, parallel_map};
 
 /// One averaged Table II row.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,13 +54,19 @@ pub fn run(study: &Study) -> Result<Table2, String> {
     let k = 4usize;
     let mut chips = Vec::new();
     for chip in Chip::ALL {
-        let table = study.table(chip);
-        let per_workload = parallel_map(&workloads, study.config().threads, |w| {
-            let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-            heterogeneity_table(&rates, study.config().fcfs_jobs, study.config().seed)
+        // The heterogeneity fold is not a policy row, so it rides the
+        // sweep's custom-map escape hatch over the shared pool.
+        let tables = study
+            .sweep(chip)
+            .map(|item| {
+                heterogeneity_table(
+                    &item.rates()?,
+                    study.config().fcfs_jobs,
+                    study.config().seed,
+                )
                 .map_err(|e| e.to_string())
-        });
-        let tables: Vec<_> = per_workload.into_iter().collect::<Result<Vec<_>, _>>()?;
+            })
+            .map_err(|e| e.to_string())?;
         let max_het = n.min(k);
         let mut rows = Vec::new();
         for het in 1..=max_het {

@@ -6,11 +6,11 @@
 
 use std::fmt;
 
-use symbiosis::{fcfs_throughput, optimal_schedule, JobSize, Objective};
+use session::Policy;
 use workloads::WorkUnit;
 
 use crate::study::{Chip, Study};
-use crate::{max, mean, parallel_map, pct, pearson};
+use crate::{max, mean, pct, pearson};
 
 /// Per-unit summary statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,21 +40,14 @@ pub struct UnitAblation {
 ///
 /// Propagates analysis failures as strings.
 pub fn run(study: &Study) -> Result<UnitAblation, String> {
-    let workloads = study.workloads();
-    let table = study.table(Chip::Smt);
-    let cfg = study.config();
     let gains_for = |unit: WorkUnit| -> Result<Vec<f64>, String> {
-        let results = parallel_map(&workloads, cfg.threads, |w| {
-            let rates = table
-                .workload_rates_with_unit(w, unit)
-                .map_err(|e| e.to_string())?;
-            let best =
-                optimal_schedule(&rates, Objective::MaxThroughput).map_err(|e| e.to_string())?;
-            let fcfs = fcfs_throughput(&rates, cfg.fcfs_jobs, JobSize::Deterministic, cfg.seed)
-                .map_err(|e| e.to_string())?;
-            Ok::<_, String>(best.throughput / fcfs.throughput - 1.0)
-        });
-        results.into_iter().collect()
+        let sweep = study
+            .sweep(Chip::Smt)
+            .unit(unit)
+            .policies([Policy::Optimal, Policy::FcfsEvent])
+            .run()
+            .map_err(|e| e.to_string())?;
+        Ok(sweep.gains(Policy::Optimal, Policy::FcfsEvent))
     };
     let weighted = gains_for(WorkUnit::Weighted)?;
     let plain = gains_for(WorkUnit::Plain)?;
@@ -68,7 +61,7 @@ pub fn run(study: &Study) -> Result<UnitAblation, String> {
             max_gain: max(&plain),
         },
         gain_correlation: pearson(&weighted, &plain),
-        workloads: workloads.len(),
+        workloads: weighted.len(),
     })
 }
 

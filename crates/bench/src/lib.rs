@@ -8,15 +8,29 @@
 //!
 //! All experiments accept a [`StudyConfig`]; `--fast` produces test-scale
 //! runs, the default reproduces the paper-scale sweep (full simulator
-//! windows, all 495 workloads unless `--sample N` is given).
+//! windows, all 495 workloads unless `--sample N` is given). With
+//! `--table-cache PATH` (or `SYMBIOSIS_TABLE_CACHE`) performance tables
+//! persist in a [`workloads::TableStore`], so repeated runs skip the
+//! simulation sweep entirely; the workload fan-out itself goes through
+//! [`session::Session::sweep`].
 
 pub mod experiments;
 pub mod study;
 
 pub use study::{Chip, Study, StudyConfig, StudyError};
 
+// The aggregation helpers migrated into the API layer next to
+// `session::SweepReport`; they are re-exported here so experiment code and
+// downstream callers keep their spelling.
+pub use session::stats::{max, mean, min, pct, pearson};
+
 /// Applies `f` to every item on up to `threads` OS threads, preserving
 /// input order in the output.
+///
+/// A thin shim over [`session::WorkerPool::map`], kept for the experiments
+/// whose per-workload leg has no `Session` form yet. New sweep-shaped code
+/// should go through [`session::Session::sweep`] instead, which shares the
+/// performance table and reports through [`session::SweepReport`].
 ///
 /// # Panics
 ///
@@ -34,68 +48,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    let chunk = items.len().div_ceil(threads).max(1);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let slots: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
-    let f_ref = &f;
-    std::thread::scope(|scope| {
-        for (piece, slot) in items.chunks(chunk).zip(slots) {
-            scope.spawn(move || {
-                for (item, cell) in piece.iter().zip(slot.iter_mut()) {
-                    *cell = Some(f_ref(item));
-                }
-            });
-        }
-    });
-    out.into_iter().map(|r| r.expect("filled")).collect()
-}
-
-/// Formats a fraction as a signed percentage with one decimal.
-pub fn pct(x: f64) -> String {
-    format!("{:+.1}%", 100.0 * x)
-}
-
-/// Mean of a slice; 0 for empty input.
-pub fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    }
-}
-
-/// Maximum of a slice; `NEG_INFINITY` for empty input.
-pub fn max(values: &[f64]) -> f64 {
-    values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-}
-
-/// Minimum of a slice; `INFINITY` for empty input.
-pub fn min(values: &[f64]) -> f64 {
-    values.iter().cloned().fold(f64::INFINITY, f64::min)
-}
-
-/// Pearson correlation coefficient of two equal-length samples; `None`
-/// when degenerate (fewer than two points or zero variance).
-pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
-    if xs.len() != ys.len() || xs.len() < 2 {
-        return None;
-    }
-    let mx = mean(xs);
-    let my = mean(ys);
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
-    let mut sxy = 0.0;
-    for (x, y) in xs.iter().zip(ys) {
-        sxx += (x - mx) * (x - mx);
-        syy += (y - my) * (y - my);
-        sxy += (x - mx) * (y - my);
-    }
-    if sxx < 1e-300 || syy < 1e-300 {
-        return None;
-    }
-    Some(sxy / (sxx * syy).sqrt())
+    session::WorkerPool::new(threads).map(items, |_, item| f(item))
 }
 
 #[cfg(test)]
@@ -111,25 +64,5 @@ mod tests {
         assert_eq!(parallel_map(&items, 0, |&x| x), items);
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
-    }
-
-    #[test]
-    fn stats_helpers() {
-        assert_eq!(mean(&[1.0, 3.0]), 2.0);
-        assert_eq!(max(&[1.0, 3.0]), 3.0);
-        assert_eq!(min(&[1.0, 3.0]), 1.0);
-        assert_eq!(pct(0.031), "+3.1%");
-        assert_eq!(pct(-0.09), "-9.0%");
-    }
-
-    #[test]
-    fn pearson_detects_perfect_correlation() {
-        let xs = [1.0, 2.0, 3.0, 4.0];
-        let ys = [2.0, 4.0, 6.0, 8.0];
-        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
-        let ys_neg = [8.0, 6.0, 4.0, 2.0];
-        assert!((pearson(&xs, &ys_neg).unwrap() + 1.0).abs() < 1e-12);
-        assert!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]).is_none());
-        assert!(pearson(&[1.0], &[1.0]).is_none());
     }
 }

@@ -3,11 +3,12 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 
-use session::{Session, SessionBuilder};
+use session::{Session, SessionBuilder, SweepBuilder};
 use simproc::{Machine, MachineConfig, MachineError};
 use symbiosis::enumerate_workloads;
-use workloads::{spec2006, PerfTable, TableError, WorkloadView};
+use workloads::{spec2006, PerfTable, TableError, TableStore, WorkloadView};
 
 /// Which of the paper's two machine configurations an experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,6 +58,11 @@ pub struct StudyConfig {
     pub threads: usize,
     /// Base RNG seed for the stochastic experiment legs.
     pub seed: u64,
+    /// If set, performance tables are cached in this directory through a
+    /// [`TableStore`]: warm runs load instead of re-simulating. Set by
+    /// `--table-cache PATH` or the `SYMBIOSIS_TABLE_CACHE` environment
+    /// variable.
+    pub table_cache: Option<PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -71,6 +77,7 @@ impl Default for StudyConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             seed: 0x15_BA_55,
+            table_cache: None,
         }
     }
 }
@@ -98,14 +105,86 @@ impl StudyConfig {
             .threads(self.threads)
     }
 
+    /// Starts a [`Session::sweep`] builder over `table` and `workloads`
+    /// carrying this study's experiment parameters — the batch counterpart
+    /// of [`StudyConfig::session`].
+    pub fn sweep<'t>(&self, table: &'t PerfTable, workloads: Vec<Vec<usize>>) -> SweepBuilder<'t> {
+        Session::sweep()
+            .table(table)
+            .workloads(workloads)
+            .fcfs_jobs(self.fcfs_jobs)
+            .seed(self.seed)
+            .threads(self.threads)
+    }
+
+    /// Builds (or, with a configured [`StudyConfig::table_cache`], loads)
+    /// the performance table for one machine configuration over the
+    /// 12-benchmark suite, applying this config's simulator windows.
+    ///
+    /// Cache hits and misses are reported on stderr (`table cache hit ...`)
+    /// so scripted runs can assert the warm path skipped simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator/table/store errors.
+    pub fn build_table(&self, machine: MachineConfig) -> Result<PerfTable, StudyError> {
+        let machine = machine.with_windows(self.warmup_cycles, self.measure_cycles);
+        let suite = spec2006();
+        match &self.table_cache {
+            Some(dir) => {
+                let store = TableStore::new(dir);
+                let outcome = store.get_or_build(&machine, &suite, self.threads)?;
+                eprintln!(
+                    "table cache {}: {}",
+                    if outcome.cache_hit { "hit" } else { "miss" },
+                    store.path_for(&machine, &suite).display()
+                );
+                Ok(outcome.table)
+            }
+            None => {
+                let machine = Machine::new(machine)?;
+                Ok(PerfTable::build(&machine, &suite, self.threads)?)
+            }
+        }
+    }
+
+    /// Applies this config's deterministic evenly-spaced sampling to a
+    /// workload enumeration (identity when no sample is requested).
+    pub fn sample_workloads(&self, all: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        match self.sample {
+            None => all,
+            Some(n) if n >= all.len() => all,
+            Some(n) => {
+                let stride = all.len() as f64 / n as f64;
+                (0..n)
+                    .map(|i| all[(i as f64 * stride) as usize].clone())
+                    .collect()
+            }
+        }
+    }
+
     /// Parses command-line arguments shared by the experiment binaries:
-    /// `--fast` (test-scale), `--sample N`, `--jobs N`, `--threads N`.
+    /// `--fast` (test-scale), `--sample N`, `--jobs N`, `--threads N`,
+    /// `--table-cache PATH`. When the flag is absent, the
+    /// `SYMBIOSIS_TABLE_CACHE` environment variable supplies the cache
+    /// directory.
     ///
     /// # Errors
     ///
     /// Returns a usage message on unknown flags or malformed numbers.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        Self::from_args_with_env(args, std::env::var_os("SYMBIOSIS_TABLE_CACHE"))
+    }
+
+    /// [`StudyConfig::from_args`] with the `SYMBIOSIS_TABLE_CACHE` value
+    /// passed explicitly — the testable core (tests must not mutate the
+    /// process environment, which is racy across test threads).
+    fn from_args_with_env<I: IntoIterator<Item = String>>(
+        args: I,
+        env_cache: Option<std::ffi::OsString>,
+    ) -> Result<Self, String> {
         let mut cfg = StudyConfig::default();
+        let mut table_cache: Option<PathBuf> = None;
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let mut grab = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
@@ -129,13 +208,17 @@ impl StudyConfig {
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?
                 }
+                "--table-cache" => table_cache = Some(PathBuf::from(grab("--table-cache")?)),
                 other => {
                     return Err(format!(
-                        "unknown flag {other}; supported: --fast --full --sample N --jobs N --threads N"
+                        "unknown flag {other}; supported: --fast --full --sample N --jobs N \
+                         --threads N --table-cache PATH"
                     ))
                 }
             }
         }
+        cfg.table_cache =
+            table_cache.or_else(|| env_cache.filter(|v| !v.is_empty()).map(PathBuf::from));
         Ok(cfg)
     }
 }
@@ -188,15 +271,9 @@ impl Study {
     ///
     /// Propagates simulator/table errors.
     pub fn new(config: StudyConfig) -> Result<Self, StudyError> {
-        let suite = spec2006();
-        let build = |mc: MachineConfig| -> Result<PerfTable, StudyError> {
-            let machine =
-                Machine::new(mc.with_windows(config.warmup_cycles, config.measure_cycles))?;
-            Ok(PerfTable::build(&machine, &suite, config.threads)?)
-        };
         Ok(Study {
-            smt: build(Chip::Smt.machine_config())?,
-            quad: build(Chip::Quad.machine_config())?,
+            smt: config.build_table(Chip::Smt.machine_config())?,
+            quad: config.build_table(Chip::Quad.machine_config())?,
             config,
         })
     }
@@ -227,18 +304,15 @@ impl Study {
     /// The analysed workloads: all `C(12, N)` combinations, or a
     /// deterministic evenly-spaced sample when the config requests one.
     pub fn workloads(&self) -> Vec<Vec<usize>> {
-        let all = enumerate_workloads(12, self.config.workload_size);
-        match self.config.sample {
-            None => all,
-            Some(n) if n >= all.len() => all,
-            Some(n) => {
-                // Evenly spaced, deterministic sample.
-                let stride = all.len() as f64 / n as f64;
-                (0..n)
-                    .map(|i| all[(i as f64 * stride) as usize].clone())
-                    .collect()
-            }
-        }
+        self.config
+            .sample_workloads(enumerate_workloads(12, self.config.workload_size))
+    }
+
+    /// Starts a batch sweep of this study's workloads on one chip's table,
+    /// carrying the study's experiment parameters — the entry point the
+    /// migrated experiments hang their policies on.
+    pub fn sweep(&self, chip: Chip) -> SweepBuilder<'_> {
+        self.config.sweep(self.table(chip), self.workloads())
     }
 }
 
@@ -257,6 +331,63 @@ mod tests {
         assert_eq!(cfg.threads, 2);
         assert!(StudyConfig::from_args(["--bogus".to_owned()]).is_err());
         assert!(StudyConfig::from_args(["--sample".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn from_args_parses_table_cache() {
+        let cfg = StudyConfig::from_args(["--fast", "--table-cache", "/tmp/tc"].map(String::from))
+            .unwrap();
+        assert_eq!(cfg.table_cache, Some(PathBuf::from("/tmp/tc")));
+        assert!(StudyConfig::from_args(["--table-cache".to_owned()]).is_err());
+        // The env fallback kicks in only when the flag is absent; the flag
+        // wins when both are present. (Injected value — tests must not
+        // mutate the real process environment.)
+        let env = Some(std::ffi::OsString::from("/tmp/from-env"));
+        let via_env = StudyConfig::from_args_with_env(["--fast".to_owned()], env.clone()).unwrap();
+        assert_eq!(via_env.table_cache, Some(PathBuf::from("/tmp/from-env")));
+        let via_flag = StudyConfig::from_args_with_env(
+            ["--table-cache", "/tmp/explicit"].map(String::from),
+            env,
+        )
+        .unwrap();
+        assert_eq!(via_flag.table_cache, Some(PathBuf::from("/tmp/explicit")));
+        let empty =
+            StudyConfig::from_args_with_env(["--fast".to_owned()], Some(std::ffi::OsString::new()))
+                .unwrap();
+        assert_eq!(empty.table_cache, None, "empty env value is ignored");
+    }
+
+    #[test]
+    fn sample_workloads_is_deterministic_and_bounded() {
+        let mut cfg = StudyConfig::fast();
+        let all: Vec<Vec<usize>> = (0..100).map(|i| vec![i]).collect();
+        cfg.sample = Some(10);
+        let a = cfg.sample_workloads(all.clone());
+        let b = cfg.sample_workloads(all.clone());
+        assert_eq!(a, b, "sampling is deterministic");
+        assert_eq!(a.len(), 10);
+        cfg.sample = Some(1000);
+        assert_eq!(cfg.sample_workloads(all.clone()).len(), 100, "capped");
+        cfg.sample = None;
+        assert_eq!(cfg.sample_workloads(all.clone()), all, "identity");
+    }
+
+    #[test]
+    fn build_table_caches_and_reloads_identically() {
+        let dir = std::env::temp_dir().join(format!("symb-study-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = StudyConfig::fast();
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 1_500;
+        cfg.table_cache = Some(dir.clone());
+        let cold = cfg.build_table(Chip::Smt.machine_config()).unwrap();
+        let cached: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(cached.len(), 1, "one cache file after the cold build");
+        let warm = cfg.build_table(Chip::Smt.machine_config()).unwrap();
+        // The warm path loads the saved file (the store tests pin that no
+        // simulation runs); the loaded table must be bitwise faithful.
+        assert_eq!(cold, warm);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -99,23 +99,54 @@ pub fn fcfs_throughput(
     let mut completed = 0u64;
     let mut now = 0.0f64;
     let mut work_done = 0.0f64;
-    let mut fractions = vec![0.0f64; rates.coschedules().len()];
+    let n_states = rates.coschedules().len();
+    let mut fractions = vec![0.0f64; n_states];
 
-    // Current coschedule index, maintained incrementally.
-    let mut counts = vec![0u32; n];
-    for &(ty, _) in &slots {
-        counts[ty] += 1;
+    // Precompute the full state-transition table: completing one `from` job
+    // and admitting one `to` job maps state `si` to `transitions[(si * n +
+    // from) * n + to]`. The hot loop then never rebuilds count vectors or
+    // hashes coschedule keys per completion (formerly an O(K) rebuild plus
+    // a heap-allocating table lookup for every finished job).
+    const NO_STATE: u32 = u32::MAX;
+    let mut transitions = vec![NO_STATE; n_states * n * n];
+    for (si, s) in rates.coschedules().iter().enumerate() {
+        for from in 0..n {
+            if s.count(from) == 0 {
+                continue;
+            }
+            for to in 0..n {
+                let next = s.replace(from, to).expect("type `from` present");
+                let ni = rates
+                    .index_of(&next)
+                    .expect("full coschedule must be in the table");
+                transitions[(si * n + from) * n + to] = ni as u32;
+            }
+        }
     }
-    let mut si = rates
-        .index_of(&crate::Coschedule::from_counts(counts.clone()))
-        .expect("full coschedule must be in the table");
+
+    // Cache per-job rates as a dense [state][type] matrix for the hot loop.
+    let per_job: Vec<f64> = (0..n_states)
+        .flat_map(|si| (0..n).map(move |ty| rates.per_job_rate(si, ty)))
+        .collect();
+
+    // Current coschedule index, maintained incrementally via transitions.
+    let mut si = {
+        let mut counts = vec![0u32; n];
+        for &(ty, _) in &slots {
+            counts[ty] += 1;
+        }
+        rates
+            .index_of(&crate::Coschedule::from_counts(counts))
+            .expect("full coschedule must be in the table")
+    };
 
     while completed < jobs {
         // Per-job rates in the current coschedule.
         // Advance time until the earliest completion.
+        let row = &per_job[si * n..(si + 1) * n];
         let mut dt = f64::INFINITY;
         for &(ty, remaining) in &slots {
-            let r = rates.per_job_rate(si, ty);
+            let r = row[ty];
             debug_assert!(r > 0.0, "running job must make progress");
             dt = dt.min(remaining / r);
         }
@@ -125,24 +156,21 @@ pub fn fcfs_throughput(
         // Progress all jobs; replace those that finish.
         let mut finished_any = false;
         for slot in slots.iter_mut() {
-            let r = rates.per_job_rate(si, slot.0);
+            let r = row[slot.0];
             let progress = r * dt;
             work_done += progress.min(slot.1);
             slot.1 -= progress;
             if slot.1 <= 1e-12 {
                 finished_any = true;
                 completed += 1;
-                counts[slot.0] -= 1;
                 let (ty, work) = draw_job(&mut rng);
+                si = transitions[(si * n + slot.0) * n + ty] as usize;
+                debug_assert_ne!(si, NO_STATE as usize, "transition must exist");
                 *slot = (ty, work);
-                counts[ty] += 1;
                 started += 1;
             }
         }
         debug_assert!(finished_any, "time step must finish at least one job");
-        si = rates
-            .index_of(&crate::Coschedule::from_counts(counts.clone()))
-            .expect("full coschedule must be in the table");
     }
     let _ = started;
     for f in &mut fractions {

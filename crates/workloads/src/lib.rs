@@ -8,7 +8,11 @@
 //!   Table I SPEC CPU2006 selection;
 //! * [`PerfTable`] — per-slot IPCs of all coschedules of a suite on a
 //!   machine (the paper's 1365-combination sweep), convertible into
-//!   [`symbiosis::WorkloadRates`] for any selected workload.
+//!   [`symbiosis::WorkloadRates`] for any selected workload;
+//! * [`TableStore`] — a fingerprint-keyed on-disk cache of performance
+//!   tables ([`PerfTable::save`] / [`PerfTable::load`], bitwise-stable
+//!   format documented in [`store`]) so repeated studies skip
+//!   re-simulation.
 //!
 //! # Examples
 //!
@@ -27,7 +31,9 @@
 //! ```
 
 pub mod spec;
+pub mod store;
 pub mod table;
 
 pub use spec::{spec2006, spec_names, spec_profile};
+pub use store::{table_fingerprint, StoreOutcome, TableStore};
 pub use table::{PerfTable, TableError, WorkUnit, WorkloadView};

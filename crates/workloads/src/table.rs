@@ -16,7 +16,7 @@ use std::sync::Mutex;
 use simproc::{BenchmarkProfile, Machine, MachineError};
 use symbiosis::{enumerate_coschedules, RateModel, SymbiosisError, WorkloadRates};
 
-/// Errors from building or querying a [`PerfTable`].
+/// Errors from building, querying or persisting a [`PerfTable`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum TableError {
     /// The underlying simulation failed.
@@ -27,6 +27,12 @@ pub enum TableError {
     InvalidWorkload(String),
     /// Rate-table conversion failed.
     Rates(SymbiosisError),
+    /// Reading or writing a persisted table failed (the I/O error is
+    /// carried as text so this enum stays `Clone + PartialEq`).
+    Io(String),
+    /// A persisted table file is malformed: wrong magic, unsupported
+    /// version, checksum mismatch, truncation, or invalid contents.
+    Format(String),
 }
 
 impl fmt::Display for TableError {
@@ -36,6 +42,8 @@ impl fmt::Display for TableError {
             TableError::UnknownBenchmark(i) => write!(f, "benchmark index {i} out of range"),
             TableError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
             TableError::Rates(e) => write!(f, "rate conversion failed: {e}"),
+            TableError::Io(msg) => write!(f, "table file I/O failed: {msg}"),
+            TableError::Format(msg) => write!(f, "malformed table file: {msg}"),
         }
     }
 }
@@ -82,12 +90,12 @@ pub enum WorkUnit {
 ///
 /// Keys are sorted benchmark-index vectors of length `K` (the machine's
 /// context count); per-slot IPCs are aligned with that sorted expansion.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfTable {
-    names: Vec<String>,
-    solo_ipc: Vec<f64>,
-    contexts: usize,
-    co_ipc: HashMap<Vec<usize>, Vec<f64>>,
+    pub(crate) names: Vec<String>,
+    pub(crate) solo_ipc: Vec<f64>,
+    pub(crate) contexts: usize,
+    pub(crate) co_ipc: HashMap<Vec<usize>, Vec<f64>>,
 }
 
 impl PerfTable {

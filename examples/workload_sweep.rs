@@ -1,0 +1,82 @@
+//! Batch evaluation through the sweep API: one shared performance table,
+//! many workload mixes, evaluated over a worker pool — plus the persistent
+//! table store that makes repeated runs skip the simulation sweep.
+//!
+//! Run with `cargo run --release --example workload_sweep`.
+
+use symbiotic_scheduling::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Cache the performance table on disk: the first run simulates every
+    // coschedule (the expensive part), later runs load the saved table.
+    let cache_dir = std::env::temp_dir().join("symbiosis-example-cache");
+    let store = TableStore::new(&cache_dir);
+    // Short simulator windows keep the example snappy; drop `with_windows`
+    // for paper-scale measurements.
+    let config = MachineConfig::smt4().with_windows(10_000, 40_000);
+    let suite = spec2006();
+
+    let t0 = std::time::Instant::now();
+    let outcome = store.get_or_build(&config, &suite, 8)?;
+    println!(
+        "table {} in {:.2?} ({} coschedules, cache at {})",
+        if outcome.cache_hit {
+            "loaded from cache"
+        } else {
+            "built"
+        },
+        t0.elapsed(),
+        outcome.table.len(),
+        cache_dir.display()
+    );
+
+    // Sweep every 4-type workload over the table: the LP bounds and the
+    // FCFS baseline for each mix, fanned out over 8 worker threads.
+    let workloads = enumerate_workloads(12, 4);
+    let t1 = std::time::Instant::now();
+    let sweep = Session::sweep()
+        .table(&outcome.table)
+        .workloads(workloads)
+        .policies([Policy::Worst, Policy::FcfsEvent, Policy::Optimal])
+        .fcfs_jobs(10_000)
+        .seed(42)
+        .threads(8)
+        .run()?;
+    println!(
+        "swept {} workloads x 3 policies in {:.2?}\n",
+        sweep.len(),
+        t1.elapsed()
+    );
+
+    // Built-in aggregation replaces the hand-rolled mean/max folds.
+    println!("{sweep}");
+    let gains = sweep.gains(Policy::Optimal, Policy::FcfsEvent);
+    println!(
+        "optimal over FCFS: mean {}, best workload {}",
+        stats::pct(stats::mean(&gains)),
+        stats::pct(stats::max(&gains)),
+    );
+    println!(
+        "FCFS sits at {:.1}% of the optimal-worst span on average",
+        100.0
+            * stats::mean(
+                &sweep
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        let best = row.report.throughput(Policy::Optimal).unwrap();
+                        let worst = row.report.throughput(Policy::Worst).unwrap();
+                        let fcfs = row.report.throughput(Policy::FcfsEvent).unwrap();
+                        if best > worst {
+                            (fcfs - worst) / (best - worst)
+                        } else {
+                            1.0
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+    );
+    println!("\n(the paper: FCFS already sits close to optimal — scheduling");
+    println!(" headroom over hundreds of mixes averages only a few percent)");
+    Ok(())
+}

@@ -5,8 +5,10 @@
 //! downstream users can depend on a single crate:
 //!
 //! * [`session`] — **the public API**: the [`prelude::Session`] entry
-//!   point, the [`prelude::Policy`] registry and uniform
-//!   [`prelude::PolicyReport`] rows;
+//!   point, the [`prelude::Policy`] registry, uniform
+//!   [`prelude::PolicyReport`] rows, and the batch `Session::sweep`
+//!   surface ([`prelude::SweepReport`], [`prelude::WorkerPool`],
+//!   `session::stats`);
 //! * [`symbiosis`] — the analyses behind it: the [`prelude::RateModel`]
 //!   abstraction, LP optimal/worst throughput, Markov/event FCFS, and the
 //!   Section V studies;
@@ -86,7 +88,8 @@ pub mod legacy;
 /// Commonly used items from across the workspace.
 pub mod prelude {
     pub use session::{
-        Policy, PolicyKind, PolicyReport, Session, SessionBuilder, SessionError, SessionReport,
+        stats, Policy, PolicyKind, PolicyReport, Session, SessionBuilder, SessionError,
+        SessionReport, SweepBuilder, SweepError, SweepItem, SweepReport, SweepRow, WorkerPool,
     };
     pub use symbiosis::{
         assert_rate_model_conformance, enumerate_coschedules, enumerate_workloads, AnalyticModel,
@@ -100,7 +103,10 @@ pub mod prelude {
         MaxItScheduler, MaxTpScheduler, MmcQueue, Scheduler, SizeDist, SrptScheduler,
     };
     pub use simproc::{BenchmarkProfile, FetchPolicy, Machine, MachineConfig, RobPartitioning};
-    pub use workloads::{spec2006, spec_names, spec_profile, PerfTable, WorkloadView};
+    pub use workloads::{
+        spec2006, spec_names, spec_profile, PerfTable, StoreOutcome, TableStore, WorkUnit,
+        WorkloadView,
+    };
 
     #[allow(deprecated)]
     pub use crate::legacy::{
