@@ -11,8 +11,8 @@ use queueing::{
 };
 use simproc::{Machine, MachineConfig, MachineError};
 use symbiosis::{
-    fcfs_throughput, fcfs_throughput_markov, optimal_schedule, JobSize, Objective, RateModel,
-    Schedule, SymbiosisError, WorkloadRates,
+    fcfs_throughput, fcfs_throughput_markov_with, JobSize, Objective, RateModel, Schedule,
+    ScheduleLp, SymbiosisError, WorkloadRates,
 };
 use workloads::{spec2006, PerfTable, TableError};
 
@@ -226,6 +226,8 @@ pub struct SessionBuilder<'a> {
     job_size: JobSize,
     seed: u64,
     latency: Option<LatencyConfig>,
+    lp_dense_limit: usize,
+    markov_dense_limit: usize,
 }
 
 /// A configured experiment: machine/workload (or a ready rate model) plus
@@ -276,6 +278,8 @@ impl Session {
             job_size: JobSize::Deterministic,
             seed: 0x5EED,
             latency: None,
+            lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
+            markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
         }
     }
 }
@@ -378,6 +382,24 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Largest coschedule count the scheduling LP solves on the dense
+    /// tableau; bigger tables go through column generation
+    /// (default: [`symbiosis::DEFAULT_LP_DENSE_LIMIT`]). `0` forces column
+    /// generation, `usize::MAX` forces the dense tableau.
+    pub fn lp_dense_limit(mut self, limit: usize) -> Self {
+        self.lp_dense_limit = limit;
+        self
+    }
+
+    /// Largest Markov-chain state count solved by dense LU; bigger chains
+    /// go through the sparse Gauss–Seidel path
+    /// (default: [`symbiosis::DEFAULT_MARKOV_DENSE_LIMIT`]). `0` forces the
+    /// sparse path, `usize::MAX` the dense one.
+    pub fn markov_dense_limit(mut self, limit: usize) -> Self {
+        self.markov_dense_limit = limit;
+        self
+    }
+
     /// Runs every requested policy and returns the uniform report.
     ///
     /// # Errors
@@ -443,17 +465,30 @@ impl<'a> SessionBuilder<'a> {
             None
         };
 
-        // One LP solve per objective, shared between the MAXTP target
-        // derivation and the OPTIMAL/WORST rows.
+        // The scheduling LP's column data (`it` vector, balance rows) is
+        // built once and shared by every LP consumer — the MAXTP target
+        // derivation and the OPTIMAL/WORST rows — with one solve per
+        // objective, cached. Skipped entirely when no requested policy
+        // solves the LP (e.g. FCFS-only sessions).
+        let needs_lp = policies
+            .iter()
+            .any(|p| matches!(p, Policy::Optimal | Policy::Worst | Policy::MaxTp));
+        let lp: Option<ScheduleLp<'_>> = if needs_lp {
+            table
+                .as_ref()
+                .map(|t| ScheduleLp::with_dense_limit(t, self.lp_dense_limit))
+        } else {
+            None
+        };
         let mut lp_cache: HashMap<Objective, Schedule> = HashMap::new();
-        let solve = |table: &WorkloadRates,
+        let solve = |lp: &ScheduleLp<'_>,
                      objective: Objective,
                      cache: &mut HashMap<Objective, Schedule>|
          -> Result<Schedule, SessionError> {
             if let Some(schedule) = cache.get(&objective) {
                 return Ok(schedule.clone());
             }
-            let schedule = optimal_schedule(table, objective)?;
+            let schedule = lp.solve(objective)?;
             cache.insert(objective, schedule.clone());
             Ok(schedule)
         };
@@ -461,7 +496,11 @@ impl<'a> SessionBuilder<'a> {
         // MAXTP follows the LP fractions for the configured objective.
         let targets: Vec<(Vec<u32>, f64)> = if policies.contains(&Policy::MaxTp) {
             let table = table.as_ref().expect("table materialised above");
-            let schedule = solve(table, self.objective, &mut lp_cache)?;
+            let schedule = solve(
+                lp.as_ref().expect("LP prepared above"),
+                self.objective,
+                &mut lp_cache,
+            )?;
             table
                 .coschedules()
                 .iter()
@@ -488,7 +527,7 @@ impl<'a> SessionBuilder<'a> {
                         Objective::MinThroughput
                     };
                     let schedule = solve(
-                        table.as_ref().expect("table materialised"),
+                        lp.as_ref().expect("LP prepared above"),
                         objective,
                         &mut lp_cache,
                     )?;
@@ -501,8 +540,10 @@ impl<'a> SessionBuilder<'a> {
                     }
                 }
                 Policy::FcfsMarkov => {
-                    let outcome =
-                        fcfs_throughput_markov(table.as_ref().expect("table materialised"))?;
+                    let outcome = fcfs_throughput_markov_with(
+                        table.as_ref().expect("table materialised"),
+                        self.markov_dense_limit,
+                    )?;
                     PolicyReport {
                         policy,
                         throughput: outcome.throughput,

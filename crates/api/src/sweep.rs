@@ -275,6 +275,8 @@ pub struct SweepBuilder<'a> {
     job_size: JobSize,
     seed: u64,
     latency: Option<LatencyConfig>,
+    lp_dense_limit: usize,
+    markov_dense_limit: usize,
 }
 
 impl Session {
@@ -292,6 +294,8 @@ impl Session {
             job_size: JobSize::Deterministic,
             seed: 0x5EED,
             latency: None,
+            lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
+            markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
         }
     }
 }
@@ -395,6 +399,22 @@ impl<'a> SweepBuilder<'a> {
         self
     }
 
+    /// Dense-tableau threshold for the scheduling LP, forwarded to every
+    /// per-workload session (see
+    /// [`crate::SessionBuilder::lp_dense_limit`]).
+    pub fn lp_dense_limit(mut self, limit: usize) -> Self {
+        self.lp_dense_limit = limit;
+        self
+    }
+
+    /// Dense-LU threshold for the FCFS Markov chain, forwarded to every
+    /// per-workload session (see
+    /// [`crate::SessionBuilder::markov_dense_limit`]).
+    pub fn markov_dense_limit(mut self, limit: usize) -> Self {
+        self.markov_dense_limit = limit;
+        self
+    }
+
     fn validated(&self) -> Result<&'a PerfTable, SweepError> {
         let table = self.table.ok_or(SweepError::MissingTable)?;
         if self.workloads.is_empty() {
@@ -412,7 +432,9 @@ impl<'a> SweepBuilder<'a> {
             .objective(self.objective)
             .fcfs_jobs(self.fcfs_jobs)
             .job_size(self.job_size)
-            .seed(self.seed);
+            .seed(self.seed)
+            .lp_dense_limit(self.lp_dense_limit)
+            .markov_dense_limit(self.markov_dense_limit);
         if let Some(cfg) = &self.latency {
             builder = builder.latency(cfg.clone());
         }

@@ -7,6 +7,12 @@
 //! and reported as the median ns/iteration. `cargo bench -p paperbench`
 //! prints the table and rewrites `BENCH_session.json` at the workspace
 //! root so successive PRs accumulate a perf trajectory.
+//!
+//! With `BENCH_SMOKE=1` the harness runs every kernel on a reduced budget
+//! (shorter batches, fewer of them) — CI uses that to guarantee the
+//! emitted JSON never silently loses a kernel: after the run the harness
+//! checks [`EXPECTED_BENCHMARKS`] against the results and exits non-zero
+//! on any gap.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -16,10 +22,33 @@ use queueing::{run_latency_experiment, ContentionModel, LatencyConfig, SizeDist}
 use session::Policy;
 use simproc::{BenchmarkProfile, Machine, MachineConfig};
 use symbiosis::{
-    enumerate_coschedules, fcfs_throughput, fcfs_throughput_markov, optimal_schedule, JobSize,
-    Objective, WorkloadRates,
+    enumerate_coschedules, fcfs_throughput, fcfs_throughput_markov, optimal_schedule,
+    CoscheduleIter, JobSize, Objective, WorkloadRates,
 };
 use workloads::{spec2006, PerfTable, TableStore};
+
+/// Every kernel the harness must emit; the post-run check fails the
+/// process if `BENCH_session.json` would miss one, so perf-trajectory
+/// coverage cannot silently rot.
+const EXPECTED_BENCHMARKS: &[&str] = &[
+    "lp/optimal_schedule_n4_k4",
+    "lp/optimal_schedule_n8_k4",
+    "lp/optimal_colgen_n12_k8",
+    "lp/raw_simplex_20x8",
+    "simproc/smt4_coschedule_5k_cycles",
+    "simproc/quadcore_coschedule_5k_cycles",
+    "fcfs/event_sim_5k_jobs",
+    "fcfs/markov_chain_35_states",
+    "fcfs/markov_sparse_n12_k4",
+    "fcfs/markov_sparse_n12_k8",
+    "table/build_3bench_tiny_windows",
+    "table/store_warm_load_3bench",
+    "des/latency_2k_jobs_fcfs",
+    "des/latency_2k_jobs_maxit",
+    "des/latency_2k_jobs_srpt",
+    "enumerate/coschedules_12_choose_4_multiset",
+    "enumerate/stream_vs_vec",
+];
 
 /// One benchmark's outcome.
 struct Measurement {
@@ -29,11 +58,20 @@ struct Measurement {
     iters_per_batch: u64,
 }
 
-/// Times `f` adaptively: calibrates an iteration count for ~40ms batches,
-/// then reports the median per-iteration time over 7 batches.
+/// True when CI asks for the reduced-budget smoke run.
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Times `f` adaptively: calibrates an iteration count for ~40ms batches
+/// (~4ms under `BENCH_SMOKE`), then reports the median per-iteration time
+/// over 7 batches (3 under smoke).
 fn bench<F: FnMut()>(name: &'static str, mut f: F) -> Measurement {
-    const TARGET_BATCH_NS: f64 = 40_000_000.0;
-    const BATCHES: usize = 7;
+    let (target_batch_ns, batches): (f64, usize) = if smoke_mode() {
+        (4_000_000.0, 3)
+    } else {
+        (40_000_000.0, 7)
+    };
 
     // Warm up and calibrate.
     let mut iters: u64 = 1;
@@ -43,15 +81,15 @@ fn bench<F: FnMut()>(name: &'static str, mut f: F) -> Measurement {
             f();
         }
         let elapsed = t0.elapsed().as_nanos() as f64;
-        if elapsed >= TARGET_BATCH_NS / 4.0 || iters >= 1 << 20 {
-            let scale = (TARGET_BATCH_NS / elapsed.max(1.0)).clamp(0.25, 1024.0);
+        if elapsed >= target_batch_ns / 4.0 || iters >= 1 << 20 {
+            let scale = (target_batch_ns / elapsed.max(1.0)).clamp(0.25, 1024.0);
             iters = ((iters as f64 * scale) as u64).max(1);
             break;
         }
         iters *= 4;
     }
 
-    let mut per_iter: Vec<f64> = (0..BATCHES)
+    let mut per_iter: Vec<f64> = (0..batches)
         .map(|_| {
             let t0 = Instant::now();
             for _ in 0..iters {
@@ -63,8 +101,8 @@ fn bench<F: FnMut()>(name: &'static str, mut f: F) -> Measurement {
     per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     Measurement {
         name,
-        median_ns: per_iter[BATCHES / 2],
-        batches: BATCHES,
+        median_ns: per_iter[batches / 2],
+        batches,
         iters_per_batch: iters,
     }
 }
@@ -79,6 +117,26 @@ fn scheduling_rates() -> WorkloadRates {
             .iter()
             .zip(per_job)
             .map(|(&c, r)| c as f64 * r * (0.55 + 0.12 * het))
+            .collect()
+    })
+    .expect("valid table")
+}
+
+/// A deterministic symbiosis-sensitive table at an arbitrary `(N, K)`
+/// shape — backing the big-machine scaling kernels.
+fn scaling_rates(n: usize, k: usize) -> WorkloadRates {
+    WorkloadRates::build(n, k, |s| {
+        let het = s.heterogeneity() as f64 / k as f64;
+        s.counts()
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| {
+                if c == 0 {
+                    0.0
+                } else {
+                    c as f64 * (0.5 + 0.07 * b as f64) * (0.3 + 0.25 * het)
+                }
+            })
             .collect()
     })
     .expect("valid table")
@@ -104,6 +162,14 @@ fn main() {
     .expect("valid table");
     results.push(bench("lp/optimal_schedule_n8_k4", || {
         black_box(optimal_schedule(&big, Objective::MaxThroughput).expect("solves"));
+    }));
+
+    // The big-machine frontier: N = 12 on K = 8 is 75 582 coschedule
+    // columns — far past the dense-tableau threshold, so this solve runs
+    // the column-generation path (dense is ~infeasible at this shape).
+    let huge = scaling_rates(12, 8);
+    results.push(bench("lp/optimal_colgen_n12_k8", || {
+        black_box(optimal_schedule(&huge, Objective::MaxThroughput).expect("solves"));
     }));
 
     results.push(bench("lp/raw_simplex_20x8", || {
@@ -141,6 +207,17 @@ fn main() {
     }));
     results.push(bench("fcfs/markov_chain_35_states", || {
         black_box(fcfs_throughput_markov(&rates).expect("solves"));
+    }));
+
+    // Sparse Markov chains: 1365 states (N = 12, K = 4) would already be a
+    // ~2.5 Gflop dense LU; 75 582 states (K = 8) is flatly out of reach
+    // dense. Both run CSR + Gauss–Seidel through the default dispatch.
+    let scaling_k4 = scaling_rates(12, 4);
+    results.push(bench("fcfs/markov_sparse_n12_k4", || {
+        black_box(fcfs_throughput_markov(&scaling_k4).expect("solves"));
+    }));
+    results.push(bench("fcfs/markov_sparse_n12_k8", || {
+        black_box(fcfs_throughput_markov(&huge).expect("solves"));
     }));
 
     // Cold table build vs warm store load: the gap is what a cached
@@ -190,6 +267,11 @@ fn main() {
     results.push(bench("enumerate/coschedules_12_choose_4_multiset", || {
         black_box(enumerate_coschedules(12, 4));
     }));
+    // The streaming iterator drains the same 1365-coschedule space without
+    // materialising the Vec — the allocation gap is the point of this pair.
+    results.push(bench("enumerate/stream_vs_vec", || {
+        black_box(CoscheduleIter::new(12, 4).count());
+    }));
 
     println!(
         "{:<44} {:>14} {:>8} {:>12}",
@@ -218,6 +300,39 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+        Err(e) => {
+            // A stale trajectory file must not pass CI's coverage checks.
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
     }
+
+    // Coverage guard: the trajectory file must contain every expected
+    // kernel (and the expected list must track every kernel run), or the
+    // harness fails — CI's smoke step relies on this.
+    let missing: Vec<&str> = EXPECTED_BENCHMARKS
+        .iter()
+        .copied()
+        .filter(|name| !results.iter().any(|m| m.name == *name))
+        .collect();
+    let unlisted: Vec<&str> = results
+        .iter()
+        .map(|m| m.name)
+        .filter(|name| !EXPECTED_BENCHMARKS.contains(name))
+        .collect();
+    if !missing.is_empty() || !unlisted.is_empty() {
+        eprintln!("benchmark coverage check failed:");
+        if !missing.is_empty() {
+            eprintln!("  missing from this run: {missing:?}");
+        }
+        if !unlisted.is_empty() {
+            eprintln!("  not in EXPECTED_BENCHMARKS: {unlisted:?}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "benchmark coverage check passed ({} kernels{})",
+        results.len(),
+        if smoke_mode() { ", smoke budget" } else { "" }
+    );
 }

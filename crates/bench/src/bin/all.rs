@@ -2,7 +2,7 @@
 //! Flags: --fast --full --sample N --jobs N --threads N --table-cache PATH.
 
 use paperbench::experiments::{
-    fairness, fig1, fig2, fig3, fig4, fig5, fig6, n8, sec7, table2, unit_ablation,
+    fairness, fig1, fig2, fig3, fig4, fig5, fig6, n12_k8, n8, sec7, table2, unit_ablation,
 };
 use paperbench::{Study, StudyConfig};
 
@@ -45,6 +45,7 @@ fn main() {
     section!("fig5", fig5::run(&study));
     section!("fig6", fig6::run(&study));
     section!("n8", n8::run(&study));
+    section!("n12_k8", n12_k8::run(study.config()));
     section!("fairness", fairness::run(&study));
     section!("sec7", sec7::run(&study));
     section!("unit_ablation", unit_ablation::run(&study));

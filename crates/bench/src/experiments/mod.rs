@@ -10,6 +10,7 @@
 //! | [`fig5`] | Figure 5 — turnaround / utilisation / empty fraction per scheduler |
 //! | [`fig6`] | Figure 6 — saturated throughput per scheduler vs LP bounds |
 //! | [`n8`] | Section V-B — N = 8 sensitivity |
+//! | [`n12_k8`] | Beyond the paper — N = 12 / K = 8 big-machine scaling (sparse solvers) |
 //! | [`fairness`] | Section V-D — fairness counterfactual |
 //! | [`sec7`] | Section VII — fetch/ROB policy study under FCFS vs optimal scheduling |
 //! | [`unit_ablation`] | Section III-B claim — conclusions hold for the plain instruction as unit of work |
@@ -21,6 +22,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod n12_k8;
 pub mod n8;
 pub mod sec7;
 pub mod table2;

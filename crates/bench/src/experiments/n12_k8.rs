@@ -1,0 +1,213 @@
+//! The big-machine scaling scenario: N ∈ {4, 8, 12} job types on a
+//! synthetic 8-context machine, driven through [`Session::sweep`].
+//!
+//! This extends the Section V-B sensitivity study ([`crate::experiments::n8`])
+//! past what exhaustive simulation can reach: a K = 8 performance table
+//! over 12 benchmarks spans 125 969 combos, and the N = 12 scheduling LP
+//! has `C(19, 8)` = 75 582 coschedule columns. The table therefore comes
+//! from a deterministic analytic contention model
+//! ([`synthetic_table`]); the LP legs beyond
+//! `symbiosis::DEFAULT_LP_DENSE_LIMIT` coschedules run through column
+//! generation and the large FCFS Markov chains through the sparse
+//! Gauss–Seidel path — the solver frontier this scenario exists to
+//! exercise.
+
+use std::fmt;
+
+use session::{Policy, Session};
+use symbiosis::{enumerate_workloads, CoscheduleIter};
+use workloads::PerfTable;
+
+use crate::study::StudyConfig;
+use crate::{max, mean, pct};
+
+/// Hardware contexts of the synthetic big machine.
+pub const CONTEXTS: usize = 8;
+
+/// Benchmarks in the synthetic suite (mirrors the paper's 12).
+pub const SUITE: usize = 12;
+
+/// One workload-size leg of the scaling scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leg {
+    /// Job types per workload.
+    pub n: usize,
+    /// Coschedules per rate table (`C(n + K - 1, K)`).
+    pub coschedules: usize,
+    /// Mean optimal gain over FCFS across the leg's workloads.
+    pub mean_gain: f64,
+    /// Maximum gain observed.
+    pub max_gain: f64,
+    /// Workloads analysed.
+    pub workloads: usize,
+}
+
+/// Result of the scaling scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct N12K8 {
+    /// One entry per analysed workload size, in request order.
+    pub legs: Vec<Leg>,
+}
+
+/// Deterministic per-slot IPC model of the synthetic 8-context machine:
+/// per-benchmark solo speeds, contention growing with occupancy, relief
+/// growing with coschedule heterogeneity (the symbiosis the optimal
+/// scheduler can exploit), plus a small benchmark-pair-specific term so
+/// rate tables are not perfectly symmetric.
+fn slot_ipc(combo: &[usize], slot: usize) -> f64 {
+    let b = combo[slot];
+    let base = 0.6 + 0.11 * (b % 7) as f64 + 0.04 * (b / 7) as f64;
+    let k = combo.len() as f64;
+    if combo.len() == 1 {
+        return base;
+    }
+    let distinct = {
+        let mut d = 1;
+        for w in combo.windows(2) {
+            if w[0] != w[1] {
+                d += 1;
+            }
+        }
+        d as f64
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in combo {
+        h = (h ^ c as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    let jitter = 0.97 + 0.06 * (h % 1000) as f64 / 1000.0;
+    base * (1.0 / (1.0 + 0.21 * (k - 1.0))) * (0.82 + 0.28 * distinct / k) * jitter
+}
+
+/// Builds the synthetic K = 8 performance table (streamed, never
+/// simulated).
+///
+/// # Errors
+///
+/// Propagates table validation failures as strings (cannot happen for the
+/// built-in model).
+pub fn synthetic_table() -> Result<PerfTable, String> {
+    let names = (0..SUITE).map(|b| format!("syn{b:02}")).collect();
+    PerfTable::synthetic(names, CONTEXTS, |combo| {
+        (0..combo.len()).map(|slot| slot_ipc(combo, slot)).collect()
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// Runs the full scenario: N = 4, 8 and 12 on the 8-context machine.
+///
+/// # Errors
+///
+/// Propagates analysis failures as strings.
+pub fn run(cfg: &StudyConfig) -> Result<N12K8, String> {
+    run_for(cfg, &[4, 8, 12])
+}
+
+/// Runs the scenario for explicit workload sizes (tests use a reduced
+/// list; the binary runs all three).
+///
+/// # Errors
+///
+/// Propagates analysis failures as strings.
+pub fn run_for(cfg: &StudyConfig, ns: &[usize]) -> Result<N12K8, String> {
+    let table = synthetic_table()?;
+    let mut legs = Vec::with_capacity(ns.len());
+    for &n in ns {
+        let workloads = cfg.sample_workloads(enumerate_workloads(SUITE, n));
+        let sweep = Session::sweep()
+            .table(&table)
+            .workloads(workloads)
+            .policies([Policy::Optimal, Policy::FcfsEvent])
+            .fcfs_jobs(cfg.fcfs_jobs)
+            .seed(cfg.seed)
+            .threads(cfg.threads)
+            .run()
+            .map_err(|e| e.to_string())?;
+        let gains = sweep.gains(Policy::Optimal, Policy::FcfsEvent);
+        legs.push(Leg {
+            n,
+            coschedules: CoscheduleIter::count_total(n, CONTEXTS),
+            mean_gain: mean(&gains),
+            max_gain: max(&gains),
+            workloads: sweep.len(),
+        });
+    }
+    Ok(N12K8 { legs })
+}
+
+impl fmt::Display for N12K8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Big-machine scaling: N job types on K = {CONTEXTS} contexts (synthetic suite)"
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:>12} {:>12} {:>12} {:>10}",
+            "N", "coschedules", "mean gain", "max gain", "workloads"
+        )?;
+        for leg in &self.legs {
+            writeln!(
+                f,
+                "{:<6} {:>12} {:>12} {:>12} {:>10}",
+                leg.n,
+                leg.coschedules,
+                pct(leg.mean_gain),
+                pct(leg.max_gain),
+                leg.workloads
+            )?;
+        }
+        writeln!(
+            f,
+            "\nLP legs past {} coschedules run column generation; the N = 12 table\n\
+             (75 582 coschedules) was the ROADMAP's 'bigger machines' blocker.",
+            symbiosis::DEFAULT_LP_DENSE_LIMIT
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_legs_run_through_sweep_and_colgen() {
+        let mut cfg = StudyConfig::fast();
+        cfg.sample = Some(4);
+        cfg.fcfs_jobs = 2_000;
+        // N = 8 on K = 8 is 6435 coschedules — past the dense limit, so
+        // this leg exercises column generation end-to-end through
+        // Session::sweep(); N = 4 (165) stays dense.
+        let res = run_for(&cfg, &[4, 8]).unwrap();
+        assert_eq!(res.legs.len(), 2);
+        assert_eq!(res.legs[0].coschedules, 165);
+        assert_eq!(res.legs[1].coschedules, 6435);
+        assert!(res.legs[1].coschedules > symbiosis::DEFAULT_LP_DENSE_LIMIT);
+        for leg in &res.legs {
+            // The optimal scheduler can only gain over FCFS; the synthetic
+            // model's heterogeneity bonus guarantees real headroom.
+            assert!(
+                leg.mean_gain > -1e-9,
+                "N={} mean gain {}",
+                leg.n,
+                leg.mean_gain
+            );
+            assert!(leg.max_gain < 1.0, "gains stay plausible");
+            assert_eq!(leg.workloads, 4);
+        }
+    }
+
+    #[test]
+    fn synthetic_table_is_complete_and_deterministic() {
+        let a = synthetic_table().unwrap();
+        assert_eq!(a.contexts(), CONTEXTS);
+        // Sum over sizes 1..=8 of C(11 + s, s).
+        let expected: usize = (1..=CONTEXTS)
+            .map(|s| CoscheduleIter::count_total(SUITE, s))
+            .sum();
+        assert_eq!(a.len(), expected);
+        assert_eq!(expected, 125_969);
+        let b = synthetic_table().unwrap();
+        assert_eq!(a, b, "model is deterministic");
+    }
+}

@@ -147,25 +147,93 @@ impl fmt::Display for Coschedule {
 ///
 /// Panics if `num_types == 0` or `k == 0`.
 pub fn enumerate_coschedules(num_types: usize, k: usize) -> Vec<Coschedule> {
-    assert!(num_types > 0, "need at least one job type");
-    assert!(k > 0, "need at least one context");
-    let mut result = Vec::new();
-    let mut counts = vec![0u32; num_types];
-    fill(&mut result, &mut counts, 0, k as u32);
-    result
+    CoscheduleIter::new(num_types, k).collect()
 }
 
-fn fill(out: &mut Vec<Coschedule>, counts: &mut Vec<u32>, ty: usize, remaining: u32) {
-    if ty == counts.len() - 1 {
-        counts[ty] = remaining;
-        out.push(Coschedule::from_counts(counts.clone()));
-        counts[ty] = 0;
-        return;
+/// Streaming coschedule enumeration: yields the same sequence as
+/// [`enumerate_coschedules`] (count vectors in descending lexicographic
+/// order) one coschedule at a time, without materialising the full list.
+///
+/// At N = 12 job types on K = 8 contexts the full enumeration is
+/// `C(19, 8)` = 75 582 coschedules; the big-machine solvers and the
+/// `workloads` table sweep iterate that space, and this iterator lets them
+/// do so in constant memory (one count vector of successor state).
+///
+/// # Examples
+///
+/// ```
+/// use symbiosis::{enumerate_coschedules, CoscheduleIter};
+///
+/// let streamed: Vec<_> = CoscheduleIter::new(4, 4).collect();
+/// assert_eq!(streamed, enumerate_coschedules(4, 4));
+/// assert_eq!(CoscheduleIter::new(12, 8).count(), 75_582);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoscheduleIter {
+    /// Successor state: the next count vector to yield, or `None` when the
+    /// sequence is exhausted.
+    counts: Option<Vec<u32>>,
+}
+
+impl CoscheduleIter {
+    /// Starts the enumeration of `k`-job coschedules over `num_types` types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_types == 0` or `k == 0`.
+    pub fn new(num_types: usize, k: usize) -> Self {
+        assert!(num_types > 0, "need at least one job type");
+        assert!(k > 0, "need at least one context");
+        let mut counts = vec![0u32; num_types];
+        counts[0] = k as u32;
+        CoscheduleIter {
+            counts: Some(counts),
+        }
     }
-    for c in (0..=remaining).rev() {
-        counts[ty] = c;
-        fill(out, counts, ty + 1, remaining - c);
-        counts[ty] = 0;
+
+    /// Total number of coschedules in the sequence: `C(n + k - 1, k)`
+    /// multisets of size `k` over `n` types (saturating at `usize::MAX`).
+    pub fn count_total(num_types: usize, k: usize) -> usize {
+        // C(n + k - 1, k) computed incrementally to postpone overflow.
+        let mut total: u128 = 1;
+        for i in 0..k {
+            total = total * (num_types as u128 + i as u128) / (i as u128 + 1);
+            if total > usize::MAX as u128 {
+                return usize::MAX;
+            }
+        }
+        total as usize
+    }
+
+    /// Advances `counts` to its lexicographic successor (descending count
+    /// order); returns `false` when the sequence is exhausted.
+    fn advance(counts: &mut [u32]) -> bool {
+        let n = counts.len();
+        // Find the rightmost position before the last with a job to move.
+        let Some(i) = (0..n - 1).rev().find(|&i| counts[i] > 0) else {
+            return false; // everything sits in the last bucket: done
+        };
+        counts[i] -= 1;
+        // The moved job plus everything right of i re-packs into i+1.
+        let tail: u32 = 1 + counts[i + 1..].iter().sum::<u32>();
+        for c in &mut counts[i + 1..] {
+            *c = 0;
+        }
+        counts[i + 1] = tail;
+        true
+    }
+}
+
+impl Iterator for CoscheduleIter {
+    type Item = Coschedule;
+
+    fn next(&mut self) -> Option<Coschedule> {
+        let counts = self.counts.as_mut()?;
+        let item = Coschedule::from_counts(counts.clone());
+        if !Self::advance(counts) {
+            self.counts = None;
+        }
+        Some(item)
     }
 }
 
@@ -250,6 +318,34 @@ mod tests {
         for s in &all {
             assert_eq!(s.size(), 3);
             assert_eq!(s.num_types(), 5);
+        }
+    }
+
+    #[test]
+    fn stream_matches_materialised_enumeration_exactly() {
+        for (n, k) in [(1, 1), (1, 5), (2, 3), (3, 2), (4, 4), (5, 3), (12, 4)] {
+            let streamed: Vec<_> = CoscheduleIter::new(n, k).collect();
+            assert_eq!(streamed, enumerate_coschedules(n, k), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn stream_count_total_matches_combinatorics() {
+        assert_eq!(CoscheduleIter::count_total(4, 4), 35);
+        assert_eq!(CoscheduleIter::count_total(12, 4), 1365);
+        assert_eq!(CoscheduleIter::count_total(12, 8), 75_582);
+        assert_eq!(CoscheduleIter::count_total(1, 9), 1);
+        assert_eq!(
+            CoscheduleIter::count_total(200, 100),
+            usize::MAX,
+            "saturates"
+        );
+        for (n, k) in [(2, 5), (6, 3), (8, 4)] {
+            assert_eq!(
+                CoscheduleIter::count_total(n, k),
+                CoscheduleIter::new(n, k).count(),
+                "n={n} k={k}"
+            );
         }
     }
 

@@ -183,6 +183,13 @@ pub fn fcfs_throughput(
     })
 }
 
+/// Largest state count solved by the dense LU path; larger chains go
+/// through the sparse CSR Gauss–Seidel solver. The default keeps every
+/// historical scenario (35 states at N = 4, 330 at N = 8 on K = 4) on the
+/// bitwise-stable dense path while N = 12 on K = 4 (1365 states) and
+/// beyond stream through the sparse one.
+pub const DEFAULT_MARKOV_DENSE_LIMIT: usize = 512;
+
 /// Exact FCFS throughput under exponential job sizes via the stationary
 /// distribution of the coschedule Markov chain.
 ///
@@ -191,11 +198,55 @@ pub fn fcfs_throughput(
 /// random type. The stationary distribution `pi` of this CTMC gives the
 /// long-run throughput `sum_s pi(s) it(s)`.
 ///
+/// Chains up to [`DEFAULT_MARKOV_DENSE_LIMIT`] states are solved by dense
+/// LU (bitwise identical to pre-sparse releases); larger chains build the
+/// generator in CSR form — each state has at most `N * K` outgoing
+/// transitions, so the matrix is ~99.9% sparse at scale — and iterate
+/// Gauss–Seidel to a residual tolerance
+/// ([`fcfs_throughput_markov_with`] picks the threshold explicitly).
+///
 /// # Errors
 ///
 /// Returns [`SymbiosisError::InvalidParameter`] if the chain's linear
-/// system is singular (cannot happen for valid rate tables).
+/// system is singular or the iteration fails to converge (cannot happen
+/// for valid rate tables).
 pub fn fcfs_throughput_markov(rates: &WorkloadRates) -> Result<FcfsOutcome, SymbiosisError> {
+    fcfs_throughput_markov_with(rates, DEFAULT_MARKOV_DENSE_LIMIT)
+}
+
+/// [`fcfs_throughput_markov`] with an explicit dense-solver threshold:
+/// chains with more than `dense_limit` states go through the sparse
+/// Gauss–Seidel path. `0` forces the sparse path, `usize::MAX` the dense
+/// one.
+///
+/// # Errors
+///
+/// Same conditions as [`fcfs_throughput_markov`].
+pub fn fcfs_throughput_markov_with(
+    rates: &WorkloadRates,
+    dense_limit: usize,
+) -> Result<FcfsOutcome, SymbiosisError> {
+    let n_s = rates.coschedules().len();
+    let pi = if n_s <= dense_limit {
+        markov_stationary_dense(rates)?
+    } else {
+        markov_stationary_sparse(rates)?
+    };
+    let throughput = pi
+        .iter()
+        .enumerate()
+        .map(|(si, &p)| p * rates.instantaneous_throughput(si))
+        .sum();
+    Ok(FcfsOutcome {
+        throughput,
+        fractions: pi,
+        completed: 0,
+    })
+}
+
+/// The historical dense path: materialise `Q^T`, replace one equation by
+/// the normalisation, LU-solve.
+fn markov_stationary_dense(rates: &WorkloadRates) -> Result<Vec<f64>, SymbiosisError> {
     let coschedules = rates.coschedules();
     let n_s = coschedules.len();
     let n = rates.num_types() as f64;
@@ -228,18 +279,66 @@ pub fn fcfs_throughput_markov(rates: &WorkloadRates) -> Result<FcfsOutcome, Symb
         qt[(n_s - 1, j)] = 1.0;
     }
     rhs[n_s - 1] = 1.0;
-    let pi = linsys::solve(&qt, &rhs)
-        .map_err(|e| SymbiosisError::InvalidParameter(format!("markov chain solve: {e}")))?;
-    let throughput = pi
-        .iter()
-        .enumerate()
-        .map(|(si, &p)| p * rates.instantaneous_throughput(si))
-        .sum();
-    Ok(FcfsOutcome {
-        throughput,
-        fractions: pi,
-        completed: 0,
-    })
+    linsys::solve(&qt, &rhs)
+        .map_err(|e| SymbiosisError::InvalidParameter(format!("markov chain solve: {e}")))
+}
+
+/// Applies `visit(from, to, rate)` to every off-diagonal transition of the
+/// coschedule chain (a type-`b` completion replaced by a different type
+/// `c`; `b -> b` replacements keep the state and cancel out of the balance
+/// equations). Allocation-free: targets are looked up through a scratch
+/// count vector.
+fn for_each_markov_transition<F: FnMut(usize, usize, f64)>(rates: &WorkloadRates, mut visit: F) {
+    let n = rates.num_types();
+    let nf = n as f64;
+    let mut scratch = vec![0u32; n];
+    for (from, s) in rates.coschedules().iter().enumerate() {
+        scratch.copy_from_slice(s.counts());
+        for b in 0..n {
+            if s.count(b) == 0 {
+                continue;
+            }
+            let per_target = rates.rate(from, b) / nf;
+            scratch[b] -= 1;
+            for c in 0..n {
+                if c == b {
+                    continue;
+                }
+                scratch[c] += 1;
+                let to = rates
+                    .index_of_counts(&scratch)
+                    .expect("replacement coschedule must be in the table");
+                scratch[c] -= 1;
+                visit(from, to, per_target);
+            }
+            scratch[b] += 1;
+        }
+    }
+}
+
+/// The sparse path: incoming-transition CSR + Gauss–Seidel sweeps.
+fn markov_stationary_sparse(rates: &WorkloadRates) -> Result<Vec<f64>, SymbiosisError> {
+    let n_s = rates.coschedules().len();
+    let n = rates.num_types() as f64;
+
+    // Two-pass CSR build of the *incoming* transitions (row = to), plus
+    // each state's off-diagonal outflow. Self-loops (a completion replaced
+    // by the same type) cancel from both sides of the balance equations,
+    // hence the (n - 1) / n factor.
+    let mut builder = lp::sparse::CsrBuilder::new(n_s, n_s);
+    for_each_markov_transition(rates, |_, to, _| builder.count(to));
+    builder.finish_counts();
+    for_each_markov_transition(rates, |from, to, rate| builder.push(to, from, rate));
+    let inflow = builder.build();
+    let outflow: Vec<f64> = (0..n_s)
+        .map(|from| {
+            let total: f64 = (0..rates.num_types()).map(|b| rates.rate(from, b)).sum();
+            total * (n - 1.0) / n
+        })
+        .collect();
+
+    lp::sparse::stationary_gauss_seidel(&inflow, &outflow, 1e-12, 20_000)
+        .map_err(|e| SymbiosisError::InvalidParameter(format!("sparse markov solve: {e}")))
 }
 
 #[cfg(test)]
@@ -345,6 +444,45 @@ mod tests {
             "fcfs {} < worst {}",
             fcfs.throughput,
             worst.throughput
+        );
+    }
+
+    #[test]
+    fn sparse_markov_matches_dense_lu() {
+        // Symbiosis-sensitive 3-type table on 3 contexts (10 states).
+        let rates = WorkloadRates::build(3, 3, |s| {
+            let per_job = [1.0, 0.7, 0.4];
+            let het = s.heterogeneity() as f64;
+            s.counts()
+                .iter()
+                .zip(per_job)
+                .map(|(&c, r)| c as f64 * r * (0.6 + 0.13 * het))
+                .collect()
+        })
+        .unwrap();
+        let dense = fcfs_throughput_markov_with(&rates, usize::MAX).unwrap();
+        let sparse = fcfs_throughput_markov_with(&rates, 0).unwrap();
+        assert!(
+            (dense.throughput - sparse.throughput).abs() < 1e-9,
+            "dense {} vs sparse {}",
+            dense.throughput,
+            sparse.throughput
+        );
+        for (d, s) in dense.fractions.iter().zip(&sparse.fractions) {
+            assert!((d - s).abs() < 1e-8, "pi entries differ: {d} vs {s}");
+        }
+    }
+
+    #[test]
+    fn default_markov_threshold_keeps_historical_sizes_dense() {
+        use crate::coschedule::CoscheduleIter;
+        assert!(
+            CoscheduleIter::count_total(8, 4) <= DEFAULT_MARKOV_DENSE_LIMIT,
+            "N=8/K=4 stays dense"
+        );
+        assert!(
+            CoscheduleIter::count_total(12, 4) > DEFAULT_MARKOV_DENSE_LIMIT,
+            "N=12/K=4 goes sparse"
         );
     }
 

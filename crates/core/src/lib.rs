@@ -60,16 +60,21 @@ pub mod rng;
 pub mod variability;
 
 pub use bottleneck::{fit_linear_bottleneck, per_type_rate_difference, BottleneckFit};
-pub use coschedule::{enumerate_coschedules, enumerate_workloads, Coschedule};
+pub use coschedule::{enumerate_coschedules, enumerate_workloads, Coschedule, CoscheduleIter};
 pub use error::SymbiosisError;
 pub use fairness::{fairness_experiment, rebalanced_heterogeneous, FairnessExperiment};
-pub use fcfs::{fcfs_throughput, fcfs_throughput_markov, FcfsOutcome, JobSize};
+pub use fcfs::{
+    fcfs_throughput, fcfs_throughput_markov, fcfs_throughput_markov_with, FcfsOutcome, JobSize,
+    DEFAULT_MARKOV_DENSE_LIMIT,
+};
 pub use heterogeneity::{
     heterogeneity_table, heterogeneity_table_from_parts, random_draw_heterogeneity_probability,
     HeterogeneityRow, HeterogeneityTable,
 };
 pub use metrics::Spread;
-pub use optimal::{optimal_schedule, throughput_bounds, Objective, Schedule};
+pub use optimal::{
+    optimal_schedule, throughput_bounds, Objective, Schedule, ScheduleLp, DEFAULT_LP_DENSE_LIMIT,
+};
 pub use rates::{
     assert_rate_model_conformance, AnalyticModel, CachedModel, RateModel, WorkloadRates,
 };

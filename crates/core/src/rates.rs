@@ -469,6 +469,12 @@ impl WorkloadRates {
         self.index.get(s.counts()).copied()
     }
 
+    /// Index of a coschedule given a bare count slice — the allocation-free
+    /// lookup the sparse Markov generator and the event loop lean on.
+    pub fn index_of_counts(&self, counts: &[u32]) -> Option<usize> {
+        self.index.get(counts).copied()
+    }
+
     /// Total rate `r_b(s)` of job type `b` in coschedule index `si`.
     ///
     /// # Panics

@@ -1,4 +1,4 @@
-//! Dense linear programming and small linear-algebra kernels.
+//! Linear programming and linear-algebra kernels, dense and sparse.
 //!
 //! This crate is the numerical substrate for the symbiotic-scheduling study.
 //! The paper ("Revisiting Symbiotic Job Scheduling", ISPASS 2015) computes
@@ -9,10 +9,31 @@
 //! * [`LinearProgram`] — a builder for LPs over non-negative variables with
 //!   `<=`, `>=` and `==` constraints, solved by a dense two-phase primal
 //!   simplex method with Bland's anti-cycling rule ([`simplex`]).
+//! * [`revised`] — a revised simplex with sparse column storage and a lazy
+//!   column-pricing callback (column generation), for LPs whose column
+//!   count dwarfs their row count.
 //! * [`Matrix`] — a minimal row-major dense matrix ([`dense`]).
 //! * [`linsys`] — LU factorisation with partial pivoting, linear solves and
 //!   least-squares via normal equations (used for Markov-chain stationary
 //!   distributions and the paper's linear-bottleneck analysis).
+//! * [`sparse`] — CSR storage and a Gauss–Seidel stationary-distribution
+//!   solver for the large, ~99.9%-sparse coschedule Markov chains.
+//!
+//! # Dense tableau vs revised simplex / column generation
+//!
+//! The scheduling LP has one column per coschedule but only `N + 1` rows
+//! (N job types). Up to a few thousand columns, the dense two-phase
+//! tableau ([`simplex::solve_standard`]) is simplest and fastest, and it
+//! stays the **reference oracle** at every size. Beyond that — N = 12 on
+//! K = 8 contexts is 75 582 columns — the tableau's memory and per-pivot
+//! cost grow linearly with the column count while the basis stays tiny, so
+//! `symbiosis::optimal_schedule` switches to [`revised::solve_colgen`]:
+//! the master problem holds only the rows and the basis, and candidate
+//! columns are priced lazily from the rate table instead of being
+//! instantiated. The switch-over threshold is
+//! `symbiosis::DEFAULT_LP_DENSE_LIMIT`, overridable per call and through
+//! the `session::Session` builder; below it results are bitwise identical
+//! to the historical dense path.
 //!
 //! # Examples
 //!
@@ -34,7 +55,11 @@
 pub mod dense;
 pub mod linsys;
 pub mod problem;
+pub mod revised;
 pub mod simplex;
+pub mod sparse;
 
 pub use dense::Matrix;
 pub use problem::{LinearProgram, Relation, Sense, Solution, SolveError};
+pub use revised::{solve_colgen, BasisColumn, ColGenOptions, ColGenSolution, PricedColumn};
+pub use sparse::{stationary_gauss_seidel, Csr, CsrBuilder, SparseError};

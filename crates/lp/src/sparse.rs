@@ -1,0 +1,400 @@
+//! Sparse matrix storage and iterative solvers for large structured systems.
+//!
+//! The dense kernels in [`crate::linsys`] are the right tool up to a few
+//! hundred unknowns; the big-machine scheduling scenarios (N = 12 job types
+//! on K = 8 contexts) produce Markov chains with tens of thousands of
+//! states whose generator is ~99.9% sparse — each state has at most
+//! `N * K` outgoing transitions. This module provides:
+//!
+//! * [`Csr`] — compressed sparse row storage with a two-pass triplet
+//!   builder;
+//! * [`stationary_gauss_seidel`] — the stationary distribution of a
+//!   continuous-time Markov chain from its *incoming*-transition CSR and
+//!   per-state outflow, by Gauss–Seidel sweeps with a residual tolerance.
+//!
+//! # Examples
+//!
+//! A two-state chain flipping at rates 1 and 2 has stationary distribution
+//! (2/3, 1/3):
+//!
+//! ```
+//! use lp::sparse::{stationary_gauss_seidel, Csr};
+//!
+//! // inflow[j] lists (i, q_ij): state 0 receives from 1 at rate 2, etc.
+//! let inflow = Csr::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 1.0)]);
+//! let outflow = [1.0, 2.0];
+//! let pi = stationary_gauss_seidel(&inflow, &outflow, 1e-12, 1000).unwrap();
+//! assert!((pi[0] - 2.0 / 3.0).abs() < 1e-9);
+//! assert!((pi[1] - 1.0 / 3.0).abs() < 1e-9);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the sparse iterative solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// Input dimensions are inconsistent.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        found: usize,
+    },
+    /// The iteration did not reach the residual tolerance within the sweep
+    /// budget; carries the last residual observed.
+    NoConvergence(f64),
+    /// A state has zero outflow (the chain is not irreducible over the
+    /// supplied states) or the iterate degenerated to all zeros.
+    Degenerate(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            SparseError::NoConvergence(res) => {
+                write!(f, "iteration stalled at residual {res:.3e}")
+            }
+            SparseError::Degenerate(msg) => write!(f, "degenerate chain: {msg}"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+/// A compressed-sparse-row matrix: row `i` holds the column indices
+/// `cols[row_ptr[i]..row_ptr[i+1]]` with matching `vals`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+    ncols: usize,
+}
+
+impl Csr {
+    /// Builds from `(row, col, value)` triplets (duplicates are kept as
+    /// separate entries; consumers sum them implicitly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut builder = CsrBuilder::new(nrows, ncols);
+        for &(r, _, _) in triplets {
+            builder.count(r);
+        }
+        builder.finish_counts();
+        for &(r, c, v) in triplets {
+            builder.push(r, c, v);
+        }
+        builder.build()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The column indices and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.cols[span.clone()], &self.vals[span])
+    }
+
+    /// Dense matrix-vector product `y = A x` (for tests and residuals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "vector length mismatch");
+        (0..self.nrows())
+            .map(|i| {
+                let (cols, vals) = self.row(i);
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Two-pass CSR builder: `count` every entry's row, `finish_counts`, then
+/// `push` the same entries in any order.
+#[derive(Debug)]
+pub struct CsrBuilder {
+    row_ptr: Vec<usize>,
+    cursor: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+    ncols: usize,
+    counted: bool,
+}
+
+impl CsrBuilder {
+    /// Starts a builder for an `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CsrBuilder {
+            row_ptr: vec![0; nrows + 1],
+            cursor: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+            ncols,
+            counted: false,
+        }
+    }
+
+    /// First pass: registers one entry in `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or counting already finished.
+    pub fn count(&mut self, row: usize) {
+        assert!(!self.counted, "counting already finished");
+        self.row_ptr[row + 1] += 1;
+    }
+
+    /// Seals the counting pass and allocates storage.
+    pub fn finish_counts(&mut self) {
+        assert!(!self.counted, "counting already finished");
+        for i in 1..self.row_ptr.len() {
+            self.row_ptr[i] += self.row_ptr[i - 1];
+        }
+        self.cursor = self.row_ptr[..self.row_ptr.len() - 1].to_vec();
+        let nnz = *self.row_ptr.last().expect("row_ptr non-empty");
+        self.cols = vec![0; nnz];
+        self.vals = vec![0.0; nnz];
+        self.counted = true;
+    }
+
+    /// Second pass: stores one entry (must match a prior `count(row)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if counting was not finished, the row's slots are exhausted,
+    /// or `col` is out of range.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(self.counted, "call finish_counts first");
+        assert!(col < self.ncols, "column {col} out of range");
+        let slot = self.cursor[row];
+        assert!(slot < self.row_ptr[row + 1], "row {row} slots exhausted");
+        self.cols[slot] = col as u32;
+        self.vals[slot] = val;
+        self.cursor[row] = slot + 1;
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counted slot was left unfilled.
+    pub fn build(self) -> Csr {
+        assert!(self.counted, "call finish_counts first");
+        for (row, &cur) in self.cursor.iter().enumerate() {
+            assert_eq!(cur, self.row_ptr[row + 1], "row {row} has unfilled slots");
+        }
+        Csr {
+            row_ptr: self.row_ptr,
+            cols: self.cols,
+            vals: self.vals,
+            ncols: self.ncols,
+        }
+    }
+}
+
+/// Solves `pi Q = 0`, `sum(pi) = 1` for an irreducible CTMC by Gauss–Seidel.
+///
+/// `inflow` row `j` lists the incoming transitions `(i, q_ij)` (self-loops
+/// excluded); `outflow[j]` is state `j`'s total off-diagonal outflow
+/// `-q_jj`. Each sweep updates `pi_j <- inflow_j(pi) / outflow_j` in place
+/// (so new values propagate within the sweep) and renormalises; iteration
+/// stops when the relative balance residual
+/// `max_j |inflow_j(pi) - pi_j outflow_j| / max_j(pi_j outflow_j)` drops
+/// below `tol`.
+///
+/// # Errors
+///
+/// [`SparseError::DimensionMismatch`] for inconsistent inputs,
+/// [`SparseError::Degenerate`] if some state has non-positive outflow, and
+/// [`SparseError::NoConvergence`] if `max_sweeps` is exhausted.
+pub fn stationary_gauss_seidel(
+    inflow: &Csr,
+    outflow: &[f64],
+    tol: f64,
+    max_sweeps: usize,
+) -> Result<Vec<f64>, SparseError> {
+    let n = inflow.nrows();
+    if outflow.len() != n {
+        return Err(SparseError::DimensionMismatch {
+            expected: n,
+            found: outflow.len(),
+        });
+    }
+    if inflow.ncols() != n {
+        return Err(SparseError::DimensionMismatch {
+            expected: n,
+            found: inflow.ncols(),
+        });
+    }
+    if n == 0 {
+        return Err(SparseError::Degenerate("empty chain".into()));
+    }
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+    for (j, &out) in outflow.iter().enumerate() {
+        if out <= 0.0 || !out.is_finite() {
+            return Err(SparseError::Degenerate(format!(
+                "state {j} has outflow {out}"
+            )));
+        }
+    }
+
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut residual = f64::INFINITY;
+    for _ in 0..max_sweeps {
+        // One in-place sweep, tracking the balance residual as we go. The
+        // residual uses the pre-update pi_j, so it is an upper bound on the
+        // post-sweep imbalance once the iteration has settled.
+        let mut max_gap = 0.0f64;
+        let mut max_flow = 0.0f64;
+        for j in 0..n {
+            let (cols, vals) = inflow.row(j);
+            let incoming: f64 = cols
+                .iter()
+                .zip(vals)
+                .map(|(&i, &q)| pi[i as usize] * q)
+                .sum();
+            let old_flow = pi[j] * outflow[j];
+            max_gap = max_gap.max((incoming - old_flow).abs());
+            max_flow = max_flow.max(old_flow.max(incoming));
+            pi[j] = incoming / outflow[j];
+        }
+        let total: f64 = pi.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return Err(SparseError::Degenerate(
+                "iterate degenerated to a non-positive distribution".into(),
+            ));
+        }
+        let inv = 1.0 / total;
+        for p in &mut pi {
+            *p *= inv;
+        }
+        residual = if max_flow > 0.0 {
+            max_gap / max_flow
+        } else {
+            f64::INFINITY
+        };
+        if residual < tol {
+            return Ok(pi);
+        }
+    }
+    Err(SparseError::NoConvergence(residual))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_round_trips_triplets() {
+        let m = Csr::from_triplets(3, 4, &[(0, 1, 2.0), (2, 0, -1.0), (0, 3, 0.5)]);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nnz(), 3);
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[1, 3]);
+        assert_eq!(vals, &[2.0, 0.5]);
+        assert_eq!(m.row(1).0.len(), 0);
+        let y = m.mul_vec(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y, vec![6.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfilled")]
+    fn builder_rejects_unfilled_rows() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.count(0);
+        b.finish_counts();
+        let _ = b.build();
+    }
+
+    #[test]
+    fn two_state_flip_chain() {
+        let inflow = Csr::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 1.0)]);
+        let pi = stationary_gauss_seidel(&inflow, &[1.0, 2.0], 1e-13, 10_000).unwrap();
+        assert!((pi[0] - 2.0 / 3.0).abs() < 1e-10);
+        assert!((pi[1] - 1.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn birth_death_chain_matches_closed_form() {
+        // Birth rate 1.0, death rate 2.0 on 0..5: pi_k ∝ (1/2)^k.
+        let n = 5;
+        let mut trips = Vec::new();
+        let mut out = vec![0.0; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            if k + 1 < n {
+                trips.push((k + 1, k, 1.0)); // inflow to k+1 from k (birth)
+                *o += 1.0;
+            }
+            if k > 0 {
+                trips.push((k - 1, k, 2.0)); // inflow to k-1 from k (death)
+                *o += 2.0;
+            }
+        }
+        let inflow = Csr::from_triplets(n, n, &trips);
+        let pi = stationary_gauss_seidel(&inflow, &out, 1e-13, 100_000).unwrap();
+        let z: f64 = (0..n).map(|k| 0.5f64.powi(k as i32)).sum();
+        for (k, &p) in pi.iter().enumerate() {
+            let expect = 0.5f64.powi(k as i32) / z;
+            assert!((p - expect).abs() < 1e-9, "pi[{k}] = {p}");
+        }
+    }
+
+    #[test]
+    fn zero_outflow_is_degenerate() {
+        let inflow = Csr::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert!(matches!(
+            stationary_gauss_seidel(&inflow, &[1.0, 0.0], 1e-10, 100),
+            Err(SparseError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_budget_is_enforced() {
+        let inflow = Csr::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 1.0)]);
+        assert!(matches!(
+            stationary_gauss_seidel(&inflow, &[1.0, 2.0], 1e-15, 1),
+            Err(SparseError::NoConvergence(_))
+        ));
+    }
+
+    #[test]
+    fn single_state_chain_is_trivial() {
+        let inflow = Csr::from_triplets(1, 1, &[]);
+        assert_eq!(
+            stationary_gauss_seidel(&inflow, &[0.0], 1e-10, 10).unwrap(),
+            vec![1.0]
+        );
+    }
+}

@@ -11,10 +11,11 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use simproc::{BenchmarkProfile, Machine, MachineError};
-use symbiosis::{enumerate_coschedules, RateModel, SymbiosisError, WorkloadRates};
+use symbiosis::{CoscheduleIter, RateModel, SymbiosisError, WorkloadRates};
 
 /// Errors from building, querying or persisting a [`PerfTable`].
 #[derive(Debug, Clone, PartialEq)]
@@ -114,53 +115,68 @@ impl PerfTable {
         threads: usize,
     ) -> Result<Self, TableError> {
         let k = machine.config().contexts();
-        // All multiset sizes 1..=K: the latency experiments (Section VI)
-        // run through partially loaded periods, so partial coschedules are
-        // measured too. Size-1 entries double as the solo reference runs.
-        let combos: Vec<Vec<usize>> = (1..=k)
-            .flat_map(|size| enumerate_coschedules(suite.len(), size))
-            .map(|s| s.slots())
-            .collect();
-
-        let results: Mutex<Vec<(Vec<usize>, Vec<f64>)>> =
-            Mutex::new(Vec::with_capacity(combos.len()));
-        let error: Mutex<Option<MachineError>> = Mutex::new(None);
-        let threads = threads.max(1).min(combos.len().max(1));
-        let chunk = combos.len().div_ceil(threads);
-        let results_ref = &results;
-        let error_ref = &error;
-        std::thread::scope(|scope| {
-            for piece in combos.chunks(chunk.max(1)) {
-                scope.spawn(move || {
-                    let mut local = Vec::with_capacity(piece.len());
-                    for combo in piece {
-                        let jobs: Vec<&BenchmarkProfile> =
-                            combo.iter().map(|&i| &suite[i]).collect();
-                        match machine.simulate(&jobs) {
-                            Ok(res) => local.push((combo.clone(), res.ipc)),
-                            Err(e) => {
-                                *error_ref.lock().expect("poisoned") = Some(e);
-                                return;
-                            }
-                        }
-                    }
-                    results_ref.lock().expect("poisoned").extend(local);
-                });
-            }
-        });
-        if let Some(e) = error.into_inner().expect("poisoned") {
-            return Err(e.into());
-        }
-        let co_ipc: HashMap<Vec<usize>, Vec<f64>> = results
-            .into_inner()
-            .expect("poisoned")
-            .into_iter()
-            .collect();
+        let results = sweep_combos(suite.len(), k, threads, |combo| {
+            let jobs: Vec<&BenchmarkProfile> = combo.iter().map(|&i| &suite[i]).collect();
+            machine.simulate(&jobs).map(|res| res.ipc)
+        })
+        .map_err(TableError::from)?;
+        let co_ipc: HashMap<Vec<usize>, Vec<f64>> = results.into_iter().collect();
         let solo_ipc: Vec<f64> = (0..suite.len()).map(|b| co_ipc[&vec![b]][0]).collect();
         Ok(PerfTable {
             names: suite.iter().map(|p| p.name.clone()).collect(),
             solo_ipc,
             contexts: k,
+            co_ipc,
+        })
+    }
+
+    /// Builds a table from an analytic per-slot IPC model instead of the
+    /// simulator — the entry point for big-machine scaling scenarios
+    /// (e.g. K = 8 contexts over 12 benchmarks is 125 969 combos, far past
+    /// what exhaustive simulation can cover). `ipc_fn` receives each sorted
+    /// benchmark-index combination (sizes 1..=`contexts`, streamed — never
+    /// materialised as a list) and returns the per-slot IPCs.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::InvalidWorkload`] if `names` is empty or
+    /// `contexts == 0`, [`TableError::Rates`] if `ipc_fn` returns a vector
+    /// of the wrong length or a non-finite/non-positive IPC.
+    pub fn synthetic<F>(names: Vec<String>, contexts: usize, ipc_fn: F) -> Result<Self, TableError>
+    where
+        F: Fn(&[usize]) -> Vec<f64> + Sync,
+    {
+        if names.is_empty() {
+            return Err(TableError::InvalidWorkload("no benchmarks".into()));
+        }
+        if contexts == 0 {
+            return Err(TableError::InvalidWorkload("no contexts".into()));
+        }
+        // Same streamed sweep as the simulated build (one enumeration
+        // contract, deterministic first-error reporting), just with the
+        // analytic model as the "simulator".
+        let results = sweep_combos(names.len(), contexts, 1, |combo| {
+            let ipcs = ipc_fn(combo);
+            if ipcs.len() != combo.len() {
+                return Err(TableError::Rates(SymbiosisError::InvalidRates(format!(
+                    "combo {combo:?}: expected {} slot IPCs, got {}",
+                    combo.len(),
+                    ipcs.len()
+                ))));
+            }
+            if let Some(&bad) = ipcs.iter().find(|v| !v.is_finite() || **v <= 0.0) {
+                return Err(TableError::Rates(SymbiosisError::InvalidRates(format!(
+                    "combo {combo:?}: slot IPC {bad}"
+                ))));
+            }
+            Ok(ipcs)
+        })?;
+        let co_ipc: HashMap<Vec<usize>, Vec<f64>> = results.into_iter().collect();
+        let solo_ipc: Vec<f64> = (0..names.len()).map(|b| co_ipc[&vec![b]][0]).collect();
+        Ok(PerfTable {
+            names,
+            solo_ipc,
+            contexts,
             co_ipc,
         })
     }
@@ -287,6 +303,99 @@ impl PerfTable {
             types: types.to_vec(),
         })
     }
+}
+
+/// Rows produced by the streamed combo sweep: one `(sorted combo,
+/// per-slot IPCs)` pair per multiset, in enumeration order.
+type ComboRows = Vec<(Vec<usize>, Vec<f64>)>;
+
+/// In-flight sweep rows, tagged with their enumeration index so the
+/// shared accumulator can be re-sorted deterministically.
+type IndexedComboRows = Vec<(usize, Vec<usize>, Vec<f64>)>;
+
+/// Streams every sorted combo of sizes 1..=`k` over `n_benchmarks`
+/// benchmarks (all multiset sizes: the latency experiments run through
+/// partially loaded periods, and size-1 entries double as the solo
+/// reference runs) through `sim` on up to `threads` OS threads.
+///
+/// Work distribution is self-balancing: workers claim the next combo index
+/// from a shared atomic cursor and advance a thread-local
+/// [`CoscheduleIter`] to it, so the combo list is never materialised and no
+/// thread idles on an uneven pre-cut chunk. Results are returned sorted in
+/// enumeration order — deterministic regardless of thread count.
+///
+/// # Errors
+///
+/// The *first* failure in enumeration order, as `(combo index, error)`.
+/// Deterministic by construction: workers check a shared abort flag only
+/// *between* simulations, so every combo claimed before the flag went up —
+/// which includes every combo preceding the first failure — is still
+/// simulated, and the smallest-indexed recorded error is reported.
+fn sweep_combos<E, F>(n_benchmarks: usize, k: usize, threads: usize, sim: F) -> Result<ComboRows, E>
+where
+    E: Send,
+    F: Fn(&[usize]) -> Result<Vec<f64>, E> + Sync,
+{
+    let total: usize = (1..=k)
+        .map(|size| CoscheduleIter::count_total(n_benchmarks, size))
+        .sum();
+    let threads = threads.max(1).min(total.max(1));
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let results: Mutex<IndexedComboRows> = Mutex::new(Vec::with_capacity(total));
+    let first_error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut stream = (1..=k).flat_map(|size| CoscheduleIter::new(n_benchmarks, size));
+                let mut cursor = 0usize;
+                let mut local: IndexedComboRows = Vec::new();
+                loop {
+                    // Abort check between simulations only (never between
+                    // claiming and simulating): see the determinism note.
+                    if abort.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    // Catch the thread-local stream up to the claimed index.
+                    while cursor < index {
+                        stream.next();
+                        cursor += 1;
+                    }
+                    let combo = stream.next().expect("index < total").slots();
+                    cursor += 1;
+                    match sim(&combo) {
+                        Ok(ipcs) => local.push((index, combo, ipcs)),
+                        Err(e) => {
+                            let mut slot = first_error.lock().expect("poisoned");
+                            if slot.as_ref().is_none_or(|(i, _)| index < *i) {
+                                *slot = Some((index, e));
+                            }
+                            drop(slot);
+                            abort.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                }
+                results.lock().expect("poisoned").extend(local);
+            });
+        }
+    });
+
+    if let Some((_, e)) = first_error.into_inner().expect("poisoned") {
+        return Err(e);
+    }
+    let mut rows = results.into_inner().expect("poisoned");
+    rows.sort_unstable_by_key(|&(index, _, _)| index);
+    Ok(rows
+        .into_iter()
+        .map(|(_, combo, ipcs)| (combo, ipcs))
+        .collect())
 }
 
 /// A borrowed view of a [`PerfTable`] restricted to one workload — the
@@ -438,6 +547,113 @@ mod tests {
         for (combo, ipcs) in &a.co_ipc {
             assert_eq!(b.slot_ipcs(combo).unwrap(), ipcs.as_slice());
         }
+    }
+
+    /// The streamed sweep visits exactly the multisets the old materialised
+    /// enumeration did, in the same order, for any thread count.
+    #[test]
+    fn sweep_combos_streams_the_full_enumeration_in_order() {
+        let expected: Vec<Vec<usize>> = (1..=3)
+            .flat_map(|size| symbiosis::enumerate_coschedules(4, size))
+            .map(|s| s.slots())
+            .collect();
+        for threads in [1, 2, 7, 64] {
+            let rows = sweep_combos::<String, _>(4, 3, threads, |combo| Ok(vec![1.0; combo.len()]))
+                .unwrap();
+            let combos: Vec<Vec<usize>> = rows.into_iter().map(|(c, _)| c).collect();
+            assert_eq!(combos, expected, "threads={threads}");
+        }
+    }
+
+    /// The reported error is the first failing combo in enumeration order,
+    /// regardless of thread interleaving.
+    #[test]
+    fn sweep_combos_reports_first_error_deterministically() {
+        let expected: Vec<Vec<usize>> = (1..=4)
+            .flat_map(|size| symbiosis::enumerate_coschedules(3, size))
+            .map(|s| s.slots())
+            .collect();
+        // Fail every combo containing benchmark 1; the first such combo in
+        // enumeration order is the solo [1].
+        let first_failing = expected.iter().find(|c| c.contains(&1)).unwrap().clone();
+        for threads in [1, 3, 16] {
+            for _ in 0..5 {
+                let err = sweep_combos::<Vec<usize>, _>(3, 4, threads, |combo| {
+                    if combo.contains(&1) {
+                        Err(combo.to_vec())
+                    } else {
+                        Ok(vec![1.0; combo.len()])
+                    }
+                })
+                .unwrap_err();
+                assert_eq!(err, first_failing, "threads={threads}");
+            }
+        }
+    }
+
+    /// Workers stop claiming new combos once a failure is recorded.
+    #[test]
+    fn sweep_combos_aborts_siblings_after_a_failure() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let simulated = AtomicUsize::new(0);
+        let total: usize = (1..=4)
+            .map(|size| symbiosis::CoscheduleIter::count_total(6, size))
+            .sum();
+        let _ = sweep_combos::<String, _>(6, 4, 2, |combo| {
+            simulated.fetch_add(1, Ordering::Relaxed);
+            if combo == [0] {
+                Err("boom".into())
+            } else {
+                // Keep successes slow enough that the sibling cannot drain
+                // the whole enumeration before the abort flag propagates.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                Ok(vec![1.0; combo.len()])
+            }
+        });
+        // The very first combo fails; with 2 workers at most a handful of
+        // in-flight combos run before both observe the abort flag.
+        let ran = simulated.load(Ordering::Relaxed);
+        assert!(ran < total / 2, "abort flag ignored: {ran} of {total} ran");
+    }
+
+    #[test]
+    fn synthetic_table_feeds_the_analyses() {
+        let names: Vec<String> = (0..5).map(|b| format!("syn{b}")).collect();
+        let t = PerfTable::synthetic(names, 3, |combo| {
+            combo
+                .iter()
+                .map(|&b| (1.0 + b as f64 * 0.2) / combo.len() as f64)
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(t.contexts(), 3);
+        // Sizes 1..=3 over 5 benchmarks: 5 + 15 + 35 multisets.
+        assert_eq!(t.len(), 55);
+        assert!((t.solo_ipc(2) - 1.4).abs() < 1e-12);
+        let rates = t.workload_rates(&[0, 2, 4]).unwrap();
+        assert_eq!(rates.contexts(), 3);
+        let view = t.workload_view(&[1, 3]).unwrap();
+        assert_rate_model_conformance(&view);
+    }
+
+    #[test]
+    fn synthetic_table_validates_inputs() {
+        assert!(matches!(
+            PerfTable::synthetic(vec![], 2, |c| vec![1.0; c.len()]),
+            Err(TableError::InvalidWorkload(_))
+        ));
+        assert!(matches!(
+            PerfTable::synthetic(vec!["a".into()], 0, |c| vec![1.0; c.len()]),
+            Err(TableError::InvalidWorkload(_))
+        ));
+        assert!(matches!(
+            PerfTable::synthetic(vec!["a".into(), "b".into()], 2, |_| vec![1.0]),
+            Err(TableError::Rates(_))
+        ));
+        assert!(matches!(
+            PerfTable::synthetic(vec!["a".into(), "b".into()], 2, |c| vec![-1.0; c.len()]),
+            Err(TableError::Rates(_))
+        ));
     }
 
     #[test]
