@@ -15,7 +15,7 @@ use symbiosis::{JobSize, Objective, WorkloadRates};
 use workloads::{PerfTable, WorkUnit, WorkloadView};
 
 use crate::pool::WorkerPool;
-use crate::session::{PolicyRequest, Session, SessionError, SessionReport};
+use crate::session::{PolicyRequest, Session, SessionBuilder, SessionError, SessionReport};
 use crate::stats;
 use crate::Policy;
 
@@ -184,13 +184,48 @@ impl fmt::Display for SweepReport {
     }
 }
 
+/// The per-workload experiment knobs a sweep carries: exactly the
+/// parameters a sequential caller would configure on each single-workload
+/// [`Session::builder`], which is what keeps sweep rows bitwise equal to
+/// sequential runs.
+#[derive(Clone)]
+struct SweepKnobs {
+    objective: Objective,
+    fcfs_jobs: u64,
+    job_size: JobSize,
+    seed: u64,
+    latency: Option<LatencyConfig>,
+    lp_dense_limit: usize,
+    markov_dense_limit: usize,
+}
+
+impl SweepKnobs {
+    /// One single-workload session carrying this sweep's knobs — the same
+    /// builder a sequential caller would configure by hand.
+    fn session(&self) -> SessionBuilder<'static> {
+        let mut builder = Session::builder()
+            .objective(self.objective)
+            .fcfs_jobs(self.fcfs_jobs)
+            .job_size(self.job_size)
+            .seed(self.seed)
+            .lp_dense_limit(self.lp_dense_limit)
+            .markov_dense_limit(self.markov_dense_limit);
+        if let Some(cfg) = &self.latency {
+            builder = builder.latency(cfg.clone());
+        }
+        builder
+    }
+}
+
 /// One workload's evaluation context inside [`SweepBuilder::map`]: the
-/// shared table, the workload, and the sweep's unit of work.
+/// shared table, the workload, the sweep's unit of work, and a
+/// [`SweepItem::session`] constructor for per-workload policy rows.
 pub struct SweepItem<'a> {
     table: &'a PerfTable,
     workload: &'a [usize],
     unit: WorkUnit,
     index: usize,
+    knobs: &'a SweepKnobs,
 }
 
 impl<'a> SweepItem<'a> {
@@ -233,6 +268,21 @@ impl<'a> SweepItem<'a> {
             .workload_view(self.workload)
             .map_err(|e| e.to_string())
     }
+
+    /// A single-workload [`Session`] builder preconfigured with this
+    /// sweep's experiment knobs (objective, event-leg jobs/sizes/seed,
+    /// latency configuration, solver thresholds) — exactly the builder
+    /// [`SweepBuilder::run`] evaluates per workload.
+    ///
+    /// This is how custom maps run *policy rows* whose configuration
+    /// depends on the workload: pick a rate source ([`SweepItem::rates`] or
+    /// [`SweepItem::view`]), override what differs (e.g. a load-dependent
+    /// [`SessionBuilder::latency`] arrival rate derived from an earlier
+    /// row), and run. Overrides apply per call; the sweep's own knobs are
+    /// untouched.
+    pub fn session(&self) -> SessionBuilder<'static> {
+        self.knobs.session()
+    }
 }
 
 /// Builder for a batch sweep. Obtained from [`Session::sweep`].
@@ -270,13 +320,7 @@ pub struct SweepBuilder<'a> {
     unit: WorkUnit,
     threads: usize,
     policies: Vec<PolicyRequest>,
-    objective: Objective,
-    fcfs_jobs: u64,
-    job_size: JobSize,
-    seed: u64,
-    latency: Option<LatencyConfig>,
-    lp_dense_limit: usize,
-    markov_dense_limit: usize,
+    knobs: SweepKnobs,
 }
 
 impl Session {
@@ -289,13 +333,15 @@ impl Session {
             unit: WorkUnit::Weighted,
             threads: WorkerPool::default_size().threads(),
             policies: Vec::new(),
-            objective: Objective::MaxThroughput,
-            fcfs_jobs: 40_000,
-            job_size: JobSize::Deterministic,
-            seed: 0x5EED,
-            latency: None,
-            lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
-            markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
+            knobs: SweepKnobs {
+                objective: Objective::MaxThroughput,
+                fcfs_jobs: 40_000,
+                job_size: JobSize::Deterministic,
+                seed: 0x5EED,
+                latency: None,
+                lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
+                markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
+            },
         }
     }
 }
@@ -368,34 +414,36 @@ impl<'a> SweepBuilder<'a> {
     /// LP direction for the MAXTP target derivation (default:
     /// [`Objective::MaxThroughput`]).
     pub fn objective(mut self, objective: Objective) -> Self {
-        self.objective = objective;
+        self.knobs.objective = objective;
         self
     }
 
     /// Jobs completed per event-driven experiment leg. Default 40 000.
     pub fn fcfs_jobs(mut self, jobs: u64) -> Self {
-        self.fcfs_jobs = jobs;
+        self.knobs.fcfs_jobs = jobs;
         self
     }
 
     /// Job size distribution for the event-driven legs (default:
     /// deterministic unit work).
     pub fn job_size(mut self, sizes: JobSize) -> Self {
-        self.job_size = sizes;
+        self.knobs.job_size = sizes;
         self
     }
 
     /// Base RNG seed for the stochastic legs. Every workload uses the same
     /// seed — exactly what a sequential loop of single sessions does.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.knobs.seed = seed;
         self
     }
 
     /// Runs latency policies through the Poisson-arrival experiment with
-    /// this configuration instead of the default fixed-batch one.
+    /// this configuration instead of the default fixed-batch (makespan)
+    /// one. Without this call latency policies keep the single-session
+    /// default: a fixed batch of [`SweepBuilder::fcfs_jobs`] jobs.
     pub fn latency(mut self, config: LatencyConfig) -> Self {
-        self.latency = Some(config);
+        self.knobs.latency = Some(config);
         self
     }
 
@@ -403,7 +451,7 @@ impl<'a> SweepBuilder<'a> {
     /// per-workload session (see
     /// [`crate::SessionBuilder::lp_dense_limit`]).
     pub fn lp_dense_limit(mut self, limit: usize) -> Self {
-        self.lp_dense_limit = limit;
+        self.knobs.lp_dense_limit = limit;
         self
     }
 
@@ -411,7 +459,7 @@ impl<'a> SweepBuilder<'a> {
     /// per-workload session (see
     /// [`crate::SessionBuilder::markov_dense_limit`]).
     pub fn markov_dense_limit(mut self, limit: usize) -> Self {
-        self.markov_dense_limit = limit;
+        self.knobs.markov_dense_limit = limit;
         self
     }
 
@@ -426,19 +474,8 @@ impl<'a> SweepBuilder<'a> {
     /// One single-workload session carrying this sweep's knobs — the same
     /// builder a sequential caller would configure by hand, which is what
     /// makes sweep rows bitwise equal to single-session runs.
-    fn session_for(&self, policies: &[Policy]) -> crate::session::SessionBuilder<'static> {
-        let mut builder = Session::builder()
-            .policies(policies.iter().copied())
-            .objective(self.objective)
-            .fcfs_jobs(self.fcfs_jobs)
-            .job_size(self.job_size)
-            .seed(self.seed)
-            .lp_dense_limit(self.lp_dense_limit)
-            .markov_dense_limit(self.markov_dense_limit);
-        if let Some(cfg) = &self.latency {
-            builder = builder.latency(cfg.clone());
-        }
-        builder
+    fn session_for(&self, policies: &[Policy]) -> SessionBuilder<'static> {
+        self.knobs.session().policies(policies.iter().copied())
     }
 
     /// Runs every policy on every workload and returns the aggregated
@@ -522,6 +559,7 @@ impl<'a> SweepBuilder<'a> {
                 workload: w,
                 unit: self.unit,
                 index: i,
+                knobs: &self.knobs,
             })
         });
         let mut out = Vec::with_capacity(results.len());

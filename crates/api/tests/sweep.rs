@@ -103,6 +103,123 @@ fn sweep_latency_policies_match_sequential_sessions() {
 }
 
 #[test]
+fn latency_policies_without_latency_config_keep_batch_semantics() {
+    // Regression: a sweep over latency policies *without* `.latency(..)`
+    // must run the single-session default — the fixed-batch (makespan)
+    // experiment — for every row, bitwise.
+    let table = tiny_table();
+    let workloads = vec![vec![0, 1, 2], vec![0, 2, 4]];
+    let expected = sequential(&workloads, &Policy::LATENCY);
+    let sweep = Session::sweep()
+        .table(table)
+        .workloads(workloads.clone())
+        .policies(Policy::LATENCY)
+        .fcfs_jobs(JOBS)
+        .seed(SEED)
+        .threads(2)
+        .run()
+        .expect("sweep runs");
+    for (row, want) in sweep.rows.iter().zip(&expected) {
+        assert_eq!(&row.report, want);
+        for pr in &row.report.rows {
+            // The `latency: None` row shape: batch measurements present,
+            // no arrival-process measurements, no LP fractions.
+            assert!(
+                pr.batch.is_some(),
+                "{}: batch rows carry makespan reports",
+                pr.policy
+            );
+            assert!(pr.latency.is_none(), "{}: no arrival process", pr.policy);
+            assert!(pr.fractions.is_none(), "{}: no LP fractions", pr.policy);
+            let batch = pr.batch.as_ref().expect("checked above");
+            assert!(batch.makespan > 0.0 && pr.throughput > 0.0);
+        }
+    }
+}
+
+#[test]
+fn latency_config_sweep_matches_sequential_latency_sessions() {
+    // The Poisson-arrival leg: `.latency(cfg)` on the sweep must equal a
+    // sequential loop of single sessions carrying the same config.
+    let table = tiny_table();
+    let workloads = vec![vec![0, 1, 2], vec![1, 3, 4]];
+    let cfg = queueing::LatencyConfig {
+        arrival_rate: 1.1,
+        measured_jobs: 1_500,
+        warmup_jobs: 150,
+        sizes: queueing::SizeDist::Exponential,
+        seed: SEED,
+    };
+    let expected: Vec<SessionReport> = workloads
+        .iter()
+        .map(|w| {
+            let view = tiny_table().workload_view(w).expect("valid workload");
+            Session::builder()
+                .rates(&view)
+                .policies(Policy::LATENCY)
+                .fcfs_jobs(JOBS)
+                .seed(SEED)
+                .latency(cfg.clone())
+                .run()
+                .expect("session runs")
+        })
+        .collect();
+    let sweep = Session::sweep()
+        .table(table)
+        .workloads(workloads.clone())
+        .policies(Policy::LATENCY)
+        .fcfs_jobs(JOBS)
+        .seed(SEED)
+        .latency(cfg)
+        .threads(2)
+        .run()
+        .expect("sweep runs");
+    for (row, want) in sweep.rows.iter().zip(&expected) {
+        assert_eq!(&row.report, want);
+        for pr in &row.report.rows {
+            assert!(pr.latency.is_some(), "{}: arrival-process rows", pr.policy);
+            assert!(pr.batch.is_none(), "{}: no batch leg", pr.policy);
+        }
+    }
+}
+
+#[test]
+fn sweep_item_session_carries_the_sweep_knobs() {
+    // `SweepItem::session()` must hand custom maps the exact builder
+    // `run()` evaluates — same event-leg jobs, seed and sizes — so
+    // per-item policy rows stay bitwise equal to standard sweep rows.
+    let table = tiny_table();
+    let workloads = enumerate_workloads(5, 3);
+    let via_run = Session::sweep()
+        .table(table)
+        .workloads(workloads.clone())
+        .policies([Policy::FcfsEvent, Policy::Optimal])
+        .fcfs_jobs(JOBS)
+        .seed(SEED)
+        .run()
+        .expect("sweep runs");
+    let via_item: Vec<SessionReport> = Session::sweep()
+        .table(table)
+        .workloads(workloads.clone())
+        .fcfs_jobs(JOBS)
+        .seed(SEED)
+        .threads(3)
+        .map(|item| {
+            let view = item.view()?;
+            item.session()
+                .rates(&view)
+                .policies([Policy::FcfsEvent, Policy::Optimal])
+                .run()
+                .map_err(|e| e.to_string())
+        })
+        .expect("map runs");
+    assert_eq!(via_item.len(), via_run.len());
+    for (got, want) in via_item.iter().zip(&via_run.rows) {
+        assert_eq!(got, &want.report);
+    }
+}
+
+#[test]
 fn plain_unit_sweep_matches_sequential_plain_rates() {
     let table = tiny_table();
     let workloads = vec![vec![0, 1, 2, 3], vec![0, 2, 3, 4]];

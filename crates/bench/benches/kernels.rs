@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use lp::{LinearProgram, Relation};
 use queueing::{run_latency_experiment, ContentionModel, LatencyConfig, SizeDist};
-use session::Policy;
+use session::{Policy, Session};
 use simproc::{BenchmarkProfile, Machine, MachineConfig};
 use symbiosis::{
     enumerate_coschedules, fcfs_throughput, fcfs_throughput_markov, optimal_schedule,
@@ -46,6 +46,7 @@ const EXPECTED_BENCHMARKS: &[&str] = &[
     "des/latency_2k_jobs_fcfs",
     "des/latency_2k_jobs_maxit",
     "des/latency_2k_jobs_srpt",
+    "sweep/latency_fig5_leg",
     "enumerate/coschedules_12_choose_4_multiset",
     "enumerate/stream_vs_vec",
 ];
@@ -263,6 +264,39 @@ fn main() {
             black_box(run_latency_experiment(&des_rates, sched.as_mut(), &des_cfg).expect("runs"));
         }));
     }
+
+    // The latency fan-out behind the migrated Figure 5 leg: one shared
+    // synthetic table, the four Section VI schedulers per workload
+    // (including the LP-target derivation for MAXTP), fanned out through
+    // `Session::sweep` with a Poisson-arrival configuration.
+    let sweep_table =
+        PerfTable::synthetic((0..6).map(|b| format!("syn{b}")).collect(), 4, |combo| {
+            combo
+                .iter()
+                .map(|&b| (0.5 + 0.1 * b as f64) / (1.0 + 0.15 * (combo.len() as f64 - 1.0)))
+                .collect()
+        })
+        .expect("synthetic table builds");
+    let sweep_latency_cfg = LatencyConfig {
+        arrival_rate: 1.0,
+        measured_jobs: 400,
+        warmup_jobs: 40,
+        sizes: SizeDist::Exponential,
+        seed: 7,
+    };
+    results.push(bench("sweep/latency_fig5_leg", || {
+        black_box(
+            Session::sweep()
+                .table(&sweep_table)
+                .workloads(vec![vec![0, 1, 2, 3], vec![1, 2, 4, 5]])
+                .policies(Policy::LATENCY)
+                .latency(sweep_latency_cfg.clone())
+                .seed(7)
+                .threads(2)
+                .run()
+                .expect("sweep runs"),
+        );
+    }));
 
     results.push(bench("enumerate/coschedules_12_choose_4_multiset", || {
         black_box(enumerate_coschedules(12, 4));

@@ -1,52 +1,6 @@
-//! Runs every experiment on one shared study and prints all artefacts.
-//! Flags: --fast --full --sample N --jobs N --threads N --table-cache PATH.
+//! Compatibility shim: runs every registry experiment on one shared study
+//! through the unified driver (`paperbench all`).
 
-use paperbench::experiments::{
-    fairness, fig1, fig2, fig3, fig4, fig5, fig6, n12_k8, n8, sec7, table2, unit_ablation,
-};
-use paperbench::{Study, StudyConfig};
-
-fn main() {
-    let config = match StudyConfig::from_args(std::env::args().skip(1)) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    eprintln!("building performance tables...");
-    let t0 = std::time::Instant::now();
-    let study = match Study::new(config) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("failed to build study: {e}");
-            std::process::exit(1);
-        }
-    };
-    eprintln!("tables ready in {:.1?}", t0.elapsed());
-
-    let divider = "=".repeat(74);
-    macro_rules! section {
-        ($name:expr, $result:expr) => {
-            println!("{divider}");
-            let t = std::time::Instant::now();
-            match $result {
-                Ok(r) => println!("{r}"),
-                Err(e) => eprintln!("{} failed: {e}", $name),
-            }
-            eprintln!("[{} took {:.1?}]", $name, t.elapsed());
-        };
-    }
-    section!("fig1", fig1::run(&study));
-    section!("fig2", fig2::run(&study));
-    section!("fig3", fig3::run(&study));
-    section!("table2", table2::run(&study));
-    section!("fig4", fig4::run());
-    section!("fig5", fig5::run(&study));
-    section!("fig6", fig6::run(&study));
-    section!("n8", n8::run(&study));
-    section!("n12_k8", n12_k8::run(study.config()));
-    section!("fairness", fairness::run(&study));
-    section!("sec7", sec7::run(&study));
-    section!("unit_ablation", unit_ablation::run(&study));
+fn main() -> std::process::ExitCode {
+    paperbench::cli::run_named("all")
 }

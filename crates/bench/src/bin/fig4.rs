@@ -1,13 +1,6 @@
-//! Regenerates Figure 4 (analytic M/M/4 curves; no simulation needed).
+//! Compatibility shim: runs the `fig4` registry experiment through the
+//! unified driver (`paperbench fig4`). Flags as in `paperbench --list`.
 
-use paperbench::experiments::fig4;
-
-fn main() {
-    match fig4::run() {
-        Ok(result) => println!("{result}"),
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    paperbench::cli::run_named("fig4")
 }

@@ -1,27 +1,6 @@
-//! Prints the big-machine scaling scenario: N = 4 / 8 / 12 job types on a
-//! synthetic 8-context machine (column generation + sparse Markov).
-//! Flags: --fast --full --sample N --jobs N --threads N.
+//! Compatibility shim: runs the `n12_k8` registry experiment through the
+//! unified driver (`paperbench n12_k8`). Flags as in `paperbench --list`.
 
-use paperbench::experiments::n12_k8;
-use paperbench::StudyConfig;
-
-fn main() {
-    let config = match StudyConfig::from_args(std::env::args().skip(1)) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let t0 = std::time::Instant::now();
-    match n12_k8::run(&config) {
-        Ok(res) => {
-            println!("{res}");
-            eprintln!("[n12_k8 took {:.1?}]", t0.elapsed());
-        }
-        Err(e) => {
-            eprintln!("n12_k8 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    paperbench::cli::run_named("n12_k8")
 }

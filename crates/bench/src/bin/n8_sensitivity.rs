@@ -1,36 +1,6 @@
-//! Regenerates the paper artefact implemented in
-//! `paperbench::experiments::n8`. Flags: --fast --full --sample N
-//! --jobs N --threads N --table-cache PATH.
+//! Compatibility shim: runs the `n8` registry experiment through the
+//! unified driver (`paperbench n8`). Flags as in `paperbench --list`.
 
-use paperbench::experiments::n8;
-use paperbench::{Study, StudyConfig};
-
-fn main() {
-    let config = match StudyConfig::from_args(std::env::args().skip(1)) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    eprintln!("building performance tables (this is the expensive part)...");
-    let t0 = std::time::Instant::now();
-    let study = match Study::new(config) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("failed to build study: {e}");
-            std::process::exit(1);
-        }
-    };
-    eprintln!(
-        "tables ready in {:.1?}; running experiment...",
-        t0.elapsed()
-    );
-    match n8::run(&study) {
-        Ok(result) => println!("{result}"),
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    paperbench::cli::run_named("n8")
 }

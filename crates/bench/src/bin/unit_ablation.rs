@@ -1,30 +1,6 @@
-//! Regenerates the Section III-B unit-of-work ablation. Flags: --fast
-//! --full --sample N --jobs N --threads N --table-cache PATH.
+//! Compatibility shim: runs the `unit_ablation` registry experiment through the
+//! unified driver (`paperbench unit_ablation`). Flags as in `paperbench --list`.
 
-use paperbench::experiments::unit_ablation;
-use paperbench::{Study, StudyConfig};
-
-fn main() {
-    let config = match StudyConfig::from_args(std::env::args().skip(1)) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    eprintln!("building performance tables...");
-    let study = match Study::new(config) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("failed to build study: {e}");
-            std::process::exit(1);
-        }
-    };
-    match unit_ablation::run(&study) {
-        Ok(result) => println!("{result}"),
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            std::process::exit(1);
-        }
-    }
+fn main() -> std::process::ExitCode {
+    paperbench::cli::run_named("unit_ablation")
 }

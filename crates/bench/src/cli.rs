@@ -1,0 +1,131 @@
+//! The unified experiment driver behind the `paperbench` binary and the
+//! per-experiment compatibility shims.
+//!
+//! `paperbench <name> [flags]` runs one [`Experiment`] from the registry;
+//! `paperbench all [flags]` runs every entry in registry order on one
+//! shared [`ExperimentContext`] (tables are built once and reused);
+//! `paperbench --list` prints the registry. Flags are the shared
+//! [`StudyConfig::from_args`] set, so `--table-cache`, `--sample`,
+//! `--lp-dense-limit` and friends behave identically for every entry.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use crate::experiments::{by_name, Experiment, ExperimentContext, REGISTRY};
+use crate::study::StudyConfig;
+
+/// Width of the separator line between artefacts in an `all` run (kept
+/// from the pre-registry `all` binary for byte-identical output).
+const DIVIDER_WIDTH: usize = 74;
+
+fn usage() -> String {
+    let mut text = String::from(
+        "usage: paperbench <experiment>|all [flags]\n\
+         \n\
+         experiments:\n",
+    );
+    for e in REGISTRY {
+        text.push_str(&format!("  {:<14} {}\n", e.name(), e.paper_artefact()));
+    }
+    text.push_str(
+        "\nflags: --fast --full --sample N --jobs N --threads N --table-cache PATH \
+         --lp-dense-limit N --markov-dense-limit N\n",
+    );
+    text
+}
+
+/// Entry point of the `paperbench` driver binary: first argument selects
+/// the experiment (or `all` / `--list`), the rest are [`StudyConfig`]
+/// flags.
+pub fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let selector = match args.next() {
+        Some(s) => s,
+        None => {
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match selector.as_str() {
+        "--list" | "list" | "--help" | "-h" => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        "all" => with_config(args, run_all),
+        name => match by_name(name) {
+            Some(experiment) => with_config(args, |ctx| run_single(experiment, &ctx)),
+            None => {
+                eprintln!("unknown experiment {name:?}\n\n{}", usage());
+                ExitCode::from(2)
+            }
+        },
+    }
+}
+
+/// Entry point of the per-experiment compatibility shims (`--bin fig1`
+/// etc.): every CLI argument is a config flag, the selector is fixed
+/// (`"all"` or a registry name).
+pub fn run_named(name: &str) -> ExitCode {
+    if name == "all" {
+        return with_config(std::env::args().skip(1), run_all);
+    }
+    let experiment = by_name(name).expect("shim names a registry entry");
+    with_config(std::env::args().skip(1), |ctx| run_single(experiment, &ctx))
+}
+
+fn with_config<I, F>(args: I, run: F) -> ExitCode
+where
+    I: IntoIterator<Item = String>,
+    F: FnOnce(ExperimentContext) -> ExitCode,
+{
+    match StudyConfig::from_args(args) {
+        Ok(config) => run(ExperimentContext::new(config)),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_single(experiment: &dyn Experiment, ctx: &ExperimentContext) -> ExitCode {
+    let t0 = Instant::now();
+    match experiment.run(ctx) {
+        Ok(artefact) => {
+            println!("{artefact}");
+            eprintln!("[{} took {:.1?}]", experiment.name(), t0.elapsed());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs every registry entry on one shared context, printing each artefact
+/// behind a divider (the historical `all` stdout format). Failures are
+/// reported on stderr and the remaining experiments still run; the exit
+/// code reflects whether everything succeeded — which is what the CI
+/// smoke job asserts.
+fn run_all(ctx: ExperimentContext) -> ExitCode {
+    let divider = "=".repeat(DIVIDER_WIDTH);
+    let mut failures = 0usize;
+    for experiment in REGISTRY {
+        println!("{divider}");
+        let t0 = Instant::now();
+        match experiment.run(&ctx) {
+            Ok(artefact) => println!("{artefact}"),
+            Err(e) => {
+                eprintln!("{} failed: {e}", experiment.name());
+                failures += 1;
+            }
+        }
+        eprintln!("[{} took {:.1?}]", experiment.name(), t0.elapsed());
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} experiment(s) failed");
+        ExitCode::FAILURE
+    }
+}

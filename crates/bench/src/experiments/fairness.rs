@@ -8,7 +8,7 @@ use session::Policy;
 use symbiosis::{rebalanced_heterogeneous, FairnessExperiment, WorkloadRates};
 
 use crate::study::{Chip, Study, StudyConfig};
-use crate::{mean, parallel_map, pct};
+use crate::{mean, pct};
 
 /// Averaged before/after numbers for the counterfactual.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,19 +74,19 @@ pub fn counterfactual(
     })
 }
 
-/// Runs the fairness counterfactual over the study workloads (SMT).
+/// Runs the fairness counterfactual over the study workloads (SMT): a
+/// [`Study::sweep`] fans [`counterfactual`] out over the shared worker
+/// pool (the rebalanced-table leg is not a policy row, so it rides the
+/// sweep's custom map).
 ///
 /// # Errors
 ///
 /// Propagates analysis failures as strings.
 pub fn run(study: &Study) -> Result<Fairness, String> {
-    let workloads = study.workloads();
-    let table = study.table(Chip::Smt);
-    let results = parallel_map(&workloads, study.config().threads, |w| {
-        let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-        counterfactual(&rates, study.config())
-    });
-    let experiments: Vec<_> = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let experiments: Vec<_> = study
+        .sweep(Chip::Smt)
+        .map(|item| counterfactual(&item.rates()?, study.config()))
+        .map_err(|e| e.to_string())?;
     let gains: Vec<f64> = experiments
         .iter()
         .map(|e| e.optimal_after / e.optimal_before - 1.0)

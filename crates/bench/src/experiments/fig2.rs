@@ -3,10 +3,10 @@
 
 use std::fmt;
 
-use symbiosis::{fcfs_throughput, throughput_bounds, JobSize};
+use session::Policy;
 
+use crate::mean;
 use crate::study::{Chip, Study};
-use crate::{mean, parallel_map};
 
 /// One workload's point in the Figure 2 scatter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,32 +38,29 @@ pub struct Fig2 {
     pub chips: Vec<ChipFig2>,
 }
 
-/// Runs the Figure 2 analysis.
+/// Runs the Figure 2 analysis: one [`Study::sweep`] per chip evaluates the
+/// LP bounds and the event-driven FCFS baseline as standard policy rows.
 ///
 /// # Errors
 ///
 /// Propagates analysis failures as strings.
 pub fn run(study: &Study) -> Result<Fig2, String> {
-    let workloads = study.workloads();
     let mut chips = Vec::new();
     for chip in Chip::ALL {
-        let table = study.table(chip);
-        let results = parallel_map(&workloads, study.config().threads, |w| {
-            let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-            let (worst, best) = throughput_bounds(&rates).map_err(|e| e.to_string())?;
-            let fcfs = fcfs_throughput(
-                &rates,
-                study.config().fcfs_jobs,
-                JobSize::Deterministic,
-                study.config().seed,
-            )
+        let sweep = study
+            .sweep(chip)
+            .policies([Policy::Worst, Policy::Optimal, Policy::FcfsEvent])
+            .run()
             .map_err(|e| e.to_string())?;
-            Ok::<_, String>(Point {
-                optimal_vs_worst: best.throughput / worst.throughput,
-                fcfs_vs_worst: fcfs.throughput / worst.throughput,
+        let worst = sweep.throughputs(Policy::Worst);
+        let best = sweep.throughputs(Policy::Optimal);
+        let fcfs = sweep.throughputs(Policy::FcfsEvent);
+        let points: Vec<Point> = (0..sweep.len())
+            .map(|i| Point {
+                optimal_vs_worst: best[i] / worst[i],
+                fcfs_vs_worst: fcfs[i] / worst[i],
             })
-        });
-        let points: Vec<Point> = results.into_iter().collect::<Result<_, _>>()?;
+            .collect();
         // Fit (y - 1) = a (x - 1) through the origin of the shifted frame.
         let mut sxx = 0.0;
         let mut sxy = 0.0;

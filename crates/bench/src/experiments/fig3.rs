@@ -3,10 +3,11 @@
 
 use std::fmt;
 
-use symbiosis::{fit_linear_bottleneck, per_type_rate_difference, throughput_bounds};
+use session::Policy;
+use symbiosis::{fit_linear_bottleneck, per_type_rate_difference};
 
 use crate::study::{Chip, Study};
-use crate::{mean, parallel_map, pearson};
+use crate::{mean, pearson};
 
 /// One workload's point in the Figure 3 scatter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,27 +41,37 @@ pub struct Fig3 {
     pub chips: Vec<ChipFig3>,
 }
 
-/// Runs the Figure 3 analysis.
+/// Runs the Figure 3 analysis: one [`Study::sweep`] per chip. The
+/// bottleneck fit and the rate difference are table statistics, not policy
+/// rows, so the sweep's custom map carries them — with the LP bounds as
+/// policy rows through the per-item [`session::SweepItem::session`].
 ///
 /// # Errors
 ///
 /// Propagates analysis failures as strings.
 pub fn run(study: &Study) -> Result<Fig3, String> {
-    let workloads = study.workloads();
     let mut chips = Vec::new();
     for chip in Chip::ALL {
-        let table = study.table(chip);
-        let results = parallel_map(&workloads, study.config().threads, |w| {
-            let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-            let fit = fit_linear_bottleneck(&rates).map_err(|e| e.to_string())?;
-            let (worst, best) = throughput_bounds(&rates).map_err(|e| e.to_string())?;
-            Ok::<_, String>(Point {
-                bottleneck_mse: fit.mse,
-                optimal_vs_worst: best.throughput / worst.throughput,
-                rate_difference: per_type_rate_difference(&rates),
+        let points: Vec<Point> = study
+            .sweep(chip)
+            .map(|item| {
+                let rates = item.rates()?;
+                let fit = fit_linear_bottleneck(&rates).map_err(|e| e.to_string())?;
+                let report = item
+                    .session()
+                    .rates(&rates)
+                    .policies([Policy::Worst, Policy::Optimal])
+                    .run()
+                    .map_err(|e| e.to_string())?;
+                let worst = report.throughput(Policy::Worst).expect("requested");
+                let best = report.throughput(Policy::Optimal).expect("requested");
+                Ok(Point {
+                    bottleneck_mse: fit.mse,
+                    optimal_vs_worst: best / worst,
+                    rate_difference: per_type_rate_difference(&rates),
+                })
             })
-        });
-        let points: Vec<Point> = results.into_iter().collect::<Result<_, _>>()?;
+            .map_err(|e| e.to_string())?;
         let xs: Vec<f64> = points.iter().map(|p| p.bottleneck_mse).collect();
         let ys: Vec<f64> = points.iter().map(|p| p.optimal_vs_worst).collect();
         let correlation_all = pearson(&xs, &ys);

@@ -4,12 +4,11 @@
 
 use std::fmt;
 
-use queueing::{run_latency_experiment, LatencyConfig, SizeDist};
+use queueing::{LatencyConfig, SizeDist};
 use session::Policy;
-use symbiosis::{fcfs_throughput, optimal_schedule, JobSize, Objective};
 
+use crate::mean;
 use crate::study::{Chip, Study};
-use crate::{mean, parallel_map};
 
 /// The four policies of Section VI, in paper order (registry entries).
 pub const POLICIES: [Policy; 4] = Policy::LATENCY;
@@ -44,13 +43,19 @@ struct WorkloadRun {
 
 /// Runs the Figure 5 experiment on the SMT configuration.
 ///
+/// Each load level is one [`Study::sweep`]: the per-workload leg first
+/// measures the FCFS maximum throughput (an event-policy session row),
+/// derives the load-dependent arrival rate from it, then runs all four
+/// latency policies through a second session with that
+/// [`LatencyConfig`] — both sessions come preconfigured from the sweep via
+/// [`session::SweepItem::session`].
+///
 /// # Errors
 ///
 /// Propagates simulation/analysis failures as strings.
 pub fn run(study: &Study) -> Result<Fig5, String> {
     let loads = vec![0.8, 0.9, 0.95];
     let workloads = study.workloads();
-    let table = study.table(Chip::Smt);
     let cfg = study.config();
     // The DES leg is the most expensive part of the whole harness; use a
     // modest number of measured jobs per run (the averages over workloads
@@ -59,25 +64,18 @@ pub fn run(study: &Study) -> Result<Fig5, String> {
 
     let mut cells = Vec::new();
     for &load in &loads {
-        let runs = parallel_map(
-            &workloads,
-            cfg.threads,
-            |w| -> Result<WorkloadRun, String> {
-                let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-                let view = table.workload_view(w).map_err(|e| e.to_string())?;
-                let fcfs_tp =
-                    fcfs_throughput(&rates, cfg.fcfs_jobs, JobSize::Deterministic, cfg.seed)
-                        .map_err(|e| e.to_string())?
-                        .throughput;
-                let best = optimal_schedule(&rates, Objective::MaxThroughput)
-                    .map_err(|e| e.to_string())?;
-                let targets: Vec<(Vec<u32>, f64)> = rates
-                    .coschedules()
-                    .iter()
-                    .zip(&best.fractions)
-                    .filter(|(_, &x)| x > 1e-9)
-                    .map(|(s, &x)| (s.counts().to_vec(), x))
-                    .collect();
+        let runs: Vec<WorkloadRun> = study
+            .sweep(Chip::Smt)
+            .map(|item| {
+                let view = item.view()?;
+                let fcfs_tp = item
+                    .session()
+                    .rates(&view)
+                    .policy(Policy::FcfsEvent)
+                    .run()
+                    .map_err(|e| e.to_string())?
+                    .throughput(Policy::FcfsEvent)
+                    .expect("requested");
                 let latency_cfg = LatencyConfig {
                     arrival_rate: load * fcfs_tp,
                     measured_jobs,
@@ -85,22 +83,24 @@ pub fn run(study: &Study) -> Result<Fig5, String> {
                     sizes: SizeDist::Exponential,
                     seed: cfg.seed ^ (load * 1000.0) as u64,
                 };
-                let mut per_policy = Vec::new();
-                for policy in POLICIES {
-                    let mut sched = policy
-                        .latency_scheduler(&targets)
-                        .expect("latency policy has a scheduler");
-                    let report = run_latency_experiment(&view, sched.as_mut(), &latency_cfg)?;
-                    per_policy.push((
-                        report.mean_turnaround,
-                        report.utilization,
-                        report.empty_fraction,
-                    ));
-                }
+                let report = item
+                    .session()
+                    .rates(&view)
+                    .policies(POLICIES)
+                    .latency(latency_cfg)
+                    .run()
+                    .map_err(|e| e.to_string())?;
+                let per_policy = report
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        let l = row.latency.as_ref().expect("latency rows carry reports");
+                        (l.mean_turnaround, l.utilization, l.empty_fraction)
+                    })
+                    .collect();
                 Ok(WorkloadRun { per_policy })
-            },
-        );
-        let runs: Vec<WorkloadRun> = runs.into_iter().collect::<Result<_, _>>()?;
+            })
+            .map_err(|e| e.to_string())?;
         let mut row = Vec::new();
         for (pi, _) in POLICIES.iter().enumerate() {
             let tnorm: Vec<f64> = runs

@@ -4,12 +4,10 @@
 
 use std::fmt;
 
-use queueing::{run_batch_experiment, BatchConfig, SizeDist};
 use session::Policy;
-use symbiosis::throughput_bounds;
 
+use crate::mean;
 use crate::study::{Chip, Study};
-use crate::{mean, parallel_map};
 
 /// One workload's saturated-throughput measurements, relative to FCFS.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,53 +35,43 @@ pub struct Fig6 {
 
 /// Runs the Figure 6 experiment on the SMT configuration.
 ///
+/// One standard [`Study::sweep`]: the LP bounds and all four latency
+/// policies are ordinary policy rows. Without a
+/// [`session::SweepBuilder::latency`] configuration the latency rows run
+/// the paper's maximum-throughput experiment — a fixed batch of equal
+/// deterministic jobs on a fully loaded machine, run to completion, so
+/// schedulers pay back any jobs they postponed.
+///
 /// # Errors
 ///
 /// Propagates simulation/analysis failures as strings.
 pub fn run(study: &Study) -> Result<Fig6, String> {
-    let workloads = study.workloads();
-    let table = study.table(Chip::Smt);
     let cfg = study.config();
     let measured_jobs = (cfg.fcfs_jobs / 2).clamp(2_000, 20_000);
 
-    let results = parallel_map(&workloads, cfg.threads, |w| -> Result<Point, String> {
-        let rates = table.workload_rates(w).map_err(|e| e.to_string())?;
-        let view = table.workload_view(w).map_err(|e| e.to_string())?;
-        let (worst, best) = throughput_bounds(&rates).map_err(|e| e.to_string())?;
-        let targets: Vec<(Vec<u32>, f64)> = rates
-            .coschedules()
-            .iter()
-            .zip(&best.fractions)
-            .filter(|(_, &x)| x > 1e-9)
-            .map(|(s, &x)| (s.counts().to_vec(), x))
-            .collect();
-        // The paper's maximum-throughput experiment: a fixed batch, fully
-        // loaded machine, run to completion. Equal deterministic work
-        // matches the LP's fixed-work assumption, and the batch semantics
-        // force schedulers to pay back any jobs they postponed.
-        let batch_cfg = BatchConfig {
-            jobs: measured_jobs,
-            sizes: SizeDist::Deterministic,
-            seed: cfg.seed ^ 0xF16,
-        };
-        let mut achieved = Vec::new();
-        for policy in Policy::LATENCY {
-            let mut sched = policy
-                .latency_scheduler(&targets)
-                .expect("latency policy has a scheduler");
-            let report = run_batch_experiment(&view, sched.as_mut(), &batch_cfg)?;
-            achieved.push(report.throughput);
-        }
-        let fcfs = achieved[0];
-        Ok(Point {
-            lp_max: best.throughput / fcfs,
-            lp_min: worst.throughput / fcfs,
-            maxit: achieved[1] / fcfs,
-            srpt: achieved[2] / fcfs,
-            maxtp: achieved[3] / fcfs,
+    let sweep = study
+        .sweep(Chip::Smt)
+        .policies([Policy::Worst, Policy::Optimal])
+        .policies(Policy::LATENCY)
+        .fcfs_jobs(measured_jobs)
+        .seed(cfg.seed ^ 0xF16)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let mut points: Vec<Point> = sweep
+        .rows
+        .iter()
+        .map(|row| {
+            let tp = |p: Policy| row.report.throughput(p).expect("requested");
+            let fcfs = tp(Policy::Fcfs);
+            Point {
+                lp_max: tp(Policy::Optimal) / fcfs,
+                lp_min: tp(Policy::Worst) / fcfs,
+                maxit: tp(Policy::MaxIt) / fcfs,
+                srpt: tp(Policy::Srpt) / fcfs,
+                maxtp: tp(Policy::MaxTp) / fcfs,
+            }
         })
-    });
-    let mut points: Vec<Point> = results.into_iter().collect::<Result<_, _>>()?;
+        .collect();
     points.sort_by(|a, b| a.lp_max.partial_cmp(&b.lp_max).expect("finite"));
     let means = Point {
         lp_max: mean(&points.iter().map(|p| p.lp_max).collect::<Vec<_>>()),

@@ -1,19 +1,25 @@
-//! One module per reproduced paper artefact.
+//! One module per reproduced paper artefact, tied together by the
+//! [`Experiment`] registry.
 //!
-//! | Module | Paper artefact |
-//! |--------|----------------|
-//! | [`fig1`] | Figure 1 — variability of per-job IPC, instantaneous and average throughput |
-//! | [`fig2`] | Figure 2 — FCFS-vs-worst against optimal-vs-worst scatter |
-//! | [`fig3`] | Figure 3 — throughput variability vs linear-bottleneck LSQ error |
-//! | [`table2`] | Table II — coschedule heterogeneity time fractions |
-//! | [`fig4`] | Figure 4 — turnaround vs arrival rate (M/M/4 worked example) |
-//! | [`fig5`] | Figure 5 — turnaround / utilisation / empty fraction per scheduler |
-//! | [`fig6`] | Figure 6 — saturated throughput per scheduler vs LP bounds |
-//! | [`n8`] | Section V-B — N = 8 sensitivity |
-//! | [`n12_k8`] | Beyond the paper — N = 12 / K = 8 big-machine scaling (sparse solvers) |
-//! | [`fairness`] | Section V-D — fairness counterfactual |
-//! | [`sec7`] | Section VII — fetch/ROB policy study under FCFS vs optimal scheduling |
-//! | [`unit_ablation`] | Section III-B claim — conclusions hold for the plain instruction as unit of work |
+//! | Registry name | Module | Paper artefact |
+//! |---------------|--------|----------------|
+//! | `fig1` | [`fig1`] | Figure 1 — variability of per-job IPC, instantaneous and average throughput |
+//! | `fig2` | [`fig2`] | Figure 2 — FCFS-vs-worst against optimal-vs-worst scatter |
+//! | `fig3` | [`fig3`] | Figure 3 — throughput variability vs linear-bottleneck LSQ error |
+//! | `table2` | [`table2`] | Table II — coschedule heterogeneity time fractions |
+//! | `fig4` | [`fig4`] | Figure 4 — turnaround vs arrival rate (M/M/4 worked example) |
+//! | `fig5` | [`fig5`] | Figure 5 — turnaround / utilisation / empty fraction per scheduler |
+//! | `fig6` | [`fig6`] | Figure 6 — saturated throughput per scheduler vs LP bounds |
+//! | `n8` | [`n8`] | Section V-B — N = 8 sensitivity |
+//! | `n12_k8` | [`n12_k8`] | Beyond the paper — N = 12 / K = 8 big-machine scaling (sparse solvers) |
+//! | `fairness` | [`fairness`] | Section V-D — fairness counterfactual |
+//! | `sec7` | [`sec7`] | Section VII — fetch/ROB policy study under FCFS vs optimal scheduling |
+//! | `unit_ablation` | [`unit_ablation`] | Section III-B claim — conclusions hold for the plain instruction as unit of work |
+//!
+//! Every entry is invocable through the unified driver
+//! (`cargo run --release -p paperbench --bin paperbench -- <name>`), and
+//! [`REGISTRY`] preserves the historical `all`-binary print order so the
+//! combined artefact stream stays byte-identical across the migration.
 
 pub mod fairness;
 pub mod fig1;
@@ -27,3 +33,223 @@ pub mod n8;
 pub mod sec7;
 pub mod table2;
 pub mod unit_ablation;
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::study::{Study, StudyConfig};
+
+/// Shared context for one driver invocation: the parsed [`StudyConfig`]
+/// plus a lazily built [`Study`].
+///
+/// The study (two simulated performance tables over the full suite) is the
+/// dominant cost of most experiments, but some need none of it —
+/// [`fig4`] is purely analytic and [`n12_k8`] builds its own synthetic
+/// table — so construction is deferred to the first
+/// [`ExperimentContext::study`] call and shared by every later one
+/// (`paperbench all` builds the tables exactly once).
+pub struct ExperimentContext {
+    config: StudyConfig,
+    study: OnceLock<Result<Study, String>>,
+}
+
+impl ExperimentContext {
+    /// Wraps a parsed configuration; no tables are built yet.
+    pub fn new(config: StudyConfig) -> Self {
+        ExperimentContext {
+            config,
+            study: OnceLock::new(),
+        }
+    }
+
+    /// The run's configuration (experiment knobs, sampling, table cache).
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The shared [`Study`], building both performance tables on first
+    /// use (or loading them through the config's table cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator/table/store failures as strings; the failure
+    /// is sticky for the context's lifetime.
+    pub fn study(&self) -> Result<&Study, String> {
+        self.study
+            .get_or_init(|| {
+                eprintln!("building performance tables (this is the expensive part)...");
+                let t0 = Instant::now();
+                let study = Study::new(self.config.clone()).map_err(|e| e.to_string())?;
+                eprintln!("tables ready in {:.1?}", t0.elapsed());
+                Ok(study)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+}
+
+/// One reproduced paper artefact, runnable by name through the registry.
+///
+/// Implementations are thin adapters over the experiment modules' `run`
+/// functions: they pull what they need from the [`ExperimentContext`]
+/// (the shared study, or just the config) and render the artefact with its
+/// `Display` implementation — the exact text the per-experiment binaries
+/// have always printed.
+pub trait Experiment: Sync {
+    /// Registry key, e.g. `fig1` (also the name of the compatibility
+    /// binary).
+    fn name(&self) -> &'static str;
+
+    /// Which figure/table/section of the paper this reproduces.
+    fn paper_artefact(&self) -> &'static str;
+
+    /// Runs the experiment and returns the printed artefact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction and analysis failures as strings.
+    fn run(&self, ctx: &ExperimentContext) -> Result<String, String>;
+}
+
+macro_rules! registry {
+    ($( $ty:ident { name: $name:literal, artefact: $artefact:literal, run: $run:expr } ),+ $(,)?) => {
+        $(
+            struct $ty;
+            impl Experiment for $ty {
+                fn name(&self) -> &'static str {
+                    $name
+                }
+                fn paper_artefact(&self) -> &'static str {
+                    $artefact
+                }
+                fn run(&self, ctx: &ExperimentContext) -> Result<String, String> {
+                    let run: fn(&ExperimentContext) -> Result<String, String> = $run;
+                    run(ctx)
+                }
+            }
+        )+
+        /// Every experiment, in the `all` artefact print order (kept from
+        /// the pre-registry `all` binary so its combined output is
+        /// byte-identical).
+        pub const REGISTRY: &[&dyn Experiment] = &[$(&$ty),+];
+    };
+}
+
+registry! {
+    Fig1 {
+        name: "fig1",
+        artefact: "Figure 1 — per-job IPC / instantaneous / average throughput variability",
+        run: |ctx| Ok(fig1::run(ctx.study()?)?.to_string())
+    },
+    Fig2 {
+        name: "fig2",
+        artefact: "Figure 2 — FCFS-vs-worst against optimal-vs-worst scatter",
+        run: |ctx| Ok(fig2::run(ctx.study()?)?.to_string())
+    },
+    Fig3 {
+        name: "fig3",
+        artefact: "Figure 3 — throughput variability vs linear-bottleneck LSQ error",
+        run: |ctx| Ok(fig3::run(ctx.study()?)?.to_string())
+    },
+    Table2 {
+        name: "table2",
+        artefact: "Table II — coschedule heterogeneity time fractions",
+        run: |ctx| Ok(table2::run(ctx.study()?)?.to_string())
+    },
+    Fig4 {
+        name: "fig4",
+        artefact: "Figure 4 — turnaround vs arrival rate (analytic M/M/4)",
+        run: |_ctx| Ok(fig4::run()?.to_string())
+    },
+    Fig5 {
+        name: "fig5",
+        artefact: "Figure 5 — turnaround / utilisation / empty fraction per scheduler",
+        run: |ctx| Ok(fig5::run(ctx.study()?)?.to_string())
+    },
+    Fig6 {
+        name: "fig6",
+        artefact: "Figure 6 — saturated throughput per scheduler vs LP bounds",
+        run: |ctx| Ok(fig6::run(ctx.study()?)?.to_string())
+    },
+    N8 {
+        name: "n8",
+        artefact: "Section V-B — N = 8 sensitivity",
+        run: |ctx| Ok(n8::run(ctx.study()?)?.to_string())
+    },
+    N12K8 {
+        name: "n12_k8",
+        artefact: "Beyond the paper — N = 12 / K = 8 big-machine scaling",
+        run: |ctx| Ok(n12_k8::run(ctx.config())?.to_string())
+    },
+    Fairness {
+        name: "fairness",
+        artefact: "Section V-D — fairness counterfactual",
+        run: |ctx| Ok(fairness::run(ctx.study()?)?.to_string())
+    },
+    Sec7 {
+        name: "sec7",
+        artefact: "Section VII — fetch/ROB policy study under FCFS vs optimal",
+        run: |ctx| Ok(sec7::run(ctx.study()?)?.to_string())
+    },
+    UnitAblation {
+        name: "unit_ablation",
+        artefact: "Section III-B — plain-instruction unit-of-work ablation",
+        run: |ctx| Ok(unit_ablation::run(ctx.study()?)?.to_string())
+    },
+}
+
+/// Looks an experiment up by registry name (exact match).
+pub fn by_name(name: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY.iter().copied().find(|e| e.name() == name)
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        assert_eq!(REGISTRY.len(), 12);
+        let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
+        for name in &names {
+            assert!(by_name(name).is_some(), "{name} resolves");
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len(), "names are unique");
+        assert!(by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn registry_keeps_the_all_binary_print_order() {
+        let order: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            order,
+            [
+                "fig1",
+                "fig2",
+                "fig3",
+                "table2",
+                "fig4",
+                "fig5",
+                "fig6",
+                "n8",
+                "n12_k8",
+                "fairness",
+                "sec7",
+                "unit_ablation"
+            ]
+        );
+    }
+
+    #[test]
+    fn analytic_experiments_run_without_building_tables() {
+        let ctx = ExperimentContext::new(StudyConfig::fast());
+        let artefact = by_name("fig4").unwrap().run(&ctx).unwrap();
+        assert!(artefact.contains("Figure 4"));
+        assert!(
+            ctx.study.get().is_none(),
+            "fig4 must not force the study build"
+        );
+    }
+}

@@ -1,5 +1,5 @@
 //! The big-machine scaling scenario: N ∈ {4, 8, 12} job types on a
-//! synthetic 8-context machine, driven through [`Session::sweep`].
+//! synthetic 8-context machine, driven through [`session::Session::sweep`].
 //!
 //! This extends the Section V-B sensitivity study ([`crate::experiments::n8`])
 //! past what exhaustive simulation can reach: a K = 8 performance table
@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use session::{Policy, Session};
+use session::Policy;
 use symbiosis::{enumerate_workloads, CoscheduleIter};
 use workloads::PerfTable;
 
@@ -114,13 +114,9 @@ pub fn run_for(cfg: &StudyConfig, ns: &[usize]) -> Result<N12K8, String> {
     let mut legs = Vec::with_capacity(ns.len());
     for &n in ns {
         let workloads = cfg.sample_workloads(enumerate_workloads(SUITE, n));
-        let sweep = Session::sweep()
-            .table(&table)
-            .workloads(workloads)
+        let sweep = cfg
+            .sweep(&table, workloads)
             .policies([Policy::Optimal, Policy::FcfsEvent])
-            .fcfs_jobs(cfg.fcfs_jobs)
-            .seed(cfg.seed)
-            .threads(cfg.threads)
             .run()
             .map_err(|e| e.to_string())?;
         let gains = sweep.gains(Policy::Optimal, Policy::FcfsEvent);

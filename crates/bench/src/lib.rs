@@ -1,68 +1,31 @@
 //! Experiment harness for the ISPASS 2015 reproduction.
 //!
 //! Each module under [`experiments`] regenerates one table or figure of
-//! *"Revisiting Symbiotic Job Scheduling"*; the binaries in `src/bin/`
-//! print them (`cargo run --release -p paperbench --bin fig1`). The
-//! mapping from paper artefact to module/binary is indexed in the
-//! repository's `DESIGN.md`.
+//! *"Revisiting Symbiotic Job Scheduling"*. Every experiment implements
+//! the [`experiments::Experiment`] trait and is listed in
+//! [`experiments::REGISTRY`], so the unified driver binary runs any of
+//! them by name (`cargo run --release -p paperbench --bin paperbench --
+//! fig1`, or `-- all` for every artefact); the historical per-experiment
+//! binaries (`--bin fig1`, ...) survive as thin shims over the same
+//! registry.
 //!
 //! All experiments accept a [`StudyConfig`]; `--fast` produces test-scale
 //! runs, the default reproduces the paper-scale sweep (full simulator
 //! windows, all 495 workloads unless `--sample N` is given). With
 //! `--table-cache PATH` (or `SYMBIOSIS_TABLE_CACHE`) performance tables
 //! persist in a [`workloads::TableStore`], so repeated runs skip the
-//! simulation sweep entirely; the workload fan-out itself goes through
+//! simulation sweep entirely. Every per-workload fan-out — including the
+//! latency and batch (makespan) legs — goes through
 //! [`session::Session::sweep`].
 
+pub mod cli;
 pub mod experiments;
 pub mod study;
 
+pub use experiments::{by_name, Experiment, ExperimentContext, REGISTRY};
 pub use study::{Chip, Study, StudyConfig, StudyError};
 
 // The aggregation helpers migrated into the API layer next to
 // `session::SweepReport`; they are re-exported here so experiment code and
 // downstream callers keep their spelling.
 pub use session::stats::{max, mean, min, pct, pearson};
-
-/// Applies `f` to every item on up to `threads` OS threads, preserving
-/// input order in the output.
-///
-/// A thin shim over [`session::WorkerPool::map`], kept for the experiments
-/// whose per-workload leg has no `Session` form yet. New sweep-shaped code
-/// should go through [`session::Session::sweep`] instead, which shares the
-/// performance table and reports through [`session::SweepReport`].
-///
-/// # Panics
-///
-/// Propagates panics from `f`.
-///
-/// # Examples
-///
-/// ```
-/// let squares = paperbench::parallel_map(&[1, 2, 3], 2, |&x| x * x);
-/// assert_eq!(squares, vec![1, 4, 9]);
-/// ```
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    session::WorkerPool::new(threads).map(items, |_, item| f(item))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let doubled = parallel_map(&items, 7, |&x| x * 2);
-        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-        // Degenerate thread counts.
-        assert_eq!(parallel_map(&items, 0, |&x| x), items);
-        let empty: Vec<u64> = Vec::new();
-        assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
-    }
-}

@@ -63,6 +63,13 @@ pub struct StudyConfig {
     /// `--table-cache PATH` or the `SYMBIOSIS_TABLE_CACHE` environment
     /// variable.
     pub table_cache: Option<PathBuf>,
+    /// Dense-tableau threshold for the scheduling LP, forwarded to every
+    /// session and sweep this config starts (`--lp-dense-limit N`; `0`
+    /// forces column generation, [`usize::MAX`] the dense tableau).
+    pub lp_dense_limit: usize,
+    /// Dense-LU threshold for the FCFS Markov chain, forwarded to every
+    /// session and sweep this config starts (`--markov-dense-limit N`).
+    pub markov_dense_limit: usize,
 }
 
 impl Default for StudyConfig {
@@ -78,6 +85,8 @@ impl Default for StudyConfig {
                 .unwrap_or(4),
             seed: 0x15_BA_55,
             table_cache: None,
+            lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
+            markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
         }
     }
 }
@@ -103,6 +112,8 @@ impl StudyConfig {
             .fcfs_jobs(self.fcfs_jobs)
             .seed(self.seed)
             .threads(self.threads)
+            .lp_dense_limit(self.lp_dense_limit)
+            .markov_dense_limit(self.markov_dense_limit)
     }
 
     /// Starts a [`Session::sweep`] builder over `table` and `workloads`
@@ -115,6 +126,8 @@ impl StudyConfig {
             .fcfs_jobs(self.fcfs_jobs)
             .seed(self.seed)
             .threads(self.threads)
+            .lp_dense_limit(self.lp_dense_limit)
+            .markov_dense_limit(self.markov_dense_limit)
     }
 
     /// Builds (or, with a configured [`StudyConfig::table_cache`], loads)
@@ -165,7 +178,8 @@ impl StudyConfig {
 
     /// Parses command-line arguments shared by the experiment binaries:
     /// `--fast` (test-scale), `--sample N`, `--jobs N`, `--threads N`,
-    /// `--table-cache PATH`. When the flag is absent, the
+    /// `--table-cache PATH`, `--lp-dense-limit N`,
+    /// `--markov-dense-limit N`. When the cache flag is absent, the
     /// `SYMBIOSIS_TABLE_CACHE` environment variable supplies the cache
     /// directory.
     ///
@@ -209,10 +223,21 @@ impl StudyConfig {
                         .map_err(|e| format!("--threads: {e}"))?
                 }
                 "--table-cache" => table_cache = Some(PathBuf::from(grab("--table-cache")?)),
+                "--lp-dense-limit" => {
+                    cfg.lp_dense_limit = grab("--lp-dense-limit")?
+                        .parse()
+                        .map_err(|e| format!("--lp-dense-limit: {e}"))?
+                }
+                "--markov-dense-limit" => {
+                    cfg.markov_dense_limit = grab("--markov-dense-limit")?
+                        .parse()
+                        .map_err(|e| format!("--markov-dense-limit: {e}"))?
+                }
                 other => {
                     return Err(format!(
                         "unknown flag {other}; supported: --fast --full --sample N --jobs N \
-                         --threads N --table-cache PATH"
+                         --threads N --table-cache PATH --lp-dense-limit N \
+                         --markov-dense-limit N"
                     ))
                 }
             }
@@ -331,6 +356,23 @@ mod tests {
         assert_eq!(cfg.threads, 2);
         assert!(StudyConfig::from_args(["--bogus".to_owned()]).is_err());
         assert!(StudyConfig::from_args(["--sample".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn from_args_parses_solver_thresholds() {
+        let cfg = StudyConfig::from_args(
+            ["--lp-dense-limit", "0", "--markov-dense-limit", "64"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cfg.lp_dense_limit, 0, "0 forces column generation");
+        assert_eq!(cfg.markov_dense_limit, 64);
+        let default = StudyConfig::default();
+        assert_eq!(default.lp_dense_limit, symbiosis::DEFAULT_LP_DENSE_LIMIT);
+        assert_eq!(
+            default.markov_dense_limit,
+            symbiosis::DEFAULT_MARKOV_DENSE_LIMIT
+        );
+        assert!(StudyConfig::from_args(["--lp-dense-limit".to_owned()]).is_err());
     }
 
     #[test]

@@ -126,3 +126,29 @@ pub fn run_batch_experiment(
 ) -> Result<BatchReport, String> {
     queueing::run_batch_experiment(rates, scheduler, config)
 }
+
+/// Applies `f` to every item on up to `threads` OS threads, preserving
+/// input order in the output.
+///
+/// The last trace of the pre-sweep fan-out style: every batch evaluation
+/// in the workspace now flows through `Session::sweep()` (policy rows via
+/// [`session::SweepBuilder::run`], custom per-workload analyses via
+/// [`session::SweepBuilder::map`]), which shares the performance table and
+/// aggregates through `session::SweepReport`. For raw parallel maps the
+/// engine itself is public as [`session::WorkerPool`].
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Session::sweep() (or session::WorkerPool::map for raw fan-out)"
+)]
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    session::WorkerPool::new(threads).map(items, |_, item| f(item))
+}

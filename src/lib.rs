@@ -20,8 +20,10 @@
 //!   SRPT / MAXTP schedulers, analytic M/M/c).
 //!
 //! The experiment harness that regenerates every paper figure/table lives
-//! in the `paperbench` crate (binaries `fig1`..`fig6`, `table2`,
-//! `n8_sensitivity`, `fairness`, `sec7_policies`, `all`).
+//! in the `paperbench` crate: an `Experiment` registry drives them all
+//! through one binary (`paperbench <name>|all`, with thin per-experiment
+//! compatibility binaries `fig1`..`fig6`, `table2`, `n8_sensitivity`,
+//! `fairness`, `sec7_policies`, `all`).
 //!
 //! # Quick start
 //!
@@ -111,8 +113,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::legacy::{
         analyze_variability, fairness_experiment, fcfs_throughput, fcfs_throughput_markov,
-        fit_linear_bottleneck, heterogeneity_table, optimal_schedule, run_batch_experiment,
-        run_latency_experiment, throughput_bounds,
+        fit_linear_bottleneck, heterogeneity_table, optimal_schedule, parallel_map,
+        run_batch_experiment, run_latency_experiment, throughput_bounds,
     };
 
     #[allow(deprecated)]
