@@ -58,6 +58,39 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
     Some(sxy / (sxx * syy).sqrt())
 }
 
+/// Kendall rank-correlation coefficient (tau-a) of two equal-length
+/// samples; `None` when degenerate (fewer than two points or a length
+/// mismatch).
+///
+/// `+1` means the two orderings agree on every pair, `-1` that they are
+/// exactly reversed; tied pairs count as neither concordant nor
+/// discordant. This is the "rank agreement" currency of the
+/// model-accuracy experiments: how faithfully a *predicted* rate source
+/// reproduces the ordering of workloads that a measured source induces
+/// (e.g. by OPTIMAL-schedule throughput).
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            let prod = dx * dy;
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    Some((concordant - discordant) as f64 / pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +103,24 @@ mod tests {
         assert_eq!(min(&[1.0, 3.0]), 1.0);
         assert_eq!(pct(0.031), "+3.1%");
         assert_eq!(pct(-0.09), "-9.0%");
+    }
+
+    #[test]
+    fn kendall_tau_measures_rank_agreement() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        // Any monotone transform preserves tau exactly.
+        let ys = [10.0, 100.0, 1000.0, 10000.0];
+        assert_eq!(kendall_tau(&xs, &ys), Some(1.0));
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&xs, &rev), Some(-1.0));
+        // One swapped adjacent pair: 5 of 6 pairs concordant.
+        let near = [1.0, 2.0, 4.0, 3.0];
+        assert!((kendall_tau(&xs, &near).unwrap() - 4.0 / 6.0).abs() < 1e-12);
+        // Ties contribute neither way.
+        let tied = [1.0, 1.0, 2.0, 3.0];
+        assert!((kendall_tau(&xs, &tied).unwrap() - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(kendall_tau(&xs, &[1.0]), None);
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), None);
     }
 
     #[test]

@@ -47,6 +47,7 @@ const EXPECTED_BENCHMARKS: &[&str] = &[
     "des/latency_2k_jobs_maxit",
     "des/latency_2k_jobs_srpt",
     "sweep/latency_fig5_leg",
+    "predict/fit_sampled_n12_k8",
     "enumerate/coschedules_12_choose_4_multiset",
     "enumerate/stream_vs_vec",
 ];
@@ -295,6 +296,42 @@ fn main() {
                 .threads(2)
                 .run()
                 .expect("sweep runs"),
+        );
+    }));
+
+    // The sampled-fit kernel behind `model_accuracy`: fitting the richer
+    // least-squares interference model to a stratified 12 000-combo sample
+    // of the N = 12 / K = 8 enumeration (the ≤ 10% measurement budget).
+    // Sample extraction is done once outside the timer — the kernel is the
+    // fit itself, the step a residual-driven refit loop would re-run.
+    let plan = predict::stratified_plan(12, 8, 12_000, 0x5EED).expect("plan");
+    let sampled_table = workloads::PerfTable::synthetic_sampled(
+        (0..12).map(|b| format!("syn{b:02}")).collect(),
+        8,
+        plan.indices(),
+        |combo| {
+            combo
+                .iter()
+                .map(|&b| (0.6 + 0.11 * (b % 7) as f64) / (1.0 + 0.2 * (combo.len() as f64 - 1.0)))
+                .collect()
+        },
+    )
+    .expect("sampled table builds");
+    let fit_samples = predict::samples_from_table(
+        &sampled_table,
+        &(0..12).collect::<Vec<_>>(),
+        workloads::WorkUnit::Weighted,
+    )
+    .expect("samples extract");
+    results.push(bench("predict/fit_sampled_n12_k8", || {
+        black_box(
+            predict::PredictedModel::fit(
+                12,
+                8,
+                fit_samples.clone(),
+                Box::new(predict::InterferenceFitter),
+            )
+            .expect("fits"),
         );
     }));
 

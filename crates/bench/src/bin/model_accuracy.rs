@@ -1,0 +1,7 @@
+//! Compatibility shim: runs the `model_accuracy` registry experiment
+//! through the unified driver (`paperbench model_accuracy`). Flags as in
+//! `paperbench --list`.
+
+fn main() -> std::process::ExitCode {
+    paperbench::cli::run_named("model_accuracy")
+}

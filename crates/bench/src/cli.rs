@@ -34,6 +34,18 @@ fn usage() -> String {
     text
 }
 
+/// The `--list` output: one line per registry entry pairing the artefact
+/// label (where in the paper) with the [`Experiment::description`] (what
+/// the experiment computes).
+fn listing() -> String {
+    let mut text = String::new();
+    for e in REGISTRY {
+        text.push_str(&format!("{:<14} {}\n", e.name(), e.paper_artefact()));
+        text.push_str(&format!("{:<14}   {}\n", "", e.description()));
+    }
+    text
+}
+
 /// Entry point of the `paperbench` driver binary: first argument selects
 /// the experiment (or `all` / `--list`), the rest are [`StudyConfig`]
 /// flags.
@@ -47,7 +59,11 @@ pub fn main() -> ExitCode {
         }
     };
     match selector.as_str() {
-        "--list" | "list" | "--help" | "-h" => {
+        "--list" | "list" => {
+            print!("{}", listing());
+            ExitCode::SUCCESS
+        }
+        "--help" | "-h" => {
             print!("{}", usage());
             ExitCode::SUCCESS
         }

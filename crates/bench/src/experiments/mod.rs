@@ -12,6 +12,7 @@
 //! | `fig6` | [`fig6`] | Figure 6 — saturated throughput per scheduler vs LP bounds |
 //! | `n8` | [`n8`] | Section V-B — N = 8 sensitivity |
 //! | `n12_k8` | [`n12_k8`] | Beyond the paper — N = 12 / K = 8 big-machine scaling (sparse solvers) |
+//! | `model_accuracy` | [`model_accuracy`] | Beyond the paper — sampled + predicted N = 12 / K = 8 rate models (`predict` crate) |
 //! | `fairness` | [`fairness`] | Section V-D — fairness counterfactual |
 //! | `sec7` | [`sec7`] | Section VII — fetch/ROB policy study under FCFS vs optimal scheduling |
 //! | `unit_ablation` | [`unit_ablation`] | Section III-B claim — conclusions hold for the plain instruction as unit of work |
@@ -28,6 +29,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod model_accuracy;
 pub mod n12_k8;
 pub mod n8;
 pub mod sec7;
@@ -103,6 +105,11 @@ pub trait Experiment: Sync {
     /// Which figure/table/section of the paper this reproduces.
     fn paper_artefact(&self) -> &'static str;
 
+    /// One-line description of what the experiment actually computes and
+    /// reports — the `paperbench --list` line (the artefact label says
+    /// *where* in the paper; this says *what happens*).
+    fn description(&self) -> &'static str;
+
     /// Runs the experiment and returns the printed artefact.
     ///
     /// # Errors
@@ -112,7 +119,7 @@ pub trait Experiment: Sync {
 }
 
 macro_rules! registry {
-    ($( $ty:ident { name: $name:literal, artefact: $artefact:literal, run: $run:expr } ),+ $(,)?) => {
+    ($( $ty:ident { name: $name:literal, artefact: $artefact:literal, desc: $desc:literal, run: $run:expr } ),+ $(,)?) => {
         $(
             struct $ty;
             impl Experiment for $ty {
@@ -121,6 +128,9 @@ macro_rules! registry {
                 }
                 fn paper_artefact(&self) -> &'static str {
                     $artefact
+                }
+                fn description(&self) -> &'static str {
+                    $desc
                 }
                 fn run(&self, ctx: &ExperimentContext) -> Result<String, String> {
                     let run: fn(&ExperimentContext) -> Result<String, String> = $run;
@@ -139,61 +149,79 @@ registry! {
     Fig1 {
         name: "fig1",
         artefact: "Figure 1 — per-job IPC / instantaneous / average throughput variability",
+        desc: "sweeps every workload and reports per-job, instantaneous and average throughput spreads",
         run: |ctx| Ok(fig1::run(ctx.study()?)?.to_string())
     },
     Fig2 {
         name: "fig2",
         artefact: "Figure 2 — FCFS-vs-worst against optimal-vs-worst scatter",
+        desc: "correlates the FCFS-over-worst gain with the optimal-over-worst headroom per workload",
         run: |ctx| Ok(fig2::run(ctx.study()?)?.to_string())
     },
     Fig3 {
         name: "fig3",
         artefact: "Figure 3 — throughput variability vs linear-bottleneck LSQ error",
+        desc: "fits the linear-bottleneck model per workload and plots its error against variability",
         run: |ctx| Ok(fig3::run(ctx.study()?)?.to_string())
     },
     Table2 {
         name: "table2",
         artefact: "Table II — coschedule heterogeneity time fractions",
+        desc: "measures the time each scheduler spends in every coschedule-heterogeneity class",
         run: |ctx| Ok(table2::run(ctx.study()?)?.to_string())
     },
     Fig4 {
         name: "fig4",
         artefact: "Figure 4 — turnaround vs arrival rate (analytic M/M/4)",
+        desc: "solves the analytic M/M/4 worked example (no simulation, no tables)",
         run: |_ctx| Ok(fig4::run()?.to_string())
     },
     Fig5 {
         name: "fig5",
         artefact: "Figure 5 — turnaround / utilisation / empty fraction per scheduler",
+        desc: "runs the Poisson-arrival latency experiment for the four Section VI schedulers",
         run: |ctx| Ok(fig5::run(ctx.study()?)?.to_string())
     },
     Fig6 {
         name: "fig6",
         artefact: "Figure 6 — saturated throughput per scheduler vs LP bounds",
+        desc: "compares each scheduler's saturated throughput against the LP optimal/worst bounds",
         run: |ctx| Ok(fig6::run(ctx.study()?)?.to_string())
     },
     N8 {
         name: "n8",
         artefact: "Section V-B — N = 8 sensitivity",
+        desc: "repeats the headline throughput comparison with N = 8 job types per workload",
         run: |ctx| Ok(n8::run(ctx.study()?)?.to_string())
     },
     N12K8 {
         name: "n12_k8",
         artefact: "Beyond the paper — N = 12 / K = 8 big-machine scaling",
+        desc: "scales to 12 types on a synthetic 8-context machine through the sparse solvers",
         run: |ctx| Ok(n12_k8::run(ctx.config())?.to_string())
+    },
+    ModelAccuracy {
+        name: "model_accuracy",
+        artefact: "Beyond the paper — sampled + predicted N = 12 / K = 8 rate models",
+        desc: "fits interference models on a <=10% sample of the K = 8 sweep and scores the predictions",
+        run: |ctx| Ok(model_accuracy::run(ctx.config())?.to_string())
     },
     Fairness {
         name: "fairness",
         artefact: "Section V-D — fairness counterfactual",
+        desc: "redistributes per-job rates inside the heterogeneous coschedule and re-solves the LP",
         run: |ctx| Ok(fairness::run(ctx.study()?)?.to_string())
     },
     Sec7 {
         name: "sec7",
         artefact: "Section VII — fetch/ROB policy study under FCFS vs optimal",
+        desc: "re-runs the study across fetch/ROB microarchitecture policies on both chips",
         run: |ctx| Ok(sec7::run(ctx.study()?)?.to_string())
     },
     UnitAblation {
         name: "unit_ablation",
         artefact: "Section III-B — plain-instruction unit-of-work ablation",
+        desc: "repeats the headline comparison with plain instructions as the unit of work",
         run: |ctx| Ok(unit_ablation::run(ctx.study()?)?.to_string())
     },
 }
@@ -209,7 +237,7 @@ mod registry_tests {
 
     #[test]
     fn registry_names_are_unique_and_resolvable() {
-        assert_eq!(REGISTRY.len(), 12);
+        assert_eq!(REGISTRY.len(), 13);
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
         for name in &names {
             assert!(by_name(name).is_some(), "{name} resolves");
@@ -235,11 +263,31 @@ mod registry_tests {
                 "fig6",
                 "n8",
                 "n12_k8",
+                "model_accuracy",
                 "fairness",
                 "sec7",
                 "unit_ablation"
             ]
         );
+    }
+
+    #[test]
+    fn every_experiment_describes_itself() {
+        for e in REGISTRY {
+            let desc = e.description();
+            assert!(!desc.is_empty(), "{} has no description", e.name());
+            assert!(
+                !desc.contains('\n'),
+                "{} description must be one line",
+                e.name()
+            );
+            assert_ne!(
+                desc,
+                e.paper_artefact(),
+                "{} description must add to the artefact label",
+                e.name()
+            );
+        }
     }
 
     #[test]

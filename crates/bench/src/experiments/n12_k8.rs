@@ -54,7 +54,7 @@ pub struct N12K8 {
 /// growing with coschedule heterogeneity (the symbiosis the optimal
 /// scheduler can exploit), plus a small benchmark-pair-specific term so
 /// rate tables are not perfectly symmetric.
-fn slot_ipc(combo: &[usize], slot: usize) -> f64 {
+pub(crate) fn slot_ipc(combo: &[usize], slot: usize) -> f64 {
     let b = combo[slot];
     let base = 0.6 + 0.11 * (b % 7) as f64 + 0.04 * (b / 7) as f64;
     let k = combo.len() as f64;
@@ -79,6 +79,13 @@ fn slot_ipc(combo: &[usize], slot: usize) -> f64 {
     base * (1.0 / (1.0 + 0.21 * (k - 1.0))) * (0.82 + 0.28 * distinct / k) * jitter
 }
 
+/// Benchmark names of the synthetic suite — shared with the
+/// `model_accuracy` experiment so its sampled table labels the same
+/// machine identically.
+pub(crate) fn suite_names() -> Vec<String> {
+    (0..SUITE).map(|b| format!("syn{b:02}")).collect()
+}
+
 /// Builds the synthetic K = 8 performance table (streamed, never
 /// simulated).
 ///
@@ -87,8 +94,7 @@ fn slot_ipc(combo: &[usize], slot: usize) -> f64 {
 /// Propagates table validation failures as strings (cannot happen for the
 /// built-in model).
 pub fn synthetic_table() -> Result<PerfTable, String> {
-    let names = (0..SUITE).map(|b| format!("syn{b:02}")).collect();
-    PerfTable::synthetic(names, CONTEXTS, |combo| {
+    PerfTable::synthetic(suite_names(), CONTEXTS, |combo| {
         (0..combo.len()).map(|slot| slot_ipc(combo, slot)).collect()
     })
     .map_err(|e| e.to_string())

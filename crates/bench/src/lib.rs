@@ -28,4 +28,4 @@ pub use study::{Chip, Study, StudyConfig, StudyError};
 // The aggregation helpers migrated into the API layer next to
 // `session::SweepReport`; they are re-exported here so experiment code and
 // downstream callers keep their spelling.
-pub use session::stats::{max, mean, min, pct, pearson};
+pub use session::stats::{kendall_tau, max, mean, min, pct, pearson};

@@ -57,12 +57,42 @@ pub struct BottleneckFit {
 /// # Ok::<(), symbiosis::SymbiosisError>(())
 /// ```
 pub fn fit_linear_bottleneck(rates: &WorkloadRates) -> Result<BottleneckFit, SymbiosisError> {
-    let n_s = rates.coschedules().len();
-    let n = rates.num_types();
+    fit_linear_bottleneck_rows(rates.rate_rows(), rates.num_types())
+}
+
+/// The row-based core of [`fit_linear_bottleneck`]: fits the bottleneck
+/// model to an arbitrary set of per-coschedule total-rate rows (each row is
+/// `r_b(s)` for one coschedule `s`, length `num_types`).
+///
+/// [`fit_linear_bottleneck`] passes every row of a full table; the
+/// `predict` crate's bottleneck [`Fitter`] passes only a *sampled* subset —
+/// the paper's "predict instead of measure" move. The normal-equations
+/// arithmetic is identical, so fitting on the full row set reproduces the
+/// table-based fit bitwise.
+///
+/// [`Fitter`]: https://docs.rs/predict
+///
+/// # Errors
+///
+/// Returns [`SymbiosisError::InvalidParameter`] if `rows` is empty or the
+/// normal equations are singular even after regularisation.
+pub fn fit_linear_bottleneck_rows<R: AsRef<[f64]>>(
+    rows: &[R],
+    num_types: usize,
+) -> Result<BottleneckFit, SymbiosisError> {
+    let n_s = rows.len();
+    let n = num_types;
+    if n_s == 0 {
+        return Err(SymbiosisError::InvalidParameter(
+            "bottleneck fit: no coschedule samples".into(),
+        ));
+    }
     let mut a = Matrix::zeros(n_s, n);
-    for si in 0..n_s {
+    for (si, row) in rows.iter().enumerate() {
+        let row = row.as_ref();
+        assert_eq!(row.len(), n, "rate row length mismatch");
         for b in 0..n {
-            a[(si, b)] = rates.rate(si, b);
+            a[(si, b)] = row[b];
         }
     }
     let target = vec![1.0; n_s];
@@ -113,6 +143,42 @@ pub fn per_type_rate_difference(rates: &WorkloadRates) -> f64 {
 mod tests {
     use super::*;
     use crate::optimal::{optimal_schedule, Objective};
+
+    #[test]
+    fn row_based_fit_reproduces_table_fit_bitwise() {
+        let rates = exact_bottleneck(&[1.7, 0.9, 0.4], 3);
+        let via_table = fit_linear_bottleneck(&rates).unwrap();
+        let via_rows = fit_linear_bottleneck_rows(rates.rate_rows(), 3).unwrap();
+        assert_eq!(via_table, via_rows);
+    }
+
+    #[test]
+    fn row_based_fit_recovers_coefficients_from_a_subset() {
+        // An exact bottleneck is identifiable from any spanning subset of
+        // its coschedule rows — the sampled-fit property `predict` uses.
+        let rates = exact_bottleneck(&[2.0, 1.0, 0.5], 3);
+        let subset: Vec<&[f64]> = rates
+            .rate_rows()
+            .iter()
+            .step_by(2)
+            .map(Vec::as_slice)
+            .collect();
+        assert!(subset.len() < rates.coschedules().len());
+        let fit = fit_linear_bottleneck_rows(&subset, 3).unwrap();
+        assert!(fit.mse < 1e-15, "mse {}", fit.mse);
+        for (got, want) in fit.full_rates.iter().zip([2.0, 1.0, 0.5]) {
+            assert!((got - want).abs() < 1e-6, "R_b {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn row_based_fit_rejects_empty_samples() {
+        let rows: [&[f64]; 0] = [];
+        assert!(matches!(
+            fit_linear_bottleneck_rows(&rows, 2),
+            Err(SymbiosisError::InvalidParameter(_))
+        ));
+    }
 
     fn exact_bottleneck(big_r: &'static [f64], k: usize) -> WorkloadRates {
         WorkloadRates::build(big_r.len(), k, move |s| {

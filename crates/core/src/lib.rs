@@ -59,7 +59,9 @@ pub mod rates;
 pub mod rng;
 pub mod variability;
 
-pub use bottleneck::{fit_linear_bottleneck, per_type_rate_difference, BottleneckFit};
+pub use bottleneck::{
+    fit_linear_bottleneck, fit_linear_bottleneck_rows, per_type_rate_difference, BottleneckFit,
+};
 pub use coschedule::{enumerate_coschedules, enumerate_workloads, Coschedule, CoscheduleIter};
 pub use error::SymbiosisError;
 pub use fairness::{fairness_experiment, rebalanced_heterogeneous, FairnessExperiment};

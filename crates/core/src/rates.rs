@@ -8,10 +8,24 @@
 //!   (measured tables, analytic closures, caches), including partial
 //!   coschedules for the latency experiments. The `queueing` crate's
 //!   schedulers and the `session` crate's [`Session`] entry point consume
-//!   this trait; `workloads::WorkloadView` implements it for simulated
-//!   tables.
+//!   this trait.
+//!
+//! # `RateModel` implementors
+//!
+//! Every implementation passes the shared contract test
+//! [`assert_rate_model_conformance`]:
+//!
+//! | Implementor | Crate | Rates come from | Partial coschedules |
+//! |-------------|-------|-----------------|---------------------|
+//! | [`WorkloadRates`] | `symbiosis` | a materialised full-coschedule table | no (saturated analyses only) |
+//! | [`AnalyticModel`] | `symbiosis` | a per-job rate closure | yes |
+//! | [`CachedModel`] | `symbiosis` | memoized queries of an inner model | inherited from the inner model |
+//! | `workloads::WorkloadView` | `workloads` | simulated per-slot IPCs of a [`PerfTable`] | yes |
+//! | `predict::PredictedModel` | `predict` | an interference model fitted to sampled measurements ([`Fitter`]) | yes |
 //!
 //! [`Session`]: https://docs.rs/session
+//! [`PerfTable`]: https://docs.rs/workloads
+//! [`Fitter`]: https://docs.rs/predict
 
 use std::collections::HashMap;
 use std::sync::Mutex;

@@ -1,0 +1,617 @@
+//! [`PredictedModel`]: a fitted interference model as a first-class
+//! [`RateModel`] — the digital-twin stand-in for measurement.
+//!
+//! The model owns its [`Fitter`] and its training [`RateSample`]s, tracks
+//! a per-sample [`Residual`] ledger, and refits in place when new
+//! measurements arrive ([`PredictedModel::refit`]). Because it implements
+//! [`RateModel`] (partial multisets included), it plugs into
+//! `session::Session::builder().rates(&model)` like any measured view; for
+//! the batch sweep surface, [`PredictedModel::to_table`] materialises a
+//! predicted [`PerfTable`] (consume it with [`WorkUnit::Plain`] — the
+//! emitted per-slot "IPCs" *are* predicted rates).
+
+use symbiosis::{Coschedule, RateModel, WorkloadRates};
+use workloads::{PerfTable, WorkUnit};
+
+use crate::fit::{Fitter, RatePredictor, RateSample};
+use crate::PredictError;
+
+/// One training sample's prediction error, recorded at (re)fit time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Residual {
+    /// The sampled multiset.
+    pub counts: Vec<u32>,
+    /// Per-type `measured − predicted` total rate.
+    pub per_type: Vec<f64>,
+    /// Relative instantaneous-throughput error
+    /// `|measured − predicted| / measured`.
+    pub rel_throughput: f64,
+}
+
+/// Aggregate prediction-error statistics over a set of coschedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSummary {
+    /// Coschedules compared.
+    pub coschedules: usize,
+    /// Mean absolute relative throughput error.
+    pub mean_abs_rel: f64,
+    /// 95th percentile of the absolute relative throughput error.
+    pub p95_abs_rel: f64,
+    /// Largest absolute relative throughput error.
+    pub max_abs_rel: f64,
+}
+
+impl ErrorSummary {
+    fn from_abs_rel(mut errors: Vec<f64>) -> ErrorSummary {
+        assert!(!errors.is_empty(), "no coschedules to summarise");
+        let coschedules = errors.len();
+        let mean = errors.iter().sum::<f64>() / coschedules as f64;
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p95 = errors[((coschedules - 1) as f64 * 0.95).round() as usize];
+        ErrorSummary {
+            coschedules,
+            mean_abs_rel: mean,
+            p95_abs_rel: p95,
+            max_abs_rel: *errors.last().expect("non-empty"),
+        }
+    }
+}
+
+/// A refittable, conformance-tested predicted rate source.
+///
+/// Construct with [`PredictedModel::fit`] (explicit samples) or
+/// [`PredictedModel::from_table`] (samples extracted from a — typically
+/// sampled — [`PerfTable`]).
+pub struct PredictedModel {
+    num_types: usize,
+    contexts: usize,
+    fitter: Box<dyn Fitter>,
+    predictor: Box<dyn RatePredictor>,
+    samples: Vec<RateSample>,
+    residuals: Vec<Residual>,
+}
+
+impl PredictedModel {
+    /// Fits `fitter` to `samples` for a machine with `num_types` job types
+    /// and `contexts` contexts.
+    ///
+    /// Duplicate multisets keep the *last* sample (newest measurement
+    /// wins), matching [`PredictedModel::refit`] semantics.
+    ///
+    /// # Errors
+    ///
+    /// Sample-shape violations as [`PredictError::Shape`]; fitter failures
+    /// as returned by the [`Fitter`].
+    pub fn fit(
+        num_types: usize,
+        contexts: usize,
+        samples: Vec<RateSample>,
+        fitter: Box<dyn Fitter>,
+    ) -> Result<Self, PredictError> {
+        if num_types == 0 || contexts == 0 {
+            return Err(PredictError::Shape(
+                "model needs at least one type and one context".into(),
+            ));
+        }
+        let mut model = PredictedModel {
+            num_types,
+            contexts,
+            fitter,
+            // Placeholder replaced by the refit below before anyone can
+            // query it.
+            predictor: Box::new(Unfitted),
+            samples: Vec::new(),
+            residuals: Vec::new(),
+        };
+        model.refit(samples)?;
+        Ok(model)
+    }
+
+    /// Extracts training samples from `table` (see [`samples_from_table`])
+    /// and fits. `types` selects the benchmarks acting as job types; the
+    /// model's type space is local to that selection.
+    ///
+    /// # Errors
+    ///
+    /// As [`samples_from_table`] and [`PredictedModel::fit`].
+    pub fn from_table(
+        table: &PerfTable,
+        types: &[usize],
+        unit: WorkUnit,
+        fitter: Box<dyn Fitter>,
+    ) -> Result<Self, PredictError> {
+        let samples = samples_from_table(table, types, unit)?;
+        Self::fit(types.len(), table.contexts(), samples, fitter)
+    }
+
+    /// Folds newly arrived measurements into the training set and refits —
+    /// the digital-twin update path. Samples for an already-known multiset
+    /// replace the old measurement; the residual ledger is recomputed
+    /// against the new predictor.
+    ///
+    /// On error the model keeps its previous predictor and samples.
+    ///
+    /// # Errors
+    ///
+    /// As [`PredictedModel::fit`].
+    pub fn refit(
+        &mut self,
+        new_samples: impl IntoIterator<Item = RateSample>,
+    ) -> Result<(), PredictError> {
+        let mut merged = self.samples.clone();
+        // Multiset-keyed index so merging stays O(n) — refits are the inner
+        // loop of any active-sampling strategy.
+        let mut position: std::collections::HashMap<Vec<u32>, usize> = merged
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.counts.clone(), i))
+            .collect();
+        for sample in new_samples {
+            sample.validate(self.num_types, self.contexts)?;
+            match position.get(&sample.counts) {
+                Some(&i) => merged[i] = sample,
+                None => {
+                    position.insert(sample.counts.clone(), merged.len());
+                    merged.push(sample);
+                }
+            }
+        }
+        if merged.is_empty() {
+            return Err(PredictError::NotEnoughSamples(
+                "predicted model needs at least one sample".into(),
+            ));
+        }
+        let predictor = self.fitter.fit(self.num_types, self.contexts, &merged)?;
+        self.residuals = merged
+            .iter()
+            .map(|s| residual_for(&*predictor, s))
+            .collect();
+        self.samples = merged;
+        self.predictor = predictor;
+        Ok(())
+    }
+
+    /// The fitter's registry-style name (e.g. `bottleneck`).
+    pub fn fitter_name(&self) -> &'static str {
+        self.fitter.name()
+    }
+
+    /// The fitted coefficient rows (layout documented per fitter).
+    pub fn coefficients(&self) -> Vec<Vec<f64>> {
+        self.predictor.coefficients()
+    }
+
+    /// The training samples currently folded into the fit.
+    pub fn samples(&self) -> &[RateSample] {
+        &self.samples
+    }
+
+    /// Per-sample residuals against the current predictor, in training
+    /// order.
+    pub fn residuals(&self) -> &[Residual] {
+        &self.residuals
+    }
+
+    /// Error summary over the training samples (in-sample fit quality).
+    pub fn fit_error(&self) -> ErrorSummary {
+        ErrorSummary::from_abs_rel(self.residuals.iter().map(|r| r.rel_throughput).collect())
+    }
+
+    /// Error summary against a ground-truth rate source, over every *full*
+    /// coschedule of the model's shape — the predicted-vs-measured
+    /// headline number (most of those coschedules were never sampled).
+    pub fn error_against(&self, truth: &dyn RateModel) -> ErrorSummary {
+        assert_eq!(truth.num_types(), self.num_types, "type count mismatch");
+        assert_eq!(truth.contexts(), self.contexts, "context count mismatch");
+        let errors: Vec<f64> = symbiosis::CoscheduleIter::new(self.num_types, self.contexts)
+            .map(|s| {
+                let measured = truth.instantaneous_throughput(s.counts());
+                let predicted = self.instantaneous_throughput(s.counts());
+                (predicted - measured).abs() / measured
+            })
+            .collect();
+        ErrorSummary::from_abs_rel(errors)
+    }
+
+    /// The predicted full-coschedule [`WorkloadRates`] table for a
+    /// workload (sorted distinct indices into this model's type space) —
+    /// what the LP / Markov analyses consume.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::Shape`] for a malformed workload,
+    /// [`PredictError::Rates`] if the predictions fail table validation
+    /// (cannot happen: predictors are clamped positive).
+    pub fn workload_rates(&self, types: &[usize]) -> Result<WorkloadRates, PredictError> {
+        if types.is_empty() || !types.windows(2).all(|w| w[0] < w[1]) {
+            return Err(PredictError::Shape(
+                "workload must be non-empty, sorted and distinct".into(),
+            ));
+        }
+        if let Some(&bad) = types.iter().find(|&&t| t >= self.num_types) {
+            return Err(PredictError::Shape(format!(
+                "type {bad} out of range ({} model types)",
+                self.num_types
+            )));
+        }
+        let n = types.len();
+        let rates = WorkloadRates::build(n, self.contexts, |s: &Coschedule| {
+            let mut global = vec![0u32; self.num_types];
+            for (local, &c) in s.counts().iter().enumerate() {
+                global[types[local]] = c;
+            }
+            (0..n)
+                .map(|local| self.total_rate(&global, types[local]))
+                .collect()
+        })?;
+        Ok(rates)
+    }
+
+    /// Materialises the model as a predicted [`PerfTable`] over all its
+    /// types — the bridge into `session::Session::sweep` and the
+    /// [`workloads::TableStore`] artefact machinery.
+    ///
+    /// The emitted per-slot "IPCs" are predicted *per-job rates*; convert
+    /// workloads with [`WorkUnit::Plain`] so the rates come back
+    /// unnormalised. (`names` labels the types; its length must match.)
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::Shape`] on a name-count mismatch, table validation
+    /// errors as [`PredictError::Table`].
+    pub fn to_table(&self, names: Vec<String>) -> Result<PerfTable, PredictError> {
+        if names.len() != self.num_types {
+            return Err(PredictError::Shape(format!(
+                "{} names for {} types",
+                names.len(),
+                self.num_types
+            )));
+        }
+        let table = PerfTable::synthetic(names, self.contexts, |combo| {
+            let mut counts = vec![0u32; self.num_types];
+            for &b in combo {
+                counts[b] += 1;
+            }
+            combo
+                .iter()
+                .map(|&b| self.predictor.per_job_rate(&counts, b))
+                .collect()
+        })?;
+        Ok(table)
+    }
+}
+
+impl RateModel for PredictedModel {
+    fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
+        assert_eq!(counts.len(), self.num_types, "counts length mismatch");
+        assert!(counts[ty] > 0, "type {ty} not present");
+        let n: u32 = counts.iter().sum();
+        assert!(
+            n >= 1 && n as usize <= self.contexts,
+            "multiset size {n} out of range"
+        );
+        self.predictor.per_job_rate(counts, ty)
+    }
+}
+
+/// Placeholder predictor used only during construction; unreachable once
+/// [`PredictedModel::fit`] returns.
+struct Unfitted;
+
+impl RatePredictor for Unfitted {
+    fn per_job_rate(&self, _counts: &[u32], _ty: usize) -> f64 {
+        unreachable!("model queried before its first fit")
+    }
+
+    fn coefficients(&self) -> Vec<Vec<f64>> {
+        unreachable!("model queried before its first fit")
+    }
+}
+
+fn residual_for(predictor: &dyn RatePredictor, sample: &RateSample) -> Residual {
+    let mut per_type = Vec::with_capacity(sample.counts.len());
+    let mut measured_it = 0.0;
+    let mut predicted_it = 0.0;
+    for (b, (&c, &measured)) in sample.counts.iter().zip(&sample.rates).enumerate() {
+        if c == 0 {
+            per_type.push(0.0);
+            continue;
+        }
+        let predicted = c as f64 * predictor.per_job_rate(&sample.counts, b);
+        per_type.push(measured - predicted);
+        measured_it += measured;
+        predicted_it += predicted;
+    }
+    Residual {
+        counts: sample.counts.clone(),
+        per_type,
+        rel_throughput: (predicted_it - measured_it).abs() / measured_it,
+    }
+}
+
+/// Extracts [`RateSample`]s from every recorded combo of `table` composed
+/// solely of the benchmarks in `types` (sorted distinct indices into the
+/// suite) — all recorded sizes, in deterministic combo order.
+///
+/// Rates follow `unit`: [`WorkUnit::Weighted`] divides each slot IPC by
+/// its benchmark's solo IPC (the paper's WIPC), [`WorkUnit::Plain`] keeps
+/// raw IPCs. A *sampled* table yields exactly its measured subset — the
+/// training set of the sampled-fit pipeline.
+///
+/// # Errors
+///
+/// [`PredictError::Shape`] for a malformed `types` selection or when no
+/// recorded combo lies inside it.
+pub fn samples_from_table(
+    table: &PerfTable,
+    types: &[usize],
+    unit: WorkUnit,
+) -> Result<Vec<RateSample>, PredictError> {
+    if types.is_empty() || !types.windows(2).all(|w| w[0] < w[1]) {
+        return Err(PredictError::Shape(
+            "types must be non-empty, sorted and distinct".into(),
+        ));
+    }
+    if let Some(&bad) = types.iter().find(|&&t| t >= table.names().len()) {
+        return Err(PredictError::Shape(format!(
+            "benchmark index {bad} out of range ({} in suite)",
+            table.names().len()
+        )));
+    }
+    let local_of: Vec<Option<usize>> = {
+        let mut map = vec![None; table.names().len()];
+        for (local, &global) in types.iter().enumerate() {
+            map[global] = Some(local);
+        }
+        map
+    };
+    let mut samples = Vec::new();
+    for (combo, ipcs) in table.recorded_combos() {
+        let locals: Option<Vec<usize>> = combo.iter().map(|&b| local_of[b]).collect();
+        let Some(locals) = locals else {
+            continue; // combo touches a benchmark outside the selection
+        };
+        let mut counts = vec![0u32; types.len()];
+        let mut rates = vec![0.0; types.len()];
+        for (slot, &local) in locals.iter().enumerate() {
+            counts[local] += 1;
+            let scale = match unit {
+                WorkUnit::Weighted => table.solo_ipc(types[local]),
+                WorkUnit::Plain => 1.0,
+            };
+            rates[local] += ipcs[slot] / scale;
+        }
+        samples.push(RateSample { counts, rates });
+    }
+    if samples.is_empty() {
+        return Err(PredictError::Shape(
+            "no recorded combo lies inside the selected types".into(),
+        ));
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{BottleneckFitter, InterferenceFitter};
+    use crate::sample::stratified_plan;
+    use symbiosis::{assert_rate_model_conformance, AnalyticModel};
+
+    /// An exact affine contention ground truth (positive over all sizes).
+    fn affine_truth(
+        num_types: usize,
+        contexts: usize,
+    ) -> AnalyticModel<impl Fn(&[u32], usize) -> f64> {
+        AnalyticModel::new(num_types, contexts, |counts, ty| {
+            let mut v = 1.0 + 0.15 * ty as f64;
+            for (j, &c) in counts.iter().enumerate() {
+                v -= (0.04 + 0.01 * ((ty + j) % 3) as f64) * c as f64;
+            }
+            v
+        })
+    }
+
+    fn truth_samples(
+        model: &dyn RateModel,
+        sizes: std::ops::RangeInclusive<usize>,
+    ) -> Vec<RateSample> {
+        let n = model.num_types();
+        let mut out = Vec::new();
+        for size in sizes {
+            for s in symbiosis::enumerate_coschedules(n, size) {
+                out.push(RateSample {
+                    counts: s.counts().to_vec(),
+                    rates: (0..n).map(|b| model.total_rate(s.counts(), b)).collect(),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn predicted_model_passes_rate_model_conformance_for_both_fitters() {
+        let truth = affine_truth(3, 4);
+        let samples = truth_samples(&truth, 1..=4);
+        for fitter in [
+            Box::new(BottleneckFitter) as Box<dyn Fitter>,
+            Box::new(InterferenceFitter),
+        ] {
+            let model = PredictedModel::fit(3, 4, samples.clone(), fitter).unwrap();
+            assert!(model.supports_partial());
+            assert_rate_model_conformance(&model);
+        }
+    }
+
+    #[test]
+    fn exact_generator_fits_with_zero_residuals() {
+        let truth = affine_truth(3, 3);
+        let samples = truth_samples(&truth, 1..=3);
+        let model = PredictedModel::fit(3, 3, samples, Box::new(InterferenceFitter)).unwrap();
+        let fit = model.fit_error();
+        assert!(fit.max_abs_rel < 1e-9, "max rel err {}", fit.max_abs_rel);
+        let against = model.error_against(&truth);
+        assert!(against.max_abs_rel < 1e-9);
+        assert_eq!(against.coschedules, 10); // C(3+2, 3)
+    }
+
+    #[test]
+    fn sampled_fit_predicts_unmeasured_combos() {
+        // Train on a stratified subset of a synthetic table; the exact
+        // affine generator is identifiable, so never-measured combos come
+        // back exact too.
+        let truth = affine_truth(4, 4);
+        let names: Vec<String> = (0..4).map(|b| format!("b{b}")).collect();
+        let plan = stratified_plan(4, 4, 30, 0xC0FFEE).unwrap();
+        assert!(!plan.is_exhaustive());
+        let sampled = PerfTable::synthetic_sampled(names, 4, plan.indices(), |combo| {
+            let mut counts = vec![0u32; 4];
+            for &b in combo {
+                counts[b] += 1;
+            }
+            combo
+                .iter()
+                .map(|&b| truth.per_job_rate(&counts, b))
+                .collect()
+        })
+        .unwrap();
+        let model = PredictedModel::from_table(
+            &sampled,
+            &[0, 1, 2, 3],
+            WorkUnit::Plain,
+            Box::new(InterferenceFitter),
+        )
+        .unwrap();
+        assert_eq!(model.samples().len(), 30);
+        let summary = model.error_against(&truth);
+        assert_eq!(summary.coschedules, 35);
+        assert!(summary.max_abs_rel < 1e-6, "max {}", summary.max_abs_rel);
+    }
+
+    #[test]
+    fn refit_folds_new_measurements_in_and_replaces_duplicates() {
+        // Ground truth the affine model *cannot* represent exactly:
+        // heterogeneity relief is multiplicative.
+        let truth = AnalyticModel::new(2, 3, |counts: &[u32], _ty| {
+            let distinct = counts.iter().filter(|&&c| c > 0).count() as f64;
+            let n: u32 = counts.iter().sum();
+            0.9 * (1.0 + 0.2 * (distinct - 1.0)) / n as f64
+        });
+        // First fit sees only solos and pairs.
+        let early = truth_samples(&truth, 1..=2);
+        let mut model =
+            PredictedModel::fit(2, 3, early.clone(), Box::new(InterferenceFitter)).unwrap();
+        let before = model.error_against(&truth);
+        let n_before = model.samples().len();
+
+        // New measurements arrive: the full-size coschedules.
+        model.refit(truth_samples(&truth, 3..=3)).unwrap();
+        assert_eq!(model.samples().len(), n_before + 4); // C(2+2, 3) = 4
+        assert_eq!(model.residuals().len(), model.samples().len());
+        let after = model.error_against(&truth);
+        assert!(
+            after.mean_abs_rel < before.mean_abs_rel,
+            "refit must use the new evidence: {} vs {}",
+            after.mean_abs_rel,
+            before.mean_abs_rel
+        );
+
+        // Re-measuring a known multiset replaces, not duplicates.
+        let n = model.samples().len();
+        model
+            .refit([RateSample {
+                counts: vec![1, 1],
+                rates: vec![0.55, 0.54],
+            }])
+            .unwrap();
+        assert_eq!(model.samples().len(), n);
+        let replaced = model.samples().iter().find(|s| s.counts == [1, 1]).unwrap();
+        assert_eq!(replaced.rates, vec![0.55, 0.54]);
+    }
+
+    #[test]
+    fn workload_rates_restricts_the_type_space() {
+        let truth = affine_truth(4, 3);
+        let samples = truth_samples(&truth, 1..=3);
+        let model = PredictedModel::fit(4, 3, samples, Box::new(InterferenceFitter)).unwrap();
+        let rates = model.workload_rates(&[0, 2]).unwrap();
+        assert_eq!(rates.num_types(), 2);
+        assert_eq!(rates.contexts(), 3);
+        // Local [1, 1] is global [1, 0, 1, 0].
+        let si = rates
+            .index_of(&Coschedule::from_counts(vec![1, 2]))
+            .unwrap();
+        let want = model.total_rate(&[1, 0, 2, 0], 2);
+        assert!((rates.rate(si, 1) - want).abs() < 1e-12);
+        assert!(model.workload_rates(&[2, 0]).is_err(), "unsorted");
+        assert!(model.workload_rates(&[0, 9]).is_err(), "out of range");
+    }
+
+    #[test]
+    fn to_table_round_trips_through_plain_unit() {
+        let truth = affine_truth(3, 3);
+        let samples = truth_samples(&truth, 1..=3);
+        let model = PredictedModel::fit(3, 3, samples, Box::new(InterferenceFitter)).unwrap();
+        let names: Vec<String> = (0..3).map(|b| format!("t{b}")).collect();
+        let table = model.to_table(names).unwrap();
+        let rates = table
+            .workload_rates_with_unit(&[0, 1, 2], WorkUnit::Plain)
+            .unwrap();
+        for (si, s) in rates.coschedules().iter().enumerate() {
+            for b in 0..3 {
+                let want = model.total_rate(s.counts(), b);
+                assert!(
+                    (rates.rate(si, b) - want).abs() <= 1e-12 * want.abs().max(1.0),
+                    "coschedule {s}, type {b}"
+                );
+            }
+        }
+        assert!(model.to_table(vec!["one".into()]).is_err(), "name count");
+    }
+
+    #[test]
+    fn samples_from_table_honours_units_and_selection() {
+        let names: Vec<String> = (0..3).map(|b| format!("b{b}")).collect();
+        let table = PerfTable::synthetic(names, 2, |combo| {
+            combo
+                .iter()
+                .map(|&b| (2.0 + b as f64) / combo.len() as f64)
+                .collect()
+        })
+        .unwrap();
+        // Restricting to [0, 2] drops every combo containing benchmark 1.
+        let plain = samples_from_table(&table, &[0, 2], WorkUnit::Plain).unwrap();
+        // Sizes 1..=2 over the two selected benchmarks: 2 + 3 = 5 combos.
+        assert_eq!(plain.len(), 5);
+        let weighted = samples_from_table(&table, &[0, 2], WorkUnit::Weighted).unwrap();
+        // Weighted solo rates are 1 by construction.
+        let solo0 = weighted
+            .iter()
+            .find(|s| s.counts == [1, 0])
+            .expect("solo recorded");
+        assert!((solo0.rates[0] - 1.0).abs() < 1e-12);
+        let plain_solo0 = plain.iter().find(|s| s.counts == [1, 0]).unwrap();
+        assert!((plain_solo0.rates[0] - 2.0).abs() < 1e-12);
+        // Validation.
+        assert!(samples_from_table(&table, &[], WorkUnit::Plain).is_err());
+        assert!(samples_from_table(&table, &[2, 0], WorkUnit::Plain).is_err());
+        assert!(samples_from_table(&table, &[0, 7], WorkUnit::Plain).is_err());
+    }
+
+    #[test]
+    fn error_summary_percentiles_are_ordered() {
+        let s = ErrorSummary::from_abs_rel((0..100).map(|i| i as f64 / 100.0).collect());
+        assert_eq!(s.coschedules, 100);
+        assert!(s.mean_abs_rel <= s.p95_abs_rel);
+        assert!(s.p95_abs_rel <= s.max_abs_rel);
+        assert!((s.max_abs_rel - 0.99).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,329 @@
+//! Seeded, stratified sampling of the coschedule enumeration.
+//!
+//! The N = 12 / K = 8 sweep spans 125 969 combos — far past what
+//! exhaustive simulation can cover, and exactly the situation the paper's
+//! model-predicted scheduling is for. [`stratified_plan`] picks a budgeted
+//! subset to actually measure: every solo run (the WIPC reference every
+//! conversion needs), plus a per-size stratified random draw of the co-run
+//! combos, so small and large coschedules are both represented no matter
+//! how lopsided the enumeration is (the size-8 stratum is 75 582 of the
+//! 125 969 combos).
+//!
+//! Plans address combos by their index in the streamed enumeration
+//! ([`CoscheduleIter`] order, sizes ascending) — the exact contract of
+//! [`workloads::PerfTable::build_sampled`]. Sampling is deterministic in
+//! `(shape, budget, seed)`, and a budget covering the whole enumeration
+//! degrades to the identity selection, which `build_sampled` turns into a
+//! bitwise-equal copy of the full build.
+
+use symbiosis::rng::SplitMix64;
+use symbiosis::CoscheduleIter;
+
+use crate::PredictError;
+
+/// One coschedule-size stratum of a [`SamplePlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stratum {
+    /// Coschedule size (jobs in the multiset).
+    pub size: usize,
+    /// Combos of this size in the full enumeration.
+    pub available: usize,
+    /// Combos of this size the plan selects.
+    pub chosen: usize,
+}
+
+/// A budgeted selection of coschedule-enumeration indices to measure.
+///
+/// Built by [`stratified_plan`]; consumed by
+/// [`workloads::PerfTable::build_sampled`] /
+/// [`workloads::PerfTable::synthetic_sampled`] via [`SamplePlan::indices`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplePlan {
+    num_types: usize,
+    contexts: usize,
+    seed: u64,
+    total: usize,
+    indices: Vec<usize>,
+    strata: Vec<Stratum>,
+}
+
+impl SamplePlan {
+    /// Sorted distinct enumeration indices of the combos to measure.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of combos selected.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True only for degenerate shapes (cannot happen for valid plans).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Combos in the full enumeration (sizes `1..=contexts`).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Selected fraction of the full enumeration.
+    pub fn fraction(&self) -> f64 {
+        self.indices.len() as f64 / self.total as f64
+    }
+
+    /// True when the plan covers the whole enumeration (budget ≥ total),
+    /// i.e. a sampled build degrades to the full build.
+    pub fn is_exhaustive(&self) -> bool {
+        self.indices.len() == self.total
+    }
+
+    /// Per-size breakdown of the selection.
+    pub fn strata(&self) -> &[Stratum] {
+        &self.strata
+    }
+
+    /// Job types the plan enumerates over.
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// Hardware contexts (largest coschedule size).
+    pub fn contexts(&self) -> usize {
+        self.contexts
+    }
+
+    /// Seed the random draws were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Plans a stratified measurement of `budget` combos over the coschedule
+/// enumeration of `num_types` benchmarks on `contexts` contexts.
+///
+/// Guarantees, for any valid budget:
+///
+/// * every solo run is selected (the size-1 stratum is always complete);
+/// * every coschedule size contributes at least one combo, the rest of the
+///   budget split proportionally to stratum sizes (largest-remainder
+///   rounding, deterministic);
+/// * within a stratum, combos are drawn without replacement by a seeded
+///   [`SplitMix64`] partial shuffle — same `(shape, budget, seed)`, same
+///   plan, on every platform;
+/// * `budget ≥ total` selects the entire enumeration
+///   ([`SamplePlan::is_exhaustive`]).
+///
+/// # Errors
+///
+/// [`PredictError::BudgetTooSmall`] if `budget` cannot cover the mandatory
+/// strata (`num_types` solos + one combo per co-run size).
+///
+/// # Panics
+///
+/// Panics if `num_types == 0` or `contexts == 0`.
+pub fn stratified_plan(
+    num_types: usize,
+    contexts: usize,
+    budget: usize,
+    seed: u64,
+) -> Result<SamplePlan, PredictError> {
+    assert!(num_types > 0, "need at least one job type");
+    assert!(contexts > 0, "need at least one context");
+    let sizes: Vec<usize> = (1..=contexts)
+        .map(|s| CoscheduleIter::count_total(num_types, s))
+        .collect();
+    let total: usize = sizes.iter().sum();
+
+    if budget >= total {
+        // Full coverage: the identity selection, which build_sampled turns
+        // into a bitwise-equal copy of the full build.
+        return Ok(SamplePlan {
+            num_types,
+            contexts,
+            seed,
+            total,
+            indices: (0..total).collect(),
+            strata: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| Stratum {
+                    size: i + 1,
+                    available: m,
+                    chosen: m,
+                })
+                .collect(),
+        });
+    }
+
+    // Mandatory floor: all solos plus one combo per co-run stratum.
+    let minimum = num_types + (contexts - 1);
+    if budget < minimum {
+        return Err(PredictError::BudgetTooSmall { budget, minimum });
+    }
+
+    // Proportional quotas over the co-run strata (sizes 2..=K) for the
+    // budget left after the solos, with a floor of one per stratum and
+    // largest-remainder rounding; fix-ups keep the sum exactly on budget.
+    let remaining = budget - num_types;
+    let pool: usize = sizes[1..].iter().sum();
+    let mut quotas: Vec<usize> = sizes[1..]
+        .iter()
+        .map(|&m| (((remaining as u128) * (m as u128)) / pool as u128) as usize)
+        .map(|q| q.max(1))
+        .collect();
+    for (q, &m) in quotas.iter_mut().zip(&sizes[1..]) {
+        *q = (*q).min(m);
+    }
+    loop {
+        let sum: usize = quotas.iter().sum();
+        if sum == remaining {
+            break;
+        }
+        if sum > remaining {
+            // Shed from the fullest stratum that can spare a combo.
+            let i = (0..quotas.len())
+                .filter(|&i| quotas[i] > 1)
+                .max_by_key(|&i| quotas[i])
+                .expect("sum > remaining >= stratum count implies a quota > 1");
+            quotas[i] -= 1;
+        } else {
+            // Top up the stratum with the most unselected combos.
+            let i = (0..quotas.len())
+                .max_by_key(|&i| sizes[i + 1] - quotas[i])
+                .expect("non-empty");
+            assert!(quotas[i] < sizes[i + 1], "budget < total leaves capacity");
+            quotas[i] += 1;
+        }
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    let mut indices: Vec<usize> = (0..num_types).collect(); // all solos
+    let mut strata = vec![Stratum {
+        size: 1,
+        available: num_types,
+        chosen: num_types,
+    }];
+    let mut offset = num_types;
+    for (i, &m) in sizes[1..].iter().enumerate() {
+        let quota = quotas[i];
+        // Partial Fisher–Yates: the first `quota` positions of a virtual
+        // shuffle are a uniform draw without replacement.
+        let mut local: Vec<usize> = (0..m).collect();
+        for j in 0..quota {
+            let pick = j + rng.next_range((m - j) as u64) as usize;
+            local.swap(j, pick);
+        }
+        let mut chosen: Vec<usize> = local[..quota].iter().map(|&l| offset + l).collect();
+        chosen.sort_unstable();
+        indices.extend(chosen);
+        strata.push(Stratum {
+            size: i + 2,
+            available: m,
+            chosen: quota,
+        });
+        offset += m;
+    }
+
+    Ok(SamplePlan {
+        num_types,
+        contexts,
+        seed,
+        total,
+        indices,
+        strata,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_on_budget() {
+        let a = stratified_plan(12, 8, 12_000, 0xABCD).unwrap();
+        let b = stratified_plan(12, 8, 12_000, 0xABCD).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12_000);
+        assert_eq!(a.total(), 125_969);
+        assert!(a.fraction() < 0.10, "fraction {}", a.fraction());
+        assert!(!a.is_exhaustive());
+        // A different seed draws a different co-run subset.
+        let c = stratified_plan(12, 8, 12_000, 0xF00D).unwrap();
+        assert_ne!(a.indices(), c.indices());
+    }
+
+    #[test]
+    fn indices_are_sorted_distinct_and_in_range() {
+        let plan = stratified_plan(6, 4, 40, 7).unwrap();
+        let idx = plan.indices();
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(*idx.last().unwrap() < plan.total());
+    }
+
+    #[test]
+    fn solos_and_every_size_are_always_represented() {
+        let plan = stratified_plan(12, 8, 30, 99).unwrap();
+        // Size-1 stratum complete.
+        assert_eq!(&plan.indices()[..12], &(0..12).collect::<Vec<_>>()[..]);
+        for stratum in plan.strata() {
+            assert!(
+                stratum.chosen >= 1,
+                "size {} unrepresented in {:?}",
+                stratum.size,
+                plan.strata()
+            );
+        }
+        assert_eq!(plan.len(), 30);
+    }
+
+    #[test]
+    fn quota_split_is_proportional_to_stratum_sizes() {
+        let plan = stratified_plan(12, 8, 12_000, 1).unwrap();
+        // The size-8 stratum is 60% of the enumeration; its quota must
+        // dominate likewise.
+        let chosen8 = plan.strata().iter().find(|s| s.size == 8).unwrap().chosen;
+        assert!(
+            chosen8 > 12_000 / 2,
+            "size-8 stratum got {chosen8} of 12000"
+        );
+        let total_chosen: usize = plan.strata().iter().map(|s| s.chosen).sum();
+        assert_eq!(total_chosen, plan.len());
+    }
+
+    #[test]
+    fn full_budget_degrades_to_the_identity_selection() {
+        for budget in [55, 56, 10_000] {
+            let plan = stratified_plan(5, 3, budget, 3).unwrap();
+            // 5 + 15 + 35 = 55 combos.
+            assert!(plan.is_exhaustive());
+            assert_eq!(plan.indices(), &(0..55).collect::<Vec<_>>()[..]);
+        }
+    }
+
+    #[test]
+    fn too_small_budgets_are_rejected() {
+        let err = stratified_plan(12, 8, 10, 0).unwrap_err();
+        match err {
+            PredictError::BudgetTooSmall { budget, minimum } => {
+                assert_eq!(budget, 10);
+                assert_eq!(minimum, 12 + 7);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn plan_feeds_build_sampled() {
+        // End-to-end against the workloads crate: the plan's indices are a
+        // valid selection (solos first, sorted, in range).
+        let plan = stratified_plan(4, 3, 12, 0x5EED).unwrap();
+        let names: Vec<String> = (0..4).map(|b| format!("b{b}")).collect();
+        let table = workloads::PerfTable::synthetic_sampled(names, 3, plan.indices(), |combo| {
+            vec![1.0 / combo.len() as f64; combo.len()]
+        })
+        .unwrap();
+        assert_eq!(table.len(), plan.len());
+    }
+}

@@ -26,6 +26,9 @@ pub enum TableError {
     UnknownBenchmark(usize),
     /// A workload has the wrong shape (empty, unsorted, duplicates).
     InvalidWorkload(String),
+    /// A sampled build was asked for with a malformed combo selection
+    /// (unsorted, out of range, or missing the solo reference runs).
+    InvalidSample(String),
     /// Rate-table conversion failed.
     Rates(SymbiosisError),
     /// Reading or writing a persisted table failed (the I/O error is
@@ -42,6 +45,7 @@ impl fmt::Display for TableError {
             TableError::Machine(e) => write!(f, "simulation failed: {e}"),
             TableError::UnknownBenchmark(i) => write!(f, "benchmark index {i} out of range"),
             TableError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            TableError::InvalidSample(msg) => write!(f, "invalid combo sample: {msg}"),
             TableError::Rates(e) => write!(f, "rate conversion failed: {e}"),
             TableError::Io(msg) => write!(f, "table file I/O failed: {msg}"),
             TableError::Format(msg) => write!(f, "malformed table file: {msg}"),
@@ -130,6 +134,46 @@ impl PerfTable {
         })
     }
 
+    /// Like [`PerfTable::build`], but simulates only the combos selected by
+    /// `sample` — sorted distinct indices into the streamed enumeration of
+    /// sizes `1..=contexts` (the order [`symbiosis::CoscheduleIter`] yields,
+    /// sizes concatenated ascending). This is the measurement half of the
+    /// `predict` crate's sampled-table pipeline: a budgeted subset is
+    /// simulated and an interference model stands in for the rest.
+    ///
+    /// The selection must contain every size-1 combo (indices
+    /// `0..suite.len()`): solo runs are the WIPC reference every conversion
+    /// divides by. A selection covering the whole enumeration degrades to
+    /// exactly [`PerfTable::build`] — same work distribution, same
+    /// arithmetic, bitwise-equal table.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::InvalidSample`] for an unsorted/out-of-range selection
+    /// or one missing solo runs; otherwise as [`PerfTable::build`].
+    pub fn build_sampled(
+        machine: &Machine,
+        suite: &[BenchmarkProfile],
+        threads: usize,
+        sample: &[usize],
+    ) -> Result<Self, TableError> {
+        let k = machine.config().contexts();
+        check_sample(suite.len(), k, sample)?;
+        let results = sweep_selected_combos(suite.len(), k, threads, Some(sample), |combo| {
+            let jobs: Vec<&BenchmarkProfile> = combo.iter().map(|&i| &suite[i]).collect();
+            machine.simulate(&jobs).map(|res| res.ipc)
+        })
+        .map_err(TableError::from)?;
+        let co_ipc: HashMap<Vec<usize>, Vec<f64>> = results.into_iter().collect();
+        let solo_ipc: Vec<f64> = (0..suite.len()).map(|b| co_ipc[&vec![b]][0]).collect();
+        Ok(PerfTable {
+            names: suite.iter().map(|p| p.name.clone()).collect(),
+            solo_ipc,
+            contexts: k,
+            co_ipc,
+        })
+    }
+
     /// Builds a table from an analytic per-slot IPC model instead of the
     /// simulator — the entry point for big-machine scaling scenarios
     /// (e.g. K = 8 contexts over 12 benchmarks is 125 969 combos, far past
@@ -146,16 +190,53 @@ impl PerfTable {
     where
         F: Fn(&[usize]) -> Vec<f64> + Sync,
     {
+        Self::synthetic_selected(names, contexts, None, ipc_fn)
+    }
+
+    /// Like [`PerfTable::synthetic`], but evaluates only the combos
+    /// selected by `sample` (same index contract as
+    /// [`PerfTable::build_sampled`]) — the analytic counterpart of the
+    /// sampled simulation sweep, used to stand in for measurement budgets
+    /// on machines whose full table is enumerable but expensive.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::InvalidSample`] for a malformed selection; otherwise
+    /// as [`PerfTable::synthetic`].
+    pub fn synthetic_sampled<F>(
+        names: Vec<String>,
+        contexts: usize,
+        sample: &[usize],
+        ipc_fn: F,
+    ) -> Result<Self, TableError>
+    where
+        F: Fn(&[usize]) -> Vec<f64> + Sync,
+    {
+        Self::synthetic_selected(names, contexts, Some(sample), ipc_fn)
+    }
+
+    fn synthetic_selected<F>(
+        names: Vec<String>,
+        contexts: usize,
+        sample: Option<&[usize]>,
+        ipc_fn: F,
+    ) -> Result<Self, TableError>
+    where
+        F: Fn(&[usize]) -> Vec<f64> + Sync,
+    {
         if names.is_empty() {
             return Err(TableError::InvalidWorkload("no benchmarks".into()));
         }
         if contexts == 0 {
             return Err(TableError::InvalidWorkload("no contexts".into()));
         }
+        if let Some(sample) = sample {
+            check_sample(names.len(), contexts, sample)?;
+        }
         // Same streamed sweep as the simulated build (one enumeration
         // contract, deterministic first-error reporting), just with the
         // analytic model as the "simulator".
-        let results = sweep_combos(names.len(), contexts, 1, |combo| {
+        let results = sweep_selected_combos(names.len(), contexts, 1, sample, |combo| {
             let ipcs = ipc_fn(combo);
             if ipcs.len() != combo.len() {
                 return Err(TableError::Rates(SymbiosisError::InvalidRates(format!(
@@ -213,6 +294,20 @@ impl PerfTable {
     /// Per-slot IPCs for a sorted benchmark-index combination, if recorded.
     pub fn slot_ipcs(&self, combo: &[usize]) -> Option<&[f64]> {
         self.co_ipc.get(combo).map(Vec::as_slice)
+    }
+
+    /// Every recorded `(sorted combo, per-slot IPCs)` pair, sorted by combo
+    /// (ascending index vectors). The deterministic iteration the `predict`
+    /// crate's sample extraction and the persisted file format both rely on
+    /// — the in-memory `HashMap` order never leaks out.
+    pub fn recorded_combos(&self) -> Vec<(&[usize], &[f64])> {
+        let mut rows: Vec<(&[usize], &[f64])> = self
+            .co_ipc
+            .iter()
+            .map(|(combo, ipcs)| (combo.as_slice(), ipcs.as_slice()))
+            .collect();
+        rows.sort_unstable_by_key(|&(combo, _)| combo);
+        rows
     }
 
     /// Converts a workload (sorted distinct benchmark indices) into the
@@ -336,9 +431,68 @@ where
     E: Send,
     F: Fn(&[usize]) -> Result<Vec<f64>, E> + Sync,
 {
-    let total: usize = (1..=k)
+    sweep_selected_combos(n_benchmarks, k, threads, None, sim)
+}
+
+/// Total combos in the streamed enumeration of sizes `1..=k` over
+/// `n_benchmarks` benchmarks — the index space [`PerfTable::build_sampled`]
+/// selections address.
+fn full_enumeration_len(n_benchmarks: usize, k: usize) -> usize {
+    (1..=k)
         .map(|size| CoscheduleIter::count_total(n_benchmarks, size))
-        .sum();
+        .sum()
+}
+
+/// Validates a sampled-build selection: sorted, distinct, in range, and
+/// containing every solo run (indices `0..n_benchmarks`, which lead the
+/// enumeration as the size-1 stratum).
+fn check_sample(n_benchmarks: usize, k: usize, sample: &[usize]) -> Result<(), TableError> {
+    let total = full_enumeration_len(n_benchmarks, k);
+    if !sample.windows(2).all(|w| w[0] < w[1]) {
+        return Err(TableError::InvalidSample(
+            "selection must be sorted and distinct".into(),
+        ));
+    }
+    if let Some(&last) = sample.last() {
+        if last >= total {
+            return Err(TableError::InvalidSample(format!(
+                "index {last} out of range (enumeration has {total} combos)"
+            )));
+        }
+    }
+    if sample.len() < n_benchmarks
+        || sample[..n_benchmarks] != (0..n_benchmarks).collect::<Vec<_>>()
+    {
+        return Err(TableError::InvalidSample(format!(
+            "selection must include all {n_benchmarks} solo reference runs \
+             (indices 0..{n_benchmarks})"
+        )));
+    }
+    Ok(())
+}
+
+/// [`sweep_combos`] with an optional combo selection: with
+/// `Some(indices)` (sorted positions in the full enumeration) only those
+/// combos run through `sim`; with `None` the whole enumeration does. The
+/// claiming, abort and first-error machinery is shared, so a selection
+/// covering the full enumeration performs the identical computation in the
+/// identical order — the bitwise-degradation guarantee
+/// [`PerfTable::build_sampled`] documents.
+fn sweep_selected_combos<E, F>(
+    n_benchmarks: usize,
+    k: usize,
+    threads: usize,
+    selection: Option<&[usize]>,
+    sim: F,
+) -> Result<ComboRows, E>
+where
+    E: Send,
+    F: Fn(&[usize]) -> Result<Vec<f64>, E> + Sync,
+{
+    let total = match selection {
+        Some(indices) => indices.len(),
+        None => full_enumeration_len(n_benchmarks, k),
+    };
     let threads = threads.max(1).min(total.max(1));
 
     let next = AtomicUsize::new(0);
@@ -358,25 +512,31 @@ where
                     if abort.load(Ordering::Acquire) {
                         break;
                     }
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= total {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= total {
                         break;
                     }
+                    // A selection maps claimed slots to enumeration
+                    // indices; the full sweep claims indices directly.
+                    let index = match selection {
+                        Some(indices) => indices[slot],
+                        None => slot,
+                    };
                     // Catch the thread-local stream up to the claimed index.
                     while cursor < index {
                         stream.next();
                         cursor += 1;
                     }
-                    let combo = stream.next().expect("index < total").slots();
+                    let combo = stream.next().expect("index < enumeration length").slots();
                     cursor += 1;
                     match sim(&combo) {
                         Ok(ipcs) => local.push((index, combo, ipcs)),
                         Err(e) => {
-                            let mut slot = first_error.lock().expect("poisoned");
-                            if slot.as_ref().is_none_or(|(i, _)| index < *i) {
-                                *slot = Some((index, e));
+                            let mut first = first_error.lock().expect("poisoned");
+                            if first.as_ref().is_none_or(|(i, _)| index < *i) {
+                                *first = Some((index, e));
                             }
-                            drop(slot);
+                            drop(first);
                             abort.store(true, Ordering::Release);
                             break;
                         }
@@ -654,6 +814,107 @@ mod tests {
             PerfTable::synthetic(vec!["a".into(), "b".into()], 2, |c| vec![-1.0; c.len()]),
             Err(TableError::Rates(_))
         ));
+    }
+
+    /// The guardrail ISSUE 5 demands: a selection covering the whole
+    /// enumeration must degrade *exactly* to the full build — bitwise, as
+    /// witnessed by the canonical serialisation.
+    #[test]
+    fn full_budget_sampled_build_is_bitwise_equal_to_full_build() {
+        let machine = Machine::new(MachineConfig::smt4().with_windows(1_000, 3_000)).unwrap();
+        let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(3).collect();
+        let total = full_enumeration_len(3, 4);
+        let everything: Vec<usize> = (0..total).collect();
+        for threads in [1, 4] {
+            let full = PerfTable::build(&machine, &suite, threads).unwrap();
+            let sampled = PerfTable::build_sampled(&machine, &suite, threads, &everything).unwrap();
+            assert_eq!(full, sampled);
+            // "Bitwise" literally: the canonical on-disk serialisations of
+            // the two tables are identical byte streams.
+            let dir = std::env::temp_dir();
+            let pid = std::process::id();
+            let a = dir.join(format!("symb-sample-full-{pid}-{threads}"));
+            let b = dir.join(format!("symb-sample-sel-{pid}-{threads}"));
+            full.save(&a).unwrap();
+            sampled.save(&b).unwrap();
+            let bytes_a = std::fs::read(&a).unwrap();
+            let bytes_b = std::fs::read(&b).unwrap();
+            let _ = std::fs::remove_file(&a);
+            let _ = std::fs::remove_file(&b);
+            assert_eq!(bytes_a, bytes_b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sampled_build_records_exactly_the_selection() {
+        let machine = Machine::new(MachineConfig::smt4().with_windows(1_000, 3_000)).unwrap();
+        let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(3).collect();
+        // Solos (0..3) plus a few larger combos, by enumeration index.
+        let selection = vec![0, 1, 2, 4, 7, 11, 20, 33];
+        let t = PerfTable::build_sampled(&machine, &suite, 2, &selection).unwrap();
+        assert_eq!(t.len(), selection.len());
+        // Recorded rows agree with the full build on the selected combos.
+        let full = PerfTable::build(&machine, &suite, 2).unwrap();
+        for (combo, ipcs) in t.recorded_combos() {
+            assert_eq!(full.slot_ipcs(combo).unwrap(), ipcs);
+        }
+        // Solo references are intact, so workload conversion works whenever
+        // the needed combos are present.
+        for b in 0..3 {
+            assert_eq!(t.solo_ipc(b), full.solo_ipc(b));
+        }
+    }
+
+    #[test]
+    fn sampled_build_validates_selection() {
+        let machine = Machine::new(MachineConfig::smt4().with_windows(1_000, 2_000)).unwrap();
+        let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(3).collect();
+        // Unsorted.
+        assert!(matches!(
+            PerfTable::build_sampled(&machine, &suite, 1, &[0, 2, 1]),
+            Err(TableError::InvalidSample(_))
+        ));
+        // Out of range (3 benchmarks, K = 4 -> 34 combos).
+        assert!(matches!(
+            PerfTable::build_sampled(&machine, &suite, 1, &[0, 1, 2, 99]),
+            Err(TableError::InvalidSample(_))
+        ));
+        // Missing a solo reference run.
+        assert!(matches!(
+            PerfTable::build_sampled(&machine, &suite, 1, &[0, 1, 5, 6]),
+            Err(TableError::InvalidSample(_))
+        ));
+    }
+
+    #[test]
+    fn synthetic_sampled_matches_full_synthetic_on_selection() {
+        let names: Vec<String> = (0..5).map(|b| format!("syn{b}")).collect();
+        let ipc = |combo: &[usize]| -> Vec<f64> {
+            combo
+                .iter()
+                .map(|&b| (1.0 + b as f64 * 0.2) / combo.len() as f64)
+                .collect()
+        };
+        let full = PerfTable::synthetic(names.clone(), 3, ipc).unwrap();
+        let selection = vec![0, 1, 2, 3, 4, 6, 9, 17, 30, 44];
+        let sampled = PerfTable::synthetic_sampled(names.clone(), 3, &selection, ipc).unwrap();
+        assert_eq!(sampled.len(), selection.len());
+        for (combo, ipcs) in sampled.recorded_combos() {
+            assert_eq!(full.slot_ipcs(combo).unwrap(), ipcs);
+        }
+        // Full-budget degradation holds for the synthetic path too.
+        let total = full_enumeration_len(5, 3);
+        let everything: Vec<usize> = (0..total).collect();
+        let exhaustive = PerfTable::synthetic_sampled(names, 3, &everything, ipc).unwrap();
+        assert_eq!(exhaustive, full);
+    }
+
+    #[test]
+    fn recorded_combos_are_sorted_and_complete() {
+        let t = tiny_table();
+        let rows = t.recorded_combos();
+        assert_eq!(rows.len(), t.len());
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`simproc`] — the SMT / multicore performance simulator substrate;
 //! * [`workloads`] — the 12 SPEC-CPU2006-like benchmark profiles and the
 //!   coschedule performance tables;
+//! * [`predict`] — model-predicted rate sources: stratified coschedule
+//!   sampling ([`prelude::SamplePlan`]), pluggable interference fitters
+//!   ([`prelude::Fitter`]), and the refittable
+//!   [`prelude::PredictedModel`] that stands in for measurement;
 //! * [`queueing`] — the Section VI latency machinery (FCFS / MAXIT /
 //!   SRPT / MAXTP schedulers, analytic M/M/c).
 //!
@@ -79,6 +83,7 @@
 //! the prelude, deprecated in favour of the session API.
 
 pub use lp;
+pub use predict;
 pub use queueing;
 pub use session;
 pub use simproc;
@@ -98,6 +103,11 @@ pub mod prelude {
         BottleneckFit, CachedModel, Coschedule, FairnessExperiment, FcfsOutcome, FcfsParams,
         HeterogeneityTable, JobSize, Objective, RateModel, Schedule, SymbiosisError, WorkloadRates,
         WorkloadVariability,
+    };
+
+    pub use predict::{
+        samples_from_table, stratified_plan, BottleneckFitter, ErrorSummary, Fitter,
+        InterferenceFitter, PredictedModel, RateSample, SamplePlan,
     };
 
     pub use queueing::{
