@@ -23,7 +23,7 @@ use session::{Policy, Session};
 use simproc::{BenchmarkProfile, Machine, MachineConfig};
 use symbiosis::{
     enumerate_coschedules, fcfs_throughput, fcfs_throughput_markov, optimal_schedule,
-    CoscheduleIter, JobSize, Objective, WorkloadRates,
+    CoscheduleIter, JobSize, Objective, RateModel, WorkloadRates,
 };
 use workloads::{spec2006, PerfTable, TableStore};
 
@@ -48,6 +48,7 @@ const EXPECTED_BENCHMARKS: &[&str] = &[
     "des/latency_2k_jobs_srpt",
     "sweep/latency_fig5_leg",
     "predict/fit_sampled_n12_k8",
+    "serve/steady_state_jobs_sec",
     "enumerate/coschedules_12_choose_4_multiset",
     "enumerate/stream_vs_vec",
 ];
@@ -332,6 +333,54 @@ fn main() {
                 Box::new(predict::InterferenceFitter),
             )
             .expect("fits"),
+        );
+    }));
+
+    // The online-service loop: one complete steady-state serve run —
+    // seeded arrivals through the bounded queue, beam placement priced on
+    // the live predicted model, inline twin refits — at small scale. The
+    // per-iteration time over 200 jobs is the steady-state cost per job a
+    // live deployment pays for the whole loop.
+    let serve_truth = symbiosis::AnalyticModel::new(4, 4, |counts: &[u32], ty| {
+        let distinct = counts.iter().filter(|&&c| c > 0).count() as f64;
+        let load: u32 = counts.iter().sum();
+        (0.7 + 0.1 * ty as f64) * (1.0 + 0.2 * (distinct - 1.0))
+            / (1.0 + 0.35 * (load as f64 - 1.0))
+    });
+    let serve_seed_samples: Vec<predict::RateSample> = (1..=2)
+        .flat_map(|s| enumerate_coschedules(4, s))
+        .map(|c| predict::RateSample {
+            counts: c.counts().to_vec(),
+            rates: (0..4)
+                .map(|ty| RateModel::total_rate(&serve_truth, c.counts(), ty))
+                .collect(),
+        })
+        .collect();
+    let serve_cfg = serve::ServeConfig {
+        arrival_rate: 2.0,
+        jobs: 200,
+        seed: 11,
+        batch: 50,
+        probes: 2,
+        background_twin: false,
+        ..serve::ServeConfig::default()
+    };
+    results.push(bench("serve/steady_state_jobs_sec", || {
+        let model = predict::PredictedModel::fit(
+            4,
+            4,
+            serve_seed_samples.clone(),
+            Box::new(predict::InterferenceFitter),
+        )
+        .expect("fits");
+        black_box(
+            serve::run_serve(
+                &serve_truth,
+                model,
+                Box::new(serve::BeamPlacer::new(4)),
+                &serve_cfg,
+            )
+            .expect("serves"),
         );
     }));
 

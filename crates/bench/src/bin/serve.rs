@@ -1,0 +1,6 @@
+//! Compatibility shim: runs the `serve` registry experiment through the
+//! unified driver (`paperbench serve`). Flags as in `paperbench --list`.
+
+fn main() -> std::process::ExitCode {
+    paperbench::cli::run_named("serve")
+}

@@ -16,6 +16,7 @@
 //! | `fairness` | [`fairness`] | Section V-D — fairness counterfactual |
 //! | `sec7` | [`sec7`] | Section VII — fetch/ROB policy study under FCFS vs optimal scheduling |
 //! | `unit_ablation` | [`unit_ablation`] | Section III-B claim — conclusions hold for the plain instruction as unit of work |
+//! | `serve` | [`self::serve`] | Beyond the paper — online scheduling service with a live digital-twin model loop |
 //!
 //! Every entry is invocable through the unified driver
 //! (`cargo run --release -p paperbench --bin paperbench -- <name>`), and
@@ -33,6 +34,7 @@ pub mod model_accuracy;
 pub mod n12_k8;
 pub mod n8;
 pub mod sec7;
+pub mod serve;
 pub mod table2;
 pub mod unit_ablation;
 
@@ -224,6 +226,12 @@ registry! {
         desc: "repeats the headline comparison with plain instructions as the unit of work",
         run: |ctx| Ok(unit_ablation::run(ctx.study()?)?.to_string())
     },
+    Serve {
+        name: "serve",
+        artefact: "Beyond the paper — online service with a live digital-twin model loop",
+        desc: "streams seeded arrivals through queue/dispatcher/twin and compares placers against offline bounds",
+        run: |ctx| Ok(self::serve::run(ctx.config())?.to_string())
+    },
 }
 
 /// Looks an experiment up by registry name (exact match).
@@ -237,7 +245,7 @@ mod registry_tests {
 
     #[test]
     fn registry_names_are_unique_and_resolvable() {
-        assert_eq!(REGISTRY.len(), 13);
+        assert_eq!(REGISTRY.len(), 14);
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
         for name in &names {
             assert!(by_name(name).is_some(), "{name} resolves");
@@ -266,7 +274,8 @@ mod registry_tests {
                 "model_accuracy",
                 "fairness",
                 "sec7",
-                "unit_ablation"
+                "unit_ablation",
+                "serve"
             ]
         );
     }

@@ -43,6 +43,10 @@ pub const SAMPLE_BUDGET: usize = 12_000;
 /// Job types per rank-agreement workload (the paper's N = 4 mixes).
 pub const RANK_WORKLOAD_SIZE: usize = 4;
 
+/// Measurement budget of the `--simulated-k8` leg: 300 of the 3 002
+/// simulated combos (10.0%, same acceptance budget as the synthetic leg).
+pub const SIMULATED_SAMPLE_BUDGET: usize = 300;
+
 /// One fitter's scorecard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FitterRow {
@@ -70,6 +74,25 @@ pub struct PolicyRow {
     pub measured: f64,
 }
 
+/// The `--simulated-k8` leg: the predict-instead-of-measure move on the
+/// *really simulated* smt8 table — train on a stratified ≤ 10% sample,
+/// score against every simulated combo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedAccuracy {
+    /// Benchmarks in the simulated sub-suite.
+    pub suite: usize,
+    /// Training samples (the stratified ≤ 10% measurement plan, minus any
+    /// combos the simulator window starved).
+    pub train: usize,
+    /// Simulated coschedules in the full table.
+    pub total: usize,
+    /// In-sample residual summary on the training combos.
+    pub fit: ErrorSummary,
+    /// Predicted-vs-simulated throughput error over every full
+    /// K = 8 coschedule (the vast majority never trained on).
+    pub full: ErrorSummary,
+}
+
 /// Result of the model-accuracy experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelAccuracy {
@@ -87,6 +110,9 @@ pub struct ModelAccuracy {
     pub headline_fitter: &'static str,
     /// The simulated (sampled + predicted) N = 12 / K = 8 policy table.
     pub headline: Vec<PolicyRow>,
+    /// The really-simulated smt8 generalisation leg, when
+    /// [`StudyConfig::simulated_k8`] is set.
+    pub simulated: Option<SimulatedAccuracy>,
 }
 
 /// Runs the full experiment: both fitters, rank agreement, and the
@@ -193,6 +219,12 @@ pub fn run_with(cfg: &StudyConfig, headline: &[Policy]) -> Result<ModelAccuracy,
         });
     }
 
+    let simulated = if cfg.simulated_k8 {
+        Some(simulated_leg(cfg)?)
+    } else {
+        None
+    };
+
     Ok(ModelAccuracy {
         budget: plan.len(),
         total: plan.total(),
@@ -201,6 +233,65 @@ pub fn run_with(cfg: &StudyConfig, headline: &[Policy]) -> Result<ModelAccuracy,
         rank_workloads: workloads.len(),
         headline_fitter,
         headline: headline_rows,
+        simulated,
+    })
+}
+
+/// The `--simulated-k8` leg: fit the interference model on a stratified
+/// ≤ 10% sample ([`SIMULATED_SAMPLE_BUDGET`]) of the *really simulated*
+/// smt8 table and score it against every simulated combo — the same
+/// predict-instead-of-measure move as the synthetic pipeline, but with a
+/// cycle-level simulator as the oracle.
+fn simulated_leg(cfg: &StudyConfig) -> Result<SimulatedAccuracy, String> {
+    let err = |e: &dyn std::fmt::Display| e.to_string();
+    let suite = StudyConfig::K8_SUITE.len();
+    let table = cfg.build_k8_table().map_err(|e| err(&e))?;
+    let contexts = table.contexts();
+    let types: Vec<usize> = (0..suite).collect();
+    let truth = table.workload_rates(&types).map_err(|e| err(&e))?;
+    let all = samples_from_table(&table, &types, WorkUnit::Weighted).map_err(|e| err(&e))?;
+    let total = all.len();
+
+    // The stratified plan indexes the size-major coschedule enumeration;
+    // map its indices to count vectors (recorded-combo order is sorted by
+    // combo, not by enumeration position).
+    let plan =
+        stratified_plan(suite, contexts, SIMULATED_SAMPLE_BUDGET, cfg.seed).map_err(|e| err(&e))?;
+    debug_assert!(plan.fraction() <= 0.10, "acceptance budget is 10%");
+    let picked: std::collections::HashSet<usize> = plan.indices().iter().copied().collect();
+    let mut selected: std::collections::HashSet<Vec<u32>> =
+        std::collections::HashSet::with_capacity(picked.len());
+    let mut idx = 0usize;
+    for size in 1..=contexts {
+        for combo in symbiosis::CoscheduleIter::new(suite, size) {
+            if picked.contains(&idx) {
+                selected.insert(combo.counts().to_vec());
+            }
+            idx += 1;
+        }
+    }
+
+    // Drop the occasional sample where a thread starved outright within
+    // the simulator window (a present type with rate 0 is unfittable and,
+    // at paper-scale windows, unobserved).
+    let train: Vec<_> = all
+        .into_iter()
+        .filter(|s| selected.contains(&s.counts))
+        .filter(|s| {
+            s.counts
+                .iter()
+                .zip(&s.rates)
+                .all(|(&c, &r)| c == 0 || r > 0.0)
+        })
+        .collect();
+    let model = PredictedModel::fit(suite, contexts, train, Box::new(InterferenceFitter))
+        .map_err(|e| err(&e))?;
+    Ok(SimulatedAccuracy {
+        suite,
+        train: model.samples().len(),
+        total,
+        fit: model.fit_error(),
+        full: model.error_against(&truth),
     })
 }
 
@@ -268,6 +359,22 @@ impl fmt::Display for ModelAccuracy {
                 )?;
             }
         }
+        if let Some(sim) = &self.simulated {
+            writeln!(
+                f,
+                "\nReally-simulated smt8 leg ({} benchmarks, trained on {} of {} \
+                 simulated combos, stratified):",
+                sim.suite, sim.train, sim.total
+            )?;
+            writeln!(
+                f,
+                "fit MAE {:.2}%, full-coschedule MAE {:.2}% (p95 {:.2}%) over {} combos",
+                100.0 * sim.fit.mean_abs_rel,
+                100.0 * sim.full.mean_abs_rel,
+                100.0 * sim.full.p95_abs_rel,
+                sim.full.coschedules
+            )?;
+        }
         writeln!(
             f,
             "\nThe ≤ 10% budget replaces {} measurements with model predictions —\n\
@@ -290,6 +397,7 @@ mod tests {
         let mut cfg = StudyConfig::fast();
         cfg.sample = Some(4);
         let res = run_with(&cfg, &[Policy::Optimal]).unwrap();
+        assert!(res.simulated.is_none(), "simulated leg is opt-in");
 
         // Acceptance: the budget stays within 10% of the full sweep.
         assert_eq!(res.budget, SAMPLE_BUDGET);
@@ -333,5 +441,31 @@ mod tests {
             h.predicted,
             h.measured
         );
+    }
+
+    /// The `--simulated-k8` leg: trained on a stratified 10% of the
+    /// really-simulated table, scored over every simulated combo.
+    #[test]
+    fn simulated_k8_leg_fits_a_stratified_sample() {
+        let mut cfg = StudyConfig::fast();
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 1_500;
+        cfg.simulated_k8 = true;
+        let res = simulated_leg(&cfg).unwrap();
+        assert_eq!(res.suite, 6);
+        assert_eq!(res.total, 3_002);
+        // The 300-combo budget, minus any combos starved by the tiny test
+        // windows.
+        assert!(
+            (250..=SIMULATED_SAMPLE_BUDGET).contains(&res.train),
+            "train {} of {SIMULATED_SAMPLE_BUDGET}",
+            res.train
+        );
+        assert!(res.fit.mean_abs_rel.is_finite() && res.fit.mean_abs_rel >= 0.0);
+        assert!(res.full.mean_abs_rel.is_finite());
+        // Tiny windows are noisy; the stratified fit must still land in a
+        // usable band on the real simulated machine (paper-scale windows
+        // land far tighter).
+        assert!(res.full.mean_abs_rel < 0.5, "MAE {}", res.full.mean_abs_rel);
     }
 }

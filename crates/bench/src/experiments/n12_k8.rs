@@ -42,11 +42,28 @@ pub struct Leg {
     pub workloads: usize,
 }
 
+/// The really-simulated leg: the same scenario shape on a table that was
+/// *simulated* (smt8 machine, [`crate::study::StudyConfig::K8_SUITE`]
+/// sub-suite) rather than synthesised. Present only when
+/// [`crate::study::StudyConfig::simulated_k8`] is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedLeg {
+    /// Benchmarks in the simulated sub-suite.
+    pub suite: usize,
+    /// Coschedules in the simulated table (all sizes 1..=K).
+    pub table_combos: usize,
+    /// The scaling leg over that table.
+    pub leg: Leg,
+}
+
 /// Result of the scaling scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct N12K8 {
     /// One entry per analysed workload size, in request order.
     pub legs: Vec<Leg>,
+    /// The really-simulated smt8 leg, when
+    /// [`crate::study::StudyConfig::simulated_k8`] is set.
+    pub simulated: Option<SimulatedLeg>,
 }
 
 /// Deterministic per-slot IPC model of the synthetic 8-context machine:
@@ -134,7 +151,39 @@ pub fn run_for(cfg: &StudyConfig, ns: &[usize]) -> Result<N12K8, String> {
             workloads: sweep.len(),
         });
     }
-    Ok(N12K8 { legs })
+    let simulated = if cfg.simulated_k8 {
+        Some(simulated_leg(cfg)?)
+    } else {
+        None
+    };
+    Ok(N12K8 { legs, simulated })
+}
+
+/// The `--simulated-k8` leg: N = 4 workloads from the really-simulated
+/// smt8 sub-suite table ([`StudyConfig::build_k8_table`]), swept with the
+/// same OPTIMAL-vs-FCFS comparison as the synthetic legs.
+fn simulated_leg(cfg: &StudyConfig) -> Result<SimulatedLeg, String> {
+    let suite = StudyConfig::K8_SUITE.len();
+    let n = 4;
+    let table = cfg.build_k8_table().map_err(|e| e.to_string())?;
+    let workloads = cfg.sample_workloads(enumerate_workloads(suite, n));
+    let sweep = cfg
+        .sweep(&table, workloads)
+        .policies([Policy::Optimal, Policy::FcfsEvent])
+        .run()
+        .map_err(|e| e.to_string())?;
+    let gains = sweep.gains(Policy::Optimal, Policy::FcfsEvent);
+    Ok(SimulatedLeg {
+        suite,
+        table_combos: table.len(),
+        leg: Leg {
+            n,
+            coschedules: CoscheduleIter::count_total(n, CONTEXTS),
+            mean_gain: mean(&gains),
+            max_gain: max(&gains),
+            workloads: sweep.len(),
+        },
+    })
 }
 
 impl fmt::Display for N12K8 {
@@ -157,6 +206,22 @@ impl fmt::Display for N12K8 {
                 pct(leg.mean_gain),
                 pct(leg.max_gain),
                 leg.workloads
+            )?;
+        }
+        if let Some(sim) = &self.simulated {
+            writeln!(
+                f,
+                "\nReally-simulated smt8 leg ({} benchmarks, {} simulated combos):",
+                sim.suite, sim.table_combos
+            )?;
+            writeln!(
+                f,
+                "{:<6} {:>12} {:>12} {:>12} {:>10}",
+                sim.leg.n,
+                sim.leg.coschedules,
+                pct(sim.leg.mean_gain),
+                pct(sim.leg.max_gain),
+                sim.leg.workloads
             )?;
         }
         writeln!(
@@ -182,6 +247,7 @@ mod tests {
         // Session::sweep(); N = 4 (165) stays dense.
         let res = run_for(&cfg, &[4, 8]).unwrap();
         assert_eq!(res.legs.len(), 2);
+        assert!(res.simulated.is_none(), "simulated leg is opt-in");
         assert_eq!(res.legs[0].coschedules, 165);
         assert_eq!(res.legs[1].coschedules, 6435);
         assert!(res.legs[1].coschedules > symbiosis::DEFAULT_LP_DENSE_LIMIT);
@@ -197,6 +263,34 @@ mod tests {
             assert!(leg.max_gain < 1.0, "gains stay plausible");
             assert_eq!(leg.workloads, 4);
         }
+    }
+
+    /// The `--simulated-k8` leg end-to-end at tiny simulator windows:
+    /// really-simulated smt8 table, OPTIMAL-vs-FCFS sweep over N = 4
+    /// workloads of the six-benchmark sub-suite.
+    #[test]
+    fn simulated_leg_sweeps_the_really_simulated_smt8_table() {
+        let mut cfg = StudyConfig::fast();
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 1_500;
+        cfg.sample = Some(3);
+        cfg.fcfs_jobs = 2_000;
+        cfg.simulated_k8 = true;
+        let res = run_for(&cfg, &[]).unwrap();
+        assert!(res.legs.is_empty());
+        let sim = res.simulated.expect("gated leg runs when the flag is set");
+        assert_eq!(sim.suite, StudyConfig::K8_SUITE.len());
+        // All coschedules of 6 benchmarks, sizes 1..=8.
+        let expected: usize = (1..=CONTEXTS)
+            .map(|s| CoscheduleIter::count_total(sim.suite, s))
+            .sum();
+        assert_eq!(sim.table_combos, expected);
+        assert_eq!(expected, 3_002);
+        assert_eq!(sim.leg.n, 4);
+        assert_eq!(sim.leg.coschedules, 165);
+        assert_eq!(sim.leg.workloads, 3);
+        assert!(sim.leg.mean_gain > -1e-9, "gain {}", sim.leg.mean_gain);
+        assert!(sim.leg.max_gain < 1.0);
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub struct StudyConfig {
     /// Dense-LU threshold for the FCFS Markov chain, forwarded to every
     /// session and sweep this config starts (`--markov-dense-limit N`).
     pub markov_dense_limit: usize,
+    /// Opt-in (`--simulated-k8`): run the K = 8 experiment legs against a
+    /// *really simulated* 8-way SMT table ([`simproc::MachineConfig::smt8`]
+    /// over the [`StudyConfig::K8_SUITE`] sub-suite) instead of only the
+    /// synthetic big-machine table. Off by default — the simulated table
+    /// costs a few thousand coschedule simulations on a cold cache.
+    pub simulated_k8: bool,
 }
 
 impl Default for StudyConfig {
@@ -87,6 +93,7 @@ impl Default for StudyConfig {
             table_cache: None,
             lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
             markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
+            simulated_k8: false,
         }
     }
 }
@@ -141,8 +148,37 @@ impl StudyConfig {
     ///
     /// Propagates simulator/table/store errors.
     pub fn build_table(&self, machine: MachineConfig) -> Result<PerfTable, StudyError> {
+        self.table_for(machine, spec2006())
+    }
+
+    /// The benchmarks acting as job types on the simulated 8-way SMT
+    /// machine: a contention-diverse six of the twelve-benchmark suite.
+    /// Six keeps the full K = 8 table at 3 002 coschedules — hours, not
+    /// days, of simulation at paper windows, and minutes at `--fast`.
+    pub const K8_SUITE: [usize; 6] = [0, 2, 5, 7, 9, 11];
+
+    /// Builds (or loads, like [`StudyConfig::build_table`]) the *really
+    /// simulated* K = 8 performance table: [`MachineConfig::smt8`] over
+    /// the [`StudyConfig::K8_SUITE`] benchmarks, all coschedule sizes
+    /// 1..=8. Gated behind [`StudyConfig::simulated_k8`] by its callers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator/table/store errors.
+    pub fn build_k8_table(&self) -> Result<PerfTable, StudyError> {
+        let all = spec2006();
+        let suite: Vec<_> = Self::K8_SUITE.iter().map(|&b| all[b].clone()).collect();
+        self.table_for(MachineConfig::smt8(), suite)
+    }
+
+    /// Shared build-or-load path behind [`StudyConfig::build_table`] and
+    /// [`StudyConfig::build_k8_table`].
+    fn table_for(
+        &self,
+        machine: MachineConfig,
+        suite: Vec<simproc::BenchmarkProfile>,
+    ) -> Result<PerfTable, StudyError> {
         let machine = machine.with_windows(self.warmup_cycles, self.measure_cycles);
-        let suite = spec2006();
         match &self.table_cache {
             Some(dir) => {
                 let store = TableStore::new(dir);
@@ -233,11 +269,12 @@ impl StudyConfig {
                         .parse()
                         .map_err(|e| format!("--markov-dense-limit: {e}"))?
                 }
+                "--simulated-k8" => cfg.simulated_k8 = true,
                 other => {
                     return Err(format!(
                         "unknown flag {other}; supported: --fast --full --sample N --jobs N \
                          --threads N --table-cache PATH --lp-dense-limit N \
-                         --markov-dense-limit N"
+                         --markov-dense-limit N --simulated-k8"
                     ))
                 }
             }
@@ -373,6 +410,24 @@ mod tests {
             symbiosis::DEFAULT_MARKOV_DENSE_LIMIT
         );
         assert!(StudyConfig::from_args(["--lp-dense-limit".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn from_args_parses_simulated_k8() {
+        assert!(!StudyConfig::default().simulated_k8, "opt-in only");
+        let cfg = StudyConfig::from_args(["--fast", "--simulated-k8"].map(String::from)).unwrap();
+        assert!(cfg.simulated_k8);
+        assert!(cfg.sample.is_some(), "other flags unaffected");
+    }
+
+    #[test]
+    fn k8_suite_is_a_valid_sub_suite() {
+        let names = workloads::spec_names();
+        let mut seen = std::collections::HashSet::new();
+        for &b in &StudyConfig::K8_SUITE {
+            assert!(b < names.len(), "benchmark index {b} out of range");
+            assert!(seen.insert(b), "duplicate benchmark {b}");
+        }
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct PredictedModel {
     fitter: Box<dyn Fitter>,
     predictor: Box<dyn RatePredictor>,
     samples: Vec<RateSample>,
+    /// Multiset-keyed position index into `samples`, maintained across
+    /// refits so folding new measurements in stays O(new), not O(all).
+    position: std::collections::HashMap<Vec<u32>, usize>,
     residuals: Vec<Residual>,
 }
 
@@ -101,9 +104,10 @@ impl PredictedModel {
             // query it.
             predictor: Box::new(Unfitted),
             samples: Vec::new(),
+            position: std::collections::HashMap::new(),
             residuals: Vec::new(),
         };
-        model.refit(samples)?;
+        model.refit(&samples)?;
         Ok(model)
     }
 
@@ -129,46 +133,69 @@ impl PredictedModel {
     /// replace the old measurement; the residual ledger is recomputed
     /// against the new predictor.
     ///
-    /// On error the model keeps its previous predictor and samples.
+    /// The merge is *incremental*: the existing training set is edited in
+    /// place through a persistent multiset index (only the new samples are
+    /// copied), so a live loop refitting every few hundred measurements
+    /// never re-clones its accumulated history.
+    ///
+    /// On error the model keeps its previous predictor and samples (an
+    /// undo log reverts the in-place merge).
     ///
     /// # Errors
     ///
     /// As [`PredictedModel::fit`].
-    pub fn refit(
-        &mut self,
-        new_samples: impl IntoIterator<Item = RateSample>,
-    ) -> Result<(), PredictError> {
-        let mut merged = self.samples.clone();
-        // Multiset-keyed index so merging stays O(n) — refits are the inner
-        // loop of any active-sampling strategy.
-        let mut position: std::collections::HashMap<Vec<u32>, usize> = merged
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.counts.clone(), i))
-            .collect();
+    pub fn refit(&mut self, new_samples: &[RateSample]) -> Result<(), PredictError> {
         for sample in new_samples {
             sample.validate(self.num_types, self.contexts)?;
-            match position.get(&sample.counts) {
-                Some(&i) => merged[i] = sample,
+        }
+        // Apply in place, remembering how to revert if the fit fails.
+        let mut replaced: Vec<(usize, RateSample)> = Vec::new();
+        let appended_from = self.samples.len();
+        for sample in new_samples {
+            match self.position.get(&sample.counts) {
+                Some(&i) => {
+                    let old = std::mem::replace(&mut self.samples[i], sample.clone());
+                    // Keep only the oldest value per slot: a batch may
+                    // re-measure the same multiset more than once.
+                    if i < appended_from && !replaced.iter().any(|(j, _)| *j == i) {
+                        replaced.push((i, old));
+                    }
+                }
                 None => {
-                    position.insert(sample.counts.clone(), merged.len());
-                    merged.push(sample);
+                    self.position
+                        .insert(sample.counts.clone(), self.samples.len());
+                    self.samples.push(sample.clone());
                 }
             }
         }
-        if merged.is_empty() {
+        if self.samples.is_empty() {
             return Err(PredictError::NotEnoughSamples(
                 "predicted model needs at least one sample".into(),
             ));
         }
-        let predictor = self.fitter.fit(self.num_types, self.contexts, &merged)?;
-        self.residuals = merged
-            .iter()
-            .map(|s| residual_for(&*predictor, s))
-            .collect();
-        self.samples = merged;
-        self.predictor = predictor;
-        Ok(())
+        match self
+            .fitter
+            .fit(self.num_types, self.contexts, &self.samples)
+        {
+            Ok(predictor) => {
+                self.residuals = self
+                    .samples
+                    .iter()
+                    .map(|s| residual_for(&*predictor, s))
+                    .collect();
+                self.predictor = predictor;
+                Ok(())
+            }
+            Err(e) => {
+                for sample in self.samples.drain(appended_from..) {
+                    self.position.remove(&sample.counts);
+                }
+                for (i, old) in replaced {
+                    self.samples[i] = old;
+                }
+                Err(e)
+            }
+        }
     }
 
     /// The fitter's registry-style name (e.g. `bottleneck`).
@@ -195,6 +222,24 @@ impl PredictedModel {
     /// Error summary over the training samples (in-sample fit quality).
     pub fn fit_error(&self) -> ErrorSummary {
         ErrorSummary::from_abs_rel(self.residuals.iter().map(|r| r.rel_throughput).collect())
+    }
+
+    /// Nearest-rank quantiles of the per-sample relative throughput error,
+    /// one per requested `qs` entry (each in `0.0..=1.0`). This is the
+    /// signal an active-sampling policy thresholds on: e.g. the 0.9
+    /// quantile bounds the error of "the worst decile of the training
+    /// set", and any sample whose residual exceeds it marks a region
+    /// worth re-measuring.
+    pub fn residual_quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        let mut errs: Vec<f64> = self.residuals.iter().map(|r| r.rel_throughput).collect();
+        errs.sort_by(|a, b| a.total_cmp(b));
+        let n = errs.len();
+        qs.iter()
+            .map(|&q| {
+                let i = ((n - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+                errs[i]
+            })
+            .collect()
     }
 
     /// Error summary against a ground-truth rate source, over every *full*
@@ -513,7 +558,7 @@ mod tests {
         let n_before = model.samples().len();
 
         // New measurements arrive: the full-size coschedules.
-        model.refit(truth_samples(&truth, 3..=3)).unwrap();
+        model.refit(&truth_samples(&truth, 3..=3)).unwrap();
         assert_eq!(model.samples().len(), n_before + 4); // C(2+2, 3) = 4
         assert_eq!(model.residuals().len(), model.samples().len());
         let after = model.error_against(&truth);
@@ -527,7 +572,7 @@ mod tests {
         // Re-measuring a known multiset replaces, not duplicates.
         let n = model.samples().len();
         model
-            .refit([RateSample {
+            .refit(&[RateSample {
                 counts: vec![1, 1],
                 rates: vec![0.55, 0.54],
             }])
@@ -535,6 +580,31 @@ mod tests {
         assert_eq!(model.samples().len(), n);
         let replaced = model.samples().iter().find(|s| s.counts == [1, 1]).unwrap();
         assert_eq!(replaced.rates, vec![0.55, 0.54]);
+    }
+
+    #[test]
+    fn residual_quantiles_are_nearest_rank_over_sorted_errors() {
+        // Truth the affine fitter cannot represent, so residuals spread.
+        let truth = AnalyticModel::new(2, 3, |counts: &[u32], _ty| {
+            let distinct = counts.iter().filter(|&&c| c > 0).count() as f64;
+            let n: u32 = counts.iter().sum();
+            0.9 * (1.0 + 0.2 * (distinct - 1.0)) / n as f64
+        });
+        let model = PredictedModel::fit(
+            2,
+            3,
+            truth_samples(&truth, 1..=3),
+            Box::new(InterferenceFitter),
+        )
+        .unwrap();
+        let qs = model.residual_quantiles(&[0.0, 0.5, 1.0]);
+        let mut errs: Vec<f64> = model.residuals().iter().map(|r| r.rel_throughput).collect();
+        errs.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(qs[0], errs[0]);
+        assert_eq!(qs[2], *errs.last().unwrap());
+        assert!(qs[0] <= qs[1] && qs[1] <= qs[2]);
+        let mid = ((errs.len() - 1) as f64 * 0.5).round() as usize;
+        assert_eq!(qs[1], errs[mid]);
     }
 
     #[test]

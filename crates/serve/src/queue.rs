@@ -1,0 +1,328 @@
+//! Bounded MPSC job-queue front end with backpressure.
+//!
+//! Many producer threads push work at a single scheduling loop. The queue
+//! is deliberately *bounded*: when a burst outruns the dispatcher the
+//! producers either block ([`Producer::submit`]) or shed load
+//! ([`Producer::try_submit`]), instead of growing an unbounded backlog —
+//! under symbiotic scheduling a long queue only increases turnaround, it
+//! never increases machine throughput.
+//!
+//! Built on `std` primitives only: a `Mutex<VecDeque>` plus two condvars
+//! (`not_full` for producers, `not_empty` for the consumer).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a submission was not accepted. The rejected item is handed back so
+/// callers can retry or account for shed load.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError<T> {
+    /// The queue is at capacity (only `try_submit` reports this).
+    Full(T),
+    /// The consumer side closed the queue; no more work is accepted.
+    Closed(T),
+}
+
+/// Counters describing the queue's lifetime so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Items accepted into the queue.
+    pub submitted: u64,
+    /// Items bounced by `try_submit` on a full queue.
+    pub rejected: u64,
+    /// Items currently waiting.
+    pub depth: usize,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+    producers: usize,
+    submitted: u64,
+    rejected: u64,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// The consumer side of the bounded queue (single owner by convention —
+/// the dispatcher loop).
+pub struct Queue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A cloneable producer handle. When the last producer drops, a blocked
+/// [`Queue::pop`] wakes up and returns `None` once the buffer drains.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Queue<T> {
+    /// Creates a bounded queue and its first producer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> (Producer<T>, Queue<T>) {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                closed: false,
+                producers: 1,
+                submitted: 0,
+                rejected: 0,
+            }),
+            capacity,
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        });
+        (
+            Producer {
+                shared: shared.clone(),
+            },
+            Queue { shared },
+        )
+    }
+
+    /// Removes the oldest item without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().unwrap();
+        let item = state.buf.pop_front();
+        if item.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Removes the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed (or every producer has
+    /// dropped) *and* the buffer has drained — the shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.buf.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed || state.producers == 0 {
+                return None;
+            }
+            state = self.shared.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Drains everything currently queued, without blocking.
+    pub fn drain(&self) -> Vec<T> {
+        let mut state = self.shared.state.lock().unwrap();
+        let items: Vec<T> = state.buf.drain(..).collect();
+        if !items.is_empty() {
+            self.shared.not_full.notify_all();
+        }
+        items
+    }
+
+    /// Stops accepting submissions; blocked producers wake with
+    /// [`SubmitError::Closed`]. Queued items stay poppable.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.closed = true;
+        self.shared.not_full.notify_all();
+        self.shared.not_empty.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().buf.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bound passed to [`Queue::bounded`].
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Lifetime counters (accepted, shed, current depth).
+    pub fn stats(&self) -> QueueStats {
+        let state = self.shared.state.lock().unwrap();
+        QueueStats {
+            submitted: state.submitted,
+            rejected: state.rejected,
+            depth: state.buf.len(),
+        }
+    }
+}
+
+impl<T> Drop for Queue<T> {
+    fn drop(&mut self) {
+        // Consumer gone: unblock producers rather than deadlocking them.
+        self.close();
+    }
+}
+
+impl<T> Producer<T> {
+    /// Submits an item, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] once the consumer closed the queue.
+    pub fn submit(&self, item: T) -> Result<(), SubmitError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed(item));
+            }
+            if state.buf.len() < self.shared.capacity {
+                state.buf.push_back(item);
+                state.submitted += 1;
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Submits an item if there is room right now, otherwise hands it back.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at capacity, [`SubmitError::Closed`] after
+    /// close; both return the item.
+    pub fn try_submit(&self, item: T) -> Result<(), SubmitError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed(item));
+        }
+        if state.buf.len() >= self.shared.capacity {
+            state.rejected += 1;
+            return Err(SubmitError::Full(item));
+        }
+        state.buf.push_back(item);
+        state.submitted += 1;
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Producer<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().producers += 1;
+        Producer {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.producers -= 1;
+        if state.producers == 0 {
+            // Last producer: wake a consumer blocked on an empty queue.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_stats() {
+        let (tx, rx) = Queue::bounded(4);
+        tx.submit(1).unwrap();
+        tx.submit(2).unwrap();
+        tx.submit(3).unwrap();
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx.try_pop(), Some(1));
+        assert_eq!(rx.drain(), vec![2, 3]);
+        assert_eq!(rx.try_pop(), None);
+        let stats = rx.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.depth, 0);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_at_capacity() {
+        let (tx, rx) = Queue::bounded(2);
+        tx.try_submit(1).unwrap();
+        tx.try_submit(2).unwrap();
+        assert_eq!(tx.try_submit(3), Err(SubmitError::Full(3)));
+        assert_eq!(rx.stats().rejected, 1);
+        rx.try_pop();
+        tx.try_submit(3).unwrap();
+        assert_eq!(rx.drain(), vec![2, 3]);
+    }
+
+    #[test]
+    fn close_rejects_producers_but_keeps_queued_items() {
+        let (tx, rx) = Queue::bounded(2);
+        tx.submit(7).unwrap();
+        rx.close();
+        assert_eq!(tx.submit(8), Err(SubmitError::Closed(8)));
+        assert_eq!(tx.try_submit(9), Err(SubmitError::Closed(9)));
+        assert_eq!(rx.pop(), Some(7));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn dropping_the_consumer_unblocks_producers() {
+        let (tx, rx) = Queue::bounded(1);
+        tx.submit(1).unwrap();
+        let handle = thread::spawn(move || tx.submit(2));
+        // The producer blocks on the full queue until the consumer goes
+        // away, then observes Closed.
+        drop(rx);
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(SubmitError::Closed(2))
+        ));
+    }
+
+    #[test]
+    fn bursty_producers_are_absorbed_without_loss() {
+        const PRODUCERS: usize = 8;
+        const PER_PRODUCER: usize = 250;
+        let (tx, rx) = Queue::bounded(4); // far smaller than the burst
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        tx.submit(p * PER_PRODUCER + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut seen = vec![false; PRODUCERS * PER_PRODUCER];
+        while let Some(item) = rx.pop() {
+            assert!(!seen[item], "item {item} delivered twice");
+            seen[item] = true;
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(seen.iter().all(|&s| s), "lost items under backpressure");
+        let stats = rx.stats();
+        assert_eq!(stats.submitted, (PRODUCERS * PER_PRODUCER) as u64);
+        assert_eq!(stats.depth, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = Queue::<u32>::bounded(0);
+    }
+}

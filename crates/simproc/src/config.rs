@@ -256,6 +256,35 @@ impl MachineConfig {
         }
     }
 
+    /// A forward-looking 8-way SMT core: the big-machine configuration
+    /// behind the K = 8 scaling studies. Doubles the SMT4 die's shared
+    /// resources — ROB entries, dispatch/commit width and last-level
+    /// cache — so eight contexts contend at roughly the per-thread
+    /// pressure of the paper's 4-way core rather than starving.
+    pub fn smt8() -> Self {
+        MachineConfig {
+            topology: Topology::SmtCore { threads: 8 },
+            core: CoreParams {
+                dispatch_width: 8,
+                commit_width: 8,
+                rob_size: 256,
+                mshrs_per_thread: 8,
+                ..CoreParams::default()
+            },
+            l3: CacheGeometry {
+                size_bytes: 8 << 20,
+                ways: 16,
+                line_bytes: 64,
+                latency: 35,
+            },
+            mem: MemParams {
+                latency: 160,
+                cycles_per_transfer: 4,
+            },
+            ..MachineConfig::smt4()
+        }
+    }
+
     /// Returns a copy with the given fetch policy (Section VII sweeps).
     pub fn with_fetch_policy(mut self, policy: FetchPolicy) -> Self {
         self.core.fetch_policy = policy;
@@ -329,6 +358,18 @@ mod tests {
     fn default_configs_validate() {
         MachineConfig::smt4().validate().unwrap();
         MachineConfig::quadcore().validate().unwrap();
+        MachineConfig::smt8().validate().unwrap();
+    }
+
+    #[test]
+    fn smt8_has_eight_contexts_and_doubled_shared_resources() {
+        let cfg = MachineConfig::smt8();
+        assert_eq!(cfg.contexts(), 8);
+        assert_eq!(cfg.topology, Topology::SmtCore { threads: 8 });
+        let smt4 = MachineConfig::smt4();
+        assert_eq!(cfg.core.rob_size, 2 * smt4.core.rob_size);
+        assert_eq!(cfg.core.dispatch_width, 2 * smt4.core.dispatch_width);
+        assert!(cfg.l3.size_bytes > smt4.l3.size_bytes);
     }
 
     #[test]

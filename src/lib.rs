@@ -21,7 +21,12 @@
 //!   ([`prelude::Fitter`]), and the refittable
 //!   [`prelude::PredictedModel`] that stands in for measurement;
 //! * [`queueing`] — the Section VI latency machinery (FCFS / MAXIT /
-//!   SRPT / MAXTP schedulers, analytic M/M/c).
+//!   SRPT / MAXTP schedulers, analytic M/M/c);
+//! * [`serve`] — the online scheduling service: a bounded
+//!   [`prelude::Queue`] front end, placers ([`prelude::Placer`]) pricing
+//!   free contexts through the live model, and the digital-twin refit
+//!   loop ([`prelude::TwinLoop`]) closed against ground truth by
+//!   [`prelude::run_serve`].
 //!
 //! The experiment harness that regenerates every paper figure/table lives
 //! in the `paperbench` crate: an `Experiment` registry drives them all
@@ -85,6 +90,7 @@
 pub use lp;
 pub use predict;
 pub use queueing;
+pub use serve;
 pub use session;
 pub use simproc;
 pub use symbiosis;
@@ -113,6 +119,10 @@ pub mod prelude {
     pub use queueing::{
         BatchConfig, BatchReport, ContentionModel, FcfsScheduler, LatencyConfig, LatencyReport,
         MaxItScheduler, MaxTpScheduler, MmcQueue, Scheduler, SizeDist, SrptScheduler,
+    };
+    pub use serve::{
+        run_serve, BeamPlacer, Dispatcher, Placer, PolicyPlacer, Queue, ServeConfig, ServeReport,
+        TwinLoop,
     };
     pub use simproc::{BenchmarkProfile, FetchPolicy, Machine, MachineConfig, RobPartitioning};
     pub use workloads::{
