@@ -76,4 +76,4 @@ pub mod sweep;
 pub use policy::{Policy, PolicyKind};
 pub use pool::WorkerPool;
 pub use session::{PolicyReport, Session, SessionBuilder, SessionError, SessionReport};
-pub use sweep::{SweepBuilder, SweepError, SweepItem, SweepReport, SweepRow};
+pub use sweep::{SweepBuilder, SweepError, SweepItem, SweepReport, SweepRow, SweepSpec};

@@ -89,6 +89,23 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// Merges per-shard reports into one, preserving row order: part 0's
+    /// rows first, then part 1's, and so on. All aggregate statistics
+    /// ([`SweepReport::mean_throughput`], [`SweepReport::gains`], ...) are
+    /// computed from the merged rows on demand, so the merged report is
+    /// indistinguishable — bitwise — from a single sweep over the
+    /// concatenated workload list.
+    ///
+    /// This is the reassembly half of distributed sweeps: a coordinator
+    /// that splits a workload list into consecutive shards and merges the
+    /// shard reports in shard order reproduces the single-process
+    /// [`Session::sweep`] report exactly.
+    pub fn merge<I: IntoIterator<Item = SweepReport>>(parts: I) -> SweepReport {
+        SweepReport {
+            rows: parts.into_iter().flat_map(|p| p.rows).collect(),
+        }
+    }
+
     /// Number of workloads swept.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -285,6 +302,62 @@ impl<'a> SweepItem<'a> {
     }
 }
 
+/// A plain-data description of everything a sweep applies *per workload*:
+/// the requested policies (by registry name), the unit of work, and the
+/// experiment knobs. This is the transportable half of a sweep — a
+/// [`SweepBuilder`] minus the table reference and the workload list — so a
+/// distributed coordinator can ship it to workers and any worker can
+/// reconstruct, via [`SweepSpec::sweep`], a builder that evaluates a
+/// workload sub-slice with rows bitwise identical to the full run's.
+///
+/// Field-for-field this mirrors the builder's configuration surface;
+/// [`SweepBuilder::spec`] extracts it and round-trips losslessly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Requested policies in request order, as [`Policy::by_name`] names.
+    pub policies: Vec<String>,
+    /// Unit of work for the rate tables.
+    pub unit: WorkUnit,
+    /// LP direction for the MAXTP target derivation.
+    pub objective: Objective,
+    /// Jobs per event-driven experiment leg.
+    pub fcfs_jobs: u64,
+    /// Job size distribution for the event-driven legs.
+    pub job_size: JobSize,
+    /// Base RNG seed for the stochastic legs.
+    pub seed: u64,
+    /// Poisson-arrival configuration for latency policies, if any.
+    pub latency: Option<LatencyConfig>,
+    /// Dense-tableau threshold for the scheduling LP.
+    pub lp_dense_limit: usize,
+    /// Dense-LU threshold for the FCFS Markov chain.
+    pub markov_dense_limit: usize,
+}
+
+impl SweepSpec {
+    /// Reconstructs a sweep builder carrying this spec's configuration over
+    /// `table`. Add workloads (any sub-slice of the original list) and
+    /// `run()`: because every workload is evaluated independently with the
+    /// same per-workload knobs, the rows are bitwise identical to the rows
+    /// the full-list sweep produces for those workloads.
+    pub fn sweep<'t>(&self, table: &'t PerfTable) -> SweepBuilder<'t> {
+        let mut builder = Session::sweep()
+            .table(table)
+            .unit(self.unit)
+            .policy_names(&self.policies)
+            .objective(self.objective)
+            .fcfs_jobs(self.fcfs_jobs)
+            .job_size(self.job_size)
+            .seed(self.seed)
+            .lp_dense_limit(self.lp_dense_limit)
+            .markov_dense_limit(self.markov_dense_limit);
+        if let Some(cfg) = &self.latency {
+            builder = builder.latency(cfg.clone());
+        }
+        builder
+    }
+}
+
 /// Builder for a batch sweep. Obtained from [`Session::sweep`].
 ///
 /// # Examples
@@ -461,6 +534,55 @@ impl<'a> SweepBuilder<'a> {
     pub fn markov_dense_limit(mut self, limit: usize) -> Self {
         self.knobs.markov_dense_limit = limit;
         self
+    }
+
+    /// The transportable half of this builder: its per-workload
+    /// configuration as a plain-data [`SweepSpec`] (policies by name, unit,
+    /// experiment knobs). `spec().sweep(table)` reconstructs an equivalent
+    /// builder.
+    pub fn spec(&self) -> SweepSpec {
+        SweepSpec {
+            policies: self
+                .policies
+                .iter()
+                .map(|req| match req {
+                    PolicyRequest::Resolved(p) => p.name().to_owned(),
+                    PolicyRequest::Unresolved(name) => name.clone(),
+                })
+                .collect(),
+            unit: self.unit,
+            objective: self.knobs.objective,
+            fcfs_jobs: self.knobs.fcfs_jobs,
+            job_size: self.knobs.job_size,
+            seed: self.knobs.seed,
+            latency: self.knobs.latency.clone(),
+            lp_dense_limit: self.knobs.lp_dense_limit,
+            markov_dense_limit: self.knobs.markov_dense_limit,
+        }
+    }
+
+    /// Decomposes a fully configured sweep into the three things a
+    /// distributed coordinator shards: the shared table, the workload list
+    /// (in request order), and the per-workload [`SweepSpec`].
+    ///
+    /// The same validation as [`SweepBuilder::run`] applies up front —
+    /// missing table, empty workload list, unknown policy names and an
+    /// empty policy set are all reported here, before any worker sees the
+    /// job.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::MissingTable`], [`SweepError::NoWorkloads`], or
+    /// [`SweepError::Config`] on an invalid configuration.
+    #[allow(clippy::type_complexity)]
+    pub fn shard(self) -> Result<(&'a PerfTable, Vec<Vec<usize>>, SweepSpec), SweepError> {
+        let table = self.validated()?;
+        let policies = PolicyRequest::resolve(&self.policies).map_err(SweepError::Config)?;
+        if policies.is_empty() {
+            return Err(SweepError::Config(SessionError::NoPolicies));
+        }
+        let spec = self.spec();
+        Ok((table, self.workloads, spec))
     }
 
     fn validated(&self) -> Result<&'a PerfTable, SweepError> {

@@ -374,3 +374,121 @@ fn bad_workload_reported_with_context() {
         other => panic!("expected custom error, got {other}"),
     }
 }
+
+#[test]
+fn merge_of_consecutive_shards_equals_the_full_sweep() {
+    let table = tiny_table();
+    let workloads = enumerate_workloads(5, 3); // 35 mixes
+    let policies = [Policy::Optimal, Policy::Worst, Policy::FcfsEvent];
+    let full = Session::sweep()
+        .table(table)
+        .workloads(workloads.clone())
+        .policies(policies)
+        .fcfs_jobs(JOBS)
+        .seed(SEED)
+        .run()
+        .expect("full sweep runs");
+    // Shard the list into uneven consecutive chunks, sweep each shard
+    // independently, and merge in shard order.
+    for chunk in [1, 4, 9, 35, 50] {
+        let parts: Vec<_> = workloads
+            .chunks(chunk)
+            .map(|shard| {
+                Session::sweep()
+                    .table(table)
+                    .workloads(shard.to_vec())
+                    .policies(policies)
+                    .fcfs_jobs(JOBS)
+                    .seed(SEED)
+                    .run()
+                    .expect("shard sweep runs")
+            })
+            .collect();
+        let merged = session::SweepReport::merge(parts);
+        assert_eq!(merged, full, "chunk size {chunk}");
+        // Aggregates are recomputed from the merged rows.
+        assert_eq!(
+            merged.mean_throughput(Policy::Optimal).to_bits(),
+            full.mean_throughput(Policy::Optimal).to_bits()
+        );
+        assert_eq!(
+            merged
+                .mean_gain(Policy::Optimal, Policy::FcfsEvent)
+                .to_bits(),
+            full.mean_gain(Policy::Optimal, Policy::FcfsEvent).to_bits()
+        );
+    }
+    // Degenerate merges.
+    assert_eq!(session::SweepReport::merge([]).len(), 0);
+    assert_eq!(session::SweepReport::merge([full.clone()]), full);
+}
+
+#[test]
+fn spec_round_trips_through_a_rebuilt_builder() {
+    let table = tiny_table();
+    let workloads = enumerate_workloads(5, 4);
+    let policies = [Policy::Optimal, Policy::FcfsMarkov];
+    let builder = Session::sweep()
+        .table(table)
+        .workloads(workloads.clone())
+        .policies(policies)
+        .unit(WorkUnit::Weighted)
+        .fcfs_jobs(JOBS)
+        .seed(SEED);
+    let spec = builder.spec();
+    assert_eq!(spec.policies, vec!["OPTIMAL", "FCFS-MARKOV"]);
+    assert_eq!(spec.fcfs_jobs, JOBS);
+    assert_eq!(spec.seed, SEED);
+    // The reconstructed builder produces bitwise-identical rows, and its
+    // own spec is identical (lossless round trip).
+    assert_eq!(spec.sweep(table).spec(), spec);
+    let direct = builder.run().expect("direct sweep runs");
+    let rebuilt = spec
+        .sweep(table)
+        .workloads(workloads)
+        .run()
+        .expect("rebuilt sweep runs");
+    assert_eq!(direct, rebuilt);
+}
+
+#[test]
+fn shard_validates_before_handing_out_parts() {
+    let table = tiny_table();
+    // Valid configuration decomposes into (table, workloads, spec).
+    let (t, ws, spec) = Session::sweep()
+        .table(table)
+        .workload(&[0, 1, 2, 3])
+        .policy(Policy::Optimal)
+        .shard()
+        .expect("valid sweep shards");
+    assert!(std::ptr::eq(t, table));
+    assert_eq!(ws, vec![vec![0, 1, 2, 3]]);
+    assert_eq!(spec.policies, vec!["OPTIMAL"]);
+    // The same up-front errors as run().
+    assert!(matches!(
+        Session::sweep()
+            .workload(&[0])
+            .policy(Policy::Optimal)
+            .shard(),
+        Err(SweepError::MissingTable)
+    ));
+    assert!(matches!(
+        Session::sweep()
+            .table(table)
+            .policy(Policy::Optimal)
+            .shard(),
+        Err(SweepError::NoWorkloads)
+    ));
+    assert!(matches!(
+        Session::sweep().table(table).workload(&[0]).shard(),
+        Err(SweepError::Config(SessionError::NoPolicies))
+    ));
+    assert!(matches!(
+        Session::sweep()
+            .table(table)
+            .workload(&[0])
+            .policy_names(["bogus"])
+            .shard(),
+        Err(SweepError::Config(SessionError::UnknownPolicy(_)))
+    ));
+}

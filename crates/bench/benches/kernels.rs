@@ -17,6 +17,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use dist::{loopback_pair, run_worker, Coordinator, DistConfig, WorkerConfig};
 use lp::{LinearProgram, Relation};
 use queueing::{run_latency_experiment, ContentionModel, LatencyConfig, SizeDist};
 use session::{Policy, Session};
@@ -49,6 +50,7 @@ const EXPECTED_BENCHMARKS: &[&str] = &[
     "sweep/latency_fig5_leg",
     "predict/fit_sampled_n12_k8",
     "serve/steady_state_jobs_sec",
+    "dist/sweep_495_mixes_3_workers",
     "enumerate/coschedules_12_choose_4_multiset",
     "enumerate/stream_vs_vec",
 ];
@@ -382,6 +384,54 @@ fn main() {
             )
             .expect("serves"),
         );
+    }));
+
+    // The distributed-sweep round trip at fig1 scale: serialize the table
+    // and spec, shard all 495 four-type mixes across three workers over
+    // the loopback transport, and merge the rows back in workload order.
+    // The delta against a single-process `Session::sweep()` of the same
+    // table is the coordination overhead the `dist` crate charges.
+    let dist_table =
+        PerfTable::synthetic((0..12).map(|b| format!("syn{b:02}")).collect(), 4, |c| {
+            c.iter()
+                .map(|&b| (0.55 + 0.09 * (b % 5) as f64) / (1.0 + 0.18 * (c.len() as f64 - 1.0)))
+                .collect()
+        })
+        .expect("synthetic table builds");
+    results.push(bench("dist/sweep_495_mixes_3_workers", || {
+        let coordinator = Coordinator::from_sweep(
+            Session::sweep()
+                .table(&dist_table)
+                .workloads(symbiosis::enumerate_workloads(12, 4))
+                .policies([Policy::Worst, Policy::FcfsEvent, Policy::Optimal])
+                .fcfs_jobs(2_000)
+                .seed(9),
+            DistConfig::default(),
+        )
+        .expect("coordinator builds");
+        let mut coordinator_ends = Vec::new();
+        let fleet: Vec<_> = (0..3)
+            .map(|_| {
+                let (c_end, w_end) = loopback_pair();
+                coordinator_ends.push(c_end);
+                std::thread::spawn(move || {
+                    run_worker(
+                        w_end,
+                        &WorkerConfig {
+                            threads: 2,
+                            cache: None,
+                        },
+                    )
+                    .expect("worker completes")
+                })
+            })
+            .collect();
+        let outcome = coordinator.run(coordinator_ends).expect("sweep merges");
+        for handle in fleet {
+            handle.join().expect("worker thread");
+        }
+        assert_eq!(outcome.report.len(), 495);
+        black_box(outcome.report);
     }));
 
     results.push(bench("enumerate/coschedules_12_choose_4_multiset", || {

@@ -1,0 +1,8 @@
+//! Compatibility shim: runs the `dist_sweep` registry experiment through
+//! the unified driver (`paperbench dist_sweep`). Flags as in
+//! `paperbench --list`; add `--distribute ADDR:N` to use external
+//! `paperbench --worker ADDR` processes instead of the in-process fleet.
+
+fn main() -> std::process::ExitCode {
+    paperbench::cli::run_named("dist_sweep")
+}

@@ -29,7 +29,10 @@ fn usage() -> String {
     }
     text.push_str(
         "\nflags: --fast --full --sample N --jobs N --threads N --table-cache PATH \
-         --lp-dense-limit N --markov-dense-limit N\n",
+         --lp-dense-limit N --markov-dense-limit N --distribute ADDR:NWORKERS\n\
+         \n\
+         worker mode: paperbench --worker ADDR [flags]\n\
+         serves a --distribute coordinator at ADDR until it goes away\n",
     );
     text
 }
@@ -68,6 +71,9 @@ pub fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "all" => with_config(args, run_all),
+        // `--worker ADDR` is a mode, not an experiment: re-chain the flag
+        // so `from_args` parses it, then `with_config` intercepts it.
+        "--worker" => with_config(std::iter::once(selector).chain(args), run_all),
         name => match by_name(name) {
             Some(experiment) => with_config(args, |ctx| run_single(experiment, &ctx)),
             None => {
@@ -95,10 +101,77 @@ where
     F: FnOnce(ExperimentContext) -> ExitCode,
 {
     match StudyConfig::from_args(args) {
-        Ok(config) => run(ExperimentContext::new(config)),
+        Ok(config) => {
+            if let Some(addr) = config.worker.clone() {
+                return run_worker_service(&addr, &config);
+            }
+            run(ExperimentContext::new(config))
+        }
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// `--worker ADDR`: serve a distributed-sweep coordinator instead of
+/// running an experiment. The worker reconnects between sweep legs (one
+/// experiment may distribute several) and exits cleanly once the
+/// coordinator stops answering after at least one served sweep.
+fn run_worker_service(addr: &str, config: &StudyConfig) -> ExitCode {
+    use std::time::Duration;
+
+    let worker_config = dist::WorkerConfig {
+        threads: config.threads,
+        cache: config.table_cache.clone().map(workloads::TableStore::new),
+    };
+    let mut served = 0usize;
+    loop {
+        // The first connect is patient — the coordinator may still be
+        // building its table. Reconnects between sweep legs are quick so
+        // the worker exits soon after the coordinator finishes.
+        let attempts = if served == 0 { 240 } else { 12 };
+        match dist::worker::connect_retry(addr, attempts, Duration::from_millis(250)) {
+            Ok(transport) => match dist::run_worker(transport, &worker_config) {
+                Ok(summary) => {
+                    served += 1;
+                    eprintln!(
+                        "worker: sweep {served}: {} chunk(s), {} row(s), table {}",
+                        summary.chunks,
+                        summary.rows,
+                        if summary.table_from_cache {
+                            "from cache"
+                        } else {
+                            "over the wire"
+                        }
+                    );
+                }
+                // A connection that dies after a served sweep is a between-
+                // legs race: the old listener's TCP backlog can complete
+                // our reconnect handshake and then reset it when it drops.
+                // Go back to connecting — the next leg's listener picks us
+                // up, and once the coordinator process is really gone the
+                // connect is refused, which exits cleanly below.
+                Err(
+                    e @ (dist::DistError::Disconnected(_)
+                    | dist::DistError::Timeout(_)
+                    | dist::DistError::Io(_)),
+                ) if served > 0 => {
+                    eprintln!("worker: connection lost between legs ({e}); reconnecting");
+                }
+                Err(e) => {
+                    eprintln!("worker: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) if served > 0 => {
+                eprintln!("worker: coordinator gone after {served} sweep(s) ({e}); done");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("worker: could not reach coordinator at {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 }

@@ -1,0 +1,206 @@
+//! Beyond the paper — the distributed-sweep demonstration: shard a
+//! fig1-scale sweep across a worker fleet, verify the merged report is
+//! bitwise identical to the single-process run, and report per-worker
+//! throughput accounting.
+//!
+//! Two modes, selected by the study configuration:
+//!
+//! * default — spawn three in-process worker threads talking real TCP
+//!   over loopback (self-contained; what `paperbench all` runs);
+//! * `--distribute ADDR:N` — bind `ADDR` and wait for `N` external
+//!   `paperbench --worker ADDR` processes (what the CI `dist-smoke` job
+//!   runs, cold and warm table cache).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use dist::{run_worker, Coordinator, DistConfig, DistOutcome, TcpTransport, WorkerConfig};
+use session::Policy;
+
+use crate::study::{Chip, Study};
+
+/// How many in-process workers the self-contained mode spawns.
+const LOCAL_WORKERS: usize = 3;
+
+/// The policies swept — the headline throughput trio.
+const POLICIES: [Policy; 3] = [Policy::Worst, Policy::FcfsEvent, Policy::Optimal];
+
+/// One worker's accounting line.
+pub struct WorkerLine {
+    /// Peer label (TCP address of the connected worker).
+    pub peer: String,
+    /// Chunks the worker completed.
+    pub chunks: usize,
+    /// Sweep rows the worker produced.
+    pub rows: usize,
+    /// Rows per second over the worker's connection lifetime.
+    pub rows_per_sec: f64,
+}
+
+/// The distributed-sweep artefact.
+pub struct DistSweep {
+    /// Worker count.
+    pub workers: usize,
+    /// Where the workers came from.
+    pub mode: String,
+    /// Workloads swept.
+    pub workloads: usize,
+    /// Chunks the workload list was split into.
+    pub chunks: usize,
+    /// Wall time of the single-process reference run.
+    pub single_wall: Duration,
+    /// Wall time of the distributed run (including worker ramp-up).
+    pub dist_wall: Duration,
+    /// Per-worker accounting.
+    pub lines: Vec<WorkerLine>,
+    /// Mean OPTIMAL gain over FCFS from the merged report (the sweep's
+    /// headline number, proving the merged rows are usable as-is).
+    pub mean_gain: f64,
+}
+
+/// Runs the demonstration: single-process reference, distributed run,
+/// bitwise parity check.
+///
+/// # Errors
+///
+/// Propagates sweep/distribution failures as strings; a parity mismatch
+/// (which the dist test suite pins as impossible) is an error, never a
+/// silent artefact.
+pub fn run(study: &Study) -> Result<DistSweep, String> {
+    let cfg = study.config();
+    let sweep = || study.sweep(Chip::Smt).policies(POLICIES);
+
+    let t0 = Instant::now();
+    let reference = sweep().run().map_err(|e| e.to_string())?;
+    let single_wall = t0.elapsed();
+
+    let coordinator =
+        Coordinator::from_sweep(sweep(), DistConfig::default()).map_err(|e| e.to_string())?;
+    let t1 = Instant::now();
+    let (outcome, workers, mode) = match &cfg.distribute {
+        Some(spec) => {
+            let outcome = coordinator
+                .serve_tcp(&spec.addr, spec.workers)
+                .map_err(|e| e.to_string())?;
+            (outcome, spec.workers, format!("external, at {}", spec.addr))
+        }
+        None => (
+            local_fleet(&coordinator, cfg.threads)?,
+            LOCAL_WORKERS,
+            "in-process TCP loopback".into(),
+        ),
+    };
+    let dist_wall = t1.elapsed();
+
+    if outcome.report != reference {
+        return Err("distributed sweep diverged from the single-process run".into());
+    }
+
+    Ok(DistSweep {
+        workers,
+        mode,
+        workloads: reference.len(),
+        chunks: outcome.chunks,
+        single_wall,
+        dist_wall,
+        lines: outcome
+            .workers
+            .iter()
+            .map(|w| WorkerLine {
+                peer: w.peer.clone(),
+                chunks: w.chunks,
+                rows: w.rows,
+                rows_per_sec: w.rows_per_sec(),
+            })
+            .collect(),
+        mean_gain: outcome.report.mean_gain(Policy::Optimal, Policy::FcfsEvent),
+    })
+}
+
+/// The self-contained fleet: real TCP over loopback, worker threads in
+/// this process. The study's thread budget is split across the workers
+/// so the comparison against the single-process run is not just "three
+/// times the cores".
+fn local_fleet(coordinator: &Coordinator, threads: usize) -> Result<DistOutcome, String> {
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?
+        .to_string();
+    let per_worker = (threads / LOCAL_WORKERS).max(1);
+    let fleet: Vec<_> = (0..LOCAL_WORKERS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let transport = TcpTransport::connect(addr.as_str())?;
+                run_worker(
+                    transport,
+                    &WorkerConfig {
+                        threads: per_worker,
+                        cache: None,
+                    },
+                )
+            })
+        })
+        .collect();
+    let outcome = coordinator
+        .serve_listener(&listener, LOCAL_WORKERS)
+        .map_err(|e| e.to_string())?;
+    for handle in fleet {
+        handle
+            .join()
+            .map_err(|_| "worker thread panicked".to_string())?
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(outcome)
+}
+
+impl fmt::Display for DistSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Beyond the paper — distributed sweep: coordinator + {} worker(s) ({})",
+            self.workers, self.mode
+        )?;
+        writeln!(
+            f,
+            "sweep                : {} workloads x {} policies in {} chunk(s)",
+            self.workloads,
+            POLICIES.len(),
+            self.chunks
+        )?;
+        writeln!(f, "single-process       : {:.2?}", self.single_wall)?;
+        let speedup = if self.dist_wall.as_secs_f64() > 0.0 {
+            self.single_wall.as_secs_f64() / self.dist_wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        writeln!(
+            f,
+            "distributed          : {:.2?} ({speedup:.2}x)",
+            self.dist_wall
+        )?;
+        writeln!(
+            f,
+            "parity               : PASS — merged report bitwise-identical to Session::sweep()"
+        )?;
+        writeln!(f, "worker accounting:")?;
+        for (i, w) in self.lines.iter().enumerate() {
+            writeln!(
+                f,
+                "  worker {} ({}): {} chunk(s), {} row(s), {:.1} rows/s",
+                i + 1,
+                w.peer,
+                w.chunks,
+                w.rows,
+                w.rows_per_sec
+            )?;
+        }
+        write!(
+            f,
+            "mean OPTIMAL gain over FCFS across the merged rows: {:+.1}%",
+            100.0 * self.mean_gain
+        )
+    }
+}

@@ -47,11 +47,11 @@ pub struct Fig2 {
 pub fn run(study: &Study) -> Result<Fig2, String> {
     let mut chips = Vec::new();
     for chip in Chip::ALL {
-        let sweep = study
-            .sweep(chip)
-            .policies([Policy::Worst, Policy::Optimal, Policy::FcfsEvent])
-            .run()
-            .map_err(|e| e.to_string())?;
+        let sweep = study.config().run_sweep(study.sweep(chip).policies([
+            Policy::Worst,
+            Policy::Optimal,
+            Policy::FcfsEvent,
+        ]))?;
         let worst = sweep.throughputs(Policy::Worst);
         let best = sweep.throughputs(Policy::Optimal);
         let fcfs = sweep.throughputs(Policy::FcfsEvent);

@@ -49,14 +49,14 @@ pub fn run(study: &Study) -> Result<Fig6, String> {
     let cfg = study.config();
     let measured_jobs = (cfg.fcfs_jobs / 2).clamp(2_000, 20_000);
 
-    let sweep = study
-        .sweep(Chip::Smt)
-        .policies([Policy::Worst, Policy::Optimal])
-        .policies(Policy::LATENCY)
-        .fcfs_jobs(measured_jobs)
-        .seed(cfg.seed ^ 0xF16)
-        .run()
-        .map_err(|e| e.to_string())?;
+    let sweep = cfg.run_sweep(
+        study
+            .sweep(Chip::Smt)
+            .policies([Policy::Worst, Policy::Optimal])
+            .policies(Policy::LATENCY)
+            .fcfs_jobs(measured_jobs)
+            .seed(cfg.seed ^ 0xF16),
+    )?;
     let mut points: Vec<Point> = sweep
         .rows
         .iter()

@@ -17,12 +17,14 @@
 //! | `sec7` | [`sec7`] | Section VII — fetch/ROB policy study under FCFS vs optimal scheduling |
 //! | `unit_ablation` | [`unit_ablation`] | Section III-B claim — conclusions hold for the plain instruction as unit of work |
 //! | `serve` | [`self::serve`] | Beyond the paper — online scheduling service with a live digital-twin model loop |
+//! | `dist_sweep` | [`dist_sweep`] | Beyond the paper — sharded sweep across fault-tolerant workers with deterministic merge |
 //!
 //! Every entry is invocable through the unified driver
 //! (`cargo run --release -p paperbench --bin paperbench -- <name>`), and
 //! [`REGISTRY`] preserves the historical `all`-binary print order so the
 //! combined artefact stream stays byte-identical across the migration.
 
+pub mod dist_sweep;
 pub mod fairness;
 pub mod fig1;
 pub mod fig2;
@@ -232,6 +234,12 @@ registry! {
         desc: "streams seeded arrivals through queue/dispatcher/twin and compares placers against offline bounds",
         run: |ctx| Ok(self::serve::run(ctx.config())?.to_string())
     },
+    DistSweepExp {
+        name: "dist_sweep",
+        artefact: "Beyond the paper — sharded sweep across fault-tolerant workers",
+        desc: "shards the headline sweep over a worker fleet and verifies the merged report bitwise",
+        run: |ctx| Ok(dist_sweep::run(ctx.study()?)?.to_string())
+    },
 }
 
 /// Looks an experiment up by registry name (exact match).
@@ -245,7 +253,7 @@ mod registry_tests {
 
     #[test]
     fn registry_names_are_unique_and_resolvable() {
-        assert_eq!(REGISTRY.len(), 14);
+        assert_eq!(REGISTRY.len(), 15);
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
         for name in &names {
             assert!(by_name(name).is_some(), "{name} resolves");
@@ -275,7 +283,8 @@ mod registry_tests {
                 "fairness",
                 "sec7",
                 "unit_ablation",
-                "serve"
+                "serve",
+                "dist_sweep"
             ]
         );
     }

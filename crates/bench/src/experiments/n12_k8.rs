@@ -137,11 +137,10 @@ pub fn run_for(cfg: &StudyConfig, ns: &[usize]) -> Result<N12K8, String> {
     let mut legs = Vec::with_capacity(ns.len());
     for &n in ns {
         let workloads = cfg.sample_workloads(enumerate_workloads(SUITE, n));
-        let sweep = cfg
-            .sweep(&table, workloads)
-            .policies([Policy::Optimal, Policy::FcfsEvent])
-            .run()
-            .map_err(|e| e.to_string())?;
+        let sweep = cfg.run_sweep(
+            cfg.sweep(&table, workloads)
+                .policies([Policy::Optimal, Policy::FcfsEvent]),
+        )?;
         let gains = sweep.gains(Policy::Optimal, Policy::FcfsEvent);
         legs.push(Leg {
             n,
@@ -167,11 +166,10 @@ fn simulated_leg(cfg: &StudyConfig) -> Result<SimulatedLeg, String> {
     let n = 4;
     let table = cfg.build_k8_table().map_err(|e| e.to_string())?;
     let workloads = cfg.sample_workloads(enumerate_workloads(suite, n));
-    let sweep = cfg
-        .sweep(&table, workloads)
-        .policies([Policy::Optimal, Policy::FcfsEvent])
-        .run()
-        .map_err(|e| e.to_string())?;
+    let sweep = cfg.run_sweep(
+        cfg.sweep(&table, workloads)
+            .policies([Policy::Optimal, Policy::FcfsEvent]),
+    )?;
     let gains = sweep.gains(Policy::Optimal, Policy::FcfsEvent);
     Ok(SimulatedLeg {
         suite,

@@ -26,11 +26,10 @@ pub struct N8 {
 fn mean_gain(study: &Study, n: usize) -> Result<(f64, f64, usize), String> {
     let cfg = study.config();
     let workloads = cfg.sample_workloads(enumerate_workloads(12, n));
-    let sweep = cfg
-        .sweep(study.table(Chip::Smt), workloads)
-        .policies([Policy::Optimal, Policy::FcfsEvent])
-        .run()
-        .map_err(|e| e.to_string())?;
+    let sweep = cfg.run_sweep(
+        cfg.sweep(study.table(Chip::Smt), workloads)
+            .policies([Policy::Optimal, Policy::FcfsEvent]),
+    )?;
     let gains = sweep.gains(Policy::Optimal, Policy::FcfsEvent);
     Ok((mean(&gains), max(&gains), sweep.len()))
 }

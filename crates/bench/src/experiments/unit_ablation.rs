@@ -41,12 +41,12 @@ pub struct UnitAblation {
 /// Propagates analysis failures as strings.
 pub fn run(study: &Study) -> Result<UnitAblation, String> {
     let gains_for = |unit: WorkUnit| -> Result<Vec<f64>, String> {
-        let sweep = study
-            .sweep(Chip::Smt)
-            .unit(unit)
-            .policies([Policy::Optimal, Policy::FcfsEvent])
-            .run()
-            .map_err(|e| e.to_string())?;
+        let sweep = study.config().run_sweep(
+            study
+                .sweep(Chip::Smt)
+                .unit(unit)
+                .policies([Policy::Optimal, Policy::FcfsEvent]),
+        )?;
         Ok(sweep.gains(Policy::Optimal, Policy::FcfsEvent))
     };
     let weighted = gains_for(WorkUnit::Weighted)?;

@@ -5,10 +5,44 @@ use std::error::Error;
 use std::fmt;
 use std::path::PathBuf;
 
-use session::{Session, SessionBuilder, SweepBuilder};
+use session::{Session, SessionBuilder, SweepBuilder, SweepReport};
 use simproc::{Machine, MachineConfig, MachineError};
 use symbiosis::enumerate_workloads;
 use workloads::{spec2006, PerfTable, TableError, TableStore, WorkloadView};
+
+/// Where a distributed sweep leg recruits its workers: the coordinator
+/// listen address and how many workers must connect. Parsed from
+/// `--distribute ADDR:NWORKERS` (the *last* colon splits, so
+/// `host:port:n` works).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributeSpec {
+    /// Address the coordinator binds (`host:port`; port 0 is valid for
+    /// in-process setups but useless across processes).
+    pub addr: String,
+    /// Workers to wait for before dispatching.
+    pub workers: usize,
+}
+
+impl DistributeSpec {
+    fn parse(value: &str) -> Result<Self, String> {
+        let (addr, n) = value
+            .rsplit_once(':')
+            .ok_or_else(|| format!("--distribute wants ADDR:NWORKERS, got {value:?}"))?;
+        let workers: usize = n
+            .parse()
+            .map_err(|e| format!("--distribute worker count: {e}"))?;
+        if workers == 0 {
+            return Err("--distribute needs at least one worker".into());
+        }
+        if addr.is_empty() {
+            return Err("--distribute needs a bind address".into());
+        }
+        Ok(DistributeSpec {
+            addr: addr.to_owned(),
+            workers,
+        })
+    }
+}
 
 /// Which of the paper's two machine configurations an experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +110,15 @@ pub struct StudyConfig {
     /// synthetic big-machine table. Off by default — the simulated table
     /// costs a few thousand coschedule simulations on a cold cache.
     pub simulated_k8: bool,
+    /// `--worker ADDR`: instead of running an experiment, serve a
+    /// distributed-sweep coordinator at `ADDR` as a worker process until
+    /// the coordinator goes away.
+    pub worker: Option<String>,
+    /// `--distribute ADDR:NWORKERS`: run every sweep leg started through
+    /// [`StudyConfig::run_sweep`] as a distributed coordinator at `ADDR`
+    /// instead of in-process. The merged report is bitwise identical
+    /// either way, so this is purely an execution-placement knob.
+    pub distribute: Option<DistributeSpec>,
 }
 
 impl Default for StudyConfig {
@@ -94,6 +137,8 @@ impl Default for StudyConfig {
             lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
             markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
             simulated_k8: false,
+            worker: None,
+            distribute: None,
         }
     }
 }
@@ -135,6 +180,41 @@ impl StudyConfig {
             .threads(self.threads)
             .lp_dense_limit(self.lp_dense_limit)
             .markov_dense_limit(self.markov_dense_limit)
+    }
+
+    /// Runs a configured sweep the way this config asks: in-process
+    /// ([`SweepBuilder::run`]) by default, or — with
+    /// [`StudyConfig::distribute`] set — as a distributed coordinator
+    /// that binds the configured address, waits for the configured number
+    /// of `paperbench --worker` processes, and shards the sweep across
+    /// them. Either way the report is bitwise identical (the dist crate's
+    /// parity suite pins that), so experiments route their sweep legs
+    /// through here unconditionally.
+    ///
+    /// Per-worker accounting for distributed runs goes to stderr.
+    ///
+    /// # Errors
+    ///
+    /// Sweep or distribution failures as text (the experiments' error
+    /// currency).
+    pub fn run_sweep(&self, sweep: SweepBuilder<'_>) -> Result<SweepReport, String> {
+        match &self.distribute {
+            None => sweep.run().map_err(|e| e.to_string()),
+            Some(spec) => {
+                let coordinator = dist::Coordinator::from_sweep(sweep, dist::DistConfig::default())
+                    .map_err(|e| e.to_string())?;
+                let outcome = coordinator
+                    .serve_tcp(&spec.addr, spec.workers)
+                    .map_err(|e| e.to_string())?;
+                for w in &outcome.workers {
+                    eprintln!(
+                        "distributed sweep: worker {} answered {} chunk(s) / {} row(s) in {:.1?}",
+                        w.peer, w.chunks, w.rows, w.wall
+                    );
+                }
+                Ok(outcome.report)
+            }
+        }
     }
 
     /// Builds (or, with a configured [`StudyConfig::table_cache`], loads)
@@ -233,13 +313,22 @@ impl StudyConfig {
         args: I,
         env_cache: Option<std::ffi::OsString>,
     ) -> Result<Self, String> {
-        let mut cfg = StudyConfig::default();
+        let args: Vec<String> = args.into_iter().collect();
+        // `--fast` swaps in a whole-config preset, so apply it before the
+        // flag loop regardless of its position — otherwise it would wipe
+        // every flag parsed before it (`--worker ADDR --fast` must keep
+        // the worker address).
+        let mut cfg = if args.iter().any(|a| a == "--fast") {
+            StudyConfig::fast()
+        } else {
+            StudyConfig::default()
+        };
         let mut table_cache: Option<PathBuf> = None;
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let mut grab = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
             match arg.as_str() {
-                "--fast" => cfg = StudyConfig::fast(),
+                "--fast" => {}
                 "--sample" => {
                     cfg.sample = Some(
                         grab("--sample")?
@@ -270,11 +359,16 @@ impl StudyConfig {
                         .map_err(|e| format!("--markov-dense-limit: {e}"))?
                 }
                 "--simulated-k8" => cfg.simulated_k8 = true,
+                "--worker" => cfg.worker = Some(grab("--worker")?),
+                "--distribute" => {
+                    cfg.distribute = Some(DistributeSpec::parse(&grab("--distribute")?)?)
+                }
                 other => {
                     return Err(format!(
                         "unknown flag {other}; supported: --fast --full --sample N --jobs N \
                          --threads N --table-cache PATH --lp-dense-limit N \
-                         --markov-dense-limit N --simulated-k8"
+                         --markov-dense-limit N --simulated-k8 --worker ADDR \
+                         --distribute ADDR:NWORKERS"
                     ))
                 }
             }
@@ -428,6 +522,49 @@ mod tests {
             assert!(b < names.len(), "benchmark index {b} out of range");
             assert!(seen.insert(b), "duplicate benchmark {b}");
         }
+    }
+
+    #[test]
+    fn from_args_parses_distribution_flags() {
+        let cfg = StudyConfig::from_args(["--worker", "10.0.0.1:7077"].map(String::from)).unwrap();
+        assert_eq!(cfg.worker.as_deref(), Some("10.0.0.1:7077"));
+        assert_eq!(cfg.distribute, None);
+
+        let cfg =
+            StudyConfig::from_args(["--distribute", "0.0.0.0:7077:3"].map(String::from)).unwrap();
+        let spec = cfg.distribute.expect("parsed");
+        assert_eq!(spec.addr, "0.0.0.0:7077");
+        assert_eq!(spec.workers, 3, "the last colon splits the worker count");
+
+        assert!(StudyConfig::from_args(["--distribute", "noport"].map(String::from)).is_err());
+        assert!(StudyConfig::from_args(["--distribute", "addr:0"].map(String::from)).is_err());
+        assert!(StudyConfig::from_args(["--distribute", ":3"].map(String::from)).is_err());
+        assert!(StudyConfig::from_args(["--worker".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn fast_preset_applies_first_regardless_of_position() {
+        // `--fast` must not clobber flags that precede it on the line.
+        let cfg = StudyConfig::from_args(
+            ["--worker", "10.0.0.1:7077", "--fast", "--sample", "3"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cfg.worker.as_deref(), Some("10.0.0.1:7077"));
+        assert_eq!(cfg.sample, Some(3));
+        let cfg = StudyConfig::from_args(["--sample", "3", "--fast"].map(String::from)).unwrap();
+        assert_eq!(cfg.sample, Some(3), "explicit sample beats the preset");
+        assert_eq!(cfg.fcfs_jobs, StudyConfig::fast().fcfs_jobs);
+    }
+
+    #[test]
+    fn run_sweep_without_distribution_runs_in_process() {
+        use session::{Policy, Session};
+        let cfg = StudyConfig::fast();
+        // An invalid sweep surfaces the builder's own error text.
+        let err = cfg
+            .run_sweep(Session::sweep().policies([Policy::Optimal]))
+            .expect_err("no table configured");
+        assert!(err.contains("table"), "unexpected error: {err}");
     }
 
     #[test]

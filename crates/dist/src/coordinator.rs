@@ -1,0 +1,496 @@
+//! The coordinator half: chunked work-queue dispatch over any set of
+//! [`Transport`]s, with bounded retries and an order-preserving merge.
+//!
+//! The workload list is split into *consecutive* chunks up front; chunk
+//! order therefore encodes original workload order, and reassembling the
+//! per-chunk reports with [`SweepReport::merge`] in chunk order
+//! reproduces the single-process [`session::Session::sweep`] report
+//! bitwise — no matter which worker evaluated which chunk, in what
+//! order, or how many times a chunk had to be re-handed out.
+//!
+//! Dispatch is pull-based: workers ask ([`crate::proto::Frame::FetchChunk`])
+//! and the coordinator answers with the next pending chunk, so fast
+//! workers naturally take more of the queue and a straggler holds at most
+//! one chunk. A worker that disconnects or times out while holding a
+//! chunk returns it to the queue; each chunk carries a bounded attempt
+//! budget so a poisoned chunk (or a flapping fleet) surfaces
+//! [`DistError::RetryExhausted`] instead of cycling forever. A worker
+//! that *reports* a failure ([`crate::proto::Frame::Error`]) aborts the
+//! sweep without retry: sweep evaluation is deterministic, so the chunk
+//! would fail identically everywhere.
+
+use std::collections::VecDeque;
+use std::net::TcpListener;
+use std::ops::Range;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use session::{Policy, SessionReport, SweepBuilder, SweepReport, SweepRow, SweepSpec};
+use workloads::PerfTable;
+
+use crate::proto::{Frame, PROTOCOL_VERSION};
+use crate::transport::{TcpTransport, Transport};
+use crate::DistError;
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Workloads per chunk; 0 (the default) sizes chunks automatically
+    /// (~32 chunks over the whole sweep, at least 1 workload each) so the
+    /// queue stays long enough for pull-based balancing.
+    pub chunk_size: usize,
+    /// Re-queues allowed per chunk after transport failures. Attempt
+    /// `retry_budget + 1` failing is fatal
+    /// ([`DistError::RetryExhausted`]). Default 2.
+    pub retry_budget: usize,
+    /// Per-connection read timeout on the coordinator side; a worker that
+    /// holds a chunk silently for longer is treated as lost and its chunk
+    /// re-queued. Default 120 s.
+    pub recv_timeout: Duration,
+    /// How long [`Coordinator::serve_listener`] waits for the expected
+    /// number of workers to connect. Default 60 s.
+    pub accept_timeout: Duration,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            chunk_size: 0,
+            retry_budget: 2,
+            recv_timeout: Duration::from_secs(120),
+            accept_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Per-worker accounting from one coordinated run.
+#[derive(Debug, Clone)]
+pub struct WorkerLog {
+    /// The transport's peer label (TCP address or loopback tag).
+    pub peer: String,
+    /// Chunks this worker completed.
+    pub chunks: usize,
+    /// Sweep rows this worker produced.
+    pub rows: usize,
+    /// Wall-clock time from handshake to disconnect.
+    pub wall: Duration,
+}
+
+impl WorkerLog {
+    /// Rows per second over this worker's connection lifetime.
+    pub fn rows_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.rows as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A completed distributed sweep: the merged report plus accounting.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// The merged sweep report, bitwise identical to a single-process
+    /// run over the same workload list.
+    pub report: SweepReport,
+    /// Per-worker throughput accounting, in connection order.
+    pub workers: Vec<WorkerLog>,
+    /// Number of chunks the workload list was split into.
+    pub chunks: usize,
+}
+
+/// Book-keeping for one run, shared across worker-serving threads.
+struct Shared {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    /// Chunk indices awaiting hand-out.
+    pending: VecDeque<usize>,
+    /// Hand-out attempts per chunk (1 = first try).
+    attempts: Vec<usize>,
+    /// Completed per-chunk reports, indexed by chunk.
+    reports: Vec<Option<Vec<SessionReport>>>,
+    /// Chunks completed so far.
+    done: usize,
+    /// First fatal error; ends the whole run.
+    fatal: Option<DistError>,
+}
+
+/// Shards one sweep across workers. See the module docs for the
+/// dispatch and retry semantics.
+pub struct Coordinator {
+    table_bytes: Vec<u8>,
+    fingerprint: u64,
+    workloads: Vec<Vec<usize>>,
+    chunks: Vec<Range<usize>>,
+    spec: SweepSpec,
+    config: DistConfig,
+}
+
+impl Coordinator {
+    /// Builds a coordinator from the three shards of a sweep (table,
+    /// workload list, spec) — what [`SweepBuilder::shard`] returns.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Config`] when the workload list is empty, the policy
+    /// list is empty, or a policy name does not resolve — all checked
+    /// here, before any worker sees the job.
+    pub fn new(
+        table: &PerfTable,
+        workloads: Vec<Vec<usize>>,
+        spec: SweepSpec,
+        config: DistConfig,
+    ) -> Result<Self, DistError> {
+        if workloads.is_empty() {
+            return Err(DistError::Config("no workloads to sweep".into()));
+        }
+        if spec.policies.is_empty() {
+            return Err(DistError::Config("no policies requested".into()));
+        }
+        for name in &spec.policies {
+            if Policy::by_name(name).is_none() {
+                return Err(DistError::Config(format!("unknown policy {name:?}")));
+            }
+        }
+        let chunk_size = if config.chunk_size == 0 {
+            workloads.len().div_ceil(32).max(1)
+        } else {
+            config.chunk_size
+        };
+        let chunks: Vec<Range<usize>> = (0..workloads.len())
+            .step_by(chunk_size)
+            .map(|start| start..(start + chunk_size).min(workloads.len()))
+            .collect();
+        Ok(Coordinator {
+            table_bytes: table.to_bytes(),
+            fingerprint: table.content_fingerprint(),
+            workloads,
+            chunks,
+            spec,
+            config,
+        })
+    }
+
+    /// Builds a coordinator straight from a configured [`SweepBuilder`]
+    /// (the common entry point: configure the sweep exactly as for
+    /// `run()`, then distribute it instead).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Config`] on any builder validation failure (missing
+    /// table, no workloads, unknown policy) or invalid `config`.
+    pub fn from_sweep(sweep: SweepBuilder<'_>, config: DistConfig) -> Result<Self, DistError> {
+        let (table, workloads, spec) = sweep
+            .shard()
+            .map_err(|e| DistError::Config(e.to_string()))?;
+        Coordinator::new(table, workloads, spec, config)
+    }
+
+    /// Number of chunks the workload list was split into.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Runs the sweep over an explicit set of connected transports (one
+    /// per worker), blocking until every chunk is answered or the run
+    /// fails. This is the transport-agnostic core; TCP callers use
+    /// [`Coordinator::serve_tcp`] / [`Coordinator::serve_listener`].
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Sweep`] when a worker reports a deterministic
+    /// evaluation failure, [`DistError::RetryExhausted`] when one chunk
+    /// burns through its attempt budget, [`DistError::Incomplete`] when
+    /// every worker is gone with work outstanding, or
+    /// [`DistError::Config`] when `workers` is empty.
+    pub fn run<T: Transport + Send>(&self, workers: Vec<T>) -> Result<DistOutcome, DistError> {
+        if workers.is_empty() {
+            return Err(DistError::Config("no workers to run on".into()));
+        }
+        let shared = Shared {
+            state: Mutex::new(QueueState {
+                pending: (0..self.chunks.len()).collect(),
+                attempts: vec![0; self.chunks.len()],
+                reports: vec![None; self.chunks.len()],
+                done: 0,
+                fatal: None,
+            }),
+            cv: Condvar::new(),
+        };
+
+        let logs: Vec<WorkerLog> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .map(|mut transport| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        let peer = transport.peer();
+                        let started = Instant::now();
+                        let mut log = WorkerLog {
+                            peer,
+                            chunks: 0,
+                            rows: 0,
+                            wall: Duration::ZERO,
+                        };
+                        let mut held: Option<usize> = None;
+                        let outcome =
+                            self.serve_worker(&mut transport, shared, &mut held, &mut log);
+                        if let Err(error) = outcome {
+                            self.retire_worker(shared, held, error);
+                        }
+                        log.wall = started.elapsed();
+                        log
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker-serving thread panicked"))
+                .collect()
+        });
+
+        let mut state = self.lock(&shared);
+        if let Some(fatal) = state.fatal.take() {
+            return Err(fatal);
+        }
+        if state.done != self.chunks.len() {
+            return Err(DistError::Incomplete {
+                remaining: self.chunks.len() - state.done,
+            });
+        }
+        let mut parts = Vec::with_capacity(self.chunks.len());
+        for (chunk, reports) in self.chunks.iter().zip(state.reports.drain(..)) {
+            let reports = reports.expect("done == chunks implies every slot is filled");
+            let rows = self.workloads[chunk.clone()]
+                .iter()
+                .zip(reports)
+                .map(|(w, report)| SweepRow {
+                    workload: w.clone(),
+                    report,
+                })
+                .collect();
+            parts.push(SweepReport { rows });
+        }
+        Ok(DistOutcome {
+            report: SweepReport::merge(parts),
+            workers: logs,
+            chunks: self.chunks.len(),
+        })
+    }
+
+    /// Accepts `nworkers` TCP connections on `listener` (within
+    /// [`DistConfig::accept_timeout`]), then runs the sweep over them.
+    /// Binding the listener first (port 0 works) lets callers learn the
+    /// address before spawning workers.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Timeout`] when too few workers connect in time, plus
+    /// everything [`Coordinator::run`] reports.
+    pub fn serve_listener(
+        &self,
+        listener: &TcpListener,
+        nworkers: usize,
+    ) -> Result<DistOutcome, DistError> {
+        if nworkers == 0 {
+            return Err(DistError::Config("need at least one worker".into()));
+        }
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + self.config.accept_timeout;
+        let mut transports = Vec::with_capacity(nworkers);
+        while transports.len() < nworkers {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    transports.push(TcpTransport::from_stream(stream, self.config.recv_timeout)?);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(DistError::Timeout(format!(
+                            "only {} of {nworkers} workers connected within {:?}",
+                            transports.len(),
+                            self.config.accept_timeout
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.run(transports)
+    }
+
+    /// Binds `addr`, then behaves as [`Coordinator::serve_listener`].
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Io`] when the address cannot be bound, plus
+    /// everything [`Coordinator::serve_listener`] reports.
+    pub fn serve_tcp(&self, addr: &str, nworkers: usize) -> Result<DistOutcome, DistError> {
+        let listener = TcpListener::bind(addr)?;
+        self.serve_listener(&listener, nworkers)
+    }
+
+    fn lock<'s>(&self, shared: &'s Shared) -> std::sync::MutexGuard<'s, QueueState> {
+        shared
+            .state
+            .lock()
+            .expect("queue mutex poisoned: a serving thread panicked")
+    }
+
+    /// One worker's conversation, from handshake to Drained. On `Err`
+    /// the caller settles the held chunk via
+    /// [`Coordinator::retire_worker`].
+    fn serve_worker<T: Transport>(
+        &self,
+        transport: &mut T,
+        shared: &Shared,
+        held: &mut Option<usize>,
+        log: &mut WorkerLog,
+    ) -> Result<(), DistError> {
+        match transport.recv()? {
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+            } => {}
+            Frame::Hello { version } => {
+                let mismatch = DistError::VersionMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: version,
+                };
+                let _ = transport.send(&Frame::Error {
+                    message: mismatch.to_string(),
+                });
+                // A worker from another build is not a queue failure:
+                // report it on stderr and serve the remaining workers.
+                eprintln!("dist: rejected worker {}: {mismatch}", transport.peer());
+                return Ok(());
+            }
+            other => {
+                return Err(DistError::Protocol(format!(
+                    "expected Hello, got {other:?}"
+                )))
+            }
+        }
+        transport.send(&Frame::Welcome {
+            version: PROTOCOL_VERSION,
+            table_fingerprint: self.fingerprint,
+            spec: self.spec.clone(),
+            total_workloads: self.workloads.len() as u64,
+        })?;
+
+        loop {
+            match transport.recv()? {
+                Frame::TableRequest => transport.send(&Frame::TableBytes {
+                    bytes: self.table_bytes.clone(),
+                })?,
+                Frame::FetchChunk => {
+                    let next = {
+                        let mut state = self.lock(shared);
+                        loop {
+                            if let Some(fatal) = &state.fatal {
+                                let fatal = fatal.clone();
+                                drop(state);
+                                let _ = transport.send(&Frame::Error {
+                                    message: fatal.to_string(),
+                                });
+                                return Ok(()); // the run is already lost; exit quietly
+                            }
+                            if let Some(id) = state.pending.pop_front() {
+                                state.attempts[id] += 1;
+                                break Some(id);
+                            }
+                            if state.done == self.chunks.len() {
+                                break None;
+                            }
+                            // Work is outstanding on other workers; wait
+                            // for a completion, a re-queue, or a fatal.
+                            state = shared
+                                .cv
+                                .wait(state)
+                                .expect("queue mutex poisoned while waiting");
+                        }
+                    };
+                    match next {
+                        Some(id) => {
+                            *held = Some(id);
+                            let range = self.chunks[id].clone();
+                            transport.send(&Frame::Chunk {
+                                id: id as u64,
+                                workloads: self.workloads[range].to_vec(),
+                            })?;
+                        }
+                        None => {
+                            transport.send(&Frame::Drained)?;
+                            return Ok(());
+                        }
+                    }
+                }
+                Frame::Rows { id, reports } => {
+                    let id = id as usize;
+                    if *held != Some(id) {
+                        return Err(DistError::Protocol(format!(
+                            "rows for chunk {id} but this worker holds {held:?}"
+                        )));
+                    }
+                    let expected = self.chunks[id].len();
+                    if reports.len() != expected {
+                        return Err(DistError::Protocol(format!(
+                            "chunk {id} carries {expected} workloads but the worker answered {}",
+                            reports.len()
+                        )));
+                    }
+                    *held = None;
+                    log.chunks += 1;
+                    log.rows += reports.len();
+                    let mut state = self.lock(shared);
+                    if state.reports[id].is_none() {
+                        state.reports[id] = Some(reports);
+                        state.done += 1;
+                    }
+                    shared.cv.notify_all();
+                }
+                Frame::Error { message } => {
+                    // The worker hit a deterministic evaluation failure:
+                    // retrying the chunk elsewhere would fail the same
+                    // way, so the whole run aborts.
+                    *held = None;
+                    let error = DistError::Sweep(message);
+                    let mut state = self.lock(shared);
+                    state.fatal.get_or_insert(error.clone());
+                    shared.cv.notify_all();
+                    return Err(error);
+                }
+                other => {
+                    return Err(DistError::Protocol(format!(
+                        "unexpected frame from worker: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Settles a failed worker connection: re-queues its held chunk
+    /// under the retry budget, or records the fatal error that ends the
+    /// run. (A worker-reported `Sweep` failure arrives here with no held
+    /// chunk — `serve_worker` already recorded it as fatal.)
+    fn retire_worker(&self, shared: &Shared, held: Option<usize>, error: DistError) {
+        let mut state = self.lock(shared);
+        if let Some(id) = held {
+            let attempts = state.attempts[id];
+            if attempts > self.config.retry_budget {
+                state.fatal.get_or_insert(DistError::RetryExhausted {
+                    chunk: id,
+                    attempts,
+                    last: error.to_string(),
+                });
+            } else if state.reports[id].is_none() {
+                state.pending.push_back(id);
+            }
+        }
+        shared.cv.notify_all();
+    }
+}

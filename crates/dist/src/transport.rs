@@ -1,0 +1,320 @@
+//! Byte-faithful frame transports: std TCP and an in-process loopback.
+//!
+//! Both implementations move the *same* wire image ([`Frame::encode`] /
+//! [`Frame::decode_wire`]): the loopback pair is not a shortcut around
+//! serialization, it is TCP minus the socket — which is what lets the
+//! protocol tests (including checksum, version and fault paths) run
+//! without binding ports, and lets [`FaultPlan`] kill a "worker"
+//! mid-conversation deterministically.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+
+use crate::proto::{Frame, MAX_FRAME_LEN};
+use crate::DistError;
+
+/// A bidirectional frame pipe. `send` must deliver the frame's full wire
+/// image or fail; `recv` must return exactly one decoded frame or fail.
+pub trait Transport {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Disconnected`] / [`DistError::Io`] when the peer is
+    /// gone or the pipe breaks.
+    fn send(&mut self, frame: &Frame) -> Result<(), DistError>;
+
+    /// Receives the next frame, blocking up to the transport's read
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Timeout`] when no frame arrives in time,
+    /// [`DistError::Disconnected`] on EOF, [`DistError::Protocol`] on
+    /// malformed bytes.
+    fn recv(&mut self) -> Result<Frame, DistError>;
+
+    /// Human-readable peer label for error messages and accounting.
+    fn peer(&self) -> String {
+        "peer".into()
+    }
+}
+
+// --- TCP -----------------------------------------------------------------
+
+/// A [`Transport`] over one `std::net::TcpStream`.
+pub struct TcpTransport {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Connects to a coordinator (or accepts a worker: see
+    /// [`TcpTransport::from_stream`]) with the default 120 s read
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Io`] when the address does not resolve or the
+    /// connection is refused.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, DistError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, Duration::from_secs(120))
+    }
+
+    /// Wraps an accepted or connected stream, disabling Nagle (frames are
+    /// request/response sized) and applying `read_timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Io`] when the socket options cannot be set.
+    pub fn from_stream(stream: TcpStream, read_timeout: Duration) -> Result<Self, DistError> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp peer".into());
+        Ok(TcpTransport { stream, peer })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), DistError> {
+        self.stream.write_all(&frame.encode())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, DistError> {
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(DistError::Protocol(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+            )));
+        }
+        let mut wire = vec![0u8; 4 + len + 8];
+        wire[..4].copy_from_slice(&len_buf);
+        self.stream.read_exact(&mut wire[4..])?;
+        Frame::decode_wire(&wire)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+// --- loopback ------------------------------------------------------------
+
+/// Deterministic fault injection for a [`loopback_pair_with_fault`] end:
+/// after the configured number of frames have crossed this end (sent +
+/// received), every further operation fails as
+/// [`DistError::Disconnected`] and the channel ends are dropped so the
+/// peer sees the hangup too — exactly what killing a worker process
+/// mid-sweep looks like to the coordinator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Die after this many frames have crossed (None: never).
+    pub die_after_frames: Option<usize>,
+}
+
+/// One end of an in-process frame pipe. Frames are fully encoded to
+/// their wire image on `send` and decoded on `recv`, so the loopback
+/// exercises the identical byte path as TCP.
+pub struct LoopbackTransport {
+    tx: Option<Sender<Vec<u8>>>,
+    rx: Option<Receiver<Vec<u8>>>,
+    recv_timeout: Duration,
+    fault: FaultPlan,
+    crossed: usize,
+    label: String,
+}
+
+/// An in-process transport pair (coordinator end, worker end) with no
+/// fault injection and a generous read timeout.
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    loopback_pair_with_fault(FaultPlan::default())
+}
+
+/// An in-process transport pair whose *second* (worker) end carries
+/// `fault`. The coordinator end never fails on its own; it observes the
+/// worker's death as a disconnect, like a real dropped socket.
+pub fn loopback_pair_with_fault(fault: FaultPlan) -> (LoopbackTransport, LoopbackTransport) {
+    let (a_tx, b_rx) = mpsc::channel();
+    let (b_tx, a_rx) = mpsc::channel();
+    let coordinator = LoopbackTransport {
+        tx: Some(a_tx),
+        rx: Some(a_rx),
+        recv_timeout: Duration::from_secs(120),
+        fault: FaultPlan::default(),
+        crossed: 0,
+        label: "loopback worker".into(),
+    };
+    let worker = LoopbackTransport {
+        tx: Some(b_tx),
+        rx: Some(b_rx),
+        recv_timeout: Duration::from_secs(120),
+        fault,
+        crossed: 0,
+        label: "loopback coordinator".into(),
+    };
+    (coordinator, worker)
+}
+
+impl LoopbackTransport {
+    /// Overrides the read timeout (default 120 s).
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// True once the fault plan has fired (for test assertions).
+    pub fn died(&self) -> bool {
+        self.tx.is_none()
+    }
+
+    fn check_fault(&mut self) -> Result<(), DistError> {
+        if let Some(limit) = self.fault.die_after_frames {
+            if self.crossed >= limit {
+                // Drop both ends so the peer observes the hangup.
+                self.tx = None;
+                self.rx = None;
+            }
+        }
+        if self.tx.is_none() {
+            return Err(DistError::Disconnected(
+                "injected fault: this end is dead".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), DistError> {
+        self.check_fault()?;
+        let tx = self.tx.as_ref().expect("checked alive");
+        tx.send(frame.encode())
+            .map_err(|_| DistError::Disconnected("loopback peer dropped its receiver".into()))?;
+        self.crossed += 1;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, DistError> {
+        self.check_fault()?;
+        let rx = self.rx.as_ref().expect("checked alive");
+        let wire = match rx.recv_timeout(self.recv_timeout) {
+            Ok(wire) => wire,
+            Err(RecvTimeoutError::Timeout) => {
+                // Distinguish "peer is slow" from "peer is gone": a
+                // disconnected channel with no pending frames reports
+                // Disconnected on the next try_recv.
+                return match rx.try_recv() {
+                    Ok(wire) => {
+                        self.crossed += 1;
+                        return Frame::decode_wire(&wire);
+                    }
+                    Err(TryRecvError::Disconnected) => Err(DistError::Disconnected(
+                        "loopback peer dropped its sender".into(),
+                    )),
+                    Err(TryRecvError::Empty) => Err(DistError::Timeout(format!(
+                        "no frame within {:?}",
+                        self.recv_timeout
+                    ))),
+                };
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(DistError::Disconnected(
+                    "loopback peer dropped its sender".into(),
+                ))
+            }
+        };
+        self.crossed += 1;
+        Frame::decode_wire(&wire)
+    }
+
+    fn peer(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn loopback_moves_frames_both_ways() {
+        let (mut c, mut w) = loopback_pair();
+        w.send(&Frame::Hello { version: 1 }).unwrap();
+        assert_eq!(c.recv().unwrap(), Frame::Hello { version: 1 });
+        c.send(&Frame::Drained).unwrap();
+        assert_eq!(w.recv().unwrap(), Frame::Drained);
+    }
+
+    #[test]
+    fn loopback_fault_kills_the_end_and_signals_the_peer() {
+        let fault = FaultPlan {
+            die_after_frames: Some(2),
+        };
+        let (mut c, mut w) = loopback_pair_with_fault(fault);
+        w.send(&Frame::FetchChunk).unwrap(); // frame 1
+        assert_eq!(c.recv().unwrap(), Frame::FetchChunk);
+        c.send(&Frame::Drained).unwrap();
+        assert_eq!(w.recv().unwrap(), Frame::Drained); // frame 2 — limit hit
+        assert!(matches!(
+            w.send(&Frame::FetchChunk),
+            Err(DistError::Disconnected(_))
+        ));
+        assert!(w.died());
+        // The coordinator end now sees a hangup, not a timeout.
+        let mut c = c.with_recv_timeout(Duration::from_millis(20));
+        assert!(matches!(c.recv(), Err(DistError::Disconnected(_))));
+    }
+
+    #[test]
+    fn loopback_recv_times_out_when_the_peer_is_alive_but_silent() {
+        let (c, _w) = loopback_pair();
+        let mut c = c.with_recv_timeout(Duration::from_millis(10));
+        assert!(matches!(c.recv(), Err(DistError::Timeout(_))));
+    }
+
+    #[test]
+    fn tcp_round_trips_a_frame() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut t = TcpTransport::connect(addr).unwrap();
+            t.send(&Frame::Hello { version: 7 }).unwrap();
+            t.recv().unwrap()
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::from_stream(stream, Duration::from_secs(5)).unwrap();
+        assert_eq!(server.recv().unwrap(), Frame::Hello { version: 7 });
+        server
+            .send(&Frame::Error {
+                message: "bye".into(),
+            })
+            .unwrap();
+        assert_eq!(
+            client.join().unwrap(),
+            Frame::Error {
+                message: "bye".into()
+            }
+        );
+    }
+
+    #[test]
+    fn tcp_hangup_reads_as_disconnected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::from_stream(stream, Duration::from_secs(5)).unwrap();
+        drop(client.join().unwrap());
+        assert!(matches!(server.recv(), Err(DistError::Disconnected(_))));
+    }
+}

@@ -1,0 +1,187 @@
+//! The worker half: connect, handshake, obtain the shared table, then
+//! pull chunks until the coordinator says [`Frame::Drained`].
+//!
+//! Table acquisition is dedup-aware: the coordinator's `Welcome` carries
+//! the table's content fingerprint
+//! ([`workloads::PerfTable::content_fingerprint`]), and a worker with a
+//! [`TableStore`] cache first tries a fingerprint-keyed load — only on a
+//! miss does it pull the bytes over the wire (and saves them back, so
+//! the next sweep against the same table is a cache hit). Either way the
+//! table the worker evaluates is verified against the fingerprint, so a
+//! stale or mislabelled cache entry can never poison a sweep.
+
+use std::time::Duration;
+
+use session::SessionReport;
+use workloads::{PerfTable, TableStore};
+
+use crate::proto::{Frame, PROTOCOL_VERSION};
+use crate::transport::{TcpTransport, Transport};
+use crate::DistError;
+
+/// Worker-side knobs.
+#[derive(Debug, Default)]
+pub struct WorkerConfig {
+    /// Threads for the in-chunk sweep fan-out; 0 (the default) uses the
+    /// sweep builder's default (available parallelism).
+    pub threads: usize,
+    /// Fingerprint-keyed table cache; `None` always fetches the table
+    /// over the wire.
+    pub cache: Option<TableStore>,
+}
+
+/// What one worker did over one coordinator connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSummary {
+    /// Chunks evaluated.
+    pub chunks: usize,
+    /// Sweep rows produced.
+    pub rows: usize,
+    /// True when the table came from the local cache instead of the
+    /// wire.
+    pub table_from_cache: bool,
+    /// The shared table's content fingerprint.
+    pub fingerprint: u64,
+}
+
+/// Connects to a coordinator with retries — workers typically start
+/// before the coordinator finishes building its table, so the first
+/// connect may be early. Retries `attempts` times, `delay` apart.
+///
+/// # Errors
+///
+/// The last connection error once the attempts are spent.
+pub fn connect_retry(
+    addr: &str,
+    attempts: usize,
+    delay: Duration,
+) -> Result<TcpTransport, DistError> {
+    let mut last = DistError::Config("connect_retry needs at least one attempt".into());
+    for i in 0..attempts.max(1) {
+        if i > 0 {
+            std::thread::sleep(delay);
+        }
+        match TcpTransport::connect(addr) {
+            Ok(t) => return Ok(t),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// Serves one coordinator connection to completion: handshake, table
+/// acquisition, then chunk evaluation until [`Frame::Drained`].
+///
+/// # Errors
+///
+/// [`DistError::VersionMismatch`] when the coordinator speaks another
+/// protocol version, [`DistError::Remote`] when it reports a fatal
+/// error, [`DistError::Sweep`] when a chunk's evaluation fails (also
+/// reported back over the wire before returning), and transport errors
+/// when the coordinator goes away.
+pub fn run_worker<T: Transport>(
+    mut transport: T,
+    config: &WorkerConfig,
+) -> Result<WorkerSummary, DistError> {
+    transport.send(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+    })?;
+    let (fingerprint, spec) = match transport.recv()? {
+        Frame::Welcome {
+            version: PROTOCOL_VERSION,
+            table_fingerprint,
+            spec,
+            ..
+        } => (table_fingerprint, spec),
+        Frame::Welcome { version, .. } => {
+            return Err(DistError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: version,
+            })
+        }
+        Frame::Error { message } => return Err(DistError::Remote(message)),
+        other => {
+            return Err(DistError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            )))
+        }
+    };
+
+    let cached = config
+        .cache
+        .as_ref()
+        .and_then(|c| c.load_content(fingerprint));
+    let table_from_cache = cached.is_some();
+    let table = match cached {
+        Some(table) => table,
+        None => {
+            transport.send(&Frame::TableRequest)?;
+            let bytes = match transport.recv()? {
+                Frame::TableBytes { bytes } => bytes,
+                Frame::Error { message } => return Err(DistError::Remote(message)),
+                other => {
+                    return Err(DistError::Protocol(format!(
+                        "expected TableBytes, got {other:?}"
+                    )))
+                }
+            };
+            let table = PerfTable::from_bytes(&bytes)
+                .map_err(|e| DistError::Protocol(format!("table bytes did not parse: {e}")))?;
+            let actual = table.content_fingerprint();
+            if actual != fingerprint {
+                return Err(DistError::Protocol(format!(
+                    "table fingerprint mismatch: announced {fingerprint:#018x}, received {actual:#018x}"
+                )));
+            }
+            if let Some(cache) = &config.cache {
+                // Cache persistence is an optimisation; a full disk must
+                // not kill the sweep.
+                if let Err(e) = cache.save_content(&table) {
+                    eprintln!("dist worker: could not cache table: {e}");
+                }
+            }
+            table
+        }
+    };
+
+    let mut summary = WorkerSummary {
+        chunks: 0,
+        rows: 0,
+        table_from_cache,
+        fingerprint,
+    };
+    loop {
+        transport.send(&Frame::FetchChunk)?;
+        match transport.recv()? {
+            Frame::Chunk { id, workloads } => {
+                let mut sweep = spec.sweep(&table).workloads(workloads);
+                if config.threads > 0 {
+                    sweep = sweep.threads(config.threads);
+                }
+                match sweep.run() {
+                    Ok(report) => {
+                        let reports: Vec<SessionReport> =
+                            report.rows.into_iter().map(|row| row.report).collect();
+                        summary.chunks += 1;
+                        summary.rows += reports.len();
+                        transport.send(&Frame::Rows { id, reports })?;
+                    }
+                    Err(e) => {
+                        let error = DistError::Sweep(e.to_string());
+                        let _ = transport.send(&Frame::Error {
+                            message: e.to_string(),
+                        });
+                        return Err(error);
+                    }
+                }
+            }
+            Frame::Drained => return Ok(summary),
+            Frame::Error { message } => return Err(DistError::Remote(message)),
+            other => {
+                return Err(DistError::Protocol(format!(
+                    "expected Chunk or Drained, got {other:?}"
+                )))
+            }
+        }
+    }
+}

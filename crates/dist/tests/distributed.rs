@@ -1,0 +1,339 @@
+//! End-to-end distributed-sweep coverage: the merged report must be
+//! bitwise identical to a single-process `Session::sweep()` run — over
+//! loopback transports, over real TCP, and under an injected mid-sweep
+//! worker death — and failure modes (retry exhaustion, total worker
+//! loss, version skew, poisoned chunks) must surface as clean errors.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use dist::{
+    loopback_pair, loopback_pair_with_fault, run_worker, Coordinator, DistConfig, DistError,
+    FaultPlan, TcpTransport, WorkerConfig,
+};
+use session::{Policy, Session, SweepBuilder, SweepReport};
+use simproc::{BenchmarkProfile, Machine, MachineConfig};
+use symbiosis::enumerate_workloads;
+use workloads::{spec2006, PerfTable, TableStore};
+
+fn tiny_table() -> &'static PerfTable {
+    static TABLE: OnceLock<PerfTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let machine =
+            Machine::new(MachineConfig::smt4().with_windows(2_000, 6_000)).expect("valid config");
+        let suite: Vec<BenchmarkProfile> = spec2006().into_iter().take(5).collect();
+        PerfTable::build(&machine, &suite, 4).expect("table builds")
+    })
+}
+
+const JOBS: u64 = 4_000;
+const SEED: u64 = 0xBEEF;
+
+/// The reference sweep every distributed variant must reproduce bitwise.
+fn reference_sweep() -> SweepBuilder<'static> {
+    Session::sweep()
+        .table(tiny_table())
+        .workloads(enumerate_workloads(5, 3)) // 10 mixes
+        .policies([Policy::Worst, Policy::FcfsEvent, Policy::Optimal])
+        .fcfs_jobs(JOBS)
+        .seed(SEED)
+}
+
+fn reference_report() -> &'static SweepReport {
+    static REPORT: OnceLock<SweepReport> = OnceLock::new();
+    REPORT.get_or_init(|| reference_sweep().run().expect("reference sweep runs"))
+}
+
+/// Bitwise equality: `SweepReport` derives `PartialEq` over `f64` fields,
+/// which is value equality; pin the bits explicitly as well.
+fn assert_bitwise_equal(distributed: &SweepReport, reference: &SweepReport) {
+    assert_eq!(distributed, reference);
+    for (d, r) in distributed.rows.iter().zip(&reference.rows) {
+        assert_eq!(d.workload, r.workload);
+        for (dp, rp) in d.report.rows.iter().zip(&r.report.rows) {
+            assert_eq!(dp.throughput.to_bits(), rp.throughput.to_bits());
+        }
+    }
+}
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "symb-dist-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn loopback_workers_reproduce_the_sweep_bitwise() {
+    let coordinator = Coordinator::from_sweep(
+        reference_sweep(),
+        DistConfig {
+            chunk_size: 3, // 10 workloads -> 4 uneven chunks
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    let (c1, w1) = loopback_pair();
+    let (c2, w2) = loopback_pair();
+    let workers: Vec<_> = [w1, w2]
+        .into_iter()
+        .map(|t| std::thread::spawn(move || run_worker(t, &WorkerConfig::default())))
+        .collect();
+    let outcome = coordinator.run(vec![c1, c2]).expect("distributed run");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert_eq!(outcome.chunks, 4);
+
+    let mut chunks = 0;
+    let mut rows = 0;
+    for handle in workers {
+        let summary = handle.join().unwrap().expect("worker completes");
+        assert!(!summary.table_from_cache);
+        chunks += summary.chunks;
+        rows += summary.rows;
+    }
+    assert_eq!(chunks, 4);
+    assert_eq!(rows, reference_report().len());
+    let logged: usize = outcome.workers.iter().map(|w| w.rows).sum();
+    assert_eq!(logged, reference_report().len());
+}
+
+#[test]
+fn tcp_workers_reproduce_the_sweep_bitwise() {
+    let coordinator = Coordinator::from_sweep(reference_sweep(), DistConfig::default()).unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let transport = TcpTransport::connect(addr.as_str())?;
+                run_worker(transport, &WorkerConfig::default())
+            })
+        })
+        .collect();
+    let outcome = coordinator.serve_listener(&listener, 2).expect("tcp run");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    for handle in workers {
+        handle.join().unwrap().expect("worker completes");
+    }
+}
+
+#[test]
+fn a_worker_killed_mid_sweep_is_rerouted_and_parity_holds() {
+    let coordinator = Coordinator::from_sweep(
+        reference_sweep(),
+        DistConfig {
+            chunk_size: 2, // 5 chunks, so the victim dies with work left
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    // The victim's end dies after 6 frames: Hello, Welcome, TableRequest,
+    // TableBytes, FetchChunk, Chunk — then while returning its first Rows
+    // frame, exactly a worker process crashing mid-sweep with a chunk
+    // held. The coordinator must re-queue that chunk.
+    let (c1, w1) = loopback_pair_with_fault(FaultPlan {
+        die_after_frames: Some(6),
+    });
+    let (c2, w2) = loopback_pair();
+    let victim = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator
+        .run(vec![
+            c1.with_recv_timeout(Duration::from_secs(5)),
+            c2.with_recv_timeout(Duration::from_secs(120)),
+        ])
+        .expect("run completes despite the dead worker");
+    assert_bitwise_equal(&outcome.report, reference_report());
+
+    // The victim observed its own death as a transport failure.
+    assert!(matches!(
+        victim.join().unwrap(),
+        Err(DistError::Disconnected(_))
+    ));
+    let summary = survivor.join().unwrap().expect("survivor completes");
+    // The survivor picked up everything, including the re-queued chunk.
+    assert_eq!(summary.rows, reference_report().len());
+    assert_eq!(summary.chunks, 5);
+}
+
+#[test]
+fn retry_budget_exhaustion_surfaces_a_clean_error() {
+    let coordinator = Coordinator::from_sweep(
+        reference_sweep(),
+        DistConfig {
+            chunk_size: 2,
+            retry_budget: 0, // first transport failure on a held chunk is fatal
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    let (c1, w1) = loopback_pair_with_fault(FaultPlan {
+        die_after_frames: Some(6),
+    });
+    let worker = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let err = coordinator
+        .run(vec![c1.with_recv_timeout(Duration::from_secs(5))])
+        .expect_err("budget 0 cannot absorb a worker death");
+    assert!(
+        matches!(err, DistError::RetryExhausted { attempts: 1, .. }),
+        "unexpected error: {err}"
+    );
+    let _ = worker.join().unwrap();
+}
+
+#[test]
+fn losing_every_worker_reports_incomplete() {
+    let coordinator = Coordinator::from_sweep(
+        reference_sweep(),
+        DistConfig {
+            chunk_size: 2,
+            retry_budget: 5, // generous budget: the failure is worker loss
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    let (c1, w1) = loopback_pair_with_fault(FaultPlan {
+        die_after_frames: Some(6),
+    });
+    let worker = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let err = coordinator
+        .run(vec![c1.with_recv_timeout(Duration::from_secs(5))])
+        .expect_err("the only worker died with chunks outstanding");
+    assert!(
+        matches!(err, DistError::Incomplete { remaining } if remaining > 0),
+        "unexpected error: {err}"
+    );
+    let _ = worker.join().unwrap();
+}
+
+#[test]
+fn workers_cache_the_table_and_reuse_it_across_sweeps() {
+    let dir = temp_store_dir("cache");
+
+    // Cold: the table travels over the wire and lands in the cache.
+    let coordinator = Coordinator::from_sweep(reference_sweep(), DistConfig::default()).unwrap();
+    let (c1, w1) = loopback_pair();
+    let store_cold = TableStore::new(dir.clone());
+    let worker = std::thread::spawn(move || {
+        run_worker(
+            w1,
+            &WorkerConfig {
+                threads: 0,
+                cache: Some(store_cold),
+            },
+        )
+    });
+    let cold = coordinator.run(vec![c1]).expect("cold run");
+    let summary = worker.join().unwrap().expect("worker completes");
+    assert!(!summary.table_from_cache);
+    assert_bitwise_equal(&cold.report, reference_report());
+
+    // Warm: a fresh worker against the same cache loads locally.
+    let (c2, w2) = loopback_pair();
+    let store_warm = TableStore::new(dir.clone());
+    let worker = std::thread::spawn(move || {
+        run_worker(
+            w2,
+            &WorkerConfig {
+                threads: 0,
+                cache: Some(store_warm),
+            },
+        )
+    });
+    let warm = coordinator.run(vec![c2]).expect("warm run");
+    let summary = worker.join().unwrap().expect("worker completes");
+    assert!(summary.table_from_cache);
+    assert_bitwise_equal(&warm.report, reference_report());
+}
+
+#[test]
+fn version_skew_is_rejected_without_killing_the_run() {
+    use dist::{Frame, Transport, PROTOCOL_VERSION};
+
+    let coordinator = Coordinator::from_sweep(reference_sweep(), DistConfig::default()).unwrap();
+    // One impostor speaking a future protocol, one honest worker.
+    let (c1, mut w1) = loopback_pair();
+    let (c2, w2) = loopback_pair();
+    let impostor = std::thread::spawn(move || {
+        w1.send(&Frame::Hello {
+            version: PROTOCOL_VERSION + 1,
+        })
+        .unwrap();
+        w1.recv()
+    });
+    let honest = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator
+        .run(vec![c1, c2])
+        .expect("the honest worker carries the sweep");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    let answer = impostor.join().unwrap().expect("impostor gets an answer");
+    assert!(
+        matches!(&answer, Frame::Error { message } if message.contains("version")),
+        "unexpected answer: {answer:?}"
+    );
+    honest.join().unwrap().expect("honest worker completes");
+}
+
+#[test]
+fn a_poisoned_chunk_aborts_the_run_without_retry() {
+    // A workload with an out-of-range benchmark index fails evaluation
+    // deterministically on any worker: the coordinator must abort, not
+    // cycle the chunk through the retry budget.
+    let sweep = Session::sweep()
+        .table(tiny_table())
+        .workloads(vec![vec![0, 1, 2], vec![0, 1, 99]])
+        .policies([Policy::Optimal])
+        .fcfs_jobs(JOBS)
+        .seed(SEED);
+    let coordinator = Coordinator::from_sweep(
+        sweep,
+        DistConfig {
+            chunk_size: 1,
+            retry_budget: 3,
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    let (c1, w1) = loopback_pair();
+    let worker = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let err = coordinator
+        .run(vec![c1])
+        .expect_err("a deterministic evaluation failure is fatal");
+    assert!(
+        matches!(err, DistError::Sweep(_)),
+        "unexpected error: {err}"
+    );
+    assert!(matches!(worker.join().unwrap(), Err(DistError::Sweep(_))));
+}
+
+#[test]
+fn invalid_configurations_are_rejected_before_any_worker_connects() {
+    let no_workloads = Session::sweep()
+        .table(tiny_table())
+        .policies([Policy::Optimal]);
+    assert!(matches!(
+        Coordinator::from_sweep(no_workloads, DistConfig::default()),
+        Err(DistError::Config(_))
+    ));
+
+    let bad_policy = Session::sweep()
+        .table(tiny_table())
+        .workload(&[0, 1, 2])
+        .policy_names(["NOT-A-POLICY"]);
+    assert!(matches!(
+        Coordinator::from_sweep(bad_policy, DistConfig::default()),
+        Err(DistError::Config(_))
+    ));
+
+    let fine = Coordinator::from_sweep(reference_sweep(), DistConfig::default()).unwrap();
+    assert!(matches!(
+        fine.run(Vec::<TcpTransport>::new()),
+        Err(DistError::Config(_))
+    ));
+}

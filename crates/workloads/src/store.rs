@@ -47,17 +47,17 @@ const VERSION: u32 = 1;
 /// FNV-1a 64-bit running hash — stable across platforms and releases
 /// (unlike `std::hash`), used for both the file checksum and the store key.
 #[derive(Clone, Copy)]
-struct Fnv64(u64);
+pub(crate) struct Fnv64(u64);
 
 impl Fnv64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv64(Self::OFFSET)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(Self::PRIME);
@@ -77,8 +77,26 @@ impl Fnv64 {
         self.write(s.as_bytes());
     }
 
-    fn finish(self) -> u64 {
+    pub(crate) fn finish(self) -> u64 {
         self.0
+    }
+}
+
+impl PerfTable {
+    /// FNV-1a 64 fingerprint of this table's canonical serialisation
+    /// ([`PerfTable::to_bytes`]) — a pure function of the table *contents*,
+    /// independent of how the table was obtained (simulated, synthetic,
+    /// loaded, or received over a wire).
+    ///
+    /// Two tables share a content fingerprint exactly when their canonical
+    /// byte encodings are identical, which is what distributed sweeps key
+    /// their table-shipping deduplication on: a coordinator sends the
+    /// fingerprint, and workers whose [`TableStore`] already holds it skip
+    /// the transfer.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut fnv = Fnv64::new();
+        fnv.write(&self.to_bytes());
+        fnv.finish()
     }
 }
 
@@ -470,10 +488,27 @@ impl TableStore {
         }
         let machine = Machine::new(config.clone())?;
         let table = PerfTable::build(&machine, suite, threads)?;
+        self.write_atomic(&path, &table.to_bytes())?;
+        Ok(StoreOutcome {
+            table,
+            cache_hit: false,
+        })
+    }
+
+    /// Writes `bytes` to `path` atomically: the bytes land in a
+    /// writer-unique temp file in the store directory and are renamed into
+    /// place, so a concurrent reader (another worker process loading the
+    /// same fingerprint) can never observe a torn or partial table. Racing
+    /// writers are last-one-wins safe — every rename installs a complete
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Io`] on filesystem failures; a failed write removes
+    /// its temp file best-effort.
+    pub fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), TableError> {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| TableError::Io(format!("{}: {e}", self.dir.display())))?;
-        // Write-then-rename so a concurrent reader never sees a half-written
-        // file; the rename also makes racing writers last-one-wins safe.
         // The tmp name must be unique per writer (pid alone would let two
         // threads of one process interleave writes into one tmp file).
         static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -482,13 +517,47 @@ impl TableStore {
             std::process::id(),
             WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
-        table.save(&tmp)?;
-        std::fs::rename(&tmp, &path)
-            .map_err(|e| TableError::Io(format!("{}: {e}", path.display())))?;
-        Ok(StoreOutcome {
-            table,
-            cache_hit: false,
+        if let Err(e) = std::fs::write(&tmp, bytes) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(TableError::Io(format!("{}: {e}", tmp.display())));
+        }
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            TableError::Io(format!("{}: {e}", path.display()))
         })
+    }
+
+    /// The cache file path for a table known only by its
+    /// [`PerfTable::content_fingerprint`] (a table received over a wire,
+    /// say). Content-keyed entries use a distinct `perftable-c...` prefix so
+    /// they can never collide with the config-keyed [`TableStore::path_for`]
+    /// namespace.
+    pub fn path_for_content(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("perftable-c{fingerprint:016x}.spt"))
+    }
+
+    /// Loads the cached table with this content fingerprint, if a valid one
+    /// exists. The loaded table's own fingerprint is re-verified, so a
+    /// corrupt, stale or mislabelled cache file reads as a miss — never as
+    /// the wrong table.
+    pub fn load_content(&self, fingerprint: u64) -> Option<PerfTable> {
+        let table = PerfTable::load(self.path_for_content(fingerprint)).ok()?;
+        (table.content_fingerprint() == fingerprint).then_some(table)
+    }
+
+    /// Saves a table under its content fingerprint (atomically, via
+    /// [`TableStore::write_atomic`]) and returns the fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Io`] on filesystem failures.
+    pub fn save_content(&self, table: &PerfTable) -> Result<u64, TableError> {
+        let bytes = table.to_bytes();
+        let mut fnv = Fnv64::new();
+        fnv.write(&bytes);
+        let fingerprint = fnv.finish();
+        self.write_atomic(&self.path_for_content(fingerprint), &bytes)?;
+        Ok(fingerprint)
     }
 }
 
@@ -645,6 +714,75 @@ mod tests {
         // Same inputs, same key (stability within a process is the minimum;
         // FNV gives stability across runs and platforms too).
         assert_eq!(fp, table_fingerprint(&tiny_config(), &tiny_suite()));
+    }
+
+    #[test]
+    fn content_fingerprint_round_trips_through_the_store() {
+        let dir = temp_dir("content");
+        let store = TableStore::new(&dir);
+        let table = tiny_table();
+        let fp = store.save_content(&table).unwrap();
+        assert_eq!(fp, table.content_fingerprint());
+        let loaded = store.load_content(fp).unwrap();
+        assert_eq!(table, loaded, "content cache must be bitwise faithful");
+        assert_eq!(loaded.content_fingerprint(), fp);
+        // A different table never answers for this fingerprint.
+        assert!(store.load_content(fp ^ 1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mislabelled_content_file_reads_as_a_miss() {
+        let dir = temp_dir("mislabel");
+        let store = TableStore::new(&dir);
+        let table = tiny_table();
+        let fp = store.save_content(&table).unwrap();
+        // A valid table file stored under the wrong fingerprint must not be
+        // trusted: the re-verification catches the mismatch.
+        let wrong = fp ^ 0xDEAD;
+        std::fs::copy(store.path_for_content(fp), store.path_for_content(wrong)).unwrap();
+        assert!(store.load_content(wrong).is_none());
+        // Corruption likewise reads as a miss, not an error.
+        std::fs::write(store.path_for_content(fp), b"torn").unwrap();
+        assert!(store.load_content(fp).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_atomic_writers_never_produce_a_torn_read() {
+        let dir = temp_dir("atomic");
+        let store = TableStore::new(&dir);
+        let table = tiny_table();
+        let bytes = table.to_bytes();
+        let path = store.path_for_content(table.content_fingerprint());
+        // Hammer the same path from several writers while readers poll: a
+        // reader may see "no file yet", but never a torn or partial table.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        store.write_atomic(&path, &bytes).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let mut seen = 0;
+                    while seen < 50 {
+                        match std::fs::read(&path) {
+                            Ok(buf) => {
+                                let loaded = PerfTable::from_bytes(&buf)
+                                    .expect("a visible file is always complete");
+                                assert_eq!(loaded, table);
+                                seen += 1;
+                            }
+                            Err(_) => std::hint::spin_loop(),
+                        }
+                    }
+                });
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! The sharded sweep coordinator end-to-end: split the full 495-mix
+//! sweep across three worker threads speaking the wire protocol over
+//! loopback TCP, merge their rows back in workload order, and check the
+//! merged report is bitwise-identical to a single-process
+//! `Session::sweep()` of the same table.
+//!
+//! The workers here live in this process for convenience; the exact same
+//! `run_worker` loop backs `paperbench --worker ADDR` on other machines.
+//!
+//! Run with `cargo run --release --example distributed_sweep`.
+
+use symbiotic_scheduling::prelude::*;
+
+const WORKERS: usize = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One shared performance table (cached on disk across runs; short
+    // simulator windows keep the example snappy).
+    let store = TableStore::new(std::env::temp_dir().join("symbiosis-example-cache"));
+    let config = MachineConfig::smt4().with_windows(10_000, 40_000);
+    let outcome = store.get_or_build(&config, &spec2006(), 8)?;
+    println!(
+        "table ready: {} coschedules ({})",
+        outcome.table.len(),
+        if outcome.cache_hit {
+            "cache hit"
+        } else {
+            "simulated"
+        }
+    );
+
+    let sweep = || {
+        Session::sweep()
+            .table(&outcome.table)
+            .workloads(enumerate_workloads(12, 4)) // all 495 four-type mixes
+            .policies([Policy::Worst, Policy::FcfsEvent, Policy::Optimal])
+            .fcfs_jobs(10_000)
+            .seed(42)
+    };
+
+    // Reference: the whole sweep in this process.
+    let t0 = std::time::Instant::now();
+    let reference = sweep().run()?;
+    println!(
+        "single process: {} workloads x 3 policies in {:.2?}",
+        reference.len(),
+        t0.elapsed()
+    );
+
+    // Distributed: the coordinator hands out chunks over real TCP to
+    // three workers, each running the ordinary sweep machinery.
+    let coordinator = Coordinator::from_sweep(sweep(), DistConfig::default())?;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let t1 = std::time::Instant::now();
+    let fleet: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_worker(
+                    TcpTransport::connect(addr.as_str())?,
+                    &WorkerConfig::default(),
+                )
+            })
+        })
+        .collect();
+    let outcome = coordinator.serve_listener(&listener, WORKERS)?;
+    for handle in fleet {
+        handle.join().expect("worker thread")?;
+    }
+    println!(
+        "distributed   : {} chunk(s) over {} workers in {:.2?}",
+        outcome.chunks,
+        outcome.workers.len(),
+        t1.elapsed()
+    );
+    for (i, w) in outcome.workers.iter().enumerate() {
+        println!(
+            "  worker {} ({}): {} chunk(s), {} row(s), {:.1} rows/s",
+            i + 1,
+            w.peer,
+            w.chunks,
+            w.rows,
+            w.rows_per_sec()
+        );
+    }
+
+    // The merge is deterministic: same rows, same order, same bits.
+    assert_eq!(
+        outcome.report, reference,
+        "merged report must be bitwise-identical"
+    );
+    println!("\nparity: merged report is bitwise-identical to the single-process sweep");
+    let gains = outcome.report.gains(Policy::Optimal, Policy::FcfsEvent);
+    println!(
+        "optimal over FCFS across the merged rows: mean {}, best {}",
+        stats::pct(stats::mean(&gains)),
+        stats::pct(stats::max(&gains)),
+    );
+    Ok(())
+}

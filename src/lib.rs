@@ -22,6 +22,12 @@
 //!   [`prelude::PredictedModel`] that stands in for measurement;
 //! * [`queueing`] — the Section VI latency machinery (FCFS / MAXIT /
 //!   SRPT / MAXTP schedulers, analytic M/M/c);
+//! * [`dist`] — the sharded sweep coordinator: a length-prefixed,
+//!   checksummed wire protocol over TCP (or in-process loopback), a
+//!   fault-tolerant [`prelude::Coordinator`] that re-queues chunks lost
+//!   to dead workers, [`prelude::run_worker`] for the worker side, and a
+//!   deterministic merge whose report is bitwise-identical to a
+//!   single-process `Session::sweep`;
 //! * [`serve`] — the online scheduling service: a bounded
 //!   [`prelude::Queue`] front end, placers ([`prelude::Placer`]) pricing
 //!   free contexts through the live model, and the digital-twin refit
@@ -87,6 +93,7 @@
 //! `run_latency_experiment`, ...) remain available through [`legacy`] and
 //! the prelude, deprecated in favour of the session API.
 
+pub use dist;
 pub use lp;
 pub use predict;
 pub use queueing;
@@ -116,6 +123,10 @@ pub mod prelude {
         InterferenceFitter, PredictedModel, RateSample, SamplePlan,
     };
 
+    pub use dist::{
+        run_worker, Coordinator, DistConfig, DistError, DistOutcome, TcpTransport, Transport,
+        WorkerConfig, WorkerSummary,
+    };
     pub use queueing::{
         BatchConfig, BatchReport, ContentionModel, FcfsScheduler, LatencyConfig, LatencyReport,
         MaxItScheduler, MaxTpScheduler, MmcQueue, Scheduler, SizeDist, SrptScheduler,
