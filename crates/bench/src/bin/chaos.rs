@@ -1,0 +1,7 @@
+//! Compatibility shim: runs the `chaos` registry experiment through the
+//! unified driver (`paperbench chaos`). Flags as in `paperbench --list`;
+//! `--fast` runs the reduced-scale storm the CI smoke job uses.
+
+fn main() -> std::process::ExitCode {
+    paperbench::cli::run_named("chaos")
+}

@@ -29,7 +29,8 @@ fn usage() -> String {
     }
     text.push_str(
         "\nflags: --fast --full --sample N --jobs N --threads N --table-cache PATH \
-         --lp-dense-limit N --markov-dense-limit N --distribute ADDR:NWORKERS\n\
+         --lp-dense-limit N --markov-dense-limit N --distribute ADDR:NWORKERS \
+         --dist-retries N --dist-timeout-secs N --dist-hedge\n\
          \n\
          worker mode: paperbench --worker ADDR [flags]\n\
          serves a --distribute coordinator at ADDR until it goes away\n",
@@ -129,9 +130,15 @@ fn run_worker_service(addr: &str, config: &StudyConfig) -> ExitCode {
     loop {
         // The first connect is patient — the coordinator may still be
         // building its table. Reconnects between sweep legs are quick so
-        // the worker exits soon after the coordinator finishes.
-        let attempts = if served == 0 { 240 } else { 12 };
-        match dist::worker::connect_retry(addr, attempts, Duration::from_millis(250)) {
+        // the worker exits soon after the coordinator finishes. The
+        // backoff inside connect_retry is seeded per-process so a fleet
+        // of workers does not hammer the listener in lockstep.
+        let patience = if served == 0 {
+            Duration::from_secs(60)
+        } else {
+            Duration::from_secs(3)
+        };
+        match dist::worker::connect_retry(addr, patience, config.seed ^ std::process::id() as u64) {
             Ok(transport) => match dist::run_worker(transport, &worker_config) {
                 Ok(summary) => {
                     served += 1;

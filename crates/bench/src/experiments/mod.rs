@@ -18,12 +18,14 @@
 //! | `unit_ablation` | [`unit_ablation`] | Section III-B claim — conclusions hold for the plain instruction as unit of work |
 //! | `serve` | [`self::serve`] | Beyond the paper — online scheduling service with a live digital-twin model loop |
 //! | `dist_sweep` | [`dist_sweep`] | Beyond the paper — sharded sweep across fault-tolerant workers with deterministic merge |
+//! | `chaos` | [`chaos`] | Beyond the paper — seeded fault storms over dist and serve: parity under faults, breaker trip/recovery, clean panic surfacing |
 //!
 //! Every entry is invocable through the unified driver
 //! (`cargo run --release -p paperbench --bin paperbench -- <name>`), and
 //! [`REGISTRY`] preserves the historical `all`-binary print order so the
 //! combined artefact stream stays byte-identical across the migration.
 
+pub mod chaos;
 pub mod dist_sweep;
 pub mod fairness;
 pub mod fig1;
@@ -240,6 +242,12 @@ registry! {
         desc: "shards the headline sweep over a worker fleet and verifies the merged report bitwise",
         run: |ctx| Ok(dist_sweep::run(ctx.study()?)?.to_string())
     },
+    ChaosExp {
+        name: "chaos",
+        artefact: "Beyond the paper — chaos layer: seeded fault storms over dist and serve",
+        desc: "injects seeded crash/hang/corrupt/duplicate faults and proves parity, breaker trip/recovery and clean panic surfacing",
+        run: |ctx| Ok(chaos::run(ctx.config())?.to_string())
+    },
 }
 
 /// Looks an experiment up by registry name (exact match).
@@ -253,7 +261,7 @@ mod registry_tests {
 
     #[test]
     fn registry_names_are_unique_and_resolvable() {
-        assert_eq!(REGISTRY.len(), 15);
+        assert_eq!(REGISTRY.len(), 16);
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
         for name in &names {
             assert!(by_name(name).is_some(), "{name} resolves");
@@ -284,7 +292,8 @@ mod registry_tests {
                 "sec7",
                 "unit_ablation",
                 "serve",
-                "dist_sweep"
+                "dist_sweep",
+                "chaos"
             ]
         );
     }

@@ -119,6 +119,15 @@ pub struct StudyConfig {
     /// instead of in-process. The merged report is bitwise identical
     /// either way, so this is purely an execution-placement knob.
     pub distribute: Option<DistributeSpec>,
+    /// `--dist-retries N`: per-chunk retry budget for distributed sweep
+    /// legs ([`dist::DistConfig::retry_budget`]).
+    pub dist_retries: usize,
+    /// `--dist-timeout-secs N`: per-recv worker-silence timeout for
+    /// distributed sweep legs ([`dist::DistConfig::recv_timeout`]).
+    pub dist_timeout_secs: u64,
+    /// `--dist-hedge`: opt into hedged re-dispatch of straggler chunks
+    /// to idle workers ([`dist::DistConfig::hedge`]).
+    pub dist_hedge: bool,
 }
 
 impl Default for StudyConfig {
@@ -139,6 +148,9 @@ impl Default for StudyConfig {
             simulated_k8: false,
             worker: None,
             distribute: None,
+            dist_retries: dist::DistConfig::default().retry_budget,
+            dist_timeout_secs: dist::DistConfig::default().recv_timeout.as_secs(),
+            dist_hedge: false,
         }
     }
 }
@@ -182,6 +194,20 @@ impl StudyConfig {
             .markov_dense_limit(self.markov_dense_limit)
     }
 
+    /// The distributed-sweep tuning this config carries: the default
+    /// [`dist::DistConfig`] with the CLI retry / timeout / hedging knobs
+    /// applied. Every coordinator the bench crate starts goes through
+    /// here so `--dist-retries`, `--dist-timeout-secs` and `--dist-hedge`
+    /// reach them all.
+    pub fn dist_config(&self) -> dist::DistConfig {
+        dist::DistConfig {
+            retry_budget: self.dist_retries,
+            recv_timeout: std::time::Duration::from_secs(self.dist_timeout_secs),
+            hedge: self.dist_hedge,
+            ..dist::DistConfig::default()
+        }
+    }
+
     /// Runs a configured sweep the way this config asks: in-process
     /// ([`SweepBuilder::run`]) by default, or — with
     /// [`StudyConfig::distribute`] set — as a distributed coordinator
@@ -201,7 +227,7 @@ impl StudyConfig {
         match &self.distribute {
             None => sweep.run().map_err(|e| e.to_string()),
             Some(spec) => {
-                let coordinator = dist::Coordinator::from_sweep(sweep, dist::DistConfig::default())
+                let coordinator = dist::Coordinator::from_sweep(sweep, self.dist_config())
                     .map_err(|e| e.to_string())?;
                 let outcome = coordinator
                     .serve_tcp(&spec.addr, spec.workers)
@@ -363,12 +389,27 @@ impl StudyConfig {
                 "--distribute" => {
                     cfg.distribute = Some(DistributeSpec::parse(&grab("--distribute")?)?)
                 }
+                "--dist-retries" => {
+                    cfg.dist_retries = grab("--dist-retries")?
+                        .parse()
+                        .map_err(|e| format!("--dist-retries: {e}"))?
+                }
+                "--dist-timeout-secs" => {
+                    cfg.dist_timeout_secs = grab("--dist-timeout-secs")?
+                        .parse()
+                        .map_err(|e| format!("--dist-timeout-secs: {e}"))?;
+                    if cfg.dist_timeout_secs == 0 {
+                        return Err("--dist-timeout-secs must be positive".into());
+                    }
+                }
+                "--dist-hedge" => cfg.dist_hedge = true,
                 other => {
                     return Err(format!(
                         "unknown flag {other}; supported: --fast --full --sample N --jobs N \
                          --threads N --table-cache PATH --lp-dense-limit N \
                          --markov-dense-limit N --simulated-k8 --worker ADDR \
-                         --distribute ADDR:NWORKERS"
+                         --distribute ADDR:NWORKERS --dist-retries N \
+                         --dist-timeout-secs N --dist-hedge"
                     ))
                 }
             }
@@ -540,6 +581,44 @@ mod tests {
         assert!(StudyConfig::from_args(["--distribute", "addr:0"].map(String::from)).is_err());
         assert!(StudyConfig::from_args(["--distribute", ":3"].map(String::from)).is_err());
         assert!(StudyConfig::from_args(["--worker".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn from_args_parses_dist_tuning_knobs() {
+        let default = StudyConfig::default();
+        assert_eq!(default.dist_retries, 2);
+        assert_eq!(default.dist_timeout_secs, 120);
+        assert!(!default.dist_hedge, "hedging is opt-in");
+
+        let cfg = StudyConfig::from_args(
+            [
+                "--dist-retries",
+                "5",
+                "--dist-timeout-secs",
+                "7",
+                "--dist-hedge",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cfg.dist_retries, 5);
+        assert_eq!(cfg.dist_timeout_secs, 7);
+        assert!(cfg.dist_hedge);
+        let dc = cfg.dist_config();
+        assert_eq!(dc.retry_budget, 5);
+        assert_eq!(dc.recv_timeout, std::time::Duration::from_secs(7));
+        assert!(dc.hedge);
+        assert_eq!(
+            dc.chunk_size,
+            dist::DistConfig::default().chunk_size,
+            "untouched knobs keep their defaults"
+        );
+
+        assert!(StudyConfig::from_args(["--dist-retries".to_owned()]).is_err());
+        assert!(
+            StudyConfig::from_args(["--dist-timeout-secs", "0"].map(String::from)).is_err(),
+            "a zero timeout would make every worker look dead"
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Capped exponential backoff with seeded jitter.
+//!
+//! Every retry loop in this crate — worker reconnects, the coordinator's
+//! accept poll — shares this one helper so the retry cadence is tunable
+//! in a single place and reproducible under a fixed seed. The delay for
+//! attempt `n` is drawn from the *equal jitter* scheme: half of
+//! `min(cap, base · 2^n)` is fixed, the other half is uniform random, so
+//! simultaneous retriers decorrelate without ever retrying faster than
+//! half the nominal schedule.
+
+use std::time::Duration;
+
+use symbiosis::rng::SplitMix64;
+
+/// Capped exponential backoff schedule with seeded equal jitter.
+///
+/// [`next_delay`](Backoff::next_delay) advances the attempt counter;
+/// [`reset`](Backoff::reset) rewinds it after a success so the next
+/// failure starts from `base` again. The jitter stream is deterministic
+/// per seed, which keeps chaos tests reproducible.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, doubling each attempt, never
+    /// exceeding `cap`. The `seed` fixes the jitter stream.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The delay to sleep before the next retry, advancing the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let nominal = self
+            .base
+            .saturating_mul(1u32.checked_shl(self.attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = nominal / 2;
+        half + Duration::from_secs_f64(half.as_secs_f64() * self.rng.next_f64())
+    }
+
+    /// Sleeps for [`next_delay`](Backoff::next_delay).
+    pub fn sleep(&mut self) {
+        std::thread::sleep(self.next_delay());
+    }
+
+    /// Rewinds the schedule to the first attempt (call after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_and_cap() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(80), 0xB0FF);
+        let delays: Vec<Duration> = (0..6).map(|_| b.next_delay()).collect();
+        // Equal jitter: each delay lies in [nominal/2, nominal].
+        let nominals = [10u64, 20, 40, 80, 80, 80];
+        for (d, n) in delays.iter().zip(nominals) {
+            let nominal = Duration::from_millis(n);
+            assert!(*d >= nominal / 2, "{d:?} under half of {nominal:?}");
+            assert!(*d <= nominal, "{d:?} over {nominal:?}");
+        }
+    }
+
+    #[test]
+    fn reset_rewinds_to_the_base_delay() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 7);
+        for _ in 0..5 {
+            b.next_delay();
+        }
+        b.reset();
+        assert!(b.next_delay() <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn the_seed_fixes_the_jitter_stream() {
+        let mut a = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 42);
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 42);
+        for _ in 0..8 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+}

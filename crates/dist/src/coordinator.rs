@@ -18,6 +18,27 @@
 //! that *reports* a failure ([`crate::proto::Frame::Error`]) aborts the
 //! sweep without retry: sweep evaluation is deterministic, so the chunk
 //! would fail identically everywhere.
+//!
+//! # Failure containment
+//!
+//! Three more mechanisms keep one bad connection from stalling or
+//! corrupting the run (all deterministic, all exercised by the chaos
+//! tests):
+//!
+//! - **Strikes and quarantine.** A malformed or unexpected frame is a
+//!   *strike*, not a fatal error: the connection's held chunks return to
+//!   the queue and the conversation continues. A connection exceeding
+//!   [`DistConfig::quarantine_limit`] strikes is retired so a babbling
+//!   worker cannot spin the coordinator forever.
+//! - **Hedged re-dispatch.** With [`DistConfig::hedge`] enabled, an idle
+//!   worker re-runs the lowest straggler chunk still in flight elsewhere
+//!   (once per chunk). The first answer wins; later copies are discarded
+//!   by chunk id, so duplicates never reach the merge and parity with
+//!   the single-process sweep is preserved.
+//! - **Bounded waits.** A worker waiting for the queue gives up after
+//!   [`DistConfig::recv_timeout`] without global progress, so a silently
+//!   wedged fleet ends in [`DistError::Timeout`] / [`DistError::Incomplete`]
+//!   rather than a hang.
 
 use std::collections::VecDeque;
 use std::net::TcpListener;
@@ -28,6 +49,7 @@ use std::time::{Duration, Instant};
 use session::{Policy, SessionReport, SweepBuilder, SweepReport, SweepRow, SweepSpec};
 use workloads::PerfTable;
 
+use crate::backoff::Backoff;
 use crate::proto::{Frame, PROTOCOL_VERSION};
 use crate::transport::{TcpTransport, Transport};
 use crate::DistError;
@@ -45,11 +67,21 @@ pub struct DistConfig {
     pub retry_budget: usize,
     /// Per-connection read timeout on the coordinator side; a worker that
     /// holds a chunk silently for longer is treated as lost and its chunk
-    /// re-queued. Default 120 s.
+    /// re-queued. Also bounds how long an idle worker waits for the queue
+    /// to move. Default 120 s.
     pub recv_timeout: Duration,
     /// How long [`Coordinator::serve_listener`] waits for the expected
     /// number of workers to connect. Default 60 s.
     pub accept_timeout: Duration,
+    /// Hedged re-dispatch: when the queue is empty but chunks are still
+    /// in flight, hand an idle worker a copy of the lowest straggler
+    /// chunk (once per chunk; first answer wins, duplicates are
+    /// discarded). Off by default — it trades duplicate work for tail
+    /// latency, which distorts per-worker accounting in clean runs.
+    pub hedge: bool,
+    /// Protocol strikes (malformed or unexpected frames) a connection
+    /// may accumulate before it is quarantined. Default 3.
+    pub quarantine_limit: usize,
 }
 
 impl Default for DistConfig {
@@ -59,6 +91,8 @@ impl Default for DistConfig {
             retry_budget: 2,
             recv_timeout: Duration::from_secs(120),
             accept_timeout: Duration::from_secs(60),
+            hedge: false,
+            quarantine_limit: 3,
         }
     }
 }
@@ -98,6 +132,14 @@ pub struct DistOutcome {
     pub workers: Vec<WorkerLog>,
     /// Number of chunks the workload list was split into.
     pub chunks: usize,
+    /// Chunks returned to the queue after a connection failed or struck.
+    pub requeues: usize,
+    /// Extra hand-outs of in-flight chunks (hedges and self-re-sends).
+    pub hedges: usize,
+    /// Redundant answers discarded by chunk id.
+    pub duplicates: usize,
+    /// Protocol strikes across all connections.
+    pub strikes: usize,
 }
 
 /// Book-keeping for one run, shared across worker-serving threads.
@@ -107,16 +149,50 @@ struct Shared {
 }
 
 struct QueueState {
-    /// Chunk indices awaiting hand-out.
+    /// Chunk indices awaiting hand-out (may contain stale entries for
+    /// chunks that completed through another copy; hand-out skips them).
     pending: VecDeque<usize>,
     /// Hand-out attempts per chunk (1 = first try).
     attempts: Vec<usize>,
+    /// Connections currently holding each chunk.
+    inflight: Vec<usize>,
+    /// Whether each chunk has used its one cross-worker hedge.
+    hedged: Vec<bool>,
     /// Completed per-chunk reports, indexed by chunk.
     reports: Vec<Option<Vec<SessionReport>>>,
     /// Chunks completed so far.
     done: usize,
+    /// Chunks returned to the queue by retire/strike.
+    requeues: usize,
+    /// Extra hand-outs of in-flight chunks.
+    hedges: usize,
+    /// Redundant answers discarded by chunk id.
+    duplicates: usize,
+    /// Protocol strikes across all connections.
+    strikes: usize,
     /// First fatal error; ends the whole run.
     fatal: Option<DistError>,
+}
+
+impl QueueState {
+    /// Returns `id` to the queue unless it is complete, already queued,
+    /// or still held elsewhere.
+    fn requeue_if_orphaned(&mut self, id: usize) {
+        if self.reports[id].is_none() && self.inflight[id] == 0 && !self.pending.contains(&id) {
+            self.pending.push_back(id);
+            self.requeues += 1;
+        }
+    }
+}
+
+/// What a `FetchChunk` request is answered with.
+enum NextChunk {
+    /// Hand out this chunk.
+    Hand(usize),
+    /// The sweep is complete: send Drained and finish the conversation.
+    Drained,
+    /// The run is already lost: the Error frame went out, just exit.
+    Abort,
 }
 
 /// Shards one sweep across workers. See the module docs for the
@@ -215,8 +291,14 @@ impl Coordinator {
             state: Mutex::new(QueueState {
                 pending: (0..self.chunks.len()).collect(),
                 attempts: vec![0; self.chunks.len()],
+                inflight: vec![0; self.chunks.len()],
+                hedged: vec![false; self.chunks.len()],
                 reports: vec![None; self.chunks.len()],
                 done: 0,
+                requeues: 0,
+                hedges: 0,
+                duplicates: 0,
+                strikes: 0,
                 fatal: None,
             }),
             cv: Condvar::new(),
@@ -236,7 +318,7 @@ impl Coordinator {
                             rows: 0,
                             wall: Duration::ZERO,
                         };
-                        let mut held: Option<usize> = None;
+                        let mut held: Vec<usize> = Vec::new();
                         let outcome =
                             self.serve_worker(&mut transport, shared, &mut held, &mut log);
                         if let Err(error) = outcome {
@@ -263,7 +345,8 @@ impl Coordinator {
             });
         }
         let mut parts = Vec::with_capacity(self.chunks.len());
-        for (chunk, reports) in self.chunks.iter().zip(state.reports.drain(..)) {
+        let reports: Vec<_> = state.reports.drain(..).collect();
+        for (chunk, reports) in self.chunks.iter().zip(reports) {
             let reports = reports.expect("done == chunks implies every slot is filled");
             let rows = self.workloads[chunk.clone()]
                 .iter()
@@ -279,6 +362,10 @@ impl Coordinator {
             report: SweepReport::merge(parts),
             workers: logs,
             chunks: self.chunks.len(),
+            requeues: state.requeues,
+            hedges: state.hedges,
+            duplicates: state.duplicates,
+            strikes: state.strikes,
         })
     }
 
@@ -301,12 +388,18 @@ impl Coordinator {
         }
         listener.set_nonblocking(true)?;
         let deadline = Instant::now() + self.config.accept_timeout;
+        let mut backoff = Backoff::new(
+            Duration::from_millis(1),
+            Duration::from_millis(50),
+            self.fingerprint,
+        );
         let mut transports = Vec::with_capacity(nworkers);
         while transports.len() < nworkers {
             match listener.accept() {
                 Ok((stream, _)) => {
                     stream.set_nonblocking(false)?;
                     transports.push(TcpTransport::from_stream(stream, self.config.recv_timeout)?);
+                    backoff.reset();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if Instant::now() >= deadline {
@@ -316,7 +409,7 @@ impl Coordinator {
                             self.config.accept_timeout
                         )));
                     }
-                    std::thread::sleep(Duration::from_millis(10));
+                    backoff.sleep();
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -342,17 +435,59 @@ impl Coordinator {
             .expect("queue mutex poisoned: a serving thread panicked")
     }
 
+    /// Records a protocol strike against this connection: its held
+    /// chunks go back to the queue (the conversation is desynchronized,
+    /// so their answers can no longer be trusted to arrive) and the
+    /// conversation continues — until the strike budget is exhausted and
+    /// the connection is quarantined.
+    fn strike(
+        &self,
+        shared: &Shared,
+        held: &mut Vec<usize>,
+        strikes: &mut usize,
+        peer: &str,
+        detail: &str,
+    ) -> Result<(), DistError> {
+        *strikes += 1;
+        let mut state = self.lock(shared);
+        state.strikes += 1;
+        for id in held.drain(..) {
+            state.inflight[id] = state.inflight[id].saturating_sub(1);
+            state.requeue_if_orphaned(id);
+        }
+        shared.cv.notify_all();
+        drop(state);
+        if *strikes > self.config.quarantine_limit {
+            Err(DistError::Protocol(format!(
+                "worker {peer} quarantined after {strikes} protocol strikes; last: {detail}"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
     /// One worker's conversation, from handshake to Drained. On `Err`
-    /// the caller settles the held chunk via
+    /// the caller settles the held chunks via
     /// [`Coordinator::retire_worker`].
     fn serve_worker<T: Transport>(
         &self,
         transport: &mut T,
         shared: &Shared,
-        held: &mut Option<usize>,
+        held: &mut Vec<usize>,
         log: &mut WorkerLog,
     ) -> Result<(), DistError> {
-        match transport.recv()? {
+        let peer = transport.peer();
+        let mut strikes = 0usize;
+        let hello = loop {
+            match transport.recv() {
+                Ok(frame) => break frame,
+                Err(DistError::Protocol(detail)) => {
+                    self.strike(shared, held, &mut strikes, &peer, &detail)?
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        match hello {
             Frame::Hello {
                 version: PROTOCOL_VERSION,
             } => {}
@@ -383,73 +518,60 @@ impl Coordinator {
         })?;
 
         loop {
-            match transport.recv()? {
+            let frame = match transport.recv() {
+                Ok(frame) => frame,
+                Err(DistError::Protocol(detail)) => {
+                    // A malformed frame (e.g. a corrupted checksum) does
+                    // not kill the connection: strike and keep serving.
+                    self.strike(shared, held, &mut strikes, &peer, &detail)?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match frame {
                 Frame::TableRequest => transport.send(&Frame::TableBytes {
                     bytes: self.table_bytes.clone(),
                 })?,
-                Frame::FetchChunk => {
-                    let next = {
-                        let mut state = self.lock(shared);
-                        loop {
-                            if let Some(fatal) = &state.fatal {
-                                let fatal = fatal.clone();
-                                drop(state);
-                                let _ = transport.send(&Frame::Error {
-                                    message: fatal.to_string(),
-                                });
-                                return Ok(()); // the run is already lost; exit quietly
-                            }
-                            if let Some(id) = state.pending.pop_front() {
-                                state.attempts[id] += 1;
-                                break Some(id);
-                            }
-                            if state.done == self.chunks.len() {
-                                break None;
-                            }
-                            // Work is outstanding on other workers; wait
-                            // for a completion, a re-queue, or a fatal.
-                            state = shared
-                                .cv
-                                .wait(state)
-                                .expect("queue mutex poisoned while waiting");
-                        }
-                    };
-                    match next {
-                        Some(id) => {
-                            *held = Some(id);
-                            let range = self.chunks[id].clone();
-                            transport.send(&Frame::Chunk {
-                                id: id as u64,
-                                workloads: self.workloads[range].to_vec(),
-                            })?;
-                        }
-                        None => {
-                            transport.send(&Frame::Drained)?;
-                            return Ok(());
-                        }
+                Frame::FetchChunk => match self.next_chunk(transport, shared, held)? {
+                    NextChunk::Hand(id) => {
+                        held.push(id);
+                        let range = self.chunks[id].clone();
+                        transport.send(&Frame::Chunk {
+                            id: id as u64,
+                            workloads: self.workloads[range].to_vec(),
+                        })?;
                     }
-                }
+                    NextChunk::Drained => {
+                        transport.send(&Frame::Drained)?;
+                        return Ok(());
+                    }
+                    NextChunk::Abort => return Ok(()),
+                },
                 Frame::Rows { id, reports } => {
                     let id = id as usize;
-                    if *held != Some(id) {
-                        return Err(DistError::Protocol(format!(
-                            "rows for chunk {id} but this worker holds {held:?}"
-                        )));
-                    }
-                    let expected = self.chunks[id].len();
-                    if reports.len() != expected {
-                        return Err(DistError::Protocol(format!(
-                            "chunk {id} carries {expected} workloads but the worker answered {}",
+                    if id >= self.chunks.len() || reports.len() != self.chunks[id].len() {
+                        let detail = format!(
+                            "rows for chunk {id} with {} report(s) do not match the chunk map",
                             reports.len()
-                        )));
+                        );
+                        self.strike(shared, held, &mut strikes, &peer, &detail)?;
+                        continue;
                     }
-                    *held = None;
-                    log.chunks += 1;
-                    log.rows += reports.len();
                     let mut state = self.lock(shared);
+                    if let Some(pos) = held.iter().position(|&h| h == id) {
+                        held.remove(pos);
+                        state.inflight[id] = state.inflight[id].saturating_sub(1);
+                    }
+                    // First answer wins; a redundant copy (hedge, re-send
+                    // or duplicated frame) is discarded by chunk id so
+                    // the merge sees each chunk exactly once.
                     if state.reports[id].is_none() {
                         state.reports[id] = Some(reports);
                         state.done += 1;
+                        log.chunks += 1;
+                        log.rows += self.chunks[id].len();
+                    } else {
+                        state.duplicates += 1;
                     }
                     shared.cv.notify_all();
                 }
@@ -457,29 +579,128 @@ impl Coordinator {
                     // The worker hit a deterministic evaluation failure:
                     // retrying the chunk elsewhere would fail the same
                     // way, so the whole run aborts.
-                    *held = None;
                     let error = DistError::Sweep(message);
                     let mut state = self.lock(shared);
+                    for id in held.drain(..) {
+                        state.inflight[id] = state.inflight[id].saturating_sub(1);
+                    }
                     state.fatal.get_or_insert(error.clone());
                     shared.cv.notify_all();
                     return Err(error);
                 }
                 other => {
-                    return Err(DistError::Protocol(format!(
-                        "unexpected frame from worker: {other:?}"
-                    )))
+                    let detail = format!("unexpected frame from worker: {other:?}");
+                    self.strike(shared, held, &mut strikes, &peer, &detail)?;
                 }
             }
         }
     }
 
-    /// Settles a failed worker connection: re-queues its held chunk
+    /// Picks the next chunk to hand this connection: a pending chunk if
+    /// any, else a re-send of this connection's own straggler, else (with
+    /// hedging on) a copy of the lowest chunk in flight elsewhere. Blocks
+    /// — bounded by [`DistConfig::recv_timeout`] without progress — while
+    /// work is outstanding on other connections.
+    fn next_chunk<T: Transport>(
+        &self,
+        transport: &mut T,
+        shared: &Shared,
+        held: &[usize],
+    ) -> Result<NextChunk, DistError> {
+        let mut state = self.lock(shared);
+        let mut deadline = Instant::now() + self.config.recv_timeout;
+        let mut last_done = state.done;
+        loop {
+            if let Some(fatal) = &state.fatal {
+                let fatal = fatal.clone();
+                drop(state);
+                let _ = transport.send(&Frame::Error {
+                    message: fatal.to_string(),
+                });
+                return Ok(NextChunk::Abort); // the run is already lost
+            }
+            let popped = loop {
+                match state.pending.pop_front() {
+                    // Skip stale entries: the chunk completed through
+                    // another copy after it was re-queued.
+                    Some(id) if state.reports[id].is_some() => continue,
+                    other => break other,
+                }
+            };
+            if let Some(id) = popped {
+                state.attempts[id] += 1;
+                state.inflight[id] += 1;
+                return Ok(NextChunk::Hand(id));
+            }
+            if state.done == self.chunks.len() {
+                return Ok(NextChunk::Drained);
+            }
+            // This connection asked for work while one of its own chunks
+            // is still unanswered — its answer was lost in flight
+            // (dropped or mangled frame). Waiting would deadlock against
+            // our own channel, so re-send the straggler, bounded by the
+            // same attempt budget as re-queues.
+            if let Some(&id) = held.iter().filter(|&&id| state.reports[id].is_none()).min() {
+                if state.attempts[id] > self.config.retry_budget {
+                    let fatal = DistError::RetryExhausted {
+                        chunk: id,
+                        attempts: state.attempts[id],
+                        last: "the chunk's answers keep going missing".into(),
+                    };
+                    state.fatal.get_or_insert(fatal);
+                    shared.cv.notify_all();
+                    continue; // loop top reports the fatal to the worker
+                }
+                state.attempts[id] += 1;
+                state.inflight[id] += 1;
+                state.hedges += 1;
+                return Ok(NextChunk::Hand(id));
+            }
+            // Idle worker, work in flight elsewhere: hedge the lowest
+            // straggler once so one slow or silent worker cannot drag
+            // the tail of the run.
+            if self.config.hedge {
+                let straggler = (0..self.chunks.len()).find(|&id| {
+                    state.reports[id].is_none() && state.inflight[id] > 0 && !state.hedged[id]
+                });
+                if let Some(id) = straggler {
+                    state.hedged[id] = true;
+                    state.inflight[id] += 1;
+                    state.hedges += 1;
+                    return Ok(NextChunk::Hand(id));
+                }
+            }
+            if state.done != last_done {
+                last_done = state.done;
+                deadline = Instant::now() + self.config.recv_timeout;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(DistError::Timeout(format!(
+                    "no queue progress within {:?} with {} chunk(s) outstanding",
+                    self.config.recv_timeout,
+                    self.chunks.len() - state.done
+                )));
+            }
+            let (guard, _) = shared
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("queue mutex poisoned while waiting");
+            state = guard;
+        }
+    }
+
+    /// Settles a failed worker connection: re-queues its held chunks
     /// under the retry budget, or records the fatal error that ends the
     /// run. (A worker-reported `Sweep` failure arrives here with no held
-    /// chunk — `serve_worker` already recorded it as fatal.)
-    fn retire_worker(&self, shared: &Shared, held: Option<usize>, error: DistError) {
+    /// chunks — `serve_worker` already recorded it as fatal.)
+    fn retire_worker(&self, shared: &Shared, held: Vec<usize>, error: DistError) {
         let mut state = self.lock(shared);
-        if let Some(id) = held {
+        for id in held {
+            state.inflight[id] = state.inflight[id].saturating_sub(1);
+            if state.reports[id].is_some() {
+                continue;
+            }
             let attempts = state.attempts[id];
             if attempts > self.config.retry_budget {
                 state.fatal.get_or_insert(DistError::RetryExhausted {
@@ -487,8 +708,8 @@ impl Coordinator {
                     attempts,
                     last: error.to_string(),
                 });
-            } else if state.reports[id].is_none() {
-                state.pending.push_back(id);
+            } else {
+                state.requeue_if_orphaned(id);
             }
         }
         shared.cv.notify_all();

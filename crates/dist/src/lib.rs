@@ -15,17 +15,45 @@
 //! * [`proto`] — the versioned, checksummed wire protocol (below).
 //! * [`transport`] — a byte-faithful [`Transport`] abstraction:
 //!   [`TcpTransport`] over std TCP, and an in-process [`loopback_pair`]
-//!   that runs the *same encode/decode path* through a channel, with
-//!   fault injection, so every protocol path is unit-testable without
-//!   sockets.
+//!   that runs the *same encode/decode path* through a channel, so every
+//!   protocol path is unit-testable without sockets.
+//! * [`chaos`] — [`ChaosTransport`]: seeded deterministic fault
+//!   injection (drop / delay / duplicate / corrupt / hang / crash) over
+//!   any inner transport, TCP and loopback alike; the engine behind the
+//!   failure-mode tests and the `paperbench chaos` storm.
+//! * [`backoff`] — [`Backoff`]: the capped-exponential, seeded-jitter
+//!   retry schedule shared by worker reconnects and the coordinator's
+//!   accept poll.
 //! * [`coordinator`] — [`Coordinator`]: splits the workload list into
 //!   consecutive chunks, hands them out pull-based (work-queue style, so
 //!   fast workers take more), re-queues chunks on worker
-//!   disconnect/timeout under a bounded retry budget, and reassembles
-//!   rows in original workload order via [`session::SweepReport::merge`].
+//!   disconnect/timeout under a bounded retry budget, strikes and
+//!   quarantines connections that talk garbage, optionally hedges
+//!   straggler chunks to idle workers, and reassembles rows in original
+//!   workload order via [`session::SweepReport::merge`].
 //! * [`worker`] — [`run_worker`]: connect, handshake, obtain the table
 //!   (fingerprint-keyed [`workloads::TableStore`] cache hit, or bytes
 //!   over the wire), then pull chunks until drained.
+//!
+//! # Failure-mode matrix
+//!
+//! What each injected (or real) fault looks like end to end. "Parity"
+//! means the merged report stays bitwise-identical to the
+//! single-process sweep — every recovery path below preserves it, since
+//! duplicates are discarded by chunk id and chunk order fixes the merge.
+//!
+//! | fault | detection | recovery | user-visible outcome |
+//! |-------|-----------|----------|----------------------|
+//! | worker crash (hangup) | coordinator recv → `Disconnected` | held chunks re-queued under [`DistConfig::retry_budget`] | run completes on surviving workers; `requeues` counted |
+//! | worker hang (silence) | coordinator recv → `Timeout` after [`DistConfig::recv_timeout`] | chunks re-queued; with [`DistConfig::hedge`] an idle worker re-runs the straggler sooner | run completes; `hedges`/`requeues` counted |
+//! | corrupt frame | checksum/length check → `Protocol` | strike: held chunks re-queued, connection keeps serving; quarantined past [`DistConfig::quarantine_limit`] | run completes; `strikes` counted |
+//! | dropped answer | worker asks for work while its chunk is open | coordinator re-sends the chunk to the same connection (budget-bounded) | run completes; `hedges` counted |
+//! | duplicated frame | answer for an already-complete chunk | first answer wins, copy discarded by chunk id | run completes; `duplicates` counted |
+//! | version skew | `Hello`/`Welcome` version check | connection rejected with an `Error` frame, fleet keeps serving | [`DistError::VersionMismatch`] on the skewed worker only |
+//! | deterministic sweep failure | worker reports an `Error` frame | none — retrying would fail identically | [`DistError::Sweep`] aborts the run |
+//! | chunk keeps failing | attempts exceed [`DistConfig::retry_budget`] | none | [`DistError::RetryExhausted`] names the chunk |
+//! | every worker gone | scope drains with work outstanding | none | [`DistError::Incomplete`] with the remaining count |
+//! | coordinator gone | worker recv → `Disconnected`/`Timeout` | worker reconnects under [`Backoff`] (CLI service mode) | worker exits cleanly after its last served sweep |
 //!
 //! # Wire protocol
 //!
@@ -109,14 +137,18 @@
 
 use std::fmt;
 
+pub mod backoff;
+pub mod chaos;
 pub mod coordinator;
 pub mod proto;
 pub mod transport;
 pub mod worker;
 
+pub use backoff::Backoff;
+pub use chaos::{ChaosPlan, ChaosStats, ChaosTransport};
 pub use coordinator::{Coordinator, DistConfig, DistOutcome, WorkerLog};
 pub use proto::{Frame, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use transport::{loopback_pair, loopback_pair_with_fault, FaultPlan, TcpTransport, Transport};
+pub use transport::{loopback_pair, loopback_pair_with_chaos, TcpTransport, Transport};
 pub use worker::{run_worker, WorkerConfig, WorkerSummary};
 
 /// Everything that can go wrong in a distributed sweep, on either side of

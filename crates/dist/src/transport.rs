@@ -4,14 +4,15 @@
 //! [`Frame::decode_wire`]): the loopback pair is not a shortcut around
 //! serialization, it is TCP minus the socket — which is what lets the
 //! protocol tests (including checksum, version and fault paths) run
-//! without binding ports, and lets [`FaultPlan`] kill a "worker"
-//! mid-conversation deterministically.
+//! without binding ports, and lets a [`ChaosTransport`] wrapper kill a
+//! "worker" mid-conversation deterministically (see [`crate::chaos`]).
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::Duration;
 
+use crate::chaos::{ChaosPlan, ChaosTransport};
 use crate::proto::{Frame, MAX_FRAME_LEN};
 use crate::DistError;
 
@@ -109,59 +110,45 @@ impl Transport for TcpTransport {
 
 // --- loopback ------------------------------------------------------------
 
-/// Deterministic fault injection for a [`loopback_pair_with_fault`] end:
-/// after the configured number of frames have crossed this end (sent +
-/// received), every further operation fails as
-/// [`DistError::Disconnected`] and the channel ends are dropped so the
-/// peer sees the hangup too — exactly what killing a worker process
-/// mid-sweep looks like to the coordinator.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FaultPlan {
-    /// Die after this many frames have crossed (None: never).
-    pub die_after_frames: Option<usize>,
-}
-
 /// One end of an in-process frame pipe. Frames are fully encoded to
 /// their wire image on `send` and decoded on `recv`, so the loopback
 /// exercises the identical byte path as TCP.
 pub struct LoopbackTransport {
-    tx: Option<Sender<Vec<u8>>>,
-    rx: Option<Receiver<Vec<u8>>>,
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
     recv_timeout: Duration,
-    fault: FaultPlan,
-    crossed: usize,
     label: String,
 }
 
-/// An in-process transport pair (coordinator end, worker end) with no
-/// fault injection and a generous read timeout.
+/// An in-process transport pair (coordinator end, worker end) with a
+/// generous read timeout.
 pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
-    loopback_pair_with_fault(FaultPlan::default())
-}
-
-/// An in-process transport pair whose *second* (worker) end carries
-/// `fault`. The coordinator end never fails on its own; it observes the
-/// worker's death as a disconnect, like a real dropped socket.
-pub fn loopback_pair_with_fault(fault: FaultPlan) -> (LoopbackTransport, LoopbackTransport) {
     let (a_tx, b_rx) = mpsc::channel();
     let (b_tx, a_rx) = mpsc::channel();
     let coordinator = LoopbackTransport {
-        tx: Some(a_tx),
-        rx: Some(a_rx),
+        tx: a_tx,
+        rx: a_rx,
         recv_timeout: Duration::from_secs(120),
-        fault: FaultPlan::default(),
-        crossed: 0,
         label: "loopback worker".into(),
     };
     let worker = LoopbackTransport {
-        tx: Some(b_tx),
-        rx: Some(b_rx),
+        tx: b_tx,
+        rx: b_rx,
         recv_timeout: Duration::from_secs(120),
-        fault,
-        crossed: 0,
         label: "loopback coordinator".into(),
     };
     (coordinator, worker)
+}
+
+/// An in-process transport pair whose *second* (worker) end injects the
+/// faults of `plan`. The coordinator end never fails on its own; it
+/// observes an injected crash as a disconnect (like a real dropped
+/// socket) and an injected hang as a read timeout.
+pub fn loopback_pair_with_chaos(
+    plan: ChaosPlan,
+) -> (LoopbackTransport, ChaosTransport<LoopbackTransport>) {
+    let (coordinator, worker) = loopback_pair();
+    (coordinator, ChaosTransport::new(worker, plan))
 }
 
 impl LoopbackTransport {
@@ -170,53 +157,24 @@ impl LoopbackTransport {
         self.recv_timeout = timeout;
         self
     }
-
-    /// True once the fault plan has fired (for test assertions).
-    pub fn died(&self) -> bool {
-        self.tx.is_none()
-    }
-
-    fn check_fault(&mut self) -> Result<(), DistError> {
-        if let Some(limit) = self.fault.die_after_frames {
-            if self.crossed >= limit {
-                // Drop both ends so the peer observes the hangup.
-                self.tx = None;
-                self.rx = None;
-            }
-        }
-        if self.tx.is_none() {
-            return Err(DistError::Disconnected(
-                "injected fault: this end is dead".into(),
-            ));
-        }
-        Ok(())
-    }
 }
 
 impl Transport for LoopbackTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), DistError> {
-        self.check_fault()?;
-        let tx = self.tx.as_ref().expect("checked alive");
-        tx.send(frame.encode())
-            .map_err(|_| DistError::Disconnected("loopback peer dropped its receiver".into()))?;
-        self.crossed += 1;
-        Ok(())
+        self.tx
+            .send(frame.encode())
+            .map_err(|_| DistError::Disconnected("loopback peer dropped its receiver".into()))
     }
 
     fn recv(&mut self) -> Result<Frame, DistError> {
-        self.check_fault()?;
-        let rx = self.rx.as_ref().expect("checked alive");
-        let wire = match rx.recv_timeout(self.recv_timeout) {
+        let wire = match self.rx.recv_timeout(self.recv_timeout) {
             Ok(wire) => wire,
             Err(RecvTimeoutError::Timeout) => {
                 // Distinguish "peer is slow" from "peer is gone": a
                 // disconnected channel with no pending frames reports
                 // Disconnected on the next try_recv.
-                return match rx.try_recv() {
-                    Ok(wire) => {
-                        self.crossed += 1;
-                        return Frame::decode_wire(&wire);
-                    }
+                return match self.rx.try_recv() {
+                    Ok(wire) => Frame::decode_wire(&wire),
                     Err(TryRecvError::Disconnected) => Err(DistError::Disconnected(
                         "loopback peer dropped its sender".into(),
                     )),
@@ -232,7 +190,6 @@ impl Transport for LoopbackTransport {
                 ))
             }
         };
-        self.crossed += 1;
         Frame::decode_wire(&wire)
     }
 
@@ -253,26 +210,6 @@ mod tests {
         assert_eq!(c.recv().unwrap(), Frame::Hello { version: 1 });
         c.send(&Frame::Drained).unwrap();
         assert_eq!(w.recv().unwrap(), Frame::Drained);
-    }
-
-    #[test]
-    fn loopback_fault_kills_the_end_and_signals_the_peer() {
-        let fault = FaultPlan {
-            die_after_frames: Some(2),
-        };
-        let (mut c, mut w) = loopback_pair_with_fault(fault);
-        w.send(&Frame::FetchChunk).unwrap(); // frame 1
-        assert_eq!(c.recv().unwrap(), Frame::FetchChunk);
-        c.send(&Frame::Drained).unwrap();
-        assert_eq!(w.recv().unwrap(), Frame::Drained); // frame 2 — limit hit
-        assert!(matches!(
-            w.send(&Frame::FetchChunk),
-            Err(DistError::Disconnected(_))
-        ));
-        assert!(w.died());
-        // The coordinator end now sees a hangup, not a timeout.
-        let mut c = c.with_recv_timeout(Duration::from_millis(20));
-        assert!(matches!(c.recv(), Err(DistError::Disconnected(_))));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::Duration;
 use session::SessionReport;
 use workloads::{PerfTable, TableStore};
 
+use crate::backoff::Backoff;
 use crate::proto::{Frame, PROTOCOL_VERSION};
 use crate::transport::{TcpTransport, Transport};
 use crate::DistError;
@@ -44,29 +45,26 @@ pub struct WorkerSummary {
     pub fingerprint: u64,
 }
 
-/// Connects to a coordinator with retries — workers typically start
-/// before the coordinator finishes building its table, so the first
-/// connect may be early. Retries `attempts` times, `delay` apart.
+/// Connects to a coordinator, retrying under capped exponential backoff
+/// with seeded jitter until `patience` runs out — workers typically
+/// start before the coordinator finishes building its table, so the
+/// first connect may be early. The jitter decorrelates a fleet of
+/// workers all retrying against the same address; the `seed` fixes the
+/// schedule for reproducible tests.
 ///
 /// # Errors
 ///
-/// The last connection error once the attempts are spent.
-pub fn connect_retry(
-    addr: &str,
-    attempts: usize,
-    delay: Duration,
-) -> Result<TcpTransport, DistError> {
-    let mut last = DistError::Config("connect_retry needs at least one attempt".into());
-    for i in 0..attempts.max(1) {
-        if i > 0 {
-            std::thread::sleep(delay);
-        }
+/// The last connection error once `patience` is spent.
+pub fn connect_retry(addr: &str, patience: Duration, seed: u64) -> Result<TcpTransport, DistError> {
+    let deadline = std::time::Instant::now() + patience;
+    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), seed);
+    loop {
         match TcpTransport::connect(addr) {
             Ok(t) => return Ok(t),
-            Err(e) => last = e,
+            Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+            Err(_) => backoff.sleep(),
         }
     }
-    Err(last)
 }
 
 /// Serves one coordinator connection to completion: handshake, table

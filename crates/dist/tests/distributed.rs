@@ -1,16 +1,18 @@
 //! End-to-end distributed-sweep coverage: the merged report must be
 //! bitwise identical to a single-process `Session::sweep()` run — over
-//! loopback transports, over real TCP, and under an injected mid-sweep
-//! worker death — and failure modes (retry exhaustion, total worker
-//! loss, version skew, poisoned chunks) must surface as clean errors.
+//! loopback transports, over real TCP, and under every seeded
+//! `ChaosPlan` that leaves at least one live worker (crash, hang,
+//! corrupt frames, duplicated frames, hedged stragglers) — and failure
+//! modes (retry exhaustion, total worker loss, version skew, poisoned
+//! chunks) must surface as clean errors.
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::Duration;
 
 use dist::{
-    loopback_pair, loopback_pair_with_fault, run_worker, Coordinator, DistConfig, DistError,
-    FaultPlan, TcpTransport, WorkerConfig,
+    loopback_pair, loopback_pair_with_chaos, run_worker, ChaosPlan, ChaosTransport, Coordinator,
+    DistConfig, DistError, TcpTransport, WorkerConfig,
 };
 use session::{Policy, Session, SweepBuilder, SweepReport};
 use simproc::{BenchmarkProfile, Machine, MachineConfig};
@@ -137,9 +139,7 @@ fn a_worker_killed_mid_sweep_is_rerouted_and_parity_holds() {
     // TableBytes, FetchChunk, Chunk — then while returning its first Rows
     // frame, exactly a worker process crashing mid-sweep with a chunk
     // held. The coordinator must re-queue that chunk.
-    let (c1, w1) = loopback_pair_with_fault(FaultPlan {
-        die_after_frames: Some(6),
-    });
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan::crash_after(6));
     let (c2, w2) = loopback_pair();
     let victim = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
     let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
@@ -173,9 +173,7 @@ fn retry_budget_exhaustion_surfaces_a_clean_error() {
         },
     )
     .unwrap();
-    let (c1, w1) = loopback_pair_with_fault(FaultPlan {
-        die_after_frames: Some(6),
-    });
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan::crash_after(6));
     let worker = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
     let err = coordinator
         .run(vec![c1.with_recv_timeout(Duration::from_secs(5))])
@@ -198,9 +196,7 @@ fn losing_every_worker_reports_incomplete() {
         },
     )
     .unwrap();
-    let (c1, w1) = loopback_pair_with_fault(FaultPlan {
-        die_after_frames: Some(6),
-    });
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan::crash_after(6));
     let worker = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
     let err = coordinator
         .run(vec![c1.with_recv_timeout(Duration::from_secs(5))])
@@ -209,6 +205,225 @@ fn losing_every_worker_reports_incomplete() {
         matches!(err, DistError::Incomplete { remaining } if remaining > 0),
         "unexpected error: {err}"
     );
+    let _ = worker.join().unwrap();
+}
+
+#[test]
+fn a_hung_worker_times_out_and_its_chunk_is_requeued() {
+    let coordinator = Coordinator::from_sweep(
+        reference_sweep(),
+        DistConfig {
+            chunk_size: 2,
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    // After 6 frames the victim's end goes silent without hanging up:
+    // sends pretend to succeed, reads time out — a wedged process, not a
+    // dead one. The coordinator can only detect it by timeout, after
+    // which the held chunk must return to the queue.
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan::hang_after(6));
+    let (c2, w2) = loopback_pair();
+    let victim = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator
+        .run(vec![
+            c1.with_recv_timeout(Duration::from_secs(2)),
+            c2.with_recv_timeout(Duration::from_secs(120)),
+        ])
+        .expect("run completes despite the hung worker");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert!(outcome.requeues >= 1, "requeues: {}", outcome.requeues);
+
+    // The victim observed its own hang as silence, not a hangup.
+    assert!(matches!(victim.join().unwrap(), Err(DistError::Timeout(_))));
+    let summary = survivor.join().unwrap().expect("survivor completes");
+    assert_eq!(summary.rows, reference_report().len());
+}
+
+#[test]
+fn a_straggler_chunk_is_hedged_to_an_idle_worker() {
+    let coordinator = Coordinator::from_sweep(
+        reference_sweep(),
+        DistConfig {
+            chunk_size: 2,
+            hedge: true,
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    // The victim wedges silently on its first chunk. The survivor drains
+    // the rest of the queue in well under the victim connection's read
+    // timeout and goes idle — with hedging on, it is handed a copy of
+    // the straggler chunk and completes the sweep; the victim's answer
+    // never arrives, so the hedge's answer is the one that counts.
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan::hang_after(6));
+    let (c2, w2) = loopback_pair();
+    let victim = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator
+        .run(vec![
+            c1.with_recv_timeout(Duration::from_secs(3)),
+            c2.with_recv_timeout(Duration::from_secs(120)),
+        ])
+        .expect("the hedge completes the sweep");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert!(outcome.hedges >= 1, "hedges: {}", outcome.hedges);
+
+    assert!(matches!(victim.join().unwrap(), Err(DistError::Timeout(_))));
+    let summary = survivor.join().unwrap().expect("survivor completes");
+    // The survivor evaluated every chunk, the hedged straggler included.
+    assert_eq!(summary.rows, reference_report().len());
+}
+
+#[test]
+fn corrupt_frames_strike_without_killing_the_run() {
+    let coordinator = Coordinator::from_sweep(
+        reference_sweep(),
+        DistConfig {
+            chunk_size: 2,
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    // Every frame the coordinator reads from w1 arrives with one flipped
+    // bit: the checksum rejects it, the connection takes a strike instead
+    // of killing the run, and the clean worker carries the sweep to
+    // bitwise parity. (Both coordinator ends wear a ChaosTransport so the
+    // transport vector is homogeneous; c2's plan is the transparent
+    // default.)
+    let (c1, w1) = loopback_pair();
+    let c1 = ChaosTransport::new(
+        c1.with_recv_timeout(Duration::from_millis(300)),
+        ChaosPlan {
+            corrupt: 1.0,
+            seed: 7,
+            ..ChaosPlan::default()
+        },
+    );
+    let (c2, w2) = loopback_pair();
+    let c2 = ChaosTransport::new(c2, ChaosPlan::default());
+    let victim = std::thread::spawn(move || {
+        run_worker(
+            w1.with_recv_timeout(Duration::from_secs(2)),
+            &WorkerConfig::default(),
+        )
+    });
+    let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator
+        .run(vec![c1, c2])
+        .expect("the clean worker carries the sweep");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert!(outcome.strikes >= 1, "strikes: {}", outcome.strikes);
+
+    // The victim never got a (legible) answer to its Hello: it times out
+    // waiting, or sees the hangup when its coordinator thread retires.
+    assert!(matches!(
+        victim.join().unwrap(),
+        Err(DistError::Timeout(_) | DistError::Disconnected(_))
+    ));
+    survivor.join().unwrap().expect("survivor completes");
+}
+
+#[test]
+fn a_babbling_worker_is_quarantined_after_repeated_strikes() {
+    use dist::{Frame, Transport, PROTOCOL_VERSION};
+
+    let coordinator = Coordinator::from_sweep(
+        reference_sweep(),
+        DistConfig {
+            quarantine_limit: 2,
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    let (c1, mut w1) = loopback_pair();
+    let (c2, w2) = loopback_pair();
+    let babbler = std::thread::spawn(move || {
+        w1.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })
+        .unwrap();
+        assert!(matches!(w1.recv().unwrap(), Frame::Welcome { .. }));
+        // Drained is a coordinator-to-worker frame; coming from a worker
+        // each one is an unexpected frame, i.e. one strike.
+        for _ in 0..3 {
+            w1.send(&Frame::Drained).unwrap();
+        }
+    });
+    let honest = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator
+        .run(vec![c1, c2])
+        .expect("the honest worker carries the sweep");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    // Strikes one and two are tolerated; the third exceeds the limit and
+    // quarantines the connection.
+    assert_eq!(outcome.strikes, 3);
+    babbler.join().unwrap();
+    honest.join().unwrap().expect("honest worker completes");
+}
+
+#[test]
+fn duplicated_frames_are_discarded_by_chunk_id() {
+    let dir = temp_store_dir("dup");
+
+    // Warm the table cache first so the chaos run's conversation has no
+    // TableRequest/TableBytes exchange — a duplicated TableRequest would
+    // desynchronize the handshake beyond what this test pins.
+    let coordinator = Coordinator::from_sweep(reference_sweep(), DistConfig::default()).unwrap();
+    let (c0, w0) = loopback_pair();
+    let store = TableStore::new(dir.clone());
+    let warmer = std::thread::spawn(move || {
+        run_worker(
+            w0,
+            &WorkerConfig {
+                threads: 0,
+                cache: Some(store),
+            },
+        )
+    });
+    coordinator.run(vec![c0]).expect("warm-up run");
+    warmer.join().unwrap().expect("warmer completes");
+
+    // Now every frame the worker sends arrives twice. Duplicate Rows are
+    // discarded by chunk id; duplicate FetchChunks make the coordinator
+    // re-send this connection's own straggler (burning attempts), so give
+    // the budget headroom.
+    let coordinator = Coordinator::from_sweep(
+        reference_sweep(),
+        DistConfig {
+            chunk_size: 2,
+            retry_budget: 20,
+            ..DistConfig::default()
+        },
+    )
+    .unwrap();
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan {
+        duplicate: 1.0,
+        ..ChaosPlan::default()
+    });
+    let store = TableStore::new(dir);
+    let worker = std::thread::spawn(move || {
+        run_worker(
+            w1,
+            &WorkerConfig {
+                threads: 0,
+                cache: Some(store),
+            },
+        )
+    });
+    let outcome = coordinator
+        .run(vec![c1.with_recv_timeout(Duration::from_secs(30))])
+        .expect("duplicates must not corrupt the run");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert!(
+        outcome.duplicates >= 1,
+        "duplicates: {}",
+        outcome.duplicates
+    );
+    // The worker may end cleanly (Drained) or observe the coordinator
+    // hanging up after the sweep completed mid-duplicate-storm; either
+    // way the merged report above is already pinned.
     let _ = worker.join().unwrap();
 }
 

@@ -38,7 +38,13 @@
 //!   beam search over partial placements.
 //! * [`TwinLoop`] — bounded-staleness [`predict::PredictedModel::refit`]
 //!   off the hot path, plus residual-driven active sampling
-//!   ([`predict::PredictedModel::residual_quantiles`]).
+//!   ([`predict::PredictedModel::residual_quantiles`]). A panicking
+//!   refit worker is caught and surfaced as [`TwinError`] at shutdown
+//!   instead of poisoning the run.
+//! * [`CircuitBreaker`] / [`DegradingPlacer`] — graceful degradation:
+//!   the twin's `fit_q90` health signal trips a hysteresis breaker that
+//!   routes placements to symbiosis-blind FCFS while the model is
+//!   mispricing, and hands traffic back once refits recover.
 //! * [`sim`] — closes the loop against ground truth (a measured
 //!   `PerfTable` view or any partial-capable
 //!   [`symbiosis::RateModel`]) under a seeded virtual clock, so whole
@@ -76,14 +82,16 @@
 //! assert_eq!(report.completed + report.rejected, 50);
 //! ```
 
+pub mod breaker;
 pub mod dispatch;
 pub mod placer;
 pub mod queue;
 pub mod sim;
 pub mod twin;
 
+pub use breaker::{BreakerConfig, BreakerEvent, BreakerReport, CircuitBreaker, DegradingPlacer};
 pub use dispatch::{Completion, Dispatcher, Placement};
 pub use placer::{BeamPlacer, OccupiedModel, Placer, PolicyPlacer};
 pub use queue::{Producer, Queue, QueueStats, SubmitError};
 pub use sim::{run_serve, ErrorPoint, ServeConfig, ServeError, ServeReport};
-pub use twin::{RefitRecord, TwinLoop};
+pub use twin::{RefitRecord, TwinError, TwinLoop};

@@ -14,10 +14,11 @@
 //! full placement trace and the model-error trajectory — is reproducible
 //! bit-for-bit, with inline or background refits.
 
+use crate::breaker::{BreakerConfig, BreakerReport, DegradingPlacer};
 use crate::dispatch::{Dispatcher, Placement};
 use crate::placer::Placer;
 use crate::queue::{Queue, SubmitError};
-use crate::twin::{RefitRecord, TwinLoop};
+use crate::twin::{RefitRecord, TwinError, TwinLoop};
 use predict::{PredictedModel, RateSample};
 use queueing::Job;
 use symbiosis::rng::SplitMix64;
@@ -40,6 +41,15 @@ pub struct ServeConfig {
     pub probes: usize,
     /// Run refits on a background worker thread instead of inline.
     pub background_twin: bool,
+    /// Graceful degradation: wrap the placer in a
+    /// [`DegradingPlacer`] watching the twin's `fit_q90` health signal,
+    /// falling back to FCFS while the breaker is open. `None` (the
+    /// default) leaves the placer untouched.
+    pub breaker: Option<BreakerConfig>,
+    /// Chaos hook: make the (then necessarily background) twin worker
+    /// panic at this zero-indexed dispatched batch; the run surfaces
+    /// [`ServeError::Twin`] at shutdown. `None` for normal operation.
+    pub twin_panic_at_batch: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +62,8 @@ impl Default for ServeConfig {
             batch: 64,
             probes: 4,
             background_twin: false,
+            breaker: None,
+            twin_panic_at_batch: None,
         }
     }
 }
@@ -100,19 +112,24 @@ pub struct ServeReport {
     pub trace: Vec<Placement>,
     /// Training-set size of the final model.
     pub final_train_samples: usize,
+    /// Circuit-breaker activity, when [`ServeConfig::breaker`] was set.
+    pub breaker: Option<BreakerReport>,
 }
 
-/// Errors rejecting a [`run_serve`] configuration.
+/// Errors from a [`run_serve`] experiment.
 #[derive(Debug, PartialEq, Eq)]
 pub enum ServeError {
     /// The config or the model/truth shapes are unusable.
     Config(String),
+    /// The twin loop died mid-run (e.g. a refit-worker panic).
+    Twin(TwinError),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Config(msg) => write!(f, "serve config error: {msg}"),
+            ServeError::Twin(e) => write!(f, "serve twin failure: {e}"),
         }
     }
 }
@@ -168,10 +185,22 @@ pub fn run_serve(
 
     let mut rng = SplitMix64::new(cfg.seed);
     let (producer, queue) = Queue::bounded(cfg.queue_capacity);
-    let mut twin = if cfg.background_twin {
+    let mut twin = if cfg.twin_panic_at_batch.is_some() {
+        // Fault injection targets the worker thread, so the twin must
+        // run in background mode.
+        TwinLoop::background_with_fault(model, cfg.batch, cfg.probes, cfg.twin_panic_at_batch)
+    } else if cfg.background_twin {
         TwinLoop::background(model, cfg.batch, cfg.probes)
     } else {
         TwinLoop::new(model, cfg.batch, cfg.probes)
+    };
+    let (placer, breaker) = match &cfg.breaker {
+        Some(breaker_cfg) => {
+            let degrading = DegradingPlacer::new(placer, breaker_cfg.clone());
+            let handle = degrading.breaker();
+            (Box::new(degrading) as Box<dyn Placer>, Some(handle))
+        }
+        None => (placer, None),
     };
     let mut dispatcher = Dispatcher::new(n, k, placer);
     let placer_name = dispatcher.placer_name().to_string();
@@ -251,6 +280,17 @@ pub fn run_serve(
                 for probe in twin.probe_requests() {
                     twin.record(measure(truth, &probe));
                 }
+                // Feed the freshest refit's health signal through the
+                // circuit breaker, so degradation reacts within one
+                // staleness bound of the model going bad (or healing).
+                if let Some(breaker) = &breaker {
+                    if let Some(last) = twin.history().last() {
+                        breaker
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .observe(last.generation, last.fit_q90);
+                    }
+                }
                 errors.push(ErrorPoint {
                     generation: twin.generation(),
                     time: now,
@@ -294,7 +334,7 @@ pub fn run_serve(
     assert_eq!(stats.depth, 0, "jobs left in the queue at shutdown");
     assert_eq!(placed_total, completed_total, "running jobs at shutdown");
 
-    let (final_model, refits) = twin.shutdown();
+    let (final_model, refits) = twin.shutdown().map_err(ServeError::Twin)?;
     errors.push(ErrorPoint {
         generation: refits.last().map_or(0, |r| r.generation),
         time: now,
@@ -316,6 +356,12 @@ pub fn run_serve(
         errors,
         trace: dispatcher.trace().to_vec(),
         final_train_samples: final_model.samples().len(),
+        breaker: breaker.map(|b| {
+            b.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .report()
+                .clone()
+        }),
     })
 }
 
@@ -360,6 +406,8 @@ mod tests {
             batch: 40,
             probes: 3,
             background_twin: false,
+            breaker: None,
+            twin_panic_at_batch: None,
         }
     }
 
@@ -440,6 +488,86 @@ mod tests {
         assert!(
             last < first,
             "digital twin must learn: error {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn a_tripped_breaker_falls_back_without_losing_jobs() {
+        let truth = truth(3, 4);
+        // A zero trip threshold opens the breaker at the first refit (any
+        // non-negative q90 trips it) and the negative recovery threshold
+        // keeps it open, so the bulk of the run places through FCFS.
+        let cfg = ServeConfig {
+            breaker: Some(BreakerConfig {
+                trip_q90: 0.0,
+                recover_q90: -1.0,
+            }),
+            ..small_cfg()
+        };
+        let report = run_serve(
+            &truth,
+            seed_model(&truth),
+            Box::new(PolicyPlacer::greedy()),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(report.placer, "DEGRADING");
+        assert_eq!(report.submitted + report.rejected, 300);
+        assert_eq!(report.completed, report.submitted);
+        let breaker = report.breaker.expect("breaker report present");
+        assert_eq!(breaker.trips, 1);
+        assert_eq!(breaker.recoveries, 0);
+        assert!(breaker.fallback_calls > 0, "fallback must have served");
+    }
+
+    #[test]
+    fn an_untripped_breaker_is_transparent_to_the_placement_trace() {
+        let truth = truth(3, 4);
+        let plain = run_serve(
+            &truth,
+            seed_model(&truth),
+            Box::new(PolicyPlacer::greedy()),
+            &small_cfg(),
+        )
+        .unwrap();
+        let cfg = ServeConfig {
+            breaker: Some(BreakerConfig {
+                trip_q90: f64::INFINITY,
+                recover_q90: 0.0,
+            }),
+            ..small_cfg()
+        };
+        let wrapped = run_serve(
+            &truth,
+            seed_model(&truth),
+            Box::new(PolicyPlacer::greedy()),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(plain.trace, wrapped.trace);
+        assert_eq!(plain.refits, wrapped.refits);
+        let breaker = wrapped.breaker.expect("breaker report present");
+        assert_eq!(breaker.trips, 0);
+        assert_eq!(breaker.fallback_calls, 0);
+    }
+
+    #[test]
+    fn a_twin_worker_panic_surfaces_as_a_clean_error() {
+        let truth = truth(3, 4);
+        let cfg = ServeConfig {
+            twin_panic_at_batch: Some(0),
+            ..small_cfg()
+        };
+        let err = run_serve(
+            &truth,
+            seed_model(&truth),
+            Box::new(PolicyPlacer::greedy()),
+            &cfg,
+        )
+        .expect_err("the injected twin panic must surface");
+        assert!(
+            matches!(err, ServeError::Twin(_)),
+            "unexpected error: {err}"
         );
     }
 

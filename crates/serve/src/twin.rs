@@ -25,6 +25,41 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use symbiosis::RateModel;
 
+/// A twin-loop failure surfaced at [`TwinLoop::shutdown`].
+///
+/// A refit-worker panic must not poison the whole service run: the
+/// worker catches it, records it, and the service keeps placing on the
+/// last good model until shutdown reports the failure as a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwinError {
+    /// The background refit worker panicked (payload message attached);
+    /// batches dispatched after the panic were never applied.
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for TwinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TwinError::WorkerPanicked(msg) => {
+                write!(f, "twin refit worker panicked: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TwinError {}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
 /// One refit, as recorded in the twin's history.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RefitRecord {
@@ -46,6 +81,9 @@ struct Progress {
     history: Vec<RefitRecord>,
     /// Probe multisets requested by active sampling, not yet collected.
     probes: Vec<Vec<u32>>,
+    /// Set when the background worker died to a panic: the message.
+    /// Waiters stop blocking on `done` once this is set.
+    dead: Option<String>,
 }
 
 struct TwinShared {
@@ -84,6 +122,7 @@ impl TwinLoop {
                     failed: 0,
                     history: Vec::new(),
                     probes: Vec::new(),
+                    dead: None,
                 }),
                 advanced: Condvar::new(),
             }),
@@ -100,6 +139,23 @@ impl TwinLoop {
     /// run on a dedicated worker thread and [`TwinLoop::record`] never
     /// blocks on the solver.
     pub fn background(model: PredictedModel, batch: usize, probes_per_refit: usize) -> Self {
+        Self::background_with_fault(model, batch, probes_per_refit, None)
+    }
+
+    /// [`TwinLoop::background`] with deterministic fault injection: the
+    /// worker panics while processing the zero-indexed
+    /// `panic_at_batch`-th dispatched batch. The panic is caught on the
+    /// worker, recorded, and surfaced as [`TwinError::WorkerPanicked`]
+    /// from [`TwinLoop::shutdown`]; until then the service keeps placing
+    /// on the last successfully fitted model. This is the chaos hook —
+    /// pass `None` for production behaviour (a *real* panic in the
+    /// fitter takes the same recovery path).
+    pub fn background_with_fault(
+        model: PredictedModel,
+        batch: usize,
+        probes_per_refit: usize,
+        panic_at_batch: Option<u64>,
+    ) -> Self {
         let mut twin = Self::new(model, batch, probes_per_refit);
         let (tx, rx) = mpsc::channel::<Vec<RateSample>>();
         let shared = twin.shared.clone();
@@ -108,8 +164,28 @@ impl TwinLoop {
             std::thread::Builder::new()
                 .name("twin-refit".into())
                 .spawn(move || {
+                    let mut batches: u64 = 0;
                     while let Ok(batch) = rx.recv() {
-                        Self::apply(&shared, batch, probes);
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if Some(batches) == panic_at_batch {
+                                    panic!("injected twin fault at batch {batches}");
+                                }
+                                Self::apply(&shared, batch, probes);
+                            }));
+                        batches += 1;
+                        if let Err(payload) = outcome {
+                            // Record the death and stop consuming; the
+                            // dropped receiver turns later dispatches
+                            // into no-ops instead of a pile-up.
+                            let mut progress = shared
+                                .progress
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner());
+                            progress.dead = Some(panic_message(payload.as_ref()));
+                            shared.advanced.notify_all();
+                            return;
+                        }
                     }
                 })
                 .expect("spawn twin worker"),
@@ -123,9 +199,15 @@ impl TwinLoop {
         self.worker.is_some()
     }
 
-    /// Read access to the live model, for pricing placements.
+    /// Read access to the live model, for pricing placements. Tolerates
+    /// a poisoned lock: a worker that panicked mid-refit leaves the last
+    /// consistent coefficients behind (refit replaces state only on
+    /// success), and the service keeps pricing on them.
     pub fn read(&self) -> RwLockReadGuard<'_, PredictedModel> {
-        self.shared.model.read().unwrap()
+        self.shared
+            .model
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Records one completed-coschedule measurement. Returns `true` when
@@ -141,32 +223,50 @@ impl TwinLoop {
         }
     }
 
-    /// Dispatches the pending batch (if any) regardless of size.
+    /// Dispatches the pending batch (if any) regardless of size. A batch
+    /// aimed at a dead worker is discarded (and not counted as sent), so
+    /// a panicked twin degrades to a frozen model rather than an error
+    /// on the placement path.
     pub fn flush(&mut self) {
         if self.pending.is_empty() {
             return;
         }
         let batch = std::mem::take(&mut self.pending);
-        self.sent += 1;
         match &self.tx {
-            Some(tx) => tx.send(batch).expect("twin worker alive"),
-            None => Self::apply(&self.shared, batch, self.probes_per_refit),
+            Some(tx) => {
+                if tx.send(batch).is_ok() {
+                    self.sent += 1;
+                }
+            }
+            None => {
+                Self::apply(&self.shared, batch, self.probes_per_refit);
+                self.sent += 1;
+            }
         }
     }
 
-    /// Blocks until every dispatched batch has been applied. A no-op for
-    /// inline twins.
+    /// Blocks until every dispatched batch has been applied — or the
+    /// worker died, in which case waiting any longer would hang forever.
+    /// A no-op for inline twins.
     pub fn sync(&self) {
-        let mut progress = self.shared.progress.lock().unwrap();
-        while progress.done < self.sent {
-            progress = self.shared.advanced.wait(progress).unwrap();
+        let mut progress = self
+            .shared
+            .progress
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while progress.done < self.sent && progress.dead.is_none() {
+            progress = self
+                .shared
+                .advanced
+                .wait(progress)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
     /// Refit generations applied so far (syncs first).
     pub fn generation(&self) -> u64 {
         self.sync();
-        self.shared.progress.lock().unwrap().done
+        self.progress().done
     }
 
     /// Drains the active-sampling probe requests produced by refits so
@@ -174,30 +274,54 @@ impl TwinLoop {
     /// the results like ordinary samples.
     pub fn probe_requests(&mut self) -> Vec<Vec<u32>> {
         self.sync();
-        std::mem::take(&mut self.shared.progress.lock().unwrap().probes)
+        std::mem::take(&mut self.progress().probes)
     }
 
     /// Snapshot of the refit history (syncs first).
     pub fn history(&self) -> Vec<RefitRecord> {
         self.sync();
-        self.shared.progress.lock().unwrap().history.clone()
+        self.progress().history.clone()
+    }
+
+    fn progress(&self) -> std::sync::MutexGuard<'_, Progress> {
+        self.shared
+            .progress
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Flushes the remaining partial batch, waits for the worker to
     /// drain, and returns the final model plus the full refit history.
-    pub fn shutdown(mut self) -> (PredictedModel, Vec<RefitRecord>) {
+    ///
+    /// # Errors
+    ///
+    /// [`TwinError::WorkerPanicked`] when the background worker died to a
+    /// panic at any point in the run. The error is a value — the caller's
+    /// thread is never re-panicked — and carries the panic message.
+    pub fn shutdown(mut self) -> Result<(PredictedModel, Vec<RefitRecord>), TwinError> {
         self.flush();
         if let Some(tx) = self.tx.take() {
             drop(tx);
         }
         if let Some(worker) = self.worker.take() {
-            worker.join().expect("twin worker panicked");
+            // The worker catches its own panics; join still guards
+            // against aborts in the unwind machinery itself.
+            let _ = worker.join();
         }
         self.sync();
         let shared = Arc::into_inner(self.shared).expect("model handles outlive the twin");
-        let model = shared.model.into_inner().unwrap();
-        let history = shared.progress.into_inner().unwrap().history;
-        (model, history)
+        let model = shared
+            .model
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let progress = shared
+            .progress
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(message) = progress.dead {
+            return Err(TwinError::WorkerPanicked(message));
+        }
+        Ok((model, progress.history))
     }
 
     /// Applies one batch: refit, record history, derive active probes.
@@ -206,7 +330,10 @@ impl TwinLoop {
         let mut record = None;
         let mut probes = Vec::new();
         let ok = {
-            let mut model = shared.model.write().unwrap();
+            let mut model = shared
+                .model
+                .write()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             match model.refit(&batch) {
                 Ok(()) => {
                     let q90 = model.residual_quantiles(&[0.9])[0];
@@ -219,7 +346,10 @@ impl TwinLoop {
                 Err(_) => false,
             }
         };
-        let mut progress = shared.progress.lock().unwrap();
+        let mut progress = shared
+            .progress
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         progress.done += 1;
         let generation = progress.done;
         if let Some((train_samples, fit_mean_abs_rel, fit_q90)) = record {
@@ -351,7 +481,7 @@ mod tests {
         assert_eq!(history.len(), 1);
         assert_eq!(history[0].generation, 1);
         assert!(history[0].fit_q90 >= 0.0);
-        let (model, history) = twin.shutdown();
+        let (model, history) = twin.shutdown().expect("clean shutdown");
         assert_eq!(history.len(), 1);
         assert_eq!(model.samples().len(), 5 + 3); // sizes 1..=2 plus batch
     }
@@ -364,7 +494,7 @@ mod tests {
             for s in feed.clone() {
                 twin.record(s);
             }
-            twin.shutdown()
+            twin.shutdown().expect("clean shutdown")
         };
         let (inline_model, inline_hist) = run(TwinLoop::new(seed_model(&truth), 2, 2));
         let (bg_model, bg_hist) = run(TwinLoop::background(seed_model(&truth), 2, 2));
@@ -411,7 +541,32 @@ mod tests {
         twin.record(sample(&truth, &[1, 0]));
         let after = twin.read().coefficients();
         assert_eq!(before.len(), after.len());
-        let (_, history) = twin.shutdown();
+        let (_, history) = twin.shutdown().expect("clean shutdown");
         assert!(history.len() <= 1);
+    }
+
+    #[test]
+    fn a_panicking_worker_surfaces_an_error_instead_of_poisoning_the_run() {
+        let truth = truth();
+        let mut twin = TwinLoop::background_with_fault(seed_model(&truth), 1, 0, Some(0));
+        let coeffs_before = twin.read().coefficients();
+        // Dispatching the first batch kills the worker.
+        assert!(twin.record(sample(&truth, &[2, 1])));
+        // None of these may hang or re-panic on the caller's thread...
+        twin.sync();
+        assert_eq!(twin.generation(), 0);
+        assert!(twin.history().is_empty());
+        // ...the last good model keeps serving reads...
+        assert_eq!(twin.read().coefficients(), coeffs_before);
+        // ...later dispatches are shed instead of piling up...
+        assert!(twin.record(sample(&truth, &[1, 2])));
+        // ...and shutdown reports the panic as a value, message included.
+        match twin.shutdown() {
+            Err(err) => assert_eq!(
+                err,
+                TwinError::WorkerPanicked("injected twin fault at batch 0".into())
+            ),
+            Ok(_) => panic!("the injected panic must surface"),
+        }
     }
 }

@@ -25,14 +25,19 @@
 //! * [`dist`] — the sharded sweep coordinator: a length-prefixed,
 //!   checksummed wire protocol over TCP (or in-process loopback), a
 //!   fault-tolerant [`prelude::Coordinator`] that re-queues chunks lost
-//!   to dead workers, [`prelude::run_worker`] for the worker side, and a
+//!   to dead workers (with backoff, strike-based quarantine and hedged
+//!   straggler re-dispatch), [`prelude::run_worker`] for the worker
+//!   side, a seeded fault-injection layer ([`prelude::ChaosPlan`] /
+//!   [`prelude::ChaosTransport`]) for testing all of it, and a
 //!   deterministic merge whose report is bitwise-identical to a
 //!   single-process `Session::sweep`;
 //! * [`serve`] — the online scheduling service: a bounded
 //!   [`prelude::Queue`] front end, placers ([`prelude::Placer`]) pricing
-//!   free contexts through the live model, and the digital-twin refit
+//!   free contexts through the live model, the digital-twin refit
 //!   loop ([`prelude::TwinLoop`]) closed against ground truth by
-//!   [`prelude::run_serve`].
+//!   [`prelude::run_serve`], and graceful degradation — a model-health
+//!   circuit breaker ([`prelude::BreakerConfig`]) that falls back to
+//!   FCFS while the twin is mispricing.
 //!
 //! The experiment harness that regenerates every paper figure/table lives
 //! in the `paperbench` crate: an `Experiment` registry drives them all
@@ -124,16 +129,16 @@ pub mod prelude {
     };
 
     pub use dist::{
-        run_worker, Coordinator, DistConfig, DistError, DistOutcome, TcpTransport, Transport,
-        WorkerConfig, WorkerSummary,
+        run_worker, ChaosPlan, ChaosTransport, Coordinator, DistConfig, DistError, DistOutcome,
+        TcpTransport, Transport, WorkerConfig, WorkerSummary,
     };
     pub use queueing::{
         BatchConfig, BatchReport, ContentionModel, FcfsScheduler, LatencyConfig, LatencyReport,
         MaxItScheduler, MaxTpScheduler, MmcQueue, Scheduler, SizeDist, SrptScheduler,
     };
     pub use serve::{
-        run_serve, BeamPlacer, Dispatcher, Placer, PolicyPlacer, Queue, ServeConfig, ServeReport,
-        TwinLoop,
+        run_serve, BeamPlacer, BreakerConfig, Dispatcher, Placer, PolicyPlacer, Queue, ServeConfig,
+        ServeReport, TwinError, TwinLoop,
     };
     pub use simproc::{BenchmarkProfile, FetchPolicy, Machine, MachineConfig, RobPartitioning};
     pub use workloads::{

@@ -40,6 +40,8 @@ fn soak_cfg(background: bool) -> ServeConfig {
         batch: 60,
         probes: 3,
         background_twin: background,
+        breaker: None,
+        twin_panic_at_batch: None,
     }
 }
 
