@@ -11,7 +11,7 @@ use queueing::{
 };
 use simproc::{Machine, MachineConfig, MachineError};
 use symbiosis::{
-    fcfs_throughput, fcfs_throughput_markov_with, JobSize, Objective, RateModel, Schedule,
+    fcfs_throughput, fcfs_throughput_markov_tuned, JobSize, Objective, RateModel, Schedule,
     ScheduleLp, SymbiosisError, WorkloadRates,
 };
 use workloads::{spec2006, PerfTable, TableError};
@@ -228,6 +228,7 @@ pub struct SessionBuilder<'a> {
     latency: Option<LatencyConfig>,
     lp_dense_limit: usize,
     markov_dense_limit: usize,
+    markov_accel_limit: usize,
 }
 
 /// A configured experiment: machine/workload (or a ready rate model) plus
@@ -280,6 +281,7 @@ impl Session {
             latency: None,
             lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
             markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
+            markov_accel_limit: symbiosis::DEFAULT_MARKOV_ACCEL_LIMIT,
         }
     }
 }
@@ -397,6 +399,17 @@ impl<'a> SessionBuilder<'a> {
     /// sparse path, `usize::MAX` the dense one.
     pub fn markov_dense_limit(mut self, limit: usize) -> Self {
         self.markov_dense_limit = limit;
+        self
+    }
+
+    /// Largest sparse Markov-chain state count solved by sequential
+    /// Gauss–Seidel; bigger chains go through the multi-colored parallel
+    /// SOR sweep (default: [`symbiosis::DEFAULT_MARKOV_ACCEL_LIMIT`]).
+    /// `0` forces the accelerated path, `usize::MAX` sequential
+    /// Gauss–Seidel. Only consulted above
+    /// [`SessionBuilder::markov_dense_limit`].
+    pub fn markov_accel_limit(mut self, limit: usize) -> Self {
+        self.markov_accel_limit = limit;
         self
     }
 
@@ -540,9 +553,11 @@ impl<'a> SessionBuilder<'a> {
                     }
                 }
                 Policy::FcfsMarkov => {
-                    let outcome = fcfs_throughput_markov_with(
+                    let outcome = fcfs_throughput_markov_tuned(
                         table.as_ref().expect("table materialised"),
                         self.markov_dense_limit,
+                        self.markov_accel_limit,
+                        self.threads,
                     )?;
                     PolicyReport {
                         policy,

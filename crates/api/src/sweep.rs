@@ -214,6 +214,7 @@ struct SweepKnobs {
     latency: Option<LatencyConfig>,
     lp_dense_limit: usize,
     markov_dense_limit: usize,
+    markov_accel_limit: usize,
 }
 
 impl SweepKnobs {
@@ -226,7 +227,8 @@ impl SweepKnobs {
             .job_size(self.job_size)
             .seed(self.seed)
             .lp_dense_limit(self.lp_dense_limit)
-            .markov_dense_limit(self.markov_dense_limit);
+            .markov_dense_limit(self.markov_dense_limit)
+            .markov_accel_limit(self.markov_accel_limit);
         if let Some(cfg) = &self.latency {
             builder = builder.latency(cfg.clone());
         }
@@ -332,6 +334,9 @@ pub struct SweepSpec {
     pub lp_dense_limit: usize,
     /// Dense-LU threshold for the FCFS Markov chain.
     pub markov_dense_limit: usize,
+    /// Sequential Gauss–Seidel threshold for sparse FCFS Markov chains;
+    /// bigger chains use the multi-colored parallel SOR sweep.
+    pub markov_accel_limit: usize,
 }
 
 impl SweepSpec {
@@ -350,7 +355,8 @@ impl SweepSpec {
             .job_size(self.job_size)
             .seed(self.seed)
             .lp_dense_limit(self.lp_dense_limit)
-            .markov_dense_limit(self.markov_dense_limit);
+            .markov_dense_limit(self.markov_dense_limit)
+            .markov_accel_limit(self.markov_accel_limit);
         if let Some(cfg) = &self.latency {
             builder = builder.latency(cfg.clone());
         }
@@ -414,6 +420,7 @@ impl Session {
                 latency: None,
                 lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
                 markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
+                markov_accel_limit: symbiosis::DEFAULT_MARKOV_ACCEL_LIMIT,
             },
         }
     }
@@ -536,6 +543,14 @@ impl<'a> SweepBuilder<'a> {
         self
     }
 
+    /// Sequential Gauss–Seidel threshold for sparse FCFS Markov chains,
+    /// forwarded to every per-workload session (see
+    /// [`crate::SessionBuilder::markov_accel_limit`]).
+    pub fn markov_accel_limit(mut self, limit: usize) -> Self {
+        self.knobs.markov_accel_limit = limit;
+        self
+    }
+
     /// The transportable half of this builder: its per-workload
     /// configuration as a plain-data [`SweepSpec`] (policies by name, unit,
     /// experiment knobs). `spec().sweep(table)` reconstructs an equivalent
@@ -558,6 +573,7 @@ impl<'a> SweepBuilder<'a> {
             latency: self.knobs.latency.clone(),
             lp_dense_limit: self.knobs.lp_dense_limit,
             markov_dense_limit: self.knobs.markov_dense_limit,
+            markov_accel_limit: self.knobs.markov_accel_limit,
         }
     }
 

@@ -18,12 +18,13 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use dist::{loopback_pair, run_worker, Coordinator, DistConfig, WorkerConfig};
+use lp::sparse::stationary_sor;
 use lp::{LinearProgram, Relation};
 use queueing::{run_latency_experiment, ContentionModel, LatencyConfig, SizeDist};
 use session::{Policy, Session};
 use simproc::{BenchmarkProfile, Machine, MachineConfig};
 use symbiosis::{
-    enumerate_coschedules, fcfs_throughput, fcfs_throughput_markov, optimal_schedule,
+    enumerate_coschedules, fcfs_throughput, fcfs_throughput_markov, markov_chain, optimal_schedule,
     CoscheduleIter, JobSize, Objective, RateModel, WorkloadRates,
 };
 use workloads::{spec2006, PerfTable, TableStore};
@@ -42,6 +43,9 @@ const EXPECTED_BENCHMARKS: &[&str] = &[
     "fcfs/markov_chain_35_states",
     "fcfs/markov_sparse_n12_k4",
     "fcfs/markov_sparse_n12_k8",
+    "fcfs/markov_sor_n12_k8",
+    "fcfs/markov_sparse_n12_k10",
+    "rates/flat_lookup_n12_k8",
     "table/build_3bench_tiny_windows",
     "table/store_warm_load_3bench",
     "des/latency_2k_jobs_fcfs",
@@ -223,6 +227,33 @@ fn main() {
     }));
     results.push(bench("fcfs/markov_sparse_n12_k8", || {
         black_box(fcfs_throughput_markov(&huge).expect("solves"));
+    }));
+
+    // The raw stationary solve on the prebuilt 75 582-state chain: chain
+    // assembly is hoisted out of the timer, so this kernel isolates the
+    // adaptive-omega SOR iteration the accelerated dispatch runs.
+    let (huge_inflow, huge_outflow) = markov_chain(&huge);
+    results.push(bench("fcfs/markov_sor_n12_k8", || {
+        black_box(stationary_sor(&huge_inflow, &huge_outflow, 1e-12, 20_000).expect("solves"));
+    }));
+
+    // K = 10 stress shape: 352 716 states — past DEFAULT_MARKOV_ACCEL_LIMIT,
+    // so the default dispatch runs the multi-colored parallel SOR sweep.
+    let scaling_k10 = scaling_rates(12, 10);
+    results.push(bench("fcfs/markov_sparse_n12_k10", || {
+        black_box(fcfs_throughput_markov(&scaling_k10).expect("solves"));
+    }));
+
+    // The flat rank-indexed rate probes the Markov generator leans on: one
+    // `index_of_counts` + one rate read per state over the full N = 12 /
+    // K = 8 enumeration — O(N) arithmetic per probe, no hashing, no heap.
+    results.push(bench("rates/flat_lookup_n12_k8", || {
+        let mut acc = 0.0f64;
+        for (si, s) in huge.coschedules().iter().enumerate() {
+            let idx = huge.index_of_counts(s.counts()).expect("in table");
+            acc += huge.rate(idx, si % 12);
+        }
+        black_box(acc);
     }));
 
     // Cold table build vs warm store load: the gap is what a cached

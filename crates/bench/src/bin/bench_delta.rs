@@ -1,0 +1,62 @@
+//! `bench-delta BASE NEW [--threshold FRAC]` — diff two
+//! `BENCH_session.json` perf-trajectory files kernel-by-kernel.
+//!
+//! Prints a per-kernel speedup table and exits non-zero when any kernel
+//! shared by both files is slower than the baseline by more than the
+//! threshold fraction (default `0.20`, i.e. +20% median ns/iter). CI's
+//! bench-smoke job runs this against the committed baseline; locally,
+//! compare any two saved trajectories:
+//!
+//! ```text
+//! cargo run -p paperbench --bin bench-delta -- old.json BENCH_session.json
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 0.20f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--threshold needs a fraction, e.g. --threshold 0.2");
+                    return ExitCode::FAILURE;
+                };
+                if !v.is_finite() || v < 0.0 {
+                    eprintln!("--threshold must be a non-negative fraction, got {v}");
+                    return ExitCode::FAILURE;
+                }
+                threshold = v;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                eprintln!("usage: bench-delta BASE NEW [--threshold FRAC]");
+                return ExitCode::FAILURE;
+            }
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    let [base, new] = paths.as_slice() else {
+        eprintln!("usage: bench-delta BASE NEW [--threshold FRAC]");
+        return ExitCode::FAILURE;
+    };
+    match paperbench::delta::run_delta(base, new, threshold) {
+        Ok(table) => {
+            print!("{table}");
+            println!(
+                "bench-delta: no kernel regressed beyond {:.0}%",
+                threshold * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprint!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

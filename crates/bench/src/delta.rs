@@ -1,0 +1,256 @@
+//! `bench-delta`: diff two `BENCH_session.json` perf-trajectory files.
+//!
+//! The bench harness (`cargo bench -p paperbench`) rewrites
+//! `BENCH_session.json` at the workspace root on every run. This module
+//! compares a baseline file against a fresh one kernel-by-kernel, prints a
+//! per-kernel speedup table, and flags regressions beyond a threshold —
+//! the CI smoke job runs it against the committed baseline so a PR cannot
+//! silently slow a pinned kernel down.
+//!
+//! The parser is deliberately tiny: it only reads the flat one-object-per-
+//! line layout our own harness emits (no external JSON dependency), and
+//! errors out loudly on anything else rather than guessing.
+
+use std::fmt;
+
+/// One kernel's median from a trajectory file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMedian {
+    pub name: String,
+    pub median_ns: f64,
+}
+
+/// Parses the `BENCH_session.json` layout written by `benches/kernels.rs`:
+/// one `{"name": ..., "median_ns_per_iter": ...}` object per line.
+pub fn parse_session(text: &str) -> Result<Vec<KernelMedian>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(npos) = line.find("\"name\":") else {
+            continue;
+        };
+        let rest = &line[npos + "\"name\":".len()..];
+        let q0 = rest
+            .find('"')
+            .ok_or_else(|| format!("malformed name field: {line}"))?;
+        let q1 = rest[q0 + 1..]
+            .find('"')
+            .ok_or_else(|| format!("unterminated name: {line}"))?;
+        let name = rest[q0 + 1..q0 + 1 + q1].to_string();
+
+        let key = "\"median_ns_per_iter\":";
+        let mpos = line
+            .find(key)
+            .ok_or_else(|| format!("kernel {name} has no median_ns_per_iter"))?;
+        let tail = line[mpos + key.len()..].trim_start();
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        let median_ns: f64 = num
+            .parse()
+            .map_err(|e| format!("kernel {name}: bad median {num:?}: {e}"))?;
+        if !median_ns.is_finite() || median_ns <= 0.0 {
+            return Err(format!("kernel {name}: non-positive median {median_ns}"));
+        }
+        out.push(KernelMedian { name, median_ns });
+    }
+    if out.is_empty() {
+        return Err("no benchmark entries found".into());
+    }
+    Ok(out)
+}
+
+/// One kernel present in both files.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    pub name: String,
+    pub base_ns: f64,
+    pub new_ns: f64,
+}
+
+impl DeltaRow {
+    /// Speedup of the new run over the baseline (`> 1` is faster).
+    pub fn speedup(&self) -> f64 {
+        self.base_ns / self.new_ns
+    }
+}
+
+/// The full comparison of two trajectory files.
+#[derive(Debug)]
+pub struct DeltaReport {
+    pub rows: Vec<DeltaRow>,
+    /// Kernels in the baseline that the new run no longer emits.
+    pub missing_in_new: Vec<String>,
+    /// Kernels the new run added (normal when a PR pins new kernels).
+    pub added_in_new: Vec<String>,
+}
+
+/// Joins two parsed trajectories by kernel name, in baseline order.
+pub fn diff(base: &[KernelMedian], new: &[KernelMedian]) -> DeltaReport {
+    let mut rows = Vec::new();
+    let mut missing_in_new = Vec::new();
+    for b in base {
+        match new.iter().find(|n| n.name == b.name) {
+            Some(n) => rows.push(DeltaRow {
+                name: b.name.clone(),
+                base_ns: b.median_ns,
+                new_ns: n.median_ns,
+            }),
+            None => missing_in_new.push(b.name.clone()),
+        }
+    }
+    let added_in_new = new
+        .iter()
+        .filter(|n| !base.iter().any(|b| b.name == n.name))
+        .map(|n| n.name.clone())
+        .collect();
+    DeltaReport {
+        rows,
+        missing_in_new,
+        added_in_new,
+    }
+}
+
+impl DeltaReport {
+    /// Rows slower than the baseline by more than `threshold` (a fraction:
+    /// `0.2` tolerates up to +20% median time before flagging).
+    pub fn regressions(&self, threshold: f64) -> Vec<&DeltaRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.new_ns > r.base_ns * (1.0 + threshold))
+            .collect()
+    }
+}
+
+impl fmt::Display for DeltaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<44} {:>14} {:>14} {:>9}",
+            "kernel", "base ns/iter", "new ns/iter", "speedup"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<44} {:>14.0} {:>14.0} {:>8.2}x",
+                r.name,
+                r.base_ns,
+                r.new_ns,
+                r.speedup()
+            )?;
+        }
+        for name in &self.missing_in_new {
+            writeln!(f, "{name:<44} (missing from new run)")?;
+        }
+        for name in &self.added_in_new {
+            writeln!(f, "{name:<44} (new kernel, no baseline)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Driver for the `bench-delta` binary: compares `base_path` against
+/// `new_path` and returns an error listing every kernel that regressed by
+/// more than `threshold`. Missing/added kernels are reported but do not
+/// fail the run (the harness's own coverage guard owns completeness).
+pub fn run_delta(base_path: &str, new_path: &str, threshold: f64) -> Result<String, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let base = parse_session(&read(base_path)?).map_err(|e| format!("{base_path}: {e}"))?;
+    let new = parse_session(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
+    let report = diff(&base, &new);
+    let rendered = format!("{report}");
+    let regressions = report.regressions(threshold);
+    if regressions.is_empty() {
+        Ok(rendered)
+    } else {
+        let mut msg = format!(
+            "{rendered}\n{} kernel(s) regressed beyond the {:.0}% threshold:\n",
+            regressions.len(),
+            threshold * 100.0
+        );
+        for r in regressions {
+            msg.push_str(&format!(
+                "  {}: {:.0} -> {:.0} ns/iter ({:+.1}%)\n",
+                r.name,
+                r.base_ns,
+                r.new_ns,
+                (r.new_ns / r.base_ns - 1.0) * 100.0
+            ));
+        }
+        Err(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "benchmarks": [
+    {"name": "a/fast", "median_ns_per_iter": 100.0, "batches": 7, "iters_per_batch": 10},
+    {"name": "b/slow", "median_ns_per_iter": 2000.0, "batches": 7, "iters_per_batch": 1},
+    {"name": "c/gone", "median_ns_per_iter": 5.0, "batches": 7, "iters_per_batch": 100}
+  ]
+}
+"#;
+
+    const NEW: &str = r#"{
+  "benchmarks": [
+    {"name": "a/fast", "median_ns_per_iter": 130.0, "batches": 7, "iters_per_batch": 10},
+    {"name": "b/slow", "median_ns_per_iter": 500.0, "batches": 7, "iters_per_batch": 1},
+    {"name": "d/new", "median_ns_per_iter": 42.0, "batches": 7, "iters_per_batch": 100}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_harness_layout() {
+        let parsed = parse_session(BASE).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].name, "a/fast");
+        assert_eq!(parsed[1].median_ns, 2000.0);
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(parse_session("{}").is_err());
+        assert!(parse_session("{\"name\": \"x\", \"median_ns_per_iter\": -3}").is_err());
+        assert!(parse_session("{\"name\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn diff_joins_by_name_and_tracks_membership() {
+        let report = diff(&parse_session(BASE).unwrap(), &parse_session(NEW).unwrap());
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.missing_in_new, vec!["c/gone".to_string()]);
+        assert_eq!(report.added_in_new, vec!["d/new".to_string()]);
+        let slow = &report.rows[1];
+        assert!((slow.speedup() - 4.0).abs() < 1e-12, "2000 / 500 = 4x");
+    }
+
+    #[test]
+    fn regression_threshold_is_a_fraction_over_baseline() {
+        let report = diff(&parse_session(BASE).unwrap(), &parse_session(NEW).unwrap());
+        // a/fast went 100 -> 130 ns: +30%.
+        assert_eq!(report.regressions(0.20).len(), 1);
+        assert_eq!(report.regressions(0.20)[0].name, "a/fast");
+        assert!(report.regressions(0.35).is_empty());
+    }
+
+    #[test]
+    fn run_delta_round_trips_through_files() {
+        let dir = std::env::temp_dir().join(format!("bench-delta-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base_p = dir.join("base.json");
+        let new_p = dir.join("new.json");
+        std::fs::write(&base_p, BASE).unwrap();
+        std::fs::write(&new_p, NEW).unwrap();
+        let strict = run_delta(base_p.to_str().unwrap(), new_p.to_str().unwrap(), 0.20);
+        assert!(strict.is_err(), "a/fast (+30%) must trip the 20% gate");
+        assert!(strict.unwrap_err().contains("a/fast"));
+        let lax = run_delta(base_p.to_str().unwrap(), new_p.to_str().unwrap(), 0.50);
+        let table = lax.expect("within threshold");
+        assert!(table.contains("4.00x"), "b/slow speedup shown: {table}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,8 +13,10 @@
 //! exercise.
 
 use std::fmt;
+use std::time::Instant;
 
 use session::Policy;
+use simproc::MachineConfig;
 use symbiosis::{enumerate_workloads, CoscheduleIter};
 use workloads::PerfTable;
 
@@ -26,6 +28,13 @@ pub const CONTEXTS: usize = 8;
 
 /// Benchmarks in the synthetic suite (mirrors the paper's 12).
 pub const SUITE: usize = 12;
+
+/// Benchmarks in the K = 10 stress leg's sub-suite. Eight types on ten
+/// contexts put the single full workload at `C(17, 10)` = 19 448
+/// coschedules — past both the LP dense limit (column generation) and the
+/// Markov acceleration limit (multi-colored parallel SOR) — while the
+/// sub-suite table stays cheap enough to build on every run.
+pub const K10_SUITE: usize = 8;
 
 /// One workload-size leg of the scaling scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +49,8 @@ pub struct Leg {
     pub max_gain: f64,
     /// Workloads analysed.
     pub workloads: usize,
+    /// Wall-clock seconds the leg's sweep took.
+    pub wall_secs: f64,
 }
 
 /// The really-simulated leg: the same scenario shape on a table that was
@@ -56,6 +67,22 @@ pub struct SimulatedLeg {
     pub leg: Leg,
 }
 
+/// The K = 10 stress leg: the full [`K10_SUITE`]-type workload on the
+/// ten-context machine ([`simproc::MachineConfig::smt10`]'s shape over the
+/// synthetic contention model), compared OPTIMAL vs the exact FCFS Markov
+/// chain — the largest stationary solve the scenario exercises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct K10Leg {
+    /// Hardware contexts (10, from [`simproc::MachineConfig::smt10`]).
+    pub contexts: usize,
+    /// Benchmarks in the sub-suite ([`K10_SUITE`]).
+    pub suite: usize,
+    /// Coschedules in the sub-suite table (all sizes 1..=10).
+    pub table_combos: usize,
+    /// The stress leg itself.
+    pub leg: Leg,
+}
+
 /// Result of the scaling scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct N12K8 {
@@ -64,6 +91,8 @@ pub struct N12K8 {
     /// The really-simulated smt8 leg, when
     /// [`crate::study::StudyConfig::simulated_k8`] is set.
     pub simulated: Option<SimulatedLeg>,
+    /// The always-on K = 10 stress leg.
+    pub k10: K10Leg,
 }
 
 /// Deterministic per-slot IPC model of the synthetic 8-context machine:
@@ -137,6 +166,7 @@ pub fn run_for(cfg: &StudyConfig, ns: &[usize]) -> Result<N12K8, String> {
     let mut legs = Vec::with_capacity(ns.len());
     for &n in ns {
         let workloads = cfg.sample_workloads(enumerate_workloads(SUITE, n));
+        let start = Instant::now();
         let sweep = cfg.run_sweep(
             cfg.sweep(&table, workloads)
                 .policies([Policy::Optimal, Policy::FcfsEvent]),
@@ -148,6 +178,7 @@ pub fn run_for(cfg: &StudyConfig, ns: &[usize]) -> Result<N12K8, String> {
             mean_gain: mean(&gains),
             max_gain: max(&gains),
             workloads: sweep.len(),
+            wall_secs: start.elapsed().as_secs_f64(),
         });
     }
     let simulated = if cfg.simulated_k8 {
@@ -155,7 +186,46 @@ pub fn run_for(cfg: &StudyConfig, ns: &[usize]) -> Result<N12K8, String> {
     } else {
         None
     };
-    Ok(N12K8 { legs, simulated })
+    let k10 = k10_leg(cfg)?;
+    Ok(N12K8 {
+        legs,
+        simulated,
+        k10,
+    })
+}
+
+/// The K = 10 stress leg: builds the sub-suite synthetic table for the
+/// ten-context machine and sweeps its single full workload with
+/// OPTIMAL (column generation) vs FCFS-MARKOV (19 448 states, the
+/// accelerated multi-colored SOR path).
+fn k10_leg(cfg: &StudyConfig) -> Result<K10Leg, String> {
+    let contexts = MachineConfig::smt10().contexts();
+    let names: Vec<String> = suite_names().into_iter().take(K10_SUITE).collect();
+    let table = PerfTable::synthetic(names, contexts, |combo| {
+        (0..combo.len()).map(|slot| slot_ipc(combo, slot)).collect()
+    })
+    .map_err(|e| e.to_string())?;
+    // One workload: all K10_SUITE types at once.
+    let workloads = enumerate_workloads(K10_SUITE, K10_SUITE);
+    let start = Instant::now();
+    let sweep = cfg.run_sweep(
+        cfg.sweep(&table, workloads)
+            .policies([Policy::Optimal, Policy::FcfsMarkov]),
+    )?;
+    let gains = sweep.gains(Policy::Optimal, Policy::FcfsMarkov);
+    Ok(K10Leg {
+        contexts,
+        suite: K10_SUITE,
+        table_combos: table.len(),
+        leg: Leg {
+            n: K10_SUITE,
+            coschedules: CoscheduleIter::count_total(K10_SUITE, contexts),
+            mean_gain: mean(&gains),
+            max_gain: max(&gains),
+            workloads: sweep.len(),
+            wall_secs: start.elapsed().as_secs_f64(),
+        },
+    })
 }
 
 /// The `--simulated-k8` leg: N = 4 workloads from the really-simulated
@@ -166,6 +236,7 @@ fn simulated_leg(cfg: &StudyConfig) -> Result<SimulatedLeg, String> {
     let n = 4;
     let table = cfg.build_k8_table().map_err(|e| e.to_string())?;
     let workloads = cfg.sample_workloads(enumerate_workloads(suite, n));
+    let start = Instant::now();
     let sweep = cfg.run_sweep(
         cfg.sweep(&table, workloads)
             .policies([Policy::Optimal, Policy::FcfsEvent]),
@@ -180,8 +251,33 @@ fn simulated_leg(cfg: &StudyConfig) -> Result<SimulatedLeg, String> {
             mean_gain: mean(&gains),
             max_gain: max(&gains),
             workloads: sweep.len(),
+            wall_secs: start.elapsed().as_secs_f64(),
         },
     })
+}
+
+/// One formatted leg row, shared by every table in the report.
+fn leg_row(f: &mut fmt::Formatter<'_>, leg: &Leg) -> fmt::Result {
+    writeln!(
+        f,
+        "{:<6} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        leg.n,
+        leg.coschedules,
+        pct(leg.mean_gain),
+        pct(leg.max_gain),
+        leg.workloads,
+        format!("{:.2}s", leg.wall_secs),
+    )
+}
+
+/// The shared column header (the last column is the wall-clock the leg's
+/// sweep took).
+fn leg_header(f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    writeln!(
+        f,
+        "{:<6} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "N", "coschedules", "mean gain", "max gain", "workloads", "wall"
+    )
 }
 
 impl fmt::Display for N12K8 {
@@ -190,21 +286,9 @@ impl fmt::Display for N12K8 {
             f,
             "Big-machine scaling: N job types on K = {CONTEXTS} contexts (synthetic suite)"
         )?;
-        writeln!(
-            f,
-            "{:<6} {:>12} {:>12} {:>12} {:>10}",
-            "N", "coschedules", "mean gain", "max gain", "workloads"
-        )?;
+        leg_header(f)?;
         for leg in &self.legs {
-            writeln!(
-                f,
-                "{:<6} {:>12} {:>12} {:>12} {:>10}",
-                leg.n,
-                leg.coschedules,
-                pct(leg.mean_gain),
-                pct(leg.max_gain),
-                leg.workloads
-            )?;
+            leg_row(f, leg)?;
         }
         if let Some(sim) = &self.simulated {
             writeln!(
@@ -212,21 +296,25 @@ impl fmt::Display for N12K8 {
                 "\nReally-simulated smt8 leg ({} benchmarks, {} simulated combos):",
                 sim.suite, sim.table_combos
             )?;
-            writeln!(
-                f,
-                "{:<6} {:>12} {:>12} {:>12} {:>10}",
-                sim.leg.n,
-                sim.leg.coschedules,
-                pct(sim.leg.mean_gain),
-                pct(sim.leg.max_gain),
-                sim.leg.workloads
-            )?;
+            leg_header(f)?;
+            leg_row(f, &sim.leg)?;
         }
         writeln!(
             f,
-            "\nLP legs past {} coschedules run column generation; the N = 12 table\n\
-             (75 582 coschedules) was the ROADMAP's 'bigger machines' blocker.",
-            symbiosis::DEFAULT_LP_DENSE_LIMIT
+            "\nK = {} stress leg ({} benchmarks, {} combos, OPTIMAL vs FCFS-MARKOV):",
+            self.k10.contexts, self.k10.suite, self.k10.table_combos
+        )?;
+        leg_header(f)?;
+        leg_row(f, &self.k10.leg)?;
+        writeln!(
+            f,
+            "\nLP legs past {} coschedules run column generation; sparse FCFS Markov\n\
+             chains past {} states run the multi-colored parallel SOR sweep. The\n\
+             N = 12 table (75 582 coschedules) was the ROADMAP's 'bigger machines'\n\
+             blocker; the K = 10 leg's 19 448-state chain proves the accelerated\n\
+             stationary solver end-to-end.",
+            symbiosis::DEFAULT_LP_DENSE_LIMIT,
+            symbiosis::DEFAULT_MARKOV_ACCEL_LIMIT
         )
     }
 }
@@ -260,7 +348,28 @@ mod tests {
             );
             assert!(leg.max_gain < 1.0, "gains stay plausible");
             assert_eq!(leg.workloads, 4);
+            assert!(leg.wall_secs >= 0.0, "wall clock is measured");
         }
+        // The always-on K = 10 stress leg: the single full workload of the
+        // sub-suite, with a chain big enough for the accelerated solver.
+        let k10 = &res.k10;
+        assert_eq!(k10.contexts, 10);
+        assert_eq!(k10.suite, K10_SUITE);
+        assert_eq!(k10.leg.n, K10_SUITE);
+        assert_eq!(k10.leg.coschedules, 19_448);
+        assert!(k10.leg.coschedules > symbiosis::DEFAULT_MARKOV_ACCEL_LIMIT);
+        assert_eq!(k10.leg.workloads, 1);
+        assert!(
+            k10.leg.mean_gain > -1e-9,
+            "OPTIMAL >= FCFS-MARKOV, got gain {}",
+            k10.leg.mean_gain
+        );
+        assert!(k10.leg.max_gain < 1.0);
+        // All coschedules of K10_SUITE benchmarks, sizes 1..=10.
+        let expected: usize = (1..=k10.contexts)
+            .map(|s| CoscheduleIter::count_total(K10_SUITE, s))
+            .sum();
+        assert_eq!(k10.table_combos, expected);
     }
 
     /// The `--simulated-k8` leg end-to-end at tiny simulator windows:

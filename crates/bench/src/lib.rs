@@ -19,6 +19,7 @@
 //! [`session::Session::sweep`].
 
 pub mod cli;
+pub mod delta;
 pub mod experiments;
 pub mod study;
 

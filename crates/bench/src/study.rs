@@ -104,6 +104,11 @@ pub struct StudyConfig {
     /// Dense-LU threshold for the FCFS Markov chain, forwarded to every
     /// session and sweep this config starts (`--markov-dense-limit N`).
     pub markov_dense_limit: usize,
+    /// Sequential Gauss–Seidel threshold for sparse FCFS Markov chains,
+    /// forwarded to every session and sweep this config starts
+    /// (`--markov-accel-limit N`; `0` forces the multi-colored parallel
+    /// SOR sweep, [`usize::MAX`] sequential Gauss–Seidel).
+    pub markov_accel_limit: usize,
     /// Opt-in (`--simulated-k8`): run the K = 8 experiment legs against a
     /// *really simulated* 8-way SMT table ([`simproc::MachineConfig::smt8`]
     /// over the [`StudyConfig::K8_SUITE`] sub-suite) instead of only the
@@ -145,6 +150,7 @@ impl Default for StudyConfig {
             table_cache: None,
             lp_dense_limit: symbiosis::DEFAULT_LP_DENSE_LIMIT,
             markov_dense_limit: symbiosis::DEFAULT_MARKOV_DENSE_LIMIT,
+            markov_accel_limit: symbiosis::DEFAULT_MARKOV_ACCEL_LIMIT,
             simulated_k8: false,
             worker: None,
             distribute: None,
@@ -178,6 +184,7 @@ impl StudyConfig {
             .threads(self.threads)
             .lp_dense_limit(self.lp_dense_limit)
             .markov_dense_limit(self.markov_dense_limit)
+            .markov_accel_limit(self.markov_accel_limit)
     }
 
     /// Starts a [`Session::sweep`] builder over `table` and `workloads`
@@ -192,6 +199,7 @@ impl StudyConfig {
             .threads(self.threads)
             .lp_dense_limit(self.lp_dense_limit)
             .markov_dense_limit(self.markov_dense_limit)
+            .markov_accel_limit(self.markov_accel_limit)
     }
 
     /// The distributed-sweep tuning this config carries: the default
@@ -384,6 +392,11 @@ impl StudyConfig {
                         .parse()
                         .map_err(|e| format!("--markov-dense-limit: {e}"))?
                 }
+                "--markov-accel-limit" => {
+                    cfg.markov_accel_limit = grab("--markov-accel-limit")?
+                        .parse()
+                        .map_err(|e| format!("--markov-accel-limit: {e}"))?
+                }
                 "--simulated-k8" => cfg.simulated_k8 = true,
                 "--worker" => cfg.worker = Some(grab("--worker")?),
                 "--distribute" => {
@@ -407,7 +420,8 @@ impl StudyConfig {
                     return Err(format!(
                         "unknown flag {other}; supported: --fast --full --sample N --jobs N \
                          --threads N --table-cache PATH --lp-dense-limit N \
-                         --markov-dense-limit N --simulated-k8 --worker ADDR \
+                         --markov-dense-limit N --markov-accel-limit N \
+                         --simulated-k8 --worker ADDR \
                          --distribute ADDR:NWORKERS --dist-retries N \
                          --dist-timeout-secs N --dist-hedge"
                     ))
@@ -533,16 +547,29 @@ mod tests {
     #[test]
     fn from_args_parses_solver_thresholds() {
         let cfg = StudyConfig::from_args(
-            ["--lp-dense-limit", "0", "--markov-dense-limit", "64"].map(String::from),
+            [
+                "--lp-dense-limit",
+                "0",
+                "--markov-dense-limit",
+                "64",
+                "--markov-accel-limit",
+                "2048",
+            ]
+            .map(String::from),
         )
         .unwrap();
         assert_eq!(cfg.lp_dense_limit, 0, "0 forces column generation");
         assert_eq!(cfg.markov_dense_limit, 64);
+        assert_eq!(cfg.markov_accel_limit, 2048);
         let default = StudyConfig::default();
         assert_eq!(default.lp_dense_limit, symbiosis::DEFAULT_LP_DENSE_LIMIT);
         assert_eq!(
             default.markov_dense_limit,
             symbiosis::DEFAULT_MARKOV_DENSE_LIMIT
+        );
+        assert_eq!(
+            default.markov_accel_limit,
+            symbiosis::DEFAULT_MARKOV_ACCEL_LIMIT
         );
         assert!(StudyConfig::from_args(["--lp-dense-limit".to_owned()]).is_err());
     }

@@ -237,6 +237,223 @@ impl Iterator for CoscheduleIter {
     }
 }
 
+/// Perfect index into the [`CoscheduleIter`] enumeration: maps a count
+/// vector to its position in the stream with O(`num_types`) arithmetic and
+/// zero allocation.
+///
+/// The iterator yields count vectors in *descending* lexicographic order,
+/// so the rank of `c` is the number of count vectors that precede it —
+/// i.e. compare lexicographically *greater*. Fixing a prefix `c[..i]` and
+/// picking `d_i > c_i` leaves `r_i - d_i` jobs to distribute over the
+/// remaining `n - i - 1` types (`r_i` is the budget left before type `i`);
+/// summing the multiset counts over all admissible `d_i` telescopes (the
+/// hockey-stick identity) to one binomial per position:
+///
+/// ```text
+/// rank(c) = sum_i C((n - i - 1) + (r_i - c_i - 1), r_i - c_i - 1)
+/// ```
+///
+/// The binomials come from a Pascal table precomputed once per `(n, k)`,
+/// so a rank probe is a short loop of adds — the flat-layout replacement
+/// for hashing an allocated `Vec<u32>` key on every rate lookup.
+///
+/// # Examples
+///
+/// ```
+/// use symbiosis::{CoscheduleIter, CoscheduleRank};
+///
+/// let rank = CoscheduleRank::new(4, 4);
+/// for (i, s) in CoscheduleIter::new(4, 4).enumerate() {
+///     assert_eq!(rank.rank(s.counts()), Some(i));
+/// }
+/// assert_eq!(rank.rank(&[0, 0, 0, 3]), None, "wrong total");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoscheduleRank {
+    num_types: usize,
+    k: u32,
+    /// `binom[a * (k + 1) + b]` = `C(a, b)` (saturating), for
+    /// `a <= n + k - 1`, `b <= k`.
+    binom: Vec<usize>,
+    stride: usize,
+}
+
+impl CoscheduleRank {
+    /// Builds the rank table for `k`-job coschedules over `num_types`
+    /// types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_types == 0` or `k == 0`.
+    pub fn new(num_types: usize, k: usize) -> Self {
+        assert!(num_types > 0, "need at least one job type");
+        assert!(k > 0, "need at least one context");
+        let rows = num_types + k; // a ranges over 0..=n + k - 1
+        let stride = k + 1;
+        let mut binom = vec![0usize; rows * stride];
+        for a in 0..rows {
+            binom[a * stride] = 1;
+            for b in 1..=k.min(a) {
+                let left = binom[(a - 1) * stride + b - 1];
+                let up = if b < a {
+                    binom[(a - 1) * stride + b]
+                } else {
+                    0
+                };
+                binom[a * stride + b] = left.saturating_add(up);
+            }
+        }
+        CoscheduleRank {
+            num_types,
+            k: k as u32,
+            binom,
+            stride,
+        }
+    }
+
+    /// Number of job types.
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// Jobs per coschedule.
+    pub fn contexts(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Total coschedules in the enumeration (`C(n + k - 1, k)`).
+    pub fn total(&self) -> usize {
+        self.binom(self.num_types + self.contexts() - 1, self.contexts())
+    }
+
+    fn binom(&self, a: usize, b: usize) -> usize {
+        self.binom[a * self.stride + b]
+    }
+
+    /// Rank of the count vector produced by `count_of(ty)` for each type,
+    /// or `None` if the counts do not sum to `k`. The shared core behind
+    /// [`CoscheduleRank::rank`] and the allocation-free sparse probes in
+    /// the `workloads` crate.
+    pub fn rank_with<F: FnMut(usize) -> u32>(&self, mut count_of: F) -> Option<usize> {
+        let n = self.num_types;
+        let mut rank = 0usize;
+        let mut remaining = self.k;
+        for i in 0..n {
+            if remaining == 0 {
+                // All later counts must be zero; any job left is a mismatch.
+                return (i..n).all(|j| count_of(j) == 0).then_some(rank);
+            }
+            let c = count_of(i);
+            if c > remaining {
+                return None;
+            }
+            // Choices d_i in c+1..=remaining, each leaving a free multiset
+            // over the n - i - 1 later types: hockey-stick to one binomial.
+            if remaining > c {
+                let t = (remaining - c - 1) as usize;
+                rank += self.binom(n - i - 1 + t, t);
+            }
+            remaining -= c;
+        }
+        (remaining == 0).then_some(rank)
+    }
+
+    /// Rank of a count vector, or `None` if its length is not `num_types`
+    /// or its counts do not sum to `k`.
+    pub fn rank(&self, counts: &[u32]) -> Option<usize> {
+        if counts.len() != self.num_types {
+            return None;
+        }
+        self.rank_with(|i| counts[i])
+    }
+
+    /// Visits `(c, rank)` for every single-job replacement `b -> c`
+    /// (`c != b`) of the coschedule `counts`, whose own rank is `base`:
+    /// first `c = b+1..n` ascending, then `c = b-1..=0` descending.
+    ///
+    /// Replacing one type-`b` job by type `c` shifts the suffix-remainder
+    /// `d_i` (jobs left after consuming types `0..=i`) by one exactly for
+    /// `i` between the endpoints, and each rank term depends only on
+    /// `(i, d_i)` — so walking `c` outward from `b` costs one binomial
+    /// delta per target: O(n) for all `n - 1` replacements, instead of
+    /// O(n) per target. This is what lets the Markov generator enumerate
+    /// a state's full neighbor row in the time a single rank probe used
+    /// to take.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `counts` has the right length, sums to `k`, has
+    /// `counts[b] > 0`, and that `base` is its rank.
+    // Both sweeps thread running state (`d`, `acc`) through the index, so
+    // an enumerate()-style rewrite would obscure the recurrence.
+    #[allow(clippy::needless_range_loop)]
+    pub fn replace_ranks<F: FnMut(usize, usize)>(
+        &self,
+        counts: &[u32],
+        base: usize,
+        b: usize,
+        mut visit: F,
+    ) {
+        let n = self.num_types;
+        debug_assert_eq!(counts.len(), n);
+        debug_assert!(counts[b] > 0, "type b must be present");
+        debug_assert_eq!(self.rank(counts), Some(base), "base must be counts' rank");
+        // Rank term at position i, as a function of the suffix-remainder:
+        // `binom(n - i + d - 2, d - 1)` for `d > 0`, else 0 (see
+        // `rank_with`: `d` is `remaining - c_i` there).
+        let g = |i: usize, d: u32| -> usize {
+            if d == 0 {
+                0
+            } else {
+                self.binom(n - i + d as usize - 2, d as usize - 1)
+            }
+        };
+        let d_b: u32 = self.k - counts[..=b].iter().sum::<u32>();
+        // Ascending c > b: d_i gains one for b <= i < c, and g grows with
+        // d, so the running rank only ever steps up.
+        let mut acc = base;
+        let mut d = d_b;
+        for i in b..n.saturating_sub(1) {
+            if i > b {
+                d -= counts[i];
+            }
+            acc += g(i, d + 1) - g(i, d);
+            visit(i + 1, acc);
+        }
+        // Descending c < b: d_i loses one for c <= i < b; every
+        // intermediate value is itself a valid target rank, so the
+        // subtraction cannot underflow.
+        let mut acc = base;
+        let mut d = d_b + counts[b];
+        for i in (0..b).rev() {
+            acc -= g(i, d) - g(i, d - 1);
+            visit(i, acc);
+            d += counts[i];
+        }
+    }
+
+    /// Rank of a coschedule given as a *sorted* slot list (`slots[j]` is
+    /// the type of job `j`, ascending) — the `workloads` crate's native
+    /// combo format. Returns `None` for the wrong length, unsorted input,
+    /// or a type out of range.
+    pub fn rank_sorted_slots(&self, slots: &[usize]) -> Option<usize> {
+        if slots.len() != self.contexts() || slots.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        if slots.iter().any(|&t| t >= self.num_types) {
+            return None;
+        }
+        let mut cursor = 0usize;
+        self.rank_with(|ty| {
+            let start = cursor;
+            while cursor < slots.len() && slots[cursor] == ty {
+                cursor += 1;
+            }
+            (cursor - start) as u32
+        })
+    }
+}
+
 /// Enumerates every workload of `n` distinct job types chosen from
 /// `pool_size` candidates (combinations without repetition), as sorted
 /// index vectors.
@@ -284,6 +501,37 @@ fn choose(
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn replace_ranks_agree_with_direct_ranks_everywhere() {
+        for (n, k) in [(2, 2), (3, 3), (4, 4), (5, 3), (6, 4), (8, 4), (4, 6)] {
+            let rank = CoscheduleRank::new(n, k);
+            for (base, s) in CoscheduleIter::new(n, k).enumerate() {
+                for b in 0..n {
+                    if s.count(b) == 0 {
+                        continue;
+                    }
+                    let mut got = vec![None; n];
+                    rank.replace_ranks(s.counts(), base, b, |c, r| {
+                        assert!(got[c].is_none(), "each target visited once");
+                        got[c] = Some(r);
+                    });
+                    assert!(got[b].is_none(), "b -> b is not a transition");
+                    for (c, visited) in got.iter().enumerate() {
+                        if c == b {
+                            continue;
+                        }
+                        let target = s.replace(b, c).expect("b present");
+                        assert_eq!(
+                            *visited,
+                            rank.rank(target.counts()),
+                            "n={n} k={k} base={base} {b}->{c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn counts_round_trip_slots() {
@@ -362,6 +610,56 @@ mod tests {
         for w in enumerate_workloads(6, 3) {
             assert!(w.windows(2).all(|p| p[0] < p[1]));
         }
+    }
+
+    #[test]
+    fn rank_matches_enumeration_position_exactly() {
+        for (n, k) in [
+            (1, 1),
+            (1, 5),
+            (2, 3),
+            (3, 2),
+            (4, 4),
+            (5, 3),
+            (12, 4),
+            (6, 8),
+        ] {
+            let rank = CoscheduleRank::new(n, k);
+            assert_eq!(rank.total(), CoscheduleIter::count_total(n, k));
+            for (i, s) in CoscheduleIter::new(n, k).enumerate() {
+                assert_eq!(rank.rank(s.counts()), Some(i), "n={n} k={k} {s}");
+                assert_eq!(
+                    rank.rank_sorted_slots(&s.slots()),
+                    Some(i),
+                    "slots n={n} k={k} {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_rejects_malformed_counts() {
+        let rank = CoscheduleRank::new(4, 4);
+        assert_eq!(rank.rank(&[1, 1, 1]), None, "wrong length");
+        assert_eq!(rank.rank(&[1, 1, 1, 0]), None, "wrong total");
+        assert_eq!(rank.rank(&[5, 0, 0, 0]), None, "overfull");
+        assert_eq!(rank.rank(&[4, 0, 0, 1]), None, "job past an empty budget");
+        assert_eq!(rank.rank_sorted_slots(&[0, 1, 2]), None, "short slots");
+        assert_eq!(rank.rank_sorted_slots(&[0, 2, 1, 3]), None, "unsorted");
+        assert_eq!(rank.rank_sorted_slots(&[0, 1, 2, 9]), None, "out of range");
+    }
+
+    #[test]
+    fn rank_is_zero_allocation_arithmetic_on_big_spaces() {
+        // The K = 10 regime this rank exists for: 352 716 coschedules.
+        let rank = CoscheduleRank::new(12, 10);
+        assert_eq!(rank.total(), 352_716);
+        let mut first = vec![0u32; 12];
+        first[0] = 10;
+        assert_eq!(rank.rank(&first), Some(0));
+        let mut last = vec![0u32; 12];
+        last[11] = 10;
+        assert_eq!(rank.rank(&last), Some(352_715));
     }
 
     #[test]

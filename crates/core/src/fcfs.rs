@@ -190,6 +190,16 @@ pub fn fcfs_throughput(
 /// beyond stream through the sparse one.
 pub const DEFAULT_MARKOV_DENSE_LIMIT: usize = 512;
 
+/// Largest state count solved by *sequential* Gauss–Seidel on the sparse
+/// path; larger chains switch to the accelerated solver (adaptive-omega
+/// SOR over a multi-colored sweep, fanned out across threads). The default
+/// keeps every historical sparse scenario (1365 states at N = 12 on K = 4)
+/// bitwise identical to the sequential sweeps while the big-machine chains
+/// (75 582 states at N = 12 / K = 8, 352 716 at K = 10) take the fast
+/// path. Same dispatch pattern as [`DEFAULT_MARKOV_DENSE_LIMIT`]: `0`
+/// forces acceleration, [`usize::MAX`] forces sequential Gauss–Seidel.
+pub const DEFAULT_MARKOV_ACCEL_LIMIT: usize = 4096;
+
 /// Exact FCFS throughput under exponential job sizes via the stationary
 /// distribution of the coschedule Markov chain.
 ///
@@ -216,8 +226,10 @@ pub fn fcfs_throughput_markov(rates: &WorkloadRates) -> Result<FcfsOutcome, Symb
 
 /// [`fcfs_throughput_markov`] with an explicit dense-solver threshold:
 /// chains with more than `dense_limit` states go through the sparse
-/// Gauss–Seidel path. `0` forces the sparse path, `usize::MAX` the dense
-/// one.
+/// path. `0` forces the sparse path, `usize::MAX` the dense one. The
+/// sparse path itself dispatches at [`DEFAULT_MARKOV_ACCEL_LIMIT`] with
+/// auto-detected threads ([`fcfs_throughput_markov_tuned`] exposes both
+/// knobs).
 ///
 /// # Errors
 ///
@@ -226,11 +238,31 @@ pub fn fcfs_throughput_markov_with(
     rates: &WorkloadRates,
     dense_limit: usize,
 ) -> Result<FcfsOutcome, SymbiosisError> {
+    fcfs_throughput_markov_tuned(rates, dense_limit, DEFAULT_MARKOV_ACCEL_LIMIT, 0)
+}
+
+/// The fully tuned Markov dispatch: chains of up to `dense_limit` states
+/// solve by dense LU, up to `accel_limit` by sequential Gauss–Seidel
+/// (bitwise identical to pre-acceleration releases), and beyond that by
+/// the accelerated adaptive-SOR multi-colored sweep across `threads` OS
+/// threads (`0` auto-detects; a resolved single worker runs the
+/// natural-order sequential SOR sweep instead, which converges faster
+/// than a one-thread colored sweep).
+///
+/// # Errors
+///
+/// Same conditions as [`fcfs_throughput_markov`].
+pub fn fcfs_throughput_markov_tuned(
+    rates: &WorkloadRates,
+    dense_limit: usize,
+    accel_limit: usize,
+    threads: usize,
+) -> Result<FcfsOutcome, SymbiosisError> {
     let n_s = rates.coschedules().len();
     let pi = if n_s <= dense_limit {
         markov_stationary_dense(rates)?
     } else {
-        markov_stationary_sparse(rates)?
+        markov_stationary_sparse(rates, accel_limit, threads)?
     };
     let throughput = pi
         .iter()
@@ -286,49 +318,62 @@ fn markov_stationary_dense(rates: &WorkloadRates) -> Result<Vec<f64>, SymbiosisE
 /// Applies `visit(from, to, rate)` to every off-diagonal transition of the
 /// coschedule chain (a type-`b` completion replaced by a different type
 /// `c`; `b -> b` replacements keep the state and cancel out of the balance
-/// equations). Allocation-free: targets are looked up through a scratch
-/// count vector.
+/// equations). Allocation-free: a state's whole neighbor row comes from
+/// [`crate::CoscheduleRank::replace_ranks`] in O(N) incremental rank deltas —
+/// the enumeration index *is* the rank, so `from` doubles as the base.
 fn for_each_markov_transition<F: FnMut(usize, usize, f64)>(rates: &WorkloadRates, mut visit: F) {
     let n = rates.num_types();
     let nf = n as f64;
-    let mut scratch = vec![0u32; n];
+    let rank = rates.rank_table();
     for (from, s) in rates.coschedules().iter().enumerate() {
-        scratch.copy_from_slice(s.counts());
         for b in 0..n {
             if s.count(b) == 0 {
                 continue;
             }
             let per_target = rates.rate(from, b) / nf;
-            scratch[b] -= 1;
-            for c in 0..n {
-                if c == b {
-                    continue;
-                }
-                scratch[c] += 1;
-                let to = rates
-                    .index_of_counts(&scratch)
-                    .expect("replacement coschedule must be in the table");
-                scratch[c] -= 1;
-                visit(from, to, per_target);
-            }
-            scratch[b] += 1;
+            rank.replace_ranks(s.counts(), from, b, |_, to| visit(from, to, per_target));
         }
     }
 }
 
-/// The sparse path: incoming-transition CSR + Gauss–Seidel sweeps.
-fn markov_stationary_sparse(rates: &WorkloadRates) -> Result<Vec<f64>, SymbiosisError> {
+/// Builds the sparse form of the coschedule Markov chain: the
+/// *incoming*-transition CSR (row `j` lists `(i, q_ij)`) and each state's
+/// off-diagonal outflow, the inputs every `lp::sparse` stationary solver
+/// takes. Public so benches and parity tests can time/solve the chain with
+/// an explicit solver choice; the dispatching entry points remain
+/// [`fcfs_throughput_markov`] and friends.
+///
+/// Self-loops (a completion replaced by the same type) cancel from both
+/// sides of the balance equations, hence the `(n - 1) / n` outflow factor.
+pub fn markov_chain(rates: &WorkloadRates) -> (lp::Csr, Vec<f64>) {
     let n_s = rates.coschedules().len();
     let n = rates.num_types() as f64;
-
-    // Two-pass CSR build of the *incoming* transitions (row = to), plus
-    // each state's off-diagonal outflow. Self-loops (a completion replaced
-    // by the same type) cancel from both sides of the balance equations,
-    // hence the (n - 1) / n factor.
     let mut builder = lp::sparse::CsrBuilder::new(n_s, n_s);
-    for_each_markov_transition(rates, |_, to, _| builder.count(to));
+    // Structural pass: derive every transition target's multiset rank
+    // exactly once, recording it for the value pass — the rank arithmetic
+    // dominates assembly at scale, so it must not run per pass.
+    let mut targets: Vec<u32> = Vec::new();
+    for_each_markov_transition(rates, |_, to, _| {
+        builder.count(to);
+        targets.push(u32::try_from(to).expect("state count fits u32"));
+    });
     builder.finish_counts();
-    for_each_markov_transition(rates, |from, to, rate| builder.push(to, from, rate));
+    // Value pass: replay the recorded targets in the same traversal order
+    // (state-major, then present type, then n - 1 replacement types).
+    let mut cursor = 0usize;
+    for (from, s) in rates.coschedules().iter().enumerate() {
+        for b in 0..rates.num_types() {
+            if s.count(b) == 0 {
+                continue;
+            }
+            let per_target = rates.rate(from, b) / n;
+            for _ in 0..rates.num_types() - 1 {
+                builder.push(targets[cursor] as usize, from, per_target);
+                cursor += 1;
+            }
+        }
+    }
+    debug_assert_eq!(cursor, targets.len(), "value pass must replay every target");
     let inflow = builder.build();
     let outflow: Vec<f64> = (0..n_s)
         .map(|from| {
@@ -336,9 +381,62 @@ fn markov_stationary_sparse(rates: &WorkloadRates) -> Result<Vec<f64>, Symbiosis
             total * (n - 1.0) / n
         })
         .collect();
+    (inflow, outflow)
+}
 
-    lp::sparse::stationary_gauss_seidel(&inflow, &outflow, 1e-12, 20_000)
-        .map_err(|e| SymbiosisError::InvalidParameter(format!("sparse markov solve: {e}")))
+/// A closed-form proper coloring of the coschedule chain: color a state by
+/// its count-weighted type sum mod N. Every transition moves one job from
+/// type `b` to a *different* type `c`, shifting the weighted sum by
+/// `c - b ≠ 0 (mod N)`, so adjacent states always change color — exactly N
+/// colors, each class ~1/N of the chain, with no graph traversal. (The
+/// natural generalisation of a red/black partition to this lattice.)
+pub fn markov_coloring(rates: &WorkloadRates) -> Vec<u32> {
+    let n = rates.num_types() as u64;
+    rates
+        .coschedules()
+        .iter()
+        .map(|s| {
+            let weighted: u64 = s
+                .counts()
+                .iter()
+                .enumerate()
+                .map(|(b, &c)| b as u64 * c as u64)
+                .sum();
+            (weighted % n) as u32
+        })
+        .collect()
+}
+
+/// The sparse path: the CSR chain of [`markov_chain`] solved sequentially
+/// (Gauss–Seidel) up to `accel_limit` states and by adaptive-omega SOR
+/// beyond it — natural-order on a single worker, the multi-colored
+/// parallel sweep when more than one thread is available.
+fn markov_stationary_sparse(
+    rates: &WorkloadRates,
+    accel_limit: usize,
+    threads: usize,
+) -> Result<Vec<f64>, SymbiosisError> {
+    let n_s = rates.coschedules().len();
+    let (inflow, outflow) = markov_chain(rates);
+    let solved = if n_s <= accel_limit {
+        lp::sparse::stationary_gauss_seidel(&inflow, &outflow, 1e-12, 20_000)
+    } else {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        if threads <= 1 {
+            // A lone worker gains nothing from the colored sweep, and the
+            // class-major update order converges slower than the natural
+            // sweep — sequential adaptive SOR is strictly better here.
+            lp::sparse::stationary_sor(&inflow, &outflow, 1e-12, 20_000)
+        } else {
+            let colors = markov_coloring(rates);
+            lp::sparse::stationary_multicolor(&inflow, &outflow, &colors, 1e-12, 20_000, threads)
+        }
+    };
+    solved.map_err(|e| SymbiosisError::InvalidParameter(format!("sparse markov solve: {e}")))
 }
 
 #[cfg(test)]

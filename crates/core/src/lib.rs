@@ -62,12 +62,15 @@ pub mod variability;
 pub use bottleneck::{
     fit_linear_bottleneck, fit_linear_bottleneck_rows, per_type_rate_difference, BottleneckFit,
 };
-pub use coschedule::{enumerate_coschedules, enumerate_workloads, Coschedule, CoscheduleIter};
+pub use coschedule::{
+    enumerate_coschedules, enumerate_workloads, Coschedule, CoscheduleIter, CoscheduleRank,
+};
 pub use error::SymbiosisError;
 pub use fairness::{fairness_experiment, rebalanced_heterogeneous, FairnessExperiment};
 pub use fcfs::{
-    fcfs_throughput, fcfs_throughput_markov, fcfs_throughput_markov_with, FcfsOutcome, JobSize,
-    DEFAULT_MARKOV_DENSE_LIMIT,
+    fcfs_throughput, fcfs_throughput_markov, fcfs_throughput_markov_tuned,
+    fcfs_throughput_markov_with, markov_chain, markov_coloring, FcfsOutcome, JobSize,
+    DEFAULT_MARKOV_ACCEL_LIMIT, DEFAULT_MARKOV_DENSE_LIMIT,
 };
 pub use heterogeneity::{
     heterogeneity_table, heterogeneity_table_from_parts, random_draw_heterogeneity_probability,

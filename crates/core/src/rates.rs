@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use crate::coschedule::{enumerate_coschedules, Coschedule};
+use crate::coschedule::{enumerate_coschedules, Coschedule, CoscheduleRank};
 use crate::error::SymbiosisError;
 
 /// A source of per-coschedule execution rates — the one abstraction every
@@ -204,6 +204,13 @@ where
 /// Wrap expensive models (simulator-backed or heavyweight analytic
 /// predictors) before handing them to the event-driven experiments, which
 /// revisit the same multisets millions of times.
+///
+/// The hit path is allocation-free: a query probes the cache through the
+/// borrowed `&[u32]` key and only clones the counts into an owned `Vec`
+/// on a miss, when the row is computed and inserted. (An earlier version
+/// cloned the key on *every* lookup via the entry API — a per-hit heap
+/// allocation that dominated tight event loops; keep `get`-before-`insert`
+/// when touching this code.)
 pub struct CachedModel<M> {
     inner: M,
     cache: Mutex<HashMap<Vec<u32>, Vec<f64>>>,
@@ -241,18 +248,23 @@ impl<M: RateModel> RateModel for CachedModel<M> {
     fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
         assert!(counts[ty] > 0, "type {ty} not present");
         let mut cache = self.cache.lock().expect("poisoned");
-        let row = cache.entry(counts.to_vec()).or_insert_with(|| {
-            (0..self.inner.num_types())
-                .map(|b| {
-                    if counts[b] == 0 {
-                        0.0
-                    } else {
-                        self.inner.per_job_rate(counts, b)
-                    }
-                })
-                .collect()
-        });
-        row[ty]
+        // Hit path: borrowed-slice probe, no key clone. `HashMap<Vec<u32>,
+        // _>` hashes `&[u32]` identically via `Borrow<[u32]>`.
+        if let Some(row) = cache.get(counts) {
+            return row[ty];
+        }
+        let row: Vec<f64> = (0..self.inner.num_types())
+            .map(|b| {
+                if counts[b] == 0 {
+                    0.0
+                } else {
+                    self.inner.per_job_rate(counts, b)
+                }
+            })
+            .collect();
+        let rate = row[ty];
+        cache.insert(counts.to_vec(), row);
+        rate
     }
 
     fn supports_partial(&self) -> bool {
@@ -273,9 +285,7 @@ impl RateModel for WorkloadRates {
 
     fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
         let si = self
-            .index
-            .get(counts)
-            .copied()
+            .index_of_counts(counts)
             .unwrap_or_else(|| panic!("coschedule {counts:?} not in the table"));
         WorkloadRates::per_job_rate(self, si, ty)
     }
@@ -389,7 +399,11 @@ pub struct WorkloadRates {
     num_types: usize,
     contexts: usize,
     coschedules: Vec<Coschedule>,
-    index: HashMap<Vec<u32>, usize>,
+    /// Perfect index into the enumeration order: `rank.rank(counts)` *is*
+    /// the coschedule index, so lookups are O(`num_types`) arithmetic with
+    /// zero allocation (formerly a `HashMap<Vec<u32>, usize>` that hashed
+    /// the full count vector per probe and held one heap key per state).
+    rank: CoscheduleRank,
     /// `rates[s][b]` = total WIPC of type `b` in coschedule `s`.
     rates: Vec<Vec<f64>>,
 }
@@ -421,16 +435,15 @@ impl WorkloadRates {
             Self::check_rates(s, &r)?;
             rates.push(r);
         }
-        let index = coschedules
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.counts().to_vec(), i))
-            .collect();
+        // The enumeration is the CoscheduleIter order, so the closed-form
+        // rank is a perfect index — no materialised key map needed.
+        let rank = CoscheduleRank::new(num_types, contexts);
+        debug_assert_eq!(rank.total(), coschedules.len());
         Ok(WorkloadRates {
             num_types,
             contexts,
             coschedules,
-            index,
+            rank,
             rates,
         })
     }
@@ -480,13 +493,22 @@ impl WorkloadRates {
 
     /// Index of a coschedule given its counts, if it belongs to this table.
     pub fn index_of(&self, s: &Coschedule) -> Option<usize> {
-        self.index.get(s.counts()).copied()
+        self.index_of_counts(s.counts())
     }
 
     /// Index of a coschedule given a bare count slice — the allocation-free
-    /// lookup the sparse Markov generator and the event loop lean on.
+    /// lookup the sparse Markov generator and the event loop lean on. A
+    /// probe is O(`num_types`) rank arithmetic (no hashing, no heap).
     pub fn index_of_counts(&self, counts: &[u32]) -> Option<usize> {
-        self.index.get(counts).copied()
+        self.rank.rank(counts)
+    }
+
+    /// The table's perfect rank index — lets the Markov generator walk a
+    /// state's whole neighbor row through
+    /// [`CoscheduleRank::replace_ranks`] instead of ranking each target
+    /// from scratch.
+    pub(crate) fn rank_table(&self) -> &CoscheduleRank {
+        &self.rank
     }
 
     /// Total rate `r_b(s)` of job type `b` in coschedule index `si`.

@@ -7,10 +7,11 @@
 //! * the streaming `CoscheduleIter` vs the materialised
 //!   `enumerate_coschedules`, exact sequence equality.
 
+use lp::sparse::{stationary_gauss_seidel, stationary_multicolor, stationary_sor, SparseError};
 use symbiosis::rng::SplitMix64;
 use symbiosis::{
-    enumerate_coschedules, fcfs_throughput_markov_with, CoscheduleIter, Objective, ScheduleLp,
-    WorkloadRates,
+    enumerate_coschedules, fcfs_throughput_markov_tuned, fcfs_throughput_markov_with, markov_chain,
+    markov_coloring, CoscheduleIter, Objective, ScheduleLp, WorkloadRates,
 };
 
 /// A seeded random rate table: every present type gets a positive rate
@@ -124,6 +125,135 @@ fn sparse_markov_matches_dense_lu() {
             }
         }
     }
+}
+
+/// Solver tolerance / budget mirrored from the `fcfs` dispatch so the
+/// oracle comparisons exercise the exact production settings.
+const TOL: f64 = 1e-12;
+const SWEEPS: usize = 20_000;
+
+#[test]
+fn sor_and_multicolor_match_gauss_seidel_on_markov_chains() {
+    // The accelerated stationary solvers must agree with the sequential
+    // Gauss–Seidel oracle to 1e-9 on every real FCFS chain shape the
+    // parity suite sweeps — not just on synthetic graphs.
+    for &(n, k) in SHAPES {
+        for &seed in SEEDS {
+            let rates = random_rates(n, k, seed);
+            let (inflow, outflow) = markov_chain(&rates);
+            let gs = stationary_gauss_seidel(&inflow, &outflow, TOL, SWEEPS).expect("gs solves");
+            let sor = stationary_sor(&inflow, &outflow, TOL, SWEEPS).expect("sor solves");
+            let colors = markov_coloring(&rates);
+            let par = stationary_multicolor(&inflow, &outflow, &colors, TOL, SWEEPS, 4)
+                .expect("multicolor solves");
+            for i in 0..gs.len() {
+                assert!(
+                    (gs[i] - sor[i]).abs() <= 1e-9,
+                    "shape ({n},{k}) seed {seed}: pi[{i}] gs {} vs sor {}",
+                    gs[i],
+                    sor[i]
+                );
+                assert!(
+                    (gs[i] - par[i]).abs() <= 1e-9,
+                    "shape ({n},{k}) seed {seed}: pi[{i}] gs {} vs multicolor {}",
+                    gs[i],
+                    par[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn accelerated_dispatch_matches_dense_lu_within_1e9() {
+    // End-to-end: force each sparse tier through the public dispatch and
+    // pin all of them against the dense LU oracle.
+    for &(n, k) in SHAPES {
+        for &seed in SEEDS {
+            let rates = random_rates(n, k, seed);
+            let dense = fcfs_throughput_markov_with(&rates, usize::MAX).expect("dense solves");
+            // accel_limit = usize::MAX forces sequential Gauss–Seidel;
+            // accel_limit = 0 with threads = 1 forces natural-order SOR,
+            // with threads = 4 the multi-colored parallel sweep.
+            let gs = fcfs_throughput_markov_tuned(&rates, 0, usize::MAX, 0).expect("gs solves");
+            let sor = fcfs_throughput_markov_tuned(&rates, 0, 0, 1).expect("sor solves");
+            let par = fcfs_throughput_markov_tuned(&rates, 0, 0, 4).expect("multicolor solves");
+            for out in [&gs, &sor, &par] {
+                assert!(
+                    (dense.throughput - out.throughput).abs() <= 1e-9,
+                    "shape ({n},{k}) seed {seed}: dense {} vs accelerated {}",
+                    dense.throughput,
+                    out.throughput
+                );
+                for (i, (d, s)) in dense.fractions.iter().zip(&out.fractions).enumerate() {
+                    assert!(
+                        (d - s).abs() <= 1e-9,
+                        "shape ({n},{k}) seed {seed}: pi[{i}] dense {d} vs accelerated {s}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multicolor_is_deterministic_across_thread_counts() {
+    // Colored sweeps order writes by color class, so the parallel solver
+    // must return bitwise-identical vectors no matter the thread count.
+    let rates = random_rates(6, 4, 0xC0FFEE);
+    let (inflow, outflow) = markov_chain(&rates);
+    let colors = markov_coloring(&rates);
+    let one = stationary_multicolor(&inflow, &outflow, &colors, TOL, SWEEPS, 1).unwrap();
+    for threads in [2, 3, 4, 8] {
+        let t = stationary_multicolor(&inflow, &outflow, &colors, TOL, SWEEPS, threads).unwrap();
+        assert_eq!(one, t, "threads={threads} must be bitwise-stable");
+    }
+}
+
+#[test]
+fn sub_accel_limit_dispatch_is_bitwise_sequential_gauss_seidel() {
+    // Every parity shape is far below DEFAULT_MARKOV_ACCEL_LIMIT, so the
+    // tuned dispatch with default thresholds must be the *same
+    // computation* as an explicit sequential Gauss–Seidel run: bitwise
+    // equality, not tolerance agreement.
+    for &(n, k) in SHAPES {
+        let rates = random_rates(n, k, 11);
+        assert!(rates.coschedules().len() <= symbiosis::DEFAULT_MARKOV_ACCEL_LIMIT);
+        let via_default = fcfs_throughput_markov_with(&rates, 0).unwrap();
+        let via_gs = fcfs_throughput_markov_tuned(&rates, 0, usize::MAX, 0).unwrap();
+        assert_eq!(via_default, via_gs, "shape ({n},{k}): sparse tier fallback");
+    }
+}
+
+#[test]
+fn chain_level_error_cases_surface_from_every_accelerated_solver() {
+    // An absorbing (all-zero outflow) chain is degenerate; a one-sweep
+    // budget cannot converge a real chain. Both accelerated paths must
+    // report the same error classes as sequential Gauss–Seidel.
+    let rates = random_rates(4, 4, 3);
+    let (inflow, outflow) = markov_chain(&rates);
+    let colors = markov_coloring(&rates);
+    let absorbing = vec![0.0; outflow.len()];
+    assert!(matches!(
+        stationary_gauss_seidel(&inflow, &absorbing, TOL, SWEEPS),
+        Err(SparseError::Degenerate(_))
+    ));
+    assert!(matches!(
+        stationary_sor(&inflow, &absorbing, TOL, SWEEPS),
+        Err(SparseError::Degenerate(_))
+    ));
+    assert!(matches!(
+        stationary_multicolor(&inflow, &absorbing, &colors, TOL, SWEEPS, 2),
+        Err(SparseError::Degenerate(_))
+    ));
+    assert!(matches!(
+        stationary_sor(&inflow, &outflow, TOL, 1),
+        Err(SparseError::NoConvergence(_))
+    ));
+    assert!(matches!(
+        stationary_multicolor(&inflow, &outflow, &colors, TOL, 1, 2),
+        Err(SparseError::NoConvergence(_))
+    ));
 }
 
 #[test]

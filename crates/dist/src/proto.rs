@@ -20,7 +20,7 @@ use workloads::WorkUnit;
 use crate::DistError;
 
 /// Version spoken by this build; bumped on any wire-visible change.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on one frame's body length. Large enough for any real
 /// table (the N=12/K=8 SMT table is ~4 MiB) with two orders of magnitude
@@ -400,6 +400,7 @@ fn put_spec(buf: &mut Vec<u8>, spec: &SweepSpec) {
     }
     put_u64(buf, spec.lp_dense_limit as u64);
     put_u64(buf, spec.markov_dense_limit as u64);
+    put_u64(buf, spec.markov_accel_limit as u64);
 }
 
 fn get_spec(dec: &mut Dec<'_>) -> Result<SweepSpec, DistError> {
@@ -442,6 +443,7 @@ fn get_spec(dec: &mut Dec<'_>) -> Result<SweepSpec, DistError> {
     };
     let lp_dense_limit = dec.u64()? as usize;
     let markov_dense_limit = dec.u64()? as usize;
+    let markov_accel_limit = dec.u64()? as usize;
     Ok(SweepSpec {
         policies,
         unit,
@@ -452,6 +454,7 @@ fn get_spec(dec: &mut Dec<'_>) -> Result<SweepSpec, DistError> {
         latency,
         lp_dense_limit,
         markov_dense_limit,
+        markov_accel_limit,
     })
 }
 
@@ -567,6 +570,7 @@ mod tests {
             }),
             lp_dense_limit: 64,
             markov_dense_limit: 32,
+            markov_accel_limit: 512,
         }
     }
 

@@ -16,8 +16,11 @@
 //! * [`linsys`] — LU factorisation with partial pivoting, linear solves and
 //!   least-squares via normal equations (used for Markov-chain stationary
 //!   distributions and the paper's linear-bottleneck analysis).
-//! * [`sparse`] — CSR storage and a Gauss–Seidel stationary-distribution
-//!   solver for the large, ~99.9%-sparse coschedule Markov chains.
+//! * [`sparse`] — CSR storage and the stationary-distribution solvers for
+//!   the large, ~99.9%-sparse coschedule Markov chains: sequential
+//!   Gauss–Seidel (the bitwise-stable baseline), adaptive-omega SOR, and a
+//!   multi-colored parallel SOR sweep (see the solver-selection matrix in
+//!   the module docs).
 //!
 //! # Dense tableau vs revised simplex / column generation
 //!
@@ -62,4 +65,7 @@ pub mod sparse;
 pub use dense::Matrix;
 pub use problem::{LinearProgram, Relation, Sense, Solution, SolveError};
 pub use revised::{solve_colgen, BasisColumn, ColGenOptions, ColGenSolution, PricedColumn};
-pub use sparse::{stationary_gauss_seidel, Csr, CsrBuilder, SparseError};
+pub use sparse::{
+    greedy_coloring, stationary_gauss_seidel, stationary_multicolor, stationary_sor, Csr,
+    CsrBuilder, SparseError,
+};

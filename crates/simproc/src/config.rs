@@ -285,6 +285,35 @@ impl MachineConfig {
         }
     }
 
+    /// A speculative 10-way SMT core: the stress configuration behind the
+    /// K = 10 scaling leg. Scales the SMT8 die's shared resources by the
+    /// same per-context ratio — ROB entries, dispatch/commit width, MSHRs
+    /// and last-level cache — so ten contexts contend at comparable
+    /// per-thread pressure instead of measuring pure starvation.
+    pub fn smt10() -> Self {
+        MachineConfig {
+            topology: Topology::SmtCore { threads: 10 },
+            core: CoreParams {
+                dispatch_width: 10,
+                commit_width: 10,
+                rob_size: 320,
+                mshrs_per_thread: 10,
+                ..CoreParams::default()
+            },
+            l3: CacheGeometry {
+                size_bytes: 10 << 20,
+                ways: 20,
+                line_bytes: 64,
+                latency: 38,
+            },
+            mem: MemParams {
+                latency: 160,
+                cycles_per_transfer: 4,
+            },
+            ..MachineConfig::smt4()
+        }
+    }
+
     /// Returns a copy with the given fetch policy (Section VII sweeps).
     pub fn with_fetch_policy(mut self, policy: FetchPolicy) -> Self {
         self.core.fetch_policy = policy;
@@ -359,6 +388,21 @@ mod tests {
         MachineConfig::smt4().validate().unwrap();
         MachineConfig::quadcore().validate().unwrap();
         MachineConfig::smt8().validate().unwrap();
+        MachineConfig::smt10().validate().unwrap();
+    }
+
+    #[test]
+    fn smt10_scales_smt8_shared_resources_per_context() {
+        let cfg = MachineConfig::smt10();
+        assert_eq!(cfg.contexts(), 10);
+        assert_eq!(cfg.topology, Topology::SmtCore { threads: 10 });
+        let smt8 = MachineConfig::smt8();
+        // Same per-context pressure: every scaled resource keeps the
+        // SMT8 ratio of resource / contexts.
+        assert_eq!(cfg.core.rob_size * 8, smt8.core.rob_size * 10);
+        assert_eq!(cfg.core.dispatch_width * 8, smt8.core.dispatch_width * 10);
+        assert_eq!(cfg.core.mshrs_per_thread, 10);
+        assert_eq!(cfg.l3.size_bytes * 8, smt8.l3.size_bytes * 10);
     }
 
     #[test]

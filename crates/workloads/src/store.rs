@@ -302,12 +302,7 @@ impl PerfTable {
                 }
             }
         }
-        Ok(PerfTable {
-            names,
-            solo_ipc,
-            contexts,
-            co_ipc,
-        })
+        Ok(PerfTable::assemble(names, solo_ipc, contexts, co_ipc))
     }
 
     /// Writes the table to `path` in the documented format.

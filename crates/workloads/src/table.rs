@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use simproc::{BenchmarkProfile, Machine, MachineError};
-use symbiosis::{CoscheduleIter, RateModel, SymbiosisError, WorkloadRates};
+use symbiosis::{CoscheduleIter, CoscheduleRank, RateModel, SymbiosisError, WorkloadRates};
 
 /// Errors from building, querying or persisting a [`PerfTable`].
 #[derive(Debug, Clone, PartialEq)]
@@ -95,15 +95,148 @@ pub enum WorkUnit {
 ///
 /// Keys are sorted benchmark-index vectors of length `K` (the machine's
 /// context count); per-slot IPCs are aligned with that sorted expansion.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Internally the rows live twice: in a `HashMap` (the (de)serialisation
+/// and equality boundary — [`PerfTable::to_bytes`] and
+/// [`PerfTable::recorded_combos`] iterate it in sorted order) and in a
+/// [`FlatIndex`] (the hot-path layout — every `slot_ipcs`/rate probe is
+/// O(size) rank arithmetic into dense arrays, no hashing, no allocation).
+#[derive(Debug, Clone)]
 pub struct PerfTable {
     pub(crate) names: Vec<String>,
     pub(crate) solo_ipc: Vec<f64>,
     pub(crate) contexts: usize,
     pub(crate) co_ipc: HashMap<Vec<usize>, Vec<f64>>,
+    pub(crate) flat: FlatIndex,
+}
+
+/// Equality is over the table *contents* (the serialised form); the flat
+/// index is derived data and deliberately excluded — its packing order must
+/// never influence whether two tables compare equal.
+impl PartialEq for PerfTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+            && self.solo_ipc == other.solo_ipc
+            && self.contexts == other.contexts
+            && self.co_ipc == other.co_ipc
+    }
+}
+
+/// Flat, rank-indexed storage for the hot-path probes of a [`PerfTable`].
+///
+/// The combo key space is the streamed enumeration of sizes `1..=contexts`
+/// (the [`CoscheduleIter`] order, sizes concatenated ascending) — exactly
+/// the index space [`PerfTable::build_sampled`] selections address. A
+/// combo's global index is `offsets[size - 1] + rank-in-stratum`, where the
+/// per-size rank comes from the [`CoscheduleRank`] perfect index, so a
+/// probe is O(size) integer arithmetic with zero allocation and zero
+/// hashing. `starts[global]` points into the packed `vals` array
+/// (`u32::MAX` marks combos a sampled build did not record).
+#[derive(Debug, Clone)]
+pub(crate) struct FlatIndex {
+    ranks: Vec<CoscheduleRank>,
+    offsets: Vec<usize>,
+    starts: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl FlatIndex {
+    /// Builds the index over recorded rows. Rows are packed into `vals` in
+    /// sorted-combo order (the [`PerfTable::recorded_combos`] order), so
+    /// identical tables always produce identical flat layouts.
+    fn build(n_benchmarks: usize, k: usize, co_ipc: &HashMap<Vec<usize>, Vec<f64>>) -> Self {
+        let ranks: Vec<CoscheduleRank> = (1..=k)
+            .map(|size| CoscheduleRank::new(n_benchmarks, size))
+            .collect();
+        let mut offsets = Vec::with_capacity(k);
+        let mut total = 0usize;
+        for rank in &ranks {
+            offsets.push(total);
+            total += rank.total();
+        }
+        let mut rows: Vec<(&Vec<usize>, &Vec<f64>)> = co_ipc.iter().collect();
+        rows.sort_unstable_by_key(|&(combo, _)| combo);
+        let mut starts = vec![u32::MAX; total];
+        let mut vals = Vec::with_capacity(rows.iter().map(|&(c, _)| c.len()).sum());
+        let mut index = FlatIndex {
+            ranks,
+            offsets,
+            starts: Vec::new(),
+            vals: Vec::new(),
+        };
+        for (combo, ipcs) in rows {
+            let global = index
+                .global_rank(combo)
+                .expect("recorded combos are sorted, sized 1..=contexts, in range");
+            starts[global] = u32::try_from(vals.len()).expect("flat table exceeds u32 offsets");
+            vals.extend_from_slice(ipcs);
+        }
+        index.starts = starts;
+        index.vals = vals;
+        index
+    }
+
+    /// Global enumeration index of a sorted combo, or `None` if the combo
+    /// is malformed (empty, oversized, unsorted, index out of range).
+    fn global_rank(&self, combo: &[usize]) -> Option<usize> {
+        let size = combo.len();
+        if size == 0 || size > self.ranks.len() {
+            return None;
+        }
+        let rank = self.ranks[size - 1].rank_sorted_slots(combo)?;
+        Some(self.offsets[size - 1] + rank)
+    }
+
+    /// Per-slot IPCs for a sorted combo, if recorded.
+    fn get(&self, combo: &[usize]) -> Option<&[f64]> {
+        let global = self.global_rank(combo)?;
+        let start = self.starts[global];
+        if start == u32::MAX {
+            return None;
+        }
+        let start = start as usize;
+        Some(&self.vals[start..start + combo.len()])
+    }
+
+    /// Per-slot IPCs for the size-`size` combo whose benchmark multiplicity
+    /// is given by `count_of(b)` — the zero-allocation probe behind the
+    /// rate conversions, which hold per-type counts rather than expanded
+    /// combos. `None` if unrecorded or the counts do not sum to `size`.
+    fn get_counts<F: FnMut(usize) -> u32>(&self, size: usize, count_of: F) -> Option<&[f64]> {
+        if size == 0 || size > self.ranks.len() {
+            return None;
+        }
+        let rank = self.ranks[size - 1].rank_with(count_of)?;
+        let start = self.starts[self.offsets[size - 1] + rank];
+        if start == u32::MAX {
+            return None;
+        }
+        let start = start as usize;
+        Some(&self.vals[start..start + size])
+    }
 }
 
 impl PerfTable {
+    /// The one place a table is assembled: derives the flat hot-path index
+    /// from the recorded rows. Every construction site — simulated,
+    /// sampled, synthetic, and [`PerfTable::from_bytes`] — funnels through
+    /// here so the `HashMap` and the [`FlatIndex`] can never disagree.
+    pub(crate) fn assemble(
+        names: Vec<String>,
+        solo_ipc: Vec<f64>,
+        contexts: usize,
+        co_ipc: HashMap<Vec<usize>, Vec<f64>>,
+    ) -> Self {
+        let flat = FlatIndex::build(names.len(), contexts, &co_ipc);
+        PerfTable {
+            names,
+            solo_ipc,
+            contexts,
+            co_ipc,
+            flat,
+        }
+    }
+
     /// Simulates every coschedule of `machine.config().contexts()` jobs over
     /// `suite` (combinations with repetition) plus each benchmark solo.
     ///
@@ -126,12 +259,12 @@ impl PerfTable {
         .map_err(TableError::from)?;
         let co_ipc: HashMap<Vec<usize>, Vec<f64>> = results.into_iter().collect();
         let solo_ipc: Vec<f64> = (0..suite.len()).map(|b| co_ipc[&vec![b]][0]).collect();
-        Ok(PerfTable {
-            names: suite.iter().map(|p| p.name.clone()).collect(),
+        Ok(PerfTable::assemble(
+            suite.iter().map(|p| p.name.clone()).collect(),
             solo_ipc,
-            contexts: k,
+            k,
             co_ipc,
-        })
+        ))
     }
 
     /// Like [`PerfTable::build`], but simulates only the combos selected by
@@ -166,12 +299,12 @@ impl PerfTable {
         .map_err(TableError::from)?;
         let co_ipc: HashMap<Vec<usize>, Vec<f64>> = results.into_iter().collect();
         let solo_ipc: Vec<f64> = (0..suite.len()).map(|b| co_ipc[&vec![b]][0]).collect();
-        Ok(PerfTable {
-            names: suite.iter().map(|p| p.name.clone()).collect(),
+        Ok(PerfTable::assemble(
+            suite.iter().map(|p| p.name.clone()).collect(),
             solo_ipc,
-            contexts: k,
+            k,
             co_ipc,
-        })
+        ))
     }
 
     /// Builds a table from an analytic per-slot IPC model instead of the
@@ -254,12 +387,7 @@ impl PerfTable {
         })?;
         let co_ipc: HashMap<Vec<usize>, Vec<f64>> = results.into_iter().collect();
         let solo_ipc: Vec<f64> = (0..names.len()).map(|b| co_ipc[&vec![b]][0]).collect();
-        Ok(PerfTable {
-            names,
-            solo_ipc,
-            contexts,
-            co_ipc,
-        })
+        Ok(PerfTable::assemble(names, solo_ipc, contexts, co_ipc))
     }
 
     /// Benchmark names, index-aligned with the suite used to build.
@@ -292,8 +420,12 @@ impl PerfTable {
     }
 
     /// Per-slot IPCs for a sorted benchmark-index combination, if recorded.
+    ///
+    /// An O(size) rank-arithmetic probe into the flat layout — no hashing,
+    /// no allocation. Malformed keys (unsorted, oversized, out of range)
+    /// read as unrecorded.
     pub fn slot_ipcs(&self, combo: &[usize]) -> Option<&[f64]> {
-        self.co_ipc.get(combo).map(Vec::as_slice)
+        self.flat.get(combo)
     }
 
     /// Every recorded `(sorted combo, per-slot IPCs)` pair, sorted by combo
@@ -349,20 +481,35 @@ impl PerfTable {
         }
         let n = types.len();
         let rates = WorkloadRates::build(n, self.contexts, |s| {
-            // Map local coschedule to the global sorted combination.
-            let combo: Vec<usize> = s.slots().iter().map(|&local| types[local]).collect();
+            // Probe the flat layout by count vector — the local counts map
+            // to global benchmark multiplicities without materialising the
+            // expanded combo (`types` is sorted, so the sorted global combo
+            // is exactly the local runs in order).
+            let counts = s.counts();
+            let size = counts.iter().sum::<u32>() as usize;
             let ipcs = self
-                .co_ipc
-                .get(&combo)
-                .unwrap_or_else(|| panic!("coschedule {combo:?} missing from table"));
-            // Sum per local type over its slots, in the requested unit.
+                .flat
+                .get_counts(size, |b| {
+                    types.binary_search(&b).map_or(0, |local| counts[local])
+                })
+                .unwrap_or_else(|| {
+                    let combo: Vec<usize> = s.slots().iter().map(|&local| types[local]).collect();
+                    panic!("coschedule {combo:?} missing from table")
+                });
+            // Sum per local type over its (contiguous) slot run, in the
+            // requested unit — same slot order, same float arithmetic as
+            // the historical expanded-combo walk.
             let mut out = vec![0.0; n];
-            for (slot_idx, &local) in s.slots().iter().enumerate() {
+            let mut slot = 0usize;
+            for (local, &count) in counts.iter().enumerate() {
                 let scale = match unit {
                     WorkUnit::Weighted => self.solo_ipc[types[local]],
                     WorkUnit::Plain => 1.0,
                 };
-                out[local] += ipcs[slot_idx] / scale;
+                for _ in 0..count {
+                    out[local] += ipcs[slot] / scale;
+                    slot += 1;
+                }
             }
             out
         })?;
@@ -373,7 +520,7 @@ impl PerfTable {
     /// `IPC / solo IPC` (the weighted-speedup-style instantaneous
     /// throughput of that coschedule).
     pub fn combo_wipc(&self, combo: &[usize]) -> Option<f64> {
-        let ipcs = self.co_ipc.get(combo)?;
+        let ipcs = self.flat.get(combo)?;
         Some(
             combo
                 .iter()
@@ -579,29 +726,35 @@ impl RateModel for WorkloadView<'_> {
     fn per_job_rate(&self, counts: &[u32], ty: usize) -> f64 {
         assert_eq!(counts.len(), self.types.len(), "counts length mismatch");
         assert!(counts[ty] > 0, "type {ty} not present in coschedule");
-        let mut combo = Vec::with_capacity(counts.iter().sum::<u32>() as usize);
-        for (local, &c) in counts.iter().enumerate() {
-            for _ in 0..c {
-                combo.push(self.types[local]);
-            }
-        }
+        // Zero-allocation probe: rank the combo directly from the count
+        // vector instead of materialising the expanded key. This is the
+        // latency simulator's innermost lookup.
+        let size = counts.iter().sum::<u32>() as usize;
+        let types = &self.types;
         let ipcs = self
             .table
-            .co_ipc
-            .get(&combo)
-            .unwrap_or_else(|| panic!("coschedule {combo:?} missing from table"));
+            .flat
+            .get_counts(size, |b| {
+                types.binary_search(&b).map_or(0, |local| counts[local])
+            })
+            .unwrap_or_else(|| {
+                let combo: Vec<usize> = counts
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(local, &c)| std::iter::repeat_n(types[local], c as usize))
+                    .collect();
+                panic!("coschedule {combo:?} missing from table")
+            });
         let global = self.types[ty];
         // Mean WIPC over this type's slots (slots of the same type differ
-        // only by their RNG stream).
+        // only by their RNG stream). In the sorted expansion the type's
+        // slots are the contiguous run after all smaller types' slots.
+        let start = counts[..ty].iter().sum::<u32>() as usize;
         let mut sum = 0.0;
-        let mut n = 0u32;
-        for (slot, &b) in combo.iter().enumerate() {
-            if b == global {
-                sum += ipcs[slot] / self.table.solo_ipc[global];
-                n += 1;
-            }
+        for &ipc in &ipcs[start..start + counts[ty] as usize] {
+            sum += ipc / self.table.solo_ipc[global];
         }
-        sum / n as f64
+        sum / counts[ty] as f64
     }
 
     fn full_table(&self) -> Result<WorkloadRates, SymbiosisError> {
@@ -973,6 +1126,38 @@ mod tests {
         let t = tiny_table();
         assert!(t.workload_view(&[1, 0]).is_err());
         assert!(t.workload_view(&[0, 99]).is_err());
+    }
+
+    /// The flat rank-indexed layout answers every probe exactly as the
+    /// hash map it mirrors, and unrecorded combos in a sampled table read
+    /// as `None` (the `u32::MAX` sentinel), not as garbage.
+    #[test]
+    fn flat_index_agrees_with_the_hash_map_rows() {
+        let t = tiny_table();
+        for (combo, ipcs) in &t.co_ipc {
+            assert_eq!(t.slot_ipcs(combo).unwrap(), ipcs.as_slice());
+        }
+        let names: Vec<String> = (0..5).map(|b| format!("syn{b}")).collect();
+        let ipc = |combo: &[usize]| -> Vec<f64> {
+            combo
+                .iter()
+                .map(|&b| (1.0 + b as f64 * 0.2) / combo.len() as f64)
+                .collect()
+        };
+        let selection = vec![0, 1, 2, 3, 4, 6, 9, 17, 30, 44];
+        let sampled = PerfTable::synthetic_sampled(names.clone(), 3, &selection, ipc).unwrap();
+        let full = PerfTable::synthetic(names, 3, ipc).unwrap();
+        let mut hits = 0;
+        for (combo, ipcs) in full.recorded_combos() {
+            match sampled.slot_ipcs(combo) {
+                Some(got) => {
+                    hits += 1;
+                    assert_eq!(got, ipcs);
+                }
+                None => assert!(!sampled.co_ipc.contains_key(combo)),
+            }
+        }
+        assert_eq!(hits, selection.len());
     }
 
     #[test]
