@@ -82,10 +82,24 @@ pub struct SweepRow {
 
 /// The outcome of a sweep: per-workload rows plus aggregation helpers, so
 /// experiments stop hand-rolling their mean/max/percentile folds.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares **rows only**: [`SweepReport::metrics`] is an
+/// observability side-band (latencies, cache hit rates, solver sweep
+/// counts) whose values legitimately differ between bitwise-identical
+/// sweeps, so the parity suites' `assert_eq!` pins stay meaningful.
+#[derive(Debug, Clone)]
 pub struct SweepReport {
     /// One row per workload, in request order.
     pub rows: Vec<SweepRow>,
+    /// Metrics recorded during this run (empty when instrumentation is
+    /// disabled): per-item latency, pool occupancy, solver activity.
+    pub metrics: obs::MetricsSnapshot,
+}
+
+impl PartialEq for SweepReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+    }
 }
 
 impl SweepReport {
@@ -94,16 +108,21 @@ impl SweepReport {
     /// ([`SweepReport::mean_throughput`], [`SweepReport::gains`], ...) are
     /// computed from the merged rows on demand, so the merged report is
     /// indistinguishable — bitwise — from a single sweep over the
-    /// concatenated workload list.
+    /// concatenated workload list. Shard metrics fold together via
+    /// [`obs::MetricsSnapshot::merge`].
     ///
     /// This is the reassembly half of distributed sweeps: a coordinator
     /// that splits a workload list into consecutive shards and merges the
     /// shard reports in shard order reproduces the single-process
     /// [`Session::sweep`] report exactly.
     pub fn merge<I: IntoIterator<Item = SweepReport>>(parts: I) -> SweepReport {
-        SweepReport {
-            rows: parts.into_iter().flat_map(|p| p.rows).collect(),
+        let mut rows = Vec::new();
+        let mut metrics = obs::MetricsSnapshot::default();
+        for part in parts {
+            rows.extend(part.rows);
+            metrics.merge(&part.metrics);
         }
+        SweepReport { rows, metrics }
     }
 
     /// Number of workloads swept.
@@ -634,14 +653,28 @@ impl<'a> SweepBuilder<'a> {
             return Err(SweepError::Config(SessionError::NoPolicies));
         }
         let pool = WorkerPool::new(self.threads);
+        // Capture the parent's recorder so pool workers report to it (the
+        // pool spawns fresh OS threads, which would otherwise see no
+        // thread-local context), and snapshot before/after so the report
+        // embeds exactly this run's activity.
+        let ctx = obs::current();
+        let _span = ctx.as_ref().map(|r| r.span("sweep.run"));
+        let before = ctx.as_ref().map(|r| r.snapshot());
         let results: Vec<Result<SessionReport, SessionError>> =
             pool.map(&self.workloads, |_, w| {
+                let _obs = obs::install_current(&ctx);
+                let active = ctx.as_ref().map(|r| {
+                    let g = r.gauge("sweep.pool_active");
+                    g.add(1);
+                    g
+                });
+                let started = std::time::Instant::now();
                 // The weighted unit evaluates through the measured view
                 // (partial coschedules included, so latency policies work);
                 // the plain unit evaluates through the full-coschedule
                 // table in that unit. Either way the session sees exactly
                 // the rate source a sequential caller would hand it.
-                match self.unit {
+                let result = match self.unit {
                     WorkUnit::Weighted => {
                         let view = table.workload_view(w)?;
                         self.session_for(&policies).rates(&view).run()
@@ -650,7 +683,16 @@ impl<'a> SweepBuilder<'a> {
                         let rates = table.workload_rates_with_unit(w, WorkUnit::Plain)?;
                         self.session_for(&policies).rates(&rates).run()
                     }
+                };
+                if let Some(r) = &ctx {
+                    r.counter("sweep.items").add(1);
+                    r.histogram("sweep.item_us")
+                        .record(started.elapsed().as_micros() as f64);
                 }
+                if let Some(g) = active {
+                    g.add(-1);
+                }
+                result
             });
         let mut rows = Vec::with_capacity(results.len());
         for (w, result) in self.workloads.iter().zip(results) {
@@ -667,7 +709,12 @@ impl<'a> SweepBuilder<'a> {
                 }
             }
         }
-        Ok(SweepReport { rows })
+        drop(_span);
+        let metrics = match (&ctx, before) {
+            (Some(r), Some(before)) => obs::MetricsSnapshot::diff(&before, &r.snapshot()),
+            _ => obs::MetricsSnapshot::default(),
+        };
+        Ok(SweepReport { rows, metrics })
     }
 
     /// Fans a custom per-workload analysis out over the pool instead of
@@ -691,7 +738,9 @@ impl<'a> SweepBuilder<'a> {
     {
         let table = self.validated()?;
         let pool = WorkerPool::new(self.threads);
+        let ctx = obs::current();
         let results: Vec<Result<R, String>> = pool.map(&self.workloads, |i, w| {
+            let _obs = obs::install_current(&ctx);
             f(SweepItem {
                 table,
                 workload: w,

@@ -59,12 +59,26 @@ const EXPECTED_BENCHMARKS: &[&str] = &[
     "enumerate/stream_vs_vec",
 ];
 
+/// Solver-iteration counters summed into the optional `solver_iters`
+/// trajectory field: one deterministic convergence figure per kernel, so
+/// `bench-delta` can flag a solver that starts needing more sweeps to
+/// converge even when wall time stays flat.
+const SOLVER_ITER_COUNTERS: &[&str] = &[
+    "lp.gauss_seidel.sweeps",
+    "lp.sor.sweeps",
+    "lp.multicolor.sweeps",
+    "lp.colgen.pricing_rounds",
+];
+
 /// One benchmark's outcome.
 struct Measurement {
     name: &'static str,
     median_ns: f64,
     batches: usize,
     iters_per_batch: u64,
+    /// Total solver sweeps/pricing rounds one untimed probe run recorded
+    /// (`None` for kernels that never touch the iterative solvers).
+    solver_iters: Option<u64>,
 }
 
 /// True when CI asks for the reduced-budget smoke run.
@@ -108,11 +122,27 @@ fn bench<F: FnMut()>(name: &'static str, mut f: F) -> Measurement {
         })
         .collect();
     per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    // One untimed probe run under a private recorder: the deterministic
+    // solvers report their sweep counts, which become the kernel's
+    // convergence figure in the trajectory file.
+    let rec = obs::Recorder::new();
+    {
+        let _obs = obs::install(&rec);
+        f();
+    }
+    let snap = rec.snapshot();
+    let solver_iters: u64 = SOLVER_ITER_COUNTERS
+        .iter()
+        .filter_map(|k| snap.counters.get(*k))
+        .sum();
+
     Measurement {
         name,
         median_ns: per_iter[batches / 2],
         batches,
         iters_per_batch: iters,
+        solver_iters: (solver_iters > 0).then_some(solver_iters),
     }
 }
 
@@ -475,25 +505,34 @@ fn main() {
     }));
 
     println!(
-        "{:<44} {:>14} {:>8} {:>12}",
-        "kernel", "median ns/iter", "batches", "iters/batch"
+        "{:<44} {:>14} {:>8} {:>12} {:>12}",
+        "kernel", "median ns/iter", "batches", "iters/batch", "solver iters"
     );
     for m in &results {
         println!(
-            "{:<44} {:>14.0} {:>8} {:>12}",
-            m.name, m.median_ns, m.batches, m.iters_per_batch
+            "{:<44} {:>14.0} {:>8} {:>12} {:>12}",
+            m.name,
+            m.median_ns,
+            m.batches,
+            m.iters_per_batch,
+            m.solver_iters
+                .map_or_else(|| "-".to_string(), |n| n.to_string())
         );
     }
 
     // Emit the JSON trajectory file at the workspace root.
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in results.iter().enumerate() {
+        let solver = m
+            .solver_iters
+            .map_or_else(String::new, |n| format!(", \"solver_iters\": {n}"));
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns_per_iter\": {:.1}, \"batches\": {}, \"iters_per_batch\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"median_ns_per_iter\": {:.1}, \"batches\": {}, \"iters_per_batch\": {}{}}}{}\n",
             m.name,
             m.median_ns,
             m.batches,
             m.iters_per_batch,
+            solver,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

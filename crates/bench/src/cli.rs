@@ -29,11 +29,14 @@ fn usage() -> String {
     }
     text.push_str(
         "\nflags: --fast --full --sample N --jobs N --threads N --table-cache PATH \
-         --lp-dense-limit N --markov-dense-limit N --distribute ADDR:NWORKERS \
+         --trace PATH --lp-dense-limit N --markov-dense-limit N --distribute ADDR:NWORKERS \
          --dist-retries N --dist-timeout-secs N --dist-hedge\n\
          \n\
          worker mode: paperbench --worker ADDR [flags]\n\
-         serves a --distribute coordinator at ADDR until it goes away\n",
+         serves a --distribute coordinator at ADDR until it goes away\n\
+         \n\
+         trace tools: paperbench validate-trace PATH\n\
+         checks every JSONL line of a --trace capture against the schema\n",
     );
     text
 }
@@ -72,6 +75,15 @@ pub fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "all" => with_config(args, run_all),
+        // Offline schema check for a `--trace` capture (the obs-smoke CI
+        // job runs this over a fresh `paperbench obs --trace` stream).
+        "validate-trace" => match args.next() {
+            Some(path) => validate_trace_file(&path),
+            None => {
+                eprintln!("usage: paperbench validate-trace PATH");
+                ExitCode::from(2)
+            }
+        },
         // `--worker ADDR` is a mode, not an experiment: re-chain the flag
         // so `from_args` parses it, then `with_config` intercepts it.
         "--worker" => with_config(std::iter::once(selector).chain(args), run_all),
@@ -103,13 +115,61 @@ where
 {
     match StudyConfig::from_args(args) {
         Ok(config) => {
-            if let Some(addr) = config.worker.clone() {
-                return run_worker_service(&addr, &config);
+            // `--trace PATH` installs a process-global recorder for the
+            // whole run; every instrumented layer (solver, sweep, dist,
+            // serve) picks it up via `obs::current()`.
+            let recorder = match config.trace.as_ref() {
+                Some(path) => match std::fs::File::create(path) {
+                    Ok(file) => {
+                        let rec =
+                            obs::Recorder::with_trace(Box::new(std::io::BufWriter::new(file)));
+                        obs::set_global(rec.clone());
+                        Some(rec)
+                    }
+                    Err(e) => {
+                        eprintln!("could not open trace file {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                },
+                None => None,
+            };
+            let code = if let Some(addr) = config.worker.clone() {
+                run_worker_service(&addr, &config)
+            } else {
+                run(ExperimentContext::new(config))
+            };
+            if let Some(rec) = recorder {
+                obs::clear_global();
+                // Close the stream with one line per metric so a capture
+                // carries final totals, not just in-flight events.
+                rec.trace_snapshot();
+                rec.flush();
             }
-            run(ExperimentContext::new(config))
+            code
         }
         Err(msg) => {
             eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `paperbench validate-trace PATH`: run [`obs::validate::validate_trace`]
+/// over a captured JSONL stream and report the verdict.
+fn validate_trace_file(path: &str) -> ExitCode {
+    match std::fs::read_to_string(path) {
+        Ok(text) => match obs::validate::validate_trace(&text) {
+            Ok(n) => {
+                println!("{path}: {n} valid trace line(s)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
             ExitCode::from(2)
         }
     }

@@ -18,6 +18,9 @@ use std::fmt;
 pub struct KernelMedian {
     pub name: String,
     pub median_ns: f64,
+    /// Deterministic solver sweep/pricing-round count, when the harness
+    /// recorded one (`"solver_iters"` is optional in the trajectory).
+    pub solver_iters: Option<u64>,
 }
 
 /// Parses the `BENCH_session.json` layout written by `benches/kernels.rs`:
@@ -52,7 +55,24 @@ pub fn parse_session(text: &str) -> Result<Vec<KernelMedian>, String> {
         if !median_ns.is_finite() || median_ns <= 0.0 {
             return Err(format!("kernel {name}: non-positive median {median_ns}"));
         }
-        out.push(KernelMedian { name, median_ns });
+
+        // Optional convergence figure (older baselines predate it).
+        let solver_iters = match line.find("\"solver_iters\":") {
+            Some(spos) => {
+                let tail = line[spos + "\"solver_iters\":".len()..].trim_start();
+                let num: String = tail.chars().take_while(char::is_ascii_digit).collect();
+                Some(
+                    num.parse::<u64>()
+                        .map_err(|e| format!("kernel {name}: bad solver_iters {num:?}: {e}"))?,
+                )
+            }
+            None => None,
+        };
+        out.push(KernelMedian {
+            name,
+            median_ns,
+            solver_iters,
+        });
     }
     if out.is_empty() {
         return Err("no benchmark entries found".into());
@@ -66,6 +86,9 @@ pub struct DeltaRow {
     pub name: String,
     pub base_ns: f64,
     pub new_ns: f64,
+    /// Solver iteration counts, when *both* files carry them for this
+    /// kernel — the convergence comparison is skipped otherwise.
+    pub iters: Option<(u64, u64)>,
 }
 
 impl DeltaRow {
@@ -95,6 +118,7 @@ pub fn diff(base: &[KernelMedian], new: &[KernelMedian]) -> DeltaReport {
                 name: b.name.clone(),
                 base_ns: b.median_ns,
                 new_ns: n.median_ns,
+                iters: b.solver_iters.zip(n.solver_iters),
             }),
             None => missing_in_new.push(b.name.clone()),
         }
@@ -120,6 +144,21 @@ impl DeltaReport {
             .filter(|r| r.new_ns > r.base_ns * (1.0 + threshold))
             .collect()
     }
+
+    /// Rows whose solver now needs more than `threshold` extra iterations
+    /// to converge (compared only when both files carry counts). The
+    /// counts are deterministic, so unlike wall time this catches a
+    /// convergence regression even on a noisy runner — and even when the
+    /// wall time stayed flat.
+    pub fn iter_regressions(&self, threshold: f64) -> Vec<&DeltaRow> {
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.iters
+                    .is_some_and(|(base, new)| new as f64 > base as f64 * (1.0 + threshold))
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for DeltaReport {
@@ -138,6 +177,26 @@ impl fmt::Display for DeltaReport {
                 r.new_ns,
                 r.speedup()
             )?;
+        }
+        let with_iters: Vec<&DeltaRow> = self.rows.iter().filter(|r| r.iters.is_some()).collect();
+        if !with_iters.is_empty() {
+            writeln!(
+                f,
+                "\nsolver convergence (deterministic iteration counts)\n\
+                 {:<44} {:>14} {:>14} {:>9}",
+                "kernel", "base iters", "new iters", "ratio"
+            )?;
+            for r in with_iters {
+                let (base, new) = r.iters.expect("filtered to Some");
+                writeln!(
+                    f,
+                    "{:<44} {:>14} {:>14} {:>8.2}x",
+                    r.name,
+                    base,
+                    new,
+                    new as f64 / base as f64
+                )?;
+            }
         }
         for name in &self.missing_in_new {
             writeln!(f, "{name:<44} (missing from new run)")?;
@@ -160,14 +219,17 @@ pub fn run_delta(base_path: &str, new_path: &str, threshold: f64) -> Result<Stri
     let report = diff(&base, &new);
     let rendered = format!("{report}");
     let regressions = report.regressions(threshold);
-    if regressions.is_empty() {
-        Ok(rendered)
-    } else {
-        let mut msg = format!(
-            "{rendered}\n{} kernel(s) regressed beyond the {:.0}% threshold:\n",
+    let iter_regressions = report.iter_regressions(threshold);
+    if regressions.is_empty() && iter_regressions.is_empty() {
+        return Ok(rendered);
+    }
+    let mut msg = rendered;
+    if !regressions.is_empty() {
+        msg.push_str(&format!(
+            "\n{} kernel(s) regressed beyond the {:.0}% threshold:\n",
             regressions.len(),
             threshold * 100.0
-        );
+        ));
         for r in regressions {
             msg.push_str(&format!(
                 "  {}: {:.0} -> {:.0} ns/iter ({:+.1}%)\n",
@@ -177,8 +239,23 @@ pub fn run_delta(base_path: &str, new_path: &str, threshold: f64) -> Result<Stri
                 (r.new_ns / r.base_ns - 1.0) * 100.0
             ));
         }
-        Err(msg)
     }
+    if !iter_regressions.is_empty() {
+        msg.push_str(&format!(
+            "\n{} kernel(s) need more solver iterations than the baseline (beyond {:.0}%):\n",
+            iter_regressions.len(),
+            threshold * 100.0
+        ));
+        for r in iter_regressions {
+            let (base, new) = r.iters.expect("iter regression has counts");
+            msg.push_str(&format!(
+                "  {}: {base} -> {new} iterations ({:+.1}%)\n",
+                r.name,
+                (new as f64 / base as f64 - 1.0) * 100.0
+            ));
+        }
+    }
+    Err(msg)
 }
 
 #[cfg(test)]
@@ -188,7 +265,7 @@ mod tests {
     const BASE: &str = r#"{
   "benchmarks": [
     {"name": "a/fast", "median_ns_per_iter": 100.0, "batches": 7, "iters_per_batch": 10},
-    {"name": "b/slow", "median_ns_per_iter": 2000.0, "batches": 7, "iters_per_batch": 1},
+    {"name": "b/slow", "median_ns_per_iter": 2000.0, "batches": 7, "iters_per_batch": 1, "solver_iters": 120},
     {"name": "c/gone", "median_ns_per_iter": 5.0, "batches": 7, "iters_per_batch": 100}
   ]
 }
@@ -196,8 +273,8 @@ mod tests {
 
     const NEW: &str = r#"{
   "benchmarks": [
-    {"name": "a/fast", "median_ns_per_iter": 130.0, "batches": 7, "iters_per_batch": 10},
-    {"name": "b/slow", "median_ns_per_iter": 500.0, "batches": 7, "iters_per_batch": 1},
+    {"name": "a/fast", "median_ns_per_iter": 130.0, "batches": 7, "iters_per_batch": 10, "solver_iters": 40},
+    {"name": "b/slow", "median_ns_per_iter": 500.0, "batches": 7, "iters_per_batch": 1, "solver_iters": 300},
     {"name": "d/new", "median_ns_per_iter": 42.0, "batches": 7, "iters_per_batch": 100}
   ]
 }
@@ -209,6 +286,8 @@ mod tests {
         assert_eq!(parsed.len(), 3);
         assert_eq!(parsed[0].name, "a/fast");
         assert_eq!(parsed[1].median_ns, 2000.0);
+        assert_eq!(parsed[0].solver_iters, None, "field is optional");
+        assert_eq!(parsed[1].solver_iters, Some(120));
     }
 
     #[test]
@@ -226,6 +305,23 @@ mod tests {
         assert_eq!(report.added_in_new, vec!["d/new".to_string()]);
         let slow = &report.rows[1];
         assert!((slow.speedup() - 4.0).abs() < 1e-12, "2000 / 500 = 4x");
+        // Counts compare only when both sides have them: a/fast's
+        // baseline predates the field, so its new count is ignored.
+        assert_eq!(report.rows[0].iters, None);
+        assert_eq!(slow.iters, Some((120, 300)));
+    }
+
+    #[test]
+    fn iteration_growth_is_a_regression_even_when_wall_time_improves() {
+        let report = diff(&parse_session(BASE).unwrap(), &parse_session(NEW).unwrap());
+        // b/slow got 4x faster in wall time but needs 2.5x the sweeps.
+        let iter_regs = report.iter_regressions(0.20);
+        assert_eq!(iter_regs.len(), 1);
+        assert_eq!(iter_regs[0].name, "b/slow");
+        assert!(report.iter_regressions(2.0).is_empty(), "+150% within 200%");
+        let table = format!("{report}");
+        assert!(table.contains("solver convergence"), "{table}");
+        assert!(table.contains("120"), "{table}");
     }
 
     #[test]
@@ -247,8 +343,14 @@ mod tests {
         std::fs::write(&new_p, NEW).unwrap();
         let strict = run_delta(base_p.to_str().unwrap(), new_p.to_str().unwrap(), 0.20);
         assert!(strict.is_err(), "a/fast (+30%) must trip the 20% gate");
-        assert!(strict.unwrap_err().contains("a/fast"));
-        let lax = run_delta(base_p.to_str().unwrap(), new_p.to_str().unwrap(), 0.50);
+        let msg = strict.unwrap_err();
+        assert!(msg.contains("a/fast"), "{msg}");
+        assert!(
+            msg.contains("more solver iterations"),
+            "b/slow's 120 -> 300 sweeps must trip the convergence gate: {msg}"
+        );
+        // Loose enough for both wall time (+30%) and iterations (+150%).
+        let lax = run_delta(base_p.to_str().unwrap(), new_p.to_str().unwrap(), 2.0);
         let table = lax.expect("within threshold");
         assert!(table.contains("4.00x"), "b/slow speedup shown: {table}");
         let _ = std::fs::remove_dir_all(&dir);

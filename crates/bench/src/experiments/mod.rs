@@ -19,6 +19,7 @@
 //! | `serve` | [`self::serve`] | Beyond the paper — online scheduling service with a live digital-twin model loop |
 //! | `dist_sweep` | [`dist_sweep`] | Beyond the paper — sharded sweep across fault-tolerant workers with deterministic merge |
 //! | `chaos` | [`chaos`] | Beyond the paper — seeded fault storms over dist and serve: parity under faults, breaker trip/recovery, clean panic surfacing |
+//! | `obs` | [`self::obs`] | Beyond the paper — observability check: instrumented sweep + serve legs, embedded metric snapshots, optional JSONL trace |
 //!
 //! Every entry is invocable through the unified driver
 //! (`cargo run --release -p paperbench --bin paperbench -- <name>`), and
@@ -37,6 +38,7 @@ pub mod fig6;
 pub mod model_accuracy;
 pub mod n12_k8;
 pub mod n8;
+pub mod obs;
 pub mod sec7;
 pub mod serve;
 pub mod table2;
@@ -248,6 +250,12 @@ registry! {
         desc: "injects seeded crash/hang/corrupt/duplicate faults and proves parity, breaker trip/recovery and clean panic surfacing",
         run: |ctx| Ok(chaos::run(ctx.config())?.to_string())
     },
+    ObsExp {
+        name: "obs",
+        artefact: "Beyond the paper — observability: metrics, spans and JSONL tracing across the stack",
+        desc: "runs instrumented sweep + serve legs and pretty-prints the metric snapshots each report embeds",
+        run: |ctx| Ok(self::obs::run(ctx.config())?.to_string())
+    },
 }
 
 /// Looks an experiment up by registry name (exact match).
@@ -261,7 +269,7 @@ mod registry_tests {
 
     #[test]
     fn registry_names_are_unique_and_resolvable() {
-        assert_eq!(REGISTRY.len(), 16);
+        assert_eq!(REGISTRY.len(), 17);
         let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
         for name in &names {
             assert!(by_name(name).is_some(), "{name} resolves");
@@ -293,7 +301,8 @@ mod registry_tests {
                 "unit_ablation",
                 "serve",
                 "dist_sweep",
-                "chaos"
+                "chaos",
+                "obs"
             ]
         );
     }

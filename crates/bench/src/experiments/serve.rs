@@ -110,8 +110,9 @@ fn measure(truth: &dyn RateModel, counts: &[u32]) -> RateSample {
 }
 
 /// Fits the twin's starting model from the cheap measurements only:
-/// every coschedule of size 1 and 2 (solos and pairs).
-fn seed_model(truth: &dyn RateModel) -> Result<PredictedModel, String> {
+/// every coschedule of size 1 and 2 (solos and pairs). Shared with the
+/// `obs` experiment's serve leg.
+pub(crate) fn seed_model(truth: &dyn RateModel) -> Result<PredictedModel, String> {
     let n = truth.num_types();
     let samples: Vec<RateSample> = (1..=2)
         .flat_map(|s| CoscheduleIter::new(n, s))
@@ -122,8 +123,9 @@ fn seed_model(truth: &dyn RateModel) -> Result<PredictedModel, String> {
 }
 
 /// The balanced full coschedule (contexts split as evenly as possible
-/// over the types) — the load-calibration reference point.
-fn balanced_counts(n: usize, k: usize) -> Vec<u32> {
+/// over the types) — the load-calibration reference point. Shared with
+/// the `obs` experiment's serve leg.
+pub(crate) fn balanced_counts(n: usize, k: usize) -> Vec<u32> {
     let mut counts = vec![(k / n) as u32; n];
     for slot in counts.iter_mut().take(k % n) {
         *slot += 1;

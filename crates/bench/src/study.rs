@@ -133,6 +133,11 @@ pub struct StudyConfig {
     /// `--dist-hedge`: opt into hedged re-dispatch of straggler chunks
     /// to idle workers ([`dist::DistConfig::hedge`]).
     pub dist_hedge: bool,
+    /// If set, the driver installs a process-global [`obs::Recorder`]
+    /// streaming JSON-lines trace events (see [`obs::validate`] for the
+    /// schema) to this file. Set by `--trace PATH` or the
+    /// `SYMBIOSIS_TRACE` environment variable.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -157,6 +162,7 @@ impl Default for StudyConfig {
             dist_retries: dist::DistConfig::default().retry_budget,
             dist_timeout_secs: dist::DistConfig::default().recv_timeout.as_secs(),
             dist_hedge: false,
+            trace: None,
         }
     }
 }
@@ -297,6 +303,11 @@ impl StudyConfig {
             Some(dir) => {
                 let store = TableStore::new(dir);
                 let outcome = store.get_or_build(&machine, &suite, self.threads)?;
+                if outcome.cache_hit {
+                    obs::count!("sweep.table_cache_hit", 1);
+                } else {
+                    obs::count!("sweep.table_cache_miss", 1);
+                }
                 eprintln!(
                     "table cache {}: {}",
                     if outcome.cache_hit { "hit" } else { "miss" },
@@ -337,15 +348,21 @@ impl StudyConfig {
     ///
     /// Returns a usage message on unknown flags or malformed numbers.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
-        Self::from_args_with_env(args, std::env::var_os("SYMBIOSIS_TABLE_CACHE"))
+        Self::from_args_with_env(
+            args,
+            std::env::var_os("SYMBIOSIS_TABLE_CACHE"),
+            std::env::var_os("SYMBIOSIS_TRACE"),
+        )
     }
 
-    /// [`StudyConfig::from_args`] with the `SYMBIOSIS_TABLE_CACHE` value
-    /// passed explicitly — the testable core (tests must not mutate the
-    /// process environment, which is racy across test threads).
+    /// [`StudyConfig::from_args`] with the `SYMBIOSIS_TABLE_CACHE` and
+    /// `SYMBIOSIS_TRACE` values passed explicitly — the testable core
+    /// (tests must not mutate the process environment, which is racy
+    /// across test threads).
     fn from_args_with_env<I: IntoIterator<Item = String>>(
         args: I,
         env_cache: Option<std::ffi::OsString>,
+        env_trace: Option<std::ffi::OsString>,
     ) -> Result<Self, String> {
         let args: Vec<String> = args.into_iter().collect();
         // `--fast` swaps in a whole-config preset, so apply it before the
@@ -358,6 +375,7 @@ impl StudyConfig {
             StudyConfig::default()
         };
         let mut table_cache: Option<PathBuf> = None;
+        let mut trace: Option<PathBuf> = None;
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let mut grab = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
@@ -382,6 +400,7 @@ impl StudyConfig {
                         .map_err(|e| format!("--threads: {e}"))?
                 }
                 "--table-cache" => table_cache = Some(PathBuf::from(grab("--table-cache")?)),
+                "--trace" => trace = Some(PathBuf::from(grab("--trace")?)),
                 "--lp-dense-limit" => {
                     cfg.lp_dense_limit = grab("--lp-dense-limit")?
                         .parse()
@@ -419,7 +438,7 @@ impl StudyConfig {
                 other => {
                     return Err(format!(
                         "unknown flag {other}; supported: --fast --full --sample N --jobs N \
-                         --threads N --table-cache PATH --lp-dense-limit N \
+                         --threads N --table-cache PATH --trace PATH --lp-dense-limit N \
                          --markov-dense-limit N --markov-accel-limit N \
                          --simulated-k8 --worker ADDR \
                          --distribute ADDR:NWORKERS --dist-retries N \
@@ -430,6 +449,7 @@ impl StudyConfig {
         }
         cfg.table_cache =
             table_cache.or_else(|| env_cache.filter(|v| !v.is_empty()).map(PathBuf::from));
+        cfg.trace = trace.or_else(|| env_trace.filter(|v| !v.is_empty()).map(PathBuf::from));
         Ok(cfg)
     }
 }
@@ -683,18 +703,52 @@ mod tests {
         // wins when both are present. (Injected value — tests must not
         // mutate the real process environment.)
         let env = Some(std::ffi::OsString::from("/tmp/from-env"));
-        let via_env = StudyConfig::from_args_with_env(["--fast".to_owned()], env.clone()).unwrap();
+        let via_env =
+            StudyConfig::from_args_with_env(["--fast".to_owned()], env.clone(), None).unwrap();
         assert_eq!(via_env.table_cache, Some(PathBuf::from("/tmp/from-env")));
         let via_flag = StudyConfig::from_args_with_env(
             ["--table-cache", "/tmp/explicit"].map(String::from),
             env,
+            None,
         )
         .unwrap();
         assert_eq!(via_flag.table_cache, Some(PathBuf::from("/tmp/explicit")));
-        let empty =
-            StudyConfig::from_args_with_env(["--fast".to_owned()], Some(std::ffi::OsString::new()))
-                .unwrap();
+        let empty = StudyConfig::from_args_with_env(
+            ["--fast".to_owned()],
+            Some(std::ffi::OsString::new()),
+            None,
+        )
+        .unwrap();
         assert_eq!(empty.table_cache, None, "empty env value is ignored");
+    }
+
+    #[test]
+    fn from_args_parses_trace() {
+        let cfg =
+            StudyConfig::from_args(["--fast", "--trace", "/tmp/t.jsonl"].map(String::from))
+                .unwrap();
+        assert_eq!(cfg.trace, Some(PathBuf::from("/tmp/t.jsonl")));
+        assert!(StudyConfig::from_args(["--trace".to_owned()]).is_err());
+        // Same env-fallback contract as the table cache: env fills in when
+        // the flag is absent, the flag wins, an empty value is ignored.
+        let env = Some(std::ffi::OsString::from("/tmp/env.jsonl"));
+        let via_env =
+            StudyConfig::from_args_with_env(["--fast".to_owned()], None, env.clone()).unwrap();
+        assert_eq!(via_env.trace, Some(PathBuf::from("/tmp/env.jsonl")));
+        let via_flag = StudyConfig::from_args_with_env(
+            ["--trace", "/tmp/flag.jsonl"].map(String::from),
+            None,
+            env,
+        )
+        .unwrap();
+        assert_eq!(via_flag.trace, Some(PathBuf::from("/tmp/flag.jsonl")));
+        let empty = StudyConfig::from_args_with_env(
+            ["--fast".to_owned()],
+            None,
+            Some(std::ffi::OsString::new()),
+        )
+        .unwrap();
+        assert_eq!(empty.trace, None, "empty env value is ignored");
     }
 
     #[test]

@@ -259,7 +259,9 @@ pub fn fcfs_throughput_markov_tuned(
     threads: usize,
 ) -> Result<FcfsOutcome, SymbiosisError> {
     let n_s = rates.coschedules().len();
+    let _span = obs::span!("fcfs.markov_solve");
     let pi = if n_s <= dense_limit {
+        obs::count!("solver.markov.dense", 1);
         markov_stationary_dense(rates)?
     } else {
         markov_stationary_sparse(rates, accel_limit, threads)?
@@ -419,6 +421,7 @@ fn markov_stationary_sparse(
     let n_s = rates.coschedules().len();
     let (inflow, outflow) = markov_chain(rates);
     let solved = if n_s <= accel_limit {
+        obs::count!("solver.markov.gauss_seidel", 1);
         lp::sparse::stationary_gauss_seidel(&inflow, &outflow, 1e-12, 20_000)
     } else {
         let threads = if threads == 0 {
@@ -430,8 +433,10 @@ fn markov_stationary_sparse(
             // A lone worker gains nothing from the colored sweep, and the
             // class-major update order converges slower than the natural
             // sweep — sequential adaptive SOR is strictly better here.
+            obs::count!("solver.markov.sor", 1);
             lp::sparse::stationary_sor(&inflow, &outflow, 1e-12, 20_000)
         } else {
+            obs::count!("solver.markov.multicolor", 1);
             let colors = markov_coloring(rates);
             lp::sparse::stationary_multicolor(&inflow, &outflow, &colors, 1e-12, 20_000, threads)
         }

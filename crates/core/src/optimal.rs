@@ -160,9 +160,12 @@ impl<'a> ScheduleLp<'a> {
     /// happen for valid rate tables: homogeneous coschedules always
     /// balance work) or numerically fails.
     pub fn solve(&self, objective: Objective) -> Result<Schedule, SymbiosisError> {
+        let _span = obs::span!("optimal.lp_solve");
         if self.is_dense() {
+            obs::count!("solver.lp.dense", 1);
             self.solve_dense(objective)
         } else {
+            obs::count!("solver.lp.colgen", 1);
             self.solve_colgen(objective)
         }
     }

@@ -109,6 +109,19 @@ pub struct ChaosStats {
     pub hung: bool,
 }
 
+impl std::fmt::Display for ChaosStats {
+    /// An aligned per-fault-class table, terminal triggers last.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<12} {:>8}", "fault", "count")?;
+        writeln!(f, "{:<12} {:>8}", "drop", self.drops)?;
+        writeln!(f, "{:<12} {:>8}", "duplicate", self.duplicates)?;
+        writeln!(f, "{:<12} {:>8}", "delay", self.delays)?;
+        writeln!(f, "{:<12} {:>8}", "corrupt", self.corruptions)?;
+        writeln!(f, "{:<12} {:>8}", "crash", u8::from(self.crashed))?;
+        write!(f, "{:<12} {:>8}", "hang", u8::from(self.hung))
+    }
+}
+
 /// A [`Transport`] that injects the faults scheduled by a [`ChaosPlan`]
 /// into an inner transport's frame stream.
 #[derive(Debug)]
@@ -169,12 +182,14 @@ impl<T: Transport> ChaosTransport<T> {
                 }
                 self.hung = true;
                 self.stats().hung = true;
+                obs::count!("chaos.hang", 1);
             }
         }
         if let Some(limit) = self.plan.crash_after_frames {
             if self.crossed >= limit && self.inner.is_some() {
                 self.inner = None;
                 self.stats().crashed = true;
+                obs::count!("chaos.crash", 1);
             }
         }
         if self.inner.is_none() && !self.hung {
@@ -203,18 +218,21 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         self.crossed += 1;
         if roll_drop < self.plan.drop {
             self.stats().drops += 1;
+            obs::count!("chaos.drop", 1);
             return Ok(());
         }
         if roll_delay < self.plan.delay {
             let nanos = self.plan.max_delay.as_nanos() as u64;
             std::thread::sleep(Duration::from_nanos(self.rng.next_range(nanos.max(1))));
             self.stats().delays += 1;
+            obs::count!("chaos.delay", 1);
         }
         let inner = self.inner.as_mut().expect("trip() verified liveness");
         inner.send(frame)?;
         if roll_duplicate < self.plan.duplicate {
             inner.send(frame)?;
             self.stats().duplicates += 1;
+            obs::count!("chaos.duplicate", 1);
         }
         Ok(())
     }
@@ -238,6 +256,7 @@ impl<T: Transport> Transport for ChaosTransport<T> {
             let bit = self.rng.next_range((wire.len() as u64) * 8) as usize;
             wire[bit / 8] ^= 1 << (bit % 8);
             self.stats().corruptions += 1;
+            obs::count!("chaos.corrupt", 1);
             // A single flipped bit always trips the length or checksum
             // check, so this surfaces as the protocol error a real
             // corrupted frame would produce.

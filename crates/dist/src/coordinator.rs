@@ -40,7 +40,7 @@
 //!   wedged fleet ends in [`DistError::Timeout`] / [`DistError::Incomplete`]
 //!   rather than a hang.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::TcpListener;
 use std::ops::Range;
 use std::sync::{Condvar, Mutex};
@@ -122,6 +122,21 @@ impl WorkerLog {
     }
 }
 
+impl std::fmt::Display for WorkerLog {
+    /// One aligned accounting row: peer, chunks, rows, wall, rows/s.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<24} {:>6} chunk(s) {:>8} row(s) {:>10.2?} {:>10.1} rows/s",
+            self.peer,
+            self.chunks,
+            self.rows,
+            self.wall,
+            self.rows_per_sec()
+        )
+    }
+}
+
 /// A completed distributed sweep: the merged report plus accounting.
 #[derive(Debug, Clone)]
 pub struct DistOutcome {
@@ -140,6 +155,9 @@ pub struct DistOutcome {
     pub duplicates: usize,
     /// Protocol strikes across all connections.
     pub strikes: usize,
+    /// Coordinator-side metrics recorded during this run (empty when no
+    /// [`obs`] recorder was installed).
+    pub metrics: obs::MetricsSnapshot,
 }
 
 /// Book-keeping for one run, shared across worker-serving threads.
@@ -181,6 +199,7 @@ impl QueueState {
         if self.reports[id].is_none() && self.inflight[id] == 0 && !self.pending.contains(&id) {
             self.pending.push_back(id);
             self.requeues += 1;
+            obs::event!(Debug, "dist.chunk_requeued", "chunk {id} returned to the queue");
         }
     }
 }
@@ -304,12 +323,18 @@ impl Coordinator {
             cv: Condvar::new(),
         };
 
+        let ctx = obs::current();
+        let _span = ctx.as_ref().map(|r| r.span("dist.run"));
+        let before = ctx.as_ref().map(|r| r.snapshot());
+
         let logs: Vec<WorkerLog> = std::thread::scope(|scope| {
             let handles: Vec<_> = workers
                 .into_iter()
                 .map(|mut transport| {
                     let shared = &shared;
+                    let ctx = ctx.clone();
                     scope.spawn(move || {
+                        let _obs = obs::install_current(&ctx);
                         let peer = transport.peer();
                         let started = Instant::now();
                         let mut log = WorkerLog {
@@ -356,8 +381,24 @@ impl Coordinator {
                     report,
                 })
                 .collect();
-            parts.push(SweepReport { rows });
+            parts.push(SweepReport {
+                rows,
+                metrics: obs::MetricsSnapshot::default(),
+            });
         }
+        let metrics = match (&ctx, before) {
+            (Some(rec), Some(before)) => {
+                rec.counter("dist.chunks_completed").add(state.done as u64);
+                rec.counter("dist.requeues").add(state.requeues as u64);
+                rec.counter("dist.hedges").add(state.hedges as u64);
+                rec.counter("dist.duplicates_discarded")
+                    .add(state.duplicates as u64);
+                rec.counter("dist.strikes").add(state.strikes as u64);
+                drop(_span);
+                obs::MetricsSnapshot::diff(&before, &rec.snapshot())
+            }
+            _ => obs::MetricsSnapshot::default(),
+        };
         Ok(DistOutcome {
             report: SweepReport::merge(parts),
             workers: logs,
@@ -366,6 +407,7 @@ impl Coordinator {
             hedges: state.hedges,
             duplicates: state.duplicates,
             strikes: state.strikes,
+            metrics,
         })
     }
 
@@ -449,6 +491,7 @@ impl Coordinator {
         detail: &str,
     ) -> Result<(), DistError> {
         *strikes += 1;
+        obs::event!(Debug, "dist.strike", "strike {strikes} against {peer}: {detail}");
         let mut state = self.lock(shared);
         state.strikes += 1;
         for id in held.drain(..) {
@@ -458,6 +501,11 @@ impl Coordinator {
         shared.cv.notify_all();
         drop(state);
         if *strikes > self.config.quarantine_limit {
+            obs::event!(
+                Debug,
+                "dist.quarantine",
+                "worker {peer} quarantined after {strikes} strikes"
+            );
             Err(DistError::Protocol(format!(
                 "worker {peer} quarantined after {strikes} protocol strikes; last: {detail}"
             )))
@@ -478,6 +526,10 @@ impl Coordinator {
     ) -> Result<(), DistError> {
         let peer = transport.peer();
         let mut strikes = 0usize;
+        // When each held chunk went out on this connection, for the
+        // dist.chunk_us latency histogram (stale entries from struck or
+        // re-handed chunks are simply overwritten or never read).
+        let mut handed_at: HashMap<usize, Instant> = HashMap::new();
         let hello = loop {
             match transport.recv() {
                 Ok(frame) => break frame,
@@ -500,8 +552,14 @@ impl Coordinator {
                     message: mismatch.to_string(),
                 });
                 // A worker from another build is not a queue failure:
-                // report it on stderr and serve the remaining workers.
-                eprintln!("dist: rejected worker {}: {mismatch}", transport.peer());
+                // warn (the event mirrors to stderr) and serve the
+                // remaining workers.
+                obs::event!(
+                    Warn,
+                    "dist.worker_rejected",
+                    "rejected worker {}: {mismatch}",
+                    transport.peer()
+                );
                 return Ok(());
             }
             other => {
@@ -535,6 +593,7 @@ impl Coordinator {
                 Frame::FetchChunk => match self.next_chunk(transport, shared, held)? {
                     NextChunk::Hand(id) => {
                         held.push(id);
+                        handed_at.insert(id, Instant::now());
                         let range = self.chunks[id].clone();
                         transport.send(&Frame::Chunk {
                             id: id as u64,
@@ -570,6 +629,10 @@ impl Coordinator {
                         state.done += 1;
                         log.chunks += 1;
                         log.rows += self.chunks[id].len();
+                        if let (Some(rec), Some(at)) = (obs::current(), handed_at.remove(&id)) {
+                            rec.histogram("dist.chunk_us")
+                                .record(at.elapsed().as_micros() as f64);
+                        }
                     } else {
                         state.duplicates += 1;
                     }
@@ -654,6 +717,11 @@ impl Coordinator {
                 state.attempts[id] += 1;
                 state.inflight[id] += 1;
                 state.hedges += 1;
+                obs::event!(
+                    Debug,
+                    "dist.hedge",
+                    "re-sending chunk {id}: its answer went missing on this connection"
+                );
                 return Ok(NextChunk::Hand(id));
             }
             // Idle worker, work in flight elsewhere: hedge the lowest
@@ -667,6 +735,11 @@ impl Coordinator {
                     state.hedged[id] = true;
                     state.inflight[id] += 1;
                     state.hedges += 1;
+                    obs::event!(
+                        Debug,
+                        "dist.hedge",
+                        "hedging straggler chunk {id} onto an idle worker"
+                    );
                     return Ok(NextChunk::Hand(id));
                 }
             }

@@ -16,6 +16,22 @@ use crate::chaos::{ChaosPlan, ChaosTransport};
 use crate::proto::{Frame, MAX_FRAME_LEN};
 use crate::DistError;
 
+/// Books one frame crossing this end into the current [`obs`] recorder
+/// (no-op without one). Both concrete transports call it with the full
+/// wire-image length, so `dist.bytes_*` counts exactly what TCP would
+/// put on the network.
+fn record_wire(sent: bool, bytes: usize) {
+    if let Some(rec) = obs::current() {
+        if sent {
+            rec.counter("dist.frames_sent").add(1);
+            rec.counter("dist.bytes_sent").add(bytes as u64);
+        } else {
+            rec.counter("dist.frames_received").add(1);
+            rec.counter("dist.bytes_received").add(bytes as u64);
+        }
+    }
+}
+
 /// A bidirectional frame pipe. `send` must deliver the frame's full wire
 /// image or fail; `recv` must return exactly one decoded frame or fail.
 pub trait Transport {
@@ -84,7 +100,9 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), DistError> {
-        self.stream.write_all(&frame.encode())?;
+        let wire = frame.encode();
+        self.stream.write_all(&wire)?;
+        record_wire(true, wire.len());
         Ok(())
     }
 
@@ -100,6 +118,7 @@ impl Transport for TcpTransport {
         let mut wire = vec![0u8; 4 + len + 8];
         wire[..4].copy_from_slice(&len_buf);
         self.stream.read_exact(&mut wire[4..])?;
+        record_wire(false, wire.len());
         Frame::decode_wire(&wire)
     }
 
@@ -161,9 +180,13 @@ impl LoopbackTransport {
 
 impl Transport for LoopbackTransport {
     fn send(&mut self, frame: &Frame) -> Result<(), DistError> {
+        let wire = frame.encode();
+        let bytes = wire.len();
         self.tx
-            .send(frame.encode())
-            .map_err(|_| DistError::Disconnected("loopback peer dropped its receiver".into()))
+            .send(wire)
+            .map_err(|_| DistError::Disconnected("loopback peer dropped its receiver".into()))?;
+        record_wire(true, bytes);
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<Frame, DistError> {
@@ -174,7 +197,10 @@ impl Transport for LoopbackTransport {
                 // disconnected channel with no pending frames reports
                 // Disconnected on the next try_recv.
                 return match self.rx.try_recv() {
-                    Ok(wire) => Frame::decode_wire(&wire),
+                    Ok(wire) => {
+                        record_wire(false, wire.len());
+                        Frame::decode_wire(&wire)
+                    }
                     Err(TryRecvError::Disconnected) => Err(DistError::Disconnected(
                         "loopback peer dropped its sender".into(),
                     )),
@@ -190,6 +216,7 @@ impl Transport for LoopbackTransport {
                 ))
             }
         };
+        record_wire(false, wire.len());
         Frame::decode_wire(&wire)
     }
 

@@ -110,6 +110,13 @@ pub fn run_worker<T: Transport>(
         .as_ref()
         .and_then(|c| c.load_content(fingerprint));
     let table_from_cache = cached.is_some();
+    if config.cache.is_some() {
+        if table_from_cache {
+            obs::count!("dist.table_cache_hit", 1);
+        } else {
+            obs::count!("dist.table_cache_miss", 1);
+        }
+    }
     let table = match cached {
         Some(table) => table,
         None => {
@@ -135,7 +142,11 @@ pub fn run_worker<T: Transport>(
                 // Cache persistence is an optimisation; a full disk must
                 // not kill the sweep.
                 if let Err(e) = cache.save_content(&table) {
-                    eprintln!("dist worker: could not cache table: {e}");
+                    obs::event!(
+                        Warn,
+                        "dist.worker.table_cache_write_failed",
+                        "could not cache table: {e}"
+                    );
                 }
             }
             table

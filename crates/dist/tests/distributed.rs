@@ -552,3 +552,163 @@ fn invalid_configurations_are_rejected_before_any_worker_connects() {
         Err(DistError::Config(_))
     ));
 }
+
+/// Every fault class a seeded `ChaosPlan` can inject must be accounted
+/// for in `ChaosStats` exactly: one loopback mini-fleet per class, each
+/// with a conversation shape that makes the injected count deterministic.
+#[test]
+fn chaos_stats_account_for_every_injected_fault_exactly() {
+    use dist::ChaosStats;
+
+    let config = || DistConfig {
+        chunk_size: 3, // 10 workloads -> 4 chunks
+        recv_timeout: Duration::from_secs(2),
+        ..DistConfig::default()
+    };
+
+    // Delay: fires on every sent frame but changes nothing else, so a
+    // lone worker completes the sweep having delayed exactly its
+    // Hello + TableRequest + 4 x (FetchChunk + Rows) + final FetchChunk.
+    let plan = ChaosPlan {
+        seed: 1,
+        delay: 1.0,
+        max_delay: Duration::from_micros(50),
+        ..ChaosPlan::default()
+    };
+    let coordinator = Coordinator::from_sweep(reference_sweep(), config()).unwrap();
+    let (c1, w1) = loopback_pair_with_chaos(plan);
+    let stats = w1.stats_handle();
+    let worker = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let outcome = coordinator.run(vec![c1]).expect("delays are not failures");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    worker.join().unwrap().expect("delayed worker completes");
+    assert_eq!(
+        *stats.lock().unwrap(),
+        ChaosStats {
+            delays: 11,
+            ..ChaosStats::default()
+        }
+    );
+
+    // The remaining classes each kill their victim at a deterministic
+    // point in the handshake; a clean survivor carries the sweep.
+
+    // Crash: frames crossing the victim are Hello, Welcome, TableRequest,
+    // TableBytes — the fifth operation trips the trigger.
+    let coordinator = Coordinator::from_sweep(reference_sweep(), config()).unwrap();
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan::crash_after(4));
+    let stats = w1.stats_handle();
+    let (c2, w2) = loopback_pair();
+    let victim = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator.run(vec![c1, c2]).expect("survivor carries it");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert!(victim.join().unwrap().is_err());
+    survivor.join().unwrap().expect("survivor completes");
+    assert_eq!(
+        *stats.lock().unwrap(),
+        ChaosStats {
+            crashed: true,
+            ..ChaosStats::default()
+        }
+    );
+
+    // Hang: same trip point, but the end falls silent instead of dying;
+    // the coordinator's short recv timeout writes the victim off.
+    let mut cfg = config();
+    cfg.recv_timeout = Duration::from_millis(300);
+    let coordinator = Coordinator::from_sweep(reference_sweep(), cfg).unwrap();
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan::hang_after(4));
+    let stats = w1.stats_handle();
+    let (c2, w2) = loopback_pair();
+    let victim = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator.run(vec![c1, c2]).expect("survivor carries it");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert!(victim.join().unwrap().is_err());
+    survivor.join().unwrap().expect("survivor completes");
+    assert_eq!(
+        *stats.lock().unwrap(),
+        ChaosStats {
+            hung: true,
+            ..ChaosStats::default()
+        }
+    );
+
+    // Corrupt: the victim's first received frame (Welcome) is bit-flipped
+    // and fails decode, so exactly one corruption is ever injected.
+    let coordinator = Coordinator::from_sweep(reference_sweep(), config()).unwrap();
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan {
+        seed: 7,
+        corrupt: 1.0,
+        ..ChaosPlan::default()
+    });
+    let stats = w1.stats_handle();
+    let (c2, w2) = loopback_pair();
+    let victim = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator.run(vec![c1, c2]).expect("survivor carries it");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert!(matches!(victim.join().unwrap(), Err(DistError::Protocol(_))));
+    survivor.join().unwrap().expect("survivor completes");
+    assert_eq!(
+        *stats.lock().unwrap(),
+        ChaosStats {
+            corruptions: 1,
+            ..ChaosStats::default()
+        }
+    );
+
+    // Drop: the victim's Hello vanishes — its only send — and it then
+    // times out waiting for a Welcome that can never come.
+    let coordinator = Coordinator::from_sweep(reference_sweep(), config()).unwrap();
+    let (c1, w1) = loopback_pair();
+    let w1 = ChaosTransport::new(
+        w1.with_recv_timeout(Duration::from_millis(300)),
+        ChaosPlan {
+            seed: 5,
+            drop: 1.0,
+            ..ChaosPlan::default()
+        },
+    );
+    let stats = w1.stats_handle();
+    let (c2, w2) = loopback_pair();
+    let victim = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator.run(vec![c1, c2]).expect("survivor carries it");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert!(matches!(victim.join().unwrap(), Err(DistError::Timeout(_))));
+    survivor.join().unwrap().expect("survivor completes");
+    assert_eq!(
+        *stats.lock().unwrap(),
+        ChaosStats {
+            drops: 1,
+            ..ChaosStats::default()
+        }
+    );
+
+    // Duplicate: the victim doubles Hello, TableRequest and FetchChunk,
+    // then dies on the echoed second TableBytes — three duplicates, no
+    // more, and parity still holds through the survivor.
+    let coordinator = Coordinator::from_sweep(reference_sweep(), config()).unwrap();
+    let (c1, w1) = loopback_pair_with_chaos(ChaosPlan {
+        seed: 9,
+        duplicate: 1.0,
+        ..ChaosPlan::default()
+    });
+    let stats = w1.stats_handle();
+    let (c2, w2) = loopback_pair();
+    let victim = std::thread::spawn(move || run_worker(w1, &WorkerConfig::default()));
+    let survivor = std::thread::spawn(move || run_worker(w2, &WorkerConfig::default()));
+    let outcome = coordinator.run(vec![c1, c2]).expect("survivor carries it");
+    assert_bitwise_equal(&outcome.report, reference_report());
+    assert!(matches!(victim.join().unwrap(), Err(DistError::Protocol(_))));
+    survivor.join().unwrap().expect("survivor completes");
+    assert_eq!(
+        *stats.lock().unwrap(),
+        ChaosStats {
+            duplicates: 3,
+            ..ChaosStats::default()
+        }
+    );
+}

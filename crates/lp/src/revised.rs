@@ -248,6 +248,7 @@ where
             .collect();
         let Some(entering) = price(&duals) else {
             // Optimal: no column prices out.
+            obs::count!("lp.colgen.pricing_rounds", iterations as u64 + 1);
             let objective = basis.iter().zip(&xb).map(|(col, &x)| col.cost * x).sum();
             let basic = basis
                 .iter()

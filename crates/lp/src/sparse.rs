@@ -286,7 +286,7 @@ pub fn stationary_gauss_seidel(
 
     let mut pi = vec![1.0 / n as f64; n];
     let mut residual = f64::INFINITY;
-    for _ in 0..max_sweeps {
+    for sweep in 0..max_sweeps {
         // One in-place sweep, tracking the balance residual as we go. The
         // residual uses the pre-update pi_j, so it is an upper bound on the
         // post-sweep imbalance once the iteration has settled.
@@ -320,10 +320,27 @@ pub fn stationary_gauss_seidel(
             f64::INFINITY
         };
         if residual < tol {
+            record_stationary_solve("lp.gauss_seidel.sweeps", sweep + 1, residual);
             return Ok(pi);
         }
     }
+    record_stationary_solve("lp.gauss_seidel.sweeps", max_sweeps, residual);
     Err(SparseError::NoConvergence(residual))
+}
+
+/// Reports one stationary solve to the current `obs` recorder: sweeps
+/// consumed onto the solver's counter, final residual (as `-log10`) onto
+/// the shared residual histogram. A single context lookup per *solve* —
+/// nothing per sweep — so the disabled path stays invisible in the
+/// kernel benchmarks.
+fn record_stationary_solve(counter: &'static str, sweeps: usize, residual: f64) {
+    if let Some(rec) = obs::current() {
+        rec.counter(counter).add(sweeps as u64);
+        if residual.is_finite() {
+            rec.histogram("lp.solve.residual_neglog10")
+                .record(-residual.max(1e-300).log10());
+        }
+    }
 }
 
 /// Shared validation for the stationary solvers: dimensions consistent,
@@ -452,7 +469,7 @@ pub fn stationary_sor(
     let mut residual = f64::INFINITY;
     let mut schedule = OmegaSchedule::new();
     let mut omega = 1.0;
-    for _ in 0..max_sweeps {
+    for sweep in 0..max_sweeps {
         let mut max_gap = 0.0f64;
         let mut max_flow = 0.0f64;
         for j in 0..n {
@@ -485,10 +502,12 @@ pub fn stationary_sor(
             f64::INFINITY
         };
         if residual < tol {
+            record_stationary_solve("lp.sor.sweeps", sweep + 1, residual);
             return Ok(pi);
         }
         omega = schedule.observe(residual);
     }
+    record_stationary_solve("lp.sor.sweeps", max_sweeps, residual);
     Err(SparseError::NoConvergence(residual))
 }
 
@@ -659,7 +678,7 @@ pub fn stationary_multicolor(
     let mut residual = f64::INFINITY;
     let mut schedule = OmegaSchedule::new();
     let mut omega = 1.0;
-    for _ in 0..max_sweeps {
+    for sweep in 0..max_sweeps {
         let (mut max_gap, mut max_flow) = (0.0f64, 0.0f64);
         if threads <= 1 {
             for c in 0..ncolors {
@@ -721,6 +740,7 @@ pub fn stationary_multicolor(
         };
         let done = residual < tol;
         if done {
+            record_stationary_solve("lp.multicolor.sweeps", sweep + 1, residual);
             return Ok(pi
                 .into_iter()
                 .map(|p| f64::from_bits(p.into_inner()))
@@ -728,6 +748,7 @@ pub fn stationary_multicolor(
         }
         omega = schedule.observe(residual);
     }
+    record_stationary_solve("lp.multicolor.sweeps", max_sweeps, residual);
     Err(SparseError::NoConvergence(residual))
 }
 
@@ -764,6 +785,23 @@ mod tests {
         let pi = stationary_gauss_seidel(&inflow, &[1.0, 2.0], 1e-13, 10_000).unwrap();
         assert!((pi[0] - 2.0 / 3.0).abs() < 1e-10);
         assert!((pi[1] - 1.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solvers_report_sweep_counts_and_residuals_to_obs() {
+        let recorder = obs::Recorder::new();
+        let _guard = obs::install(&recorder);
+        let inflow = Csr::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 1.0)]);
+        stationary_gauss_seidel(&inflow, &[1.0, 2.0], 1e-13, 10_000).unwrap();
+        stationary_sor(&inflow, &[1.0, 2.0], 1e-13, 10_000).unwrap();
+        let snap = recorder.snapshot();
+        assert!(snap.counters["lp.gauss_seidel.sweeps"] >= 1);
+        assert!(snap.counters["lp.sor.sweeps"] >= 1);
+        // One final-residual sample per solve, every residual below tol
+        // (−log10 ≥ 13).
+        let hist = &snap.histograms["lp.solve.residual_neglog10"];
+        assert_eq!(hist.count, 2);
+        assert!(hist.sum >= 2.0 * 13.0, "residuals converged: {}", hist.sum);
     }
 
     #[test]

@@ -86,6 +86,12 @@ impl CircuitBreaker {
                 opened: true,
                 q90: fit_q90,
             });
+            obs::event!(
+                Debug,
+                "serve.breaker_open",
+                "breaker opened at generation {generation}: fit_q90 {fit_q90:.4} >= {:.4}",
+                self.config.trip_q90
+            );
         } else if self.open && fit_q90 <= self.config.recover_q90 {
             self.open = false;
             self.report.recoveries += 1;
@@ -94,6 +100,12 @@ impl CircuitBreaker {
                 opened: false,
                 q90: fit_q90,
             });
+            obs::event!(
+                Debug,
+                "serve.breaker_close",
+                "breaker recovered at generation {generation}: fit_q90 {fit_q90:.4} <= {:.4}",
+                self.config.recover_q90
+            );
         }
     }
 

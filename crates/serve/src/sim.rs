@@ -114,6 +114,9 @@ pub struct ServeReport {
     pub final_train_samples: usize,
     /// Circuit-breaker activity, when [`ServeConfig::breaker`] was set.
     pub breaker: Option<BreakerReport>,
+    /// Metrics recorded during this run (empty when no [`obs`] recorder
+    /// was installed).
+    pub metrics: obs::MetricsSnapshot,
 }
 
 /// Errors from a [`run_serve`] experiment.
@@ -183,6 +186,14 @@ pub fn run_serve(
         ));
     }
 
+    let ctx = obs::current();
+    let _span = ctx.as_ref().map(|r| r.span("serve.run"));
+    let before = ctx.as_ref().map(|r| r.snapshot());
+    // Hoisted handles keep the per-event cost at one atomic op.
+    let depth_gauge = ctx.as_ref().map(|r| r.gauge("serve.queue_depth"));
+    let shed_counter = ctx.as_ref().map(|r| r.counter("serve.shed"));
+    let place_hist = ctx.as_ref().map(|r| r.histogram("serve.place_us"));
+
     let mut rng = SplitMix64::new(cfg.seed);
     let (producer, queue) = Queue::bounded(cfg.queue_capacity);
     let mut twin = if cfg.twin_panic_at_batch.is_some() {
@@ -244,11 +255,18 @@ pub fn run_serve(
                 break;
             }
             // Nothing running yet but the queue holds work: dispatch it.
+            if let Some(g) = &depth_gauge {
+                g.set(queue.len() as i64);
+            }
             for job in queue.drain() {
                 dispatcher.admit(job);
             }
+            let placing = std::time::Instant::now();
             let model = twin.read();
             dispatcher.fill(&*model, now);
+            if let Some(h) = &place_hist {
+                h.record(placing.elapsed().as_micros() as f64);
+            }
             continue;
         }
 
@@ -311,7 +329,12 @@ pub fn run_serve(
             arrivals_left -= 1;
             match producer.try_submit(job) {
                 Ok(()) => {}
-                Err(SubmitError::Full(_)) => {} // shed; counted by the queue
+                Err(SubmitError::Full(_)) => {
+                    // Shed; counted by the queue's own stats too.
+                    if let Some(c) = &shed_counter {
+                        c.add(1);
+                    }
+                }
                 Err(SubmitError::Closed(_)) => unreachable!("queue closed early"),
             }
             next_arrival = now + rng.next_exp(1.0 / cfg.arrival_rate);
@@ -319,12 +342,19 @@ pub fn run_serve(
 
         // Dispatch path: drain the queue and fill free contexts, pricing
         // through the live predicted model.
+        if let Some(g) = &depth_gauge {
+            g.set(queue.len() as i64);
+        }
         for job in queue.drain() {
             dispatcher.admit(job);
         }
         {
+            let placing = std::time::Instant::now();
             let model = twin.read();
             dispatcher.fill(&*model, now);
+            if let Some(h) = &place_hist {
+                h.record(placing.elapsed().as_micros() as f64);
+            }
         }
     }
 
@@ -341,6 +371,12 @@ pub fn run_serve(
         completed,
         mean_abs_rel: final_model.error_against(truth).mean_abs_rel,
     });
+
+    drop(_span);
+    let metrics = match (&ctx, before) {
+        (Some(rec), Some(before)) => obs::MetricsSnapshot::diff(&before, &rec.snapshot()),
+        _ => obs::MetricsSnapshot::default(),
+    };
 
     Ok(ServeReport {
         placer: placer_name,
@@ -362,6 +398,7 @@ pub fn run_serve(
                 .report()
                 .clone()
         }),
+        metrics,
     })
 }
 

@@ -160,10 +160,12 @@ impl TwinLoop {
         let (tx, rx) = mpsc::channel::<Vec<RateSample>>();
         let shared = twin.shared.clone();
         let probes = twin.probes_per_refit;
+        let ctx = obs::current();
         twin.worker = Some(
             std::thread::Builder::new()
                 .name("twin-refit".into())
                 .spawn(move || {
+                    let _obs = obs::install_current(&ctx);
                     let mut batches: u64 = 0;
                     while let Ok(batch) = rx.recv() {
                         let outcome =
@@ -327,6 +329,8 @@ impl TwinLoop {
     /// Applies one batch: refit, record history, derive active probes.
     /// Shared by the inline path and the worker thread.
     fn apply(shared: &TwinShared, batch: Vec<RateSample>, probes_per_refit: usize) {
+        let ctx = obs::current();
+        let refit_started = std::time::Instant::now();
         let mut record = None;
         let mut probes = Vec::new();
         let ok = {
@@ -346,6 +350,12 @@ impl TwinLoop {
                 Err(_) => false,
             }
         };
+        if let Some(rec) = &ctx {
+            rec.histogram("twin.refit_us")
+                .record(refit_started.elapsed().as_micros() as f64);
+            rec.counter(if ok { "twin.refits" } else { "twin.refit_failures" })
+                .add(1);
+        }
         let mut progress = shared
             .progress
             .lock()
